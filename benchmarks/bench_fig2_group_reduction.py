@@ -1,0 +1,91 @@
+"""Figure 2 — group reduction query (Section 5.2).
+
+Paper's claims, asserted here on the regenerated data:
+
+- without group reduction, evaluation time and bytes transferred grow
+  ~quadratically with the number of participating sites;
+- distribution-independent (site-side) group reduction removes roughly
+  half the inefficiency: the up-leg becomes linear while the down-leg
+  stays quadratic;
+- the group-traffic formula (2c + 2n + 1)/(4n + 1) matches measurement
+  to within 5%;
+- (extension) distribution-aware (coordinator-side) reduction makes the
+  curves linear, as the paper predicts but does not measure.
+
+Run standalone for the full printed report::
+
+    python benchmarks/bench_fig2_group_reduction.py
+"""
+
+from conftest import BENCH_MODEL, PARTICIPATING, SPEEDUP_SCALE, print_series
+from repro.bench import figure2, figure2_aware, growth_exponent
+
+
+def run_figure2():
+    return figure2(
+        scale=SPEEDUP_SCALE, participating=PARTICIPATING, model=BENCH_MODEL
+    )
+
+
+def run_figure2_aware():
+    return figure2_aware(
+        scale=SPEEDUP_SCALE, participating=PARTICIPATING, model=BENCH_MODEL
+    )
+
+
+def test_fig2_group_reduction(benchmark):
+    series, formula_points = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    print_series(series, [("tuples_total", "groups (tuples) transferred")])
+
+    xs = series.x_values
+    unreduced_bytes = series.column("no_reduction", "bytes_total")
+    reduced_bytes = series.column("group_reduction", "bytes_total")
+
+    # Quadratic-ish growth without reduction; reduction strictly helps.
+    assert growth_exponent(xs, unreduced_bytes) > 1.5
+    assert growth_exponent(xs, reduced_bytes) < growth_exponent(xs, unreduced_bytes)
+    for point_index in range(1, len(xs)):
+        assert reduced_bytes[point_index] < unreduced_bytes[point_index]
+
+    # Reduction also wins on modeled evaluation time at every n > 1.
+    unreduced_time = series.column("no_reduction", "total_time_s")
+    reduced_time = series.column("group_reduction", "total_time_s")
+    assert reduced_time[-1] < unreduced_time[-1]
+
+    # The paper's traffic analysis holds to within 5%.
+    print("\ntraffic formula (2c+2n+1)/(4n+1) check:")
+    for point in formula_points:
+        print(
+            f"  n={point.sites}: c={point.c:.3f} predicted={point.predicted_ratio:.4f} "
+            f"measured={point.measured_ratio:.4f} error={point.relative_error:.2%}"
+        )
+        assert point.relative_error < 0.05
+
+
+def test_fig2_aware_reduction_linear(benchmark):
+    series = benchmark.pedantic(run_figure2_aware, rounds=1, iterations=1)
+    print_series(series)
+
+    xs = series.x_values
+    aware_down = series.column("aware+independent", "bytes_down")
+    independent_down = series.column("independent_only", "bytes_down")
+
+    # Coordinator-side reduction linearizes the down leg (paper Sec 5.2).
+    assert growth_exponent(xs, aware_down) < 1.25
+    assert growth_exponent(xs, independent_down) > 1.5
+    assert series.column("aware+independent", "bytes_total")[-1] < (
+        series.column("independent_only", "bytes_total")[-1]
+    )
+
+
+if __name__ == "__main__":
+    series, formula_points = run_figure2()
+    print(series.show([("tuples_total", "groups (tuples) transferred")]))
+    print("\ntraffic formula check:")
+    for point in formula_points:
+        print(
+            f"  n={point.sites}: predicted={point.predicted_ratio:.4f} "
+            f"measured={point.measured_ratio:.4f} error={point.relative_error:.2%}"
+        )
+    print()
+    print(run_figure2_aware().show())

@@ -1,0 +1,62 @@
+"""Figure 3 — coalescing query (Section 5.2).
+
+Paper's claims, asserted on the regenerated data:
+
+- high cardinality: the non-coalesced query's evaluation time/traffic
+  grows ~quadratically with sites; the coalesced query runs in a single
+  round with one upward shipment and grows linearly;
+- low cardinality: the difference is smaller, but coalescing still wins
+  (the paper reports ~30%, from reduced site computation as well as
+  communication).
+
+Run standalone for the printed report::
+
+    python benchmarks/bench_fig3_coalescing.py
+"""
+
+from conftest import BENCH_MODEL, PARTICIPATING, SPEEDUP_SCALE, print_series
+from repro.bench import figure3, growth_exponent
+
+
+def run_figure3():
+    return figure3(
+        scale=SPEEDUP_SCALE, participating=PARTICIPATING, model=BENCH_MODEL
+    )
+
+
+def test_fig3_coalescing(benchmark):
+    result = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+
+    high = result["high"]
+    low = result["low"]
+    print_series(high, [("synchronizations", "synchronizations")])
+    print_series(low)
+    xs = high.x_values
+
+    # High cardinality: quadratic vs linear.
+    assert growth_exponent(xs, high.column("non_coalesced", "bytes_total")) > 1.5
+    assert growth_exponent(xs, high.column("coalesced", "bytes_total")) < 1.25
+
+    # Coalesced plan uses a single synchronization with upward-only data.
+    for point in high.measurements:
+        assert point["coalesced"].synchronizations == 1
+        assert point["coalesced"].tuples_down == 0
+
+    # Low cardinality: coalescing still reduces evaluation time at 8 sites.
+    low_non = low.column("non_coalesced", "total_time_s")[-1]
+    low_coal = low.column("coalesced", "total_time_s")[-1]
+    assert low_coal < low_non
+
+    # Site computation also drops (one pass over R instead of two) —
+    # the effect the paper credits for the low-cardinality win.
+    assert (
+        low.measurements[-1]["coalesced"].site_compute_s
+        < low.measurements[-1]["non_coalesced"].site_compute_s
+    )
+
+
+if __name__ == "__main__":
+    result = run_figure3()
+    print(result["high"].show([("synchronizations", "synchronizations")]))
+    print()
+    print(result["low"].show([("site_compute_s", "site compute (s)")]))

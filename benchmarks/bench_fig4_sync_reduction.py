@@ -1,0 +1,62 @@
+"""Figure 4 — synchronization reduction without coalescing (Section 5.2).
+
+Paper's claims, asserted on the regenerated data:
+
+- high cardinality: without sync reduction the correlated query is
+  ~quadratic in sites (3 synchronizations); with sync reduction the
+  whole chain runs locally (Corollary 1 via the CustName -> NationKey
+  functional dependency) with a single synchronization and linear growth;
+- low cardinality (grouping on a non-partitioned attribute): only
+  Proposition 2 applies (3 -> 2 synchronizations); the query gets
+  cheaper, but less than coalescing achieves, because the sites still
+  make two passes over R — site computation stays roughly the same, the
+  saving is synchronization overhead only.
+
+Run standalone for the printed report::
+
+    python benchmarks/bench_fig4_sync_reduction.py
+"""
+
+from conftest import BENCH_MODEL, PARTICIPATING, SPEEDUP_SCALE, print_series
+from repro.bench import figure4, growth_exponent
+
+
+def run_figure4():
+    return figure4(
+        scale=SPEEDUP_SCALE, participating=PARTICIPATING, model=BENCH_MODEL
+    )
+
+
+def test_fig4_sync_reduction(benchmark):
+    result = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    high = result["high"]
+    low = result["low"]
+    print_series(high, [("synchronizations", "synchronizations")])
+    print_series(low, [("synchronizations", "synchronizations")])
+    xs = high.x_values
+
+    # High cardinality: quadratic vs linear, 3 vs 1 synchronizations.
+    assert growth_exponent(xs, high.column("no_sync_reduction", "bytes_total")) > 1.5
+    assert growth_exponent(xs, high.column("sync_reduction", "bytes_total")) < 1.25
+    for point in high.measurements:
+        assert point["no_sync_reduction"].synchronizations == 3
+        assert point["sync_reduction"].synchronizations == 1
+
+    # Low cardinality: Proposition 2 only (3 -> 2), still cheaper.
+    for point in low.measurements:
+        assert point["sync_reduction"].synchronizations == 2
+        assert point["sync_reduction"].bytes_total < point["no_sync_reduction"].bytes_total
+
+    # The paper: low-cardinality site work is "nearly the same" — sync
+    # reduction does not cut local computation the way coalescing does.
+    last = low.measurements[-1]
+    plain_site = last["no_sync_reduction"].site_compute_s
+    reduced_site = last["sync_reduction"].site_compute_s
+    assert reduced_site > 0.5 * plain_site
+
+
+if __name__ == "__main__":
+    result = run_figure4()
+    print(result["high"].show([("synchronizations", "synchronizations")]))
+    print()
+    print(result["low"].show([("synchronizations", "synchronizations")]))

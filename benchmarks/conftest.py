@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark suite.
+
+Scales default to values where every figure's *shape* (growth order,
+winner, crossover) is clearly measurable in seconds, not minutes. Set
+``REPRO_BENCH_SCALE`` to raise them (e.g. ``0.005`` for ~30k-row TPCR).
+
+The ``BENCH_MODEL`` cost model prices communication with bandwidth
+dominating latency. Rationale: the experiments run at roughly 1/1000 of
+the paper's data size; keeping the paper's absolute WAN bandwidth would
+make fixed per-round latency dominate and flatten every curve. Scaling
+the bandwidth with the data preserves the paper's latency:transfer
+balance, which is what the response-time shapes depend on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.net.costmodel import CostModel
+
+#: TPCR scale for speed-up figures (paper: 6M rows; this: 6k per 0.001).
+SPEEDUP_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.001"))
+#: Base scale for the Figure 5 scale-up sweep.
+SCALEUP_BASE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.001"))
+#: Participating-site sweep (the paper uses 1..8).
+PARTICIPATING = (1, 2, 4, 8)
+
+#: Communication pricing for reported evaluation times (see module doc).
+BENCH_MODEL = CostModel(latency_s=0.001, bandwidth_bytes_per_s=1.0e5)
+
+
+@pytest.fixture(scope="session")
+def bench_model():
+    return BENCH_MODEL
+
+
+def print_series(series, extra_columns=()):
+    """Print one figure's report to the benchmark log."""
+    print()
+    print(series.show(list(extra_columns)))

@@ -1,0 +1,129 @@
+"""A business-style report over the distributed TPC-R warehouse.
+
+Combines the query classes into one "analyst session" against an
+eight-site warehouse partitioned on NationKey (the paper's evaluation
+setup), and prints what each optimization buys for each query:
+
+1. a multi-feature query (Ross et al.): per nation, the cheapest line
+   item, how many line items hit that price, and the average quantity of
+   those cheapest sales;
+2. a correlated-aggregate "big spenders" query on the high-cardinality
+   customer name attribute;
+3. an optimization scorecard: the same queries under every single
+   optimization toggle.
+
+Run: ``python examples/tpcr_report.py``
+"""
+
+from repro import (
+    AggSpec,
+    Feature,
+    OptimizationOptions,
+    QueryBuilder,
+    SimulatedCluster,
+    base,
+    col,
+    count_star,
+    detail,
+    execute_query,
+    multifeature_query,
+)
+from repro.data import (
+    TPCRConfig,
+    generate_tpcr,
+    nation_partitioner,
+    register_tpcr_fds,
+)
+
+SITES = 8
+
+
+def build_cluster() -> SimulatedCluster:
+    cluster = SimulatedCluster.with_sites(SITES)
+    tpcr = generate_tpcr(TPCRConfig(scale=0.003))
+    cluster.load_partitioned("TPCR", tpcr, nation_partitioner(SITES))
+    register_tpcr_fds(cluster.catalog)
+    print(f"warehouse: {len(tpcr)} line items across {SITES} sites\n")
+    return cluster
+
+
+def cheapest_sales_report(cluster: SimulatedCluster) -> None:
+    print("== Multi-feature query: cheapest sale per nation ==")
+    expression = multifeature_query(
+        "TPCR",
+        ["NationKey"],
+        [
+            Feature([AggSpec("min", detail.Price, "min_price")]),
+            Feature(
+                [count_star("at_min"), AggSpec("avg", detail.Quantity, "avg_qty")],
+                when=detail.Price == base.min_price,
+            ),
+        ],
+    )
+    result = execute_query(cluster, expression, OptimizationOptions.all())
+    print(result.relation.sorted_by(["NationKey"]).pretty(max_rows=10))
+    reference = expression.evaluate_centralized(cluster.conceptual_tables())
+    assert reference.same_rows_any_order_of_columns(result.relation)
+    print(
+        f"evaluated in {result.plan.synchronization_count} synchronization(s), "
+        f"{result.stats.bytes_total} bytes ✓\n"
+    )
+
+
+def big_spenders(cluster: SimulatedCluster) -> None:
+    print("== Customers buying above twice their own average ==")
+    expression = (
+        QueryBuilder("TPCR", keys=["CustName"])
+        .stage([count_star("orders"), AggSpec("avg", detail.Price, "avg_price")])
+        .stage(
+            [count_star("splurges"), AggSpec("max", detail.Price, "biggest")],
+            extra=detail.Price >= base.avg_price * 2,
+        )
+        .build()
+    )
+    result = execute_query(cluster, expression, OptimizationOptions.all())
+    splurgers = result.relation.select(col.splurges > 0)
+    print(
+        f"{len(splurgers)} of {len(result.relation)} customers have line "
+        f"items above twice their average price"
+    )
+    print(splurgers.sorted_by(["biggest"], descending=True).pretty(max_rows=8))
+    print()
+
+
+def scorecard(cluster: SimulatedCluster) -> None:
+    print("== Optimization scorecard (correlated query on CustName) ==")
+    expression = (
+        QueryBuilder("TPCR", keys=["CustName"])
+        .stage([count_star("cnt"), AggSpec("avg", detail.Price, "m")])
+        .stage([count_star("hi")], extra=detail.Price >= base.m)
+        .build()
+    )
+    arms = {
+        "none": OptimizationOptions.none(),
+        "+independent GR": OptimizationOptions(
+            False, False, False, True, False
+        ),
+        "+sync reduction": OptimizationOptions(False, True, False, False, False),
+        "all": OptimizationOptions.all(),
+    }
+    print(f"{'arm':18s} {'syncs':>5s} {'bytes':>10s} {'tuples':>8s}")
+    for name, options in arms.items():
+        cluster.reset_network()
+        result = execute_query(cluster, expression, options)
+        print(
+            f"{name:18s} {result.plan.synchronization_count:5d} "
+            f"{result.stats.bytes_total:10d} {result.stats.tuples_total:8d}"
+        )
+    print()
+
+
+def main():
+    cluster = build_cluster()
+    cheapest_sales_report(cluster)
+    big_spenders(cluster)
+    scorecard(cluster)
+
+
+if __name__ == "__main__":
+    main()

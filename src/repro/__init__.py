@@ -1,0 +1,113 @@
+"""repro — Skalla: efficient OLAP query processing in distributed data warehouses.
+
+A from-scratch reproduction of Akinde, Böhlen, Johnson, Lakshmanan &
+Srivastava, *"Efficient OLAP Query Processing in Distributed Data
+Warehouses"* (2002): the GMDJ operator, the round-based coordinator/site
+evaluation algorithm (Alg. GMDJDistribEval), the Egil optimizer with all
+four distributed-evaluation optimizations, and the TPC-R-based
+experimental study.
+
+Quickstart::
+
+    from repro import (
+        AggSpec, OptimizationOptions, QueryBuilder, SimulatedCluster,
+        base, count_star, detail, execute_query,
+    )
+    from repro.data import TPCRConfig, generate_tpcr, nation_partitioner
+
+    cluster = SimulatedCluster.with_sites(4)
+    cluster.load_partitioned("TPCR", generate_tpcr(TPCRConfig(scale=0.001)),
+                             nation_partitioner(4))
+    expr = (
+        QueryBuilder("TPCR", keys=["NationKey"])
+        .stage([count_star("cnt"), AggSpec("avg", detail.Price, "avg_price")])
+        .stage([count_star("big")], extra=detail.Price >= base.avg_price)
+        .build()
+    )
+    result = execute_query(cluster, expr, OptimizationOptions.all())
+    print(result.relation.pretty())
+    print(result.stats.summary())
+"""
+
+from repro.distributed import (
+    DistributedResult,
+    OptimizationOptions,
+    Plan,
+    SimulatedCluster,
+    execute_plan,
+    execute_query,
+    plan_query,
+)
+from repro.gmdj import (
+    DistinctBase,
+    GMDJExpression,
+    LiteralBase,
+    MDBlock,
+    MDStep,
+    coalesce,
+)
+from repro.net import WAN, CostModel
+from repro.queries import (
+    Feature,
+    QueryBuilder,
+    group_by_query,
+    multifeature_query,
+    parse_olap_query,
+    windowed_comparison_query,
+)
+from repro.relalg import (
+    AggSpec,
+    Relation,
+    Schema,
+    base,
+    col,
+    count_star,
+    detail,
+)
+from repro.warehouse import (
+    DistributionCatalog,
+    HashPartitioner,
+    LocalWarehouse,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    ValueListPartitioner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggSpec",
+    "CostModel",
+    "DistinctBase",
+    "DistributedResult",
+    "DistributionCatalog",
+    "Feature",
+    "GMDJExpression",
+    "HashPartitioner",
+    "LiteralBase",
+    "LocalWarehouse",
+    "MDBlock",
+    "MDStep",
+    "OptimizationOptions",
+    "Plan",
+    "QueryBuilder",
+    "RangePartitioner",
+    "Relation",
+    "RoundRobinPartitioner",
+    "Schema",
+    "SimulatedCluster",
+    "ValueListPartitioner",
+    "WAN",
+    "base",
+    "coalesce",
+    "col",
+    "count_star",
+    "detail",
+    "execute_plan",
+    "execute_query",
+    "group_by_query",
+    "parse_olap_query",
+    "multifeature_query",
+    "plan_query",
+    "windowed_comparison_query",
+]

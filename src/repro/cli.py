@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+- ``demo`` — build a distributed TPC-R warehouse and run the quickstart
+  correlated query with and without optimizations;
+- ``sql QUERY`` — run a query in the OLAP SQL dialect against a freshly
+  generated distributed warehouse (TPC-R or flows), on a star or
+  multi-tier topology;
+- ``figures [NAME]`` — regenerate the paper's experiments and print
+  their reports (fig2, fig2x, fig3, fig4, fig5, or all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.data.flows import FlowConfig, generate_flows, router_partitioner
+from repro.data.tpcr import (
+    TPCRConfig,
+    generate_tpcr,
+    nation_partitioner,
+    register_tpcr_fds,
+)
+from repro.distributed import (
+    OptimizationOptions,
+    SimulatedCluster,
+    TreeTopology,
+    execute_query,
+    execute_query_hierarchical,
+)
+from repro.queries.sql import parse_olap_statement
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skalla: distributed OLAP query processing (Akinde et al., 2002)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run the quickstart demonstration")
+    _add_cluster_options(demo)
+
+    sql = commands.add_parser("sql", help="run an OLAP SQL query distributed")
+    sql.add_argument("query", help="query text, e.g. \"SELECT NationKey, COUNT(*) AS c FROM TPCR GROUP BY NationKey\"")
+    _add_cluster_options(sql)
+    sql.add_argument(
+        "--data",
+        choices=("tpcr", "flows"),
+        default="tpcr",
+        help="which synthetic warehouse to build (table name TPCR or Flow)",
+    )
+    sql.add_argument(
+        "--topology",
+        default="star",
+        help="'star' or 'tree:R' for a two-level tree with R regions",
+    )
+    sql.add_argument("--max-rows", type=int, default=20, help="rows to print")
+
+    figures = commands.add_parser("figures", help="regenerate paper experiments")
+    figures.add_argument(
+        "name",
+        nargs="?",
+        default="all",
+        choices=("fig2", "fig2x", "fig3", "fig4", "fig5", "all"),
+    )
+    figures.add_argument("--scale", type=float, default=0.001)
+
+    report = commands.add_parser(
+        "report", help="regenerate the full markdown experiment report"
+    )
+    report.add_argument("--scale", type=float, default=0.001)
+    return parser
+
+
+def _add_cluster_options(parser) -> None:
+    parser.add_argument("--sites", type=int, default=4, help="number of sites")
+    parser.add_argument("--scale", type=float, default=0.001, help="TPC-R scale")
+    parser.add_argument(
+        "--optimizations",
+        choices=("all", "none"),
+        default="all",
+        help="Skalla optimization toggles",
+    )
+
+
+def _build_cluster(args) -> SimulatedCluster:
+    cluster = SimulatedCluster.with_sites(args.sites)
+    if getattr(args, "data", "tpcr") == "flows":
+        config = FlowConfig(
+            flow_count=max(100, int(5_000_000 * args.scale)),
+            router_count=args.sites,
+        )
+        cluster.load_partitioned(
+            "Flow", generate_flows(config), router_partitioner(config)
+        )
+        cluster.catalog.add_functional_dependency("SourceAS", "RouterId")
+    else:
+        cluster.load_partitioned(
+            "TPCR",
+            generate_tpcr(TPCRConfig(scale=args.scale)),
+            nation_partitioner(args.sites),
+        )
+        register_tpcr_fds(cluster.catalog)
+    return cluster
+
+
+def _options(args) -> OptimizationOptions:
+    if args.optimizations == "all":
+        return OptimizationOptions.all()
+    return OptimizationOptions.none()
+
+
+def run_demo(args, out) -> int:
+    from repro.queries.olap import QueryBuilder
+    from repro.relalg.aggregates import AggSpec, count_star
+    from repro.relalg.expressions import base, detail
+
+    cluster = _build_cluster(args)
+    expression = (
+        QueryBuilder("TPCR", keys=["NationKey"])
+        .stage([count_star("cnt"), AggSpec("avg", detail.Price, "avg_price")])
+        .stage([count_star("above")], extra=detail.Price >= base.avg_price)
+        .build()
+    )
+    for label, options in (
+        ("no optimizations", OptimizationOptions.none()),
+        ("all optimizations", OptimizationOptions.all()),
+    ):
+        cluster.reset_network()
+        result = execute_query(cluster, expression, options)
+        print(f"=== {label} ===", file=out)
+        print(result.plan.describe(), file=out)
+        print(
+            f"synchronizations={result.plan.synchronization_count} "
+            f"bytes={result.stats.bytes_total}",
+            file=out,
+        )
+        print(result.relation.sorted_by(["NationKey"]).pretty(8), file=out)
+        print(file=out)
+    return 0
+
+
+def run_sql(args, out) -> int:
+    statement = parse_olap_statement(args.query)
+    expression = statement.expression
+    cluster = _build_cluster(args)
+
+    if args.topology == "star":
+        result = execute_query(cluster, expression, _options(args))
+        stats_line = (
+            f"syncs={result.plan.synchronization_count} "
+            f"bytes={result.stats.bytes_total} rounds={result.stats.round_count}"
+        )
+        plan = result.plan
+    elif args.topology.startswith("tree:"):
+        region_count = int(args.topology.split(":", 1)[1])
+        topology = TreeTopology.balanced(cluster.site_ids, region_count)
+        result = execute_query_hierarchical(
+            cluster, topology, expression, _options(args)
+        )
+        stats_line = (
+            f"root-link bytes={result.stats.root_link_bytes} "
+            f"total bytes={result.stats.bytes_total}"
+        )
+        plan = result.plan
+    else:
+        print(f"unknown topology {args.topology!r}", file=sys.stderr)
+        return 2
+
+    print(plan.describe(), file=out)
+    print(stats_line, file=out)
+    print(statement.apply_post(result.relation).pretty(args.max_rows), file=out)
+    return 0
+
+
+def run_figures(args, out) -> int:
+    from repro.bench import figure2, figure2_aware, figure3, figure4, figure5
+
+    name = args.name
+    if name in ("fig2", "all"):
+        series, formula = figure2(scale=args.scale)
+        print(series.show(), file=out)
+        for point in formula:
+            print(
+                f"  n={point.sites}: predicted={point.predicted_ratio:.4f} "
+                f"measured={point.measured_ratio:.4f}",
+                file=out,
+            )
+        print(file=out)
+    if name in ("fig2x", "all"):
+        print(figure2_aware(scale=args.scale).show(), file=out)
+        print(file=out)
+    if name in ("fig3", "all"):
+        result = figure3(scale=args.scale)
+        print(result["high"].show(), file=out)
+        print(result["low"].show(), file=out)
+        print(file=out)
+    if name in ("fig4", "all"):
+        result = figure4(scale=args.scale)
+        print(result["high"].show(), file=out)
+        print(result["low"].show(), file=out)
+        print(file=out)
+    if name in ("fig5", "all"):
+        print(figure5(base_scale=args.scale).show(), file=out)
+        print(file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return run_demo(args, out)
+    if args.command == "sql":
+        return run_sql(args, out)
+    if args.command == "figures":
+        return run_figures(args, out)
+    if args.command == "report":
+        from repro.bench.report import make_markdown_report
+
+        print(make_markdown_report(scale=args.scale), file=out)
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""``repro.data`` — deterministic synthetic data generators.
+
+:mod:`~repro.data.tpcr` reproduces the paper's TPC-R-derived evaluation
+data set (denormalized fact relation, NationKey partitioning,
+high/low-cardinality grouping attributes); :mod:`~repro.data.flows`
+generates the motivating IP-flow traces of Section 2.1.
+"""
+
+from repro.data.flows import (
+    FLOW_SCHEMA,
+    FlowConfig,
+    generate_flows,
+    router_partitioner,
+)
+from repro.data.tpcr import (
+    NATION_COUNT,
+    TPCR_SCHEMA,
+    TPCRConfig,
+    generate_tpcr,
+    nation_partitioner,
+    register_tpcr_fds,
+)
+
+__all__ = [
+    "FLOW_SCHEMA",
+    "FlowConfig",
+    "NATION_COUNT",
+    "TPCR_SCHEMA",
+    "TPCRConfig",
+    "generate_flows",
+    "generate_tpcr",
+    "nation_partitioner",
+    "register_tpcr_fds",
+    "router_partitioner",
+]

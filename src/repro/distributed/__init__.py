@@ -1,0 +1,94 @@
+"""``repro.distributed`` — the Skalla distributed OLAP runtime.
+
+The coordinator architecture of the paper: an optimizer (Egil) turns a
+GMDJ expression into a round-based plan; Alg. GMDJDistribEval executes it
+over a simulated cluster of local warehouses, shipping only partial
+results (never detail data) and collecting per-round traffic and timing
+statistics.
+"""
+
+from repro.distributed.cluster import SimulatedCluster, default_site_ids
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.costing import (
+    PlanEstimate,
+    StatisticsStore,
+    TableStatistics,
+    compare_plans,
+    estimate_plan,
+)
+from repro.distributed.hierarchy import (
+    HierarchicalResult,
+    TreeStats,
+    TreeTopology,
+    execute_plan_hierarchical,
+    execute_query_hierarchical,
+)
+from repro.distributed.incremental import IncrementalView, RefreshResult
+from repro.distributed.evaluator import (
+    DistributedResult,
+    ExecutionConfig,
+    execute_plan,
+    execute_query,
+)
+from repro.distributed.optimizer import (
+    OptimizationOptions,
+    plan_query,
+    plan_query_cost_based,
+)
+from repro.distributed.spanning import (
+    SpanningResult,
+    SpanningStats,
+    TreeNode,
+    chain_tree,
+    execute_plan_spanning,
+    execute_query_spanning,
+)
+from repro.distributed.plan import BaseRound, MDRound, Plan
+from repro.distributed.site import SkallaSite
+from repro.distributed.stats import (
+    ExecutionStats,
+    RoundStats,
+    SiteRoundStats,
+    check_theorem2,
+    theorem2_bound,
+)
+
+__all__ = [
+    "BaseRound",
+    "Coordinator",
+    "DistributedResult",
+    "ExecutionConfig",
+    "ExecutionStats",
+    "HierarchicalResult",
+    "IncrementalView",
+    "MDRound",
+    "OptimizationOptions",
+    "Plan",
+    "RefreshResult",
+    "PlanEstimate",
+    "RoundStats",
+    "SimulatedCluster",
+    "SiteRoundStats",
+    "SkallaSite",
+    "StatisticsStore",
+    "TableStatistics",
+    "SpanningResult",
+    "SpanningStats",
+    "TreeStats",
+    "TreeNode",
+    "TreeTopology",
+    "chain_tree",
+    "compare_plans",
+    "check_theorem2",
+    "default_site_ids",
+    "estimate_plan",
+    "execute_plan",
+    "execute_plan_hierarchical",
+    "execute_query",
+    "execute_query_hierarchical",
+    "execute_plan_spanning",
+    "execute_query_spanning",
+    "plan_query",
+    "plan_query_cost_based",
+    "theorem2_bound",
+]

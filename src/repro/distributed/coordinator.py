@@ -1,0 +1,115 @@
+"""The Skalla coordinator: base-result structure and synchronization.
+
+The coordinator maintains the base-result structure X — the global
+relation whose schema grows by the finalized aggregate columns of each
+round — indexed on the key attributes K so that each incoming sub-result
+tuple synchronizes in O(1) (Section 3.2). Synchronization is Theorem 1:
+the multiset union of site sub-results H is folded into X with
+super-aggregates keyed by θ_K.
+
+For Proposition 2 rounds (no separate base synchronization) the
+coordinator *assembles* X from the shipped Hᵢ themselves:
+``X = MD(π_B(H), H, l'', θ_K)`` with π_B deduplicated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import PlanError
+from repro.gmdj import operator
+from repro.gmdj.blocks import MDBlock
+from repro.relalg.expressions import BASE_VAR, Expr
+from repro.relalg.relation import Relation
+
+
+class Coordinator:
+    """Holds and synchronizes the global base-result structure X."""
+
+    def __init__(self, key_attrs: Sequence[str]):
+        self.key_attrs = tuple(key_attrs)
+        self._x: Optional[Relation] = None
+
+    # -- state --------------------------------------------------------------------
+
+    @property
+    def x(self) -> Relation:
+        if self._x is None:
+            raise PlanError("base-result structure not initialized yet")
+        return self._x
+
+    @property
+    def has_base(self) -> bool:
+        return self._x is not None
+
+    # -- base-values synchronization -------------------------------------------------
+
+    def set_base(self, relation: Relation) -> None:
+        """Install a literal base-values relation."""
+        self._x = relation
+
+    def sync_base(self, fragments: Sequence[Relation]) -> Relation:
+        """Union the sites' base-query results into B₀ (deduplicated)."""
+        if not fragments:
+            raise PlanError("no base fragments to synchronize")
+        combined = fragments[0]
+        for fragment in fragments[1:]:
+            combined = combined.union_all(fragment)
+        self._x = combined.distinct()
+        return self._x
+
+    # -- round synchronization ----------------------------------------------------
+
+    def fragment_for_site(self, ship_filter: Optional[Expr]) -> Relation:
+        """The X fragment shipped to one site, after aware group reduction.
+
+        ``ship_filter`` is the optimizer's ¬ψᵢ over base fields (relvar
+        ``"b"``), or ``None`` to ship all of X.
+        """
+        x = self.x
+        if ship_filter is None:
+            return x
+        predicate = ship_filter.compile({BASE_VAR: x.schema})
+        return x.select_fn(lambda row: predicate({BASE_VAR: row}))
+
+    def begin_sync(self, blocks: Sequence[MDBlock]) -> operator.SyncSession:
+        """Open an incremental synchronization round against current X.
+
+        Fragments (whole site sub-results, or row blocks of them) are
+        absorbed as they arrive — Section 3.2's streaming merge — and the
+        caller commits the finalized structure with :meth:`commit_sync`.
+        """
+        return operator.SyncSession(self.x, self.key_attrs, blocks)
+
+    def commit_sync(self, session: operator.SyncSession) -> Relation:
+        self._x = session.finish()
+        return self._x
+
+    def synchronize(self, sub_results: Sequence[Relation], blocks: Sequence[MDBlock]) -> Relation:
+        """Theorem 1: fold the sites' Hᵢ into X with super-aggregates."""
+        if not sub_results:
+            raise PlanError("no sub-results to synchronize")
+        session = self.begin_sync(blocks)
+        for fragment in sub_results:
+            session.absorb(fragment)
+        return self.commit_sync(session)
+
+    def assemble_from_chain(
+        self,
+        sub_results: Sequence[Relation],
+        blocks: Sequence[MDBlock],
+    ) -> Relation:
+        """Proposition 2: build X directly from merged-base sub-results.
+
+        The shipped Hᵢ carry the key attributes (here: the full base
+        schema, since merged bases are distinct projections), so
+        ``π_B(H)`` deduplicated *is* the base-values relation.
+        """
+        if not sub_results:
+            raise PlanError("no sub-results to assemble")
+        h = sub_results[0]
+        for fragment in sub_results[1:]:
+            h = h.union_all(fragment)
+        base = h.distinct_project(self.key_attrs)
+        self._x = operator.super_aggregate(base, h, self.key_attrs, blocks)
+        return self._x

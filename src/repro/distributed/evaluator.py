@@ -1,0 +1,256 @@
+"""Alg. GMDJDistribEval: executing a plan on a simulated cluster.
+
+This is the mediator of Fig. 1 in the paper. It drives the plan round by
+round, moving every relation as encoded bytes over the per-site channels
+(so traffic numbers are real wire sizes), timing site and coordinator
+computation separately, and synchronizing via the coordinator.
+
+Attribution rules for the measured times:
+
+- a site is charged for decoding its incoming fragment, evaluating the
+  GMDJ step(s), and encoding its sub-result;
+- the coordinator is charged for producing/encoding the per-site
+  fragments, decoding the sub-results, and the Theorem-1 merge;
+- communication *time* is not measured (everything is in-process) — it
+  is modeled from the measured bytes by the cost model in
+  ``repro.distributed.stats``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.optimizer import OptimizationOptions, plan_query
+from repro.distributed.plan import Plan
+from repro.distributed.stats import ExecutionStats, check_theorem2
+from repro.errors import PlanError
+from repro.gmdj.expression import GMDJExpression, LiteralBase
+from repro.net import message as msg
+from repro.net.costmodel import CostModel, WAN
+from repro.relalg.relation import Relation
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Runtime knobs of Alg. GMDJDistribEval.
+
+    ``row_block_size`` enables *row blocking* (mentioned among the
+    classical optimizations in Section 4): relations are shipped as a
+    sequence of blocks of at most that many rows, each block its own
+    message. More messages means more header bytes, but the coordinator
+    synchronizes each arriving block immediately (Section 3.2's
+    streaming merge), which in a real deployment overlaps transfer with
+    merge work. ``None`` ships each relation whole.
+    """
+
+    row_block_size: int = 0  # 0 = unlimited (one message per relation)
+
+    def __post_init__(self):
+        if self.row_block_size < 0:
+            raise PlanError(
+                f"row_block_size must be >= 0, got {self.row_block_size}"
+            )
+
+    def blocks_of(self, relation: Relation):
+        """Split a relation into shipping blocks per this config."""
+        size = self.row_block_size
+        if not size or len(relation) <= size:
+            return [relation]
+        return [
+            Relation(relation.schema, relation.rows[start : start + size])
+            for start in range(0, len(relation), size)
+        ] or [relation]
+
+
+@dataclass
+class DistributedResult:
+    """The answer relation plus everything measured while computing it."""
+
+    relation: Relation
+    stats: ExecutionStats
+    plan: Plan
+
+    def respects_theorem2(self) -> bool:
+        """Check the Theorem 2 traffic bound against observed tuple counts."""
+        base_sites, round_sites = self.plan.participating_site_counts()
+        return check_theorem2(
+            self.stats, len(self.relation), base_sites, round_sites
+        )
+
+    def response_time_s(self, model: CostModel = WAN) -> float:
+        return self.stats.response_time_s(model)
+
+
+def execute_plan(
+    cluster: SimulatedCluster,
+    plan: Plan,
+    config: Optional[ExecutionConfig] = None,
+) -> DistributedResult:
+    """Run a plan over the cluster and return result + statistics."""
+    config = config or ExecutionConfig()
+    stats = ExecutionStats()
+    coordinator = Coordinator(plan.expression.key)
+    _evaluate_base(cluster, plan, coordinator, stats)
+
+    for round_number, md_round in enumerate(plan.rounds, start=1):
+        round_stats = stats.new_round(
+            "chain" if md_round.is_chain else "md",
+            f"steps={len(md_round.steps)} sites={len(md_round.sites)}",
+        )
+        blocks = md_round.all_blocks()
+        sub_results = []
+        # Streaming synchronization (Section 3.2): for ordinary rounds the
+        # coordinator absorbs each site's sub-result as it arrives instead
+        # of assembling all of H first. Merged-base rounds must see all
+        # fragments to discover the base, so they collect.
+        session = None if md_round.merged_base else coordinator.begin_sync(blocks)
+
+        for site_id in md_round.sites:
+            channel = cluster.network.channel(site_id)
+            site = cluster.site(site_id)
+            site_stats = round_stats.site(site_id)
+
+            if md_round.merged_base:
+                # Proposition 2: no shipment down beyond the request header.
+                request = msg.Message(
+                    msg.BASE_QUERY, "coordinator", site_id, round_number
+                )
+                channel.send_to_site(request)
+                site_stats.bytes_down += request.size_bytes
+                channel.receive_at_site()
+
+                started = time.perf_counter()
+                h_i = site.evaluate_merged_round(
+                    plan.base.source, md_round.steps, plan.expression.key
+                )
+                site_stats.compute_s += time.perf_counter() - started
+            else:
+                started = time.perf_counter()
+                fragment = coordinator.fragment_for_site(
+                    md_round.ship_filter(site_id)
+                )
+                down_blocks = [
+                    msg.Message.with_relation(
+                        msg.SHIP_BASE, "coordinator", site_id, round_number, block
+                    )
+                    for block in config.blocks_of(fragment)
+                ]
+                round_stats.coordinator_compute_s += time.perf_counter() - started
+                for shipment in down_blocks:
+                    channel.send_to_site(shipment)
+                    site_stats.bytes_down += shipment.size_bytes
+                site_stats.tuples_down += len(fragment)
+
+                started = time.perf_counter()
+                base_fragment = channel.receive_at_site().relation()
+                for _extra in down_blocks[1:]:
+                    base_fragment = base_fragment.union_all(
+                        channel.receive_at_site().relation()
+                    )
+                h_i = site.evaluate_round(
+                    base_fragment,
+                    md_round.steps,
+                    plan.expression.key,
+                    md_round.independent_reduction,
+                )
+                site_stats.compute_s += time.perf_counter() - started
+
+            started = time.perf_counter()
+            up_blocks = [
+                msg.Message.with_relation(
+                    msg.SUB_RESULT, site_id, "coordinator", round_number, block
+                )
+                for block in config.blocks_of(h_i)
+            ]
+            site_stats.compute_s += time.perf_counter() - started
+            for reply in up_blocks:
+                channel.send_to_coordinator(reply)
+                site_stats.bytes_up += reply.size_bytes
+            site_stats.tuples_up += len(h_i)
+
+            started = time.perf_counter()
+            collected = None
+            for _reply in up_blocks:
+                received_h = channel.receive_at_coordinator().relation()
+                if session is None:
+                    collected = (
+                        received_h
+                        if collected is None
+                        else collected.union_all(received_h)
+                    )
+                else:
+                    # Streaming merge: each block synchronizes on arrival.
+                    session.absorb(received_h)
+            if session is None:
+                sub_results.append(collected)
+            round_stats.coordinator_compute_s += time.perf_counter() - started
+
+        started = time.perf_counter()
+        if md_round.merged_base:
+            coordinator.assemble_from_chain(sub_results, blocks)
+        else:
+            coordinator.commit_sync(session)
+        round_stats.coordinator_compute_s += time.perf_counter() - started
+
+    return DistributedResult(coordinator.x, stats, plan)
+
+
+def _evaluate_base(cluster, plan, coordinator, stats) -> None:
+    base = plan.base
+    if base.merged_into_chain:
+        return
+    if not base.is_distributed:
+        if not isinstance(base.source, LiteralBase):
+            raise PlanError(
+                f"non-distributed base must be literal, got {base.source!r}"
+            )
+        started = time.perf_counter()
+        coordinator.set_base(base.source.relation)
+        round_stats = stats.new_round("base", "literal base at coordinator")
+        round_stats.coordinator_compute_s += time.perf_counter() - started
+        return
+
+    round_stats = stats.new_round("base", f"distributed over {len(base.sites)} sites")
+    fragments = []
+    for site_id in base.sites:
+        channel = cluster.network.channel(site_id)
+        site = cluster.site(site_id)
+        site_stats = round_stats.site(site_id)
+
+        request = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
+        channel.send_to_site(request)
+        site_stats.bytes_down += request.size_bytes
+        channel.receive_at_site()
+
+        started = time.perf_counter()
+        b_i = site.compute_base(base.source)
+        reply = msg.Message.with_relation(
+            msg.BASE_RESULT, site_id, "coordinator", 0, b_i
+        )
+        site_stats.compute_s += time.perf_counter() - started
+        channel.send_to_coordinator(reply)
+        site_stats.bytes_up += reply.size_bytes
+        site_stats.tuples_up += len(b_i)
+
+        started = time.perf_counter()
+        fragments.append(channel.receive_at_coordinator().relation())
+        round_stats.coordinator_compute_s += time.perf_counter() - started
+
+    started = time.perf_counter()
+    coordinator.sync_base(fragments)
+    round_stats.coordinator_compute_s += time.perf_counter() - started
+
+
+def execute_query(
+    cluster: SimulatedCluster,
+    expression: GMDJExpression,
+    options: Optional[OptimizationOptions] = None,
+    config: Optional[ExecutionConfig] = None,
+) -> DistributedResult:
+    """Plan and execute a GMDJ expression in one call."""
+    plan = plan_query(expression, cluster.catalog, options)
+    return execute_plan(cluster, plan, config)

@@ -1,0 +1,450 @@
+"""Multi-tier coordinator architecture (the paper's future work, Section 6).
+
+The paper closes with: "Future research topics could include the
+exploration of alternative architectures (e.g., a multi-tiered
+coordinator architecture or spanning-tree networks)". This module builds
+that architecture on top of the same sites, plans and optimizer:
+
+- sites are grouped into *regions*, each with a regional coordinator;
+- downstream, the root ships each region ONE copy of the base-result
+  fragment its sites need (the union of the per-site aware-reduction
+  fragments); the regional coordinator re-derives the per-site fragments
+  locally and fans out;
+- upstream, the regional coordinator *merges* its sites' sub-results by
+  key before forwarding — sub-aggregate components combine associatively
+  (:func:`repro.gmdj.operator.merge_sub_results`), so the root-link
+  traffic per round drops from Σ|Hᵢ| to at most |X| per region.
+
+The payoff mirrors the paper's group-reduction analysis: with r regions
+of k sites each (n = r·k), the root link carries O(r·|Q|) instead of
+O(n·|Q|) per round, while the region links carry what the star's
+coordinator links carried. The hierarchical evaluation is
+result-equivalent to the star for every plan the optimizer emits — the
+tests check all optimization combinations.
+
+Timing composition per round (``TreeStats``):
+
+    max over regions [ root->region + max over region's sites
+        (region->site + site compute + site->region)
+        + region merge + region->root ] + root compute
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.plan import Plan
+from repro.errors import NetworkError, PlanError
+from repro.gmdj.expression import LiteralBase
+from repro.gmdj.operator import merge_sub_results
+from repro.net import message as msg
+from repro.net.channel import Network
+from repro.net.costmodel import CostModel, WAN
+from repro.relalg.expressions import BASE_VAR
+from repro.relalg.relation import Relation
+
+
+class TreeTopology:
+    """A two-level grouping of sites into regions."""
+
+    def __init__(self, regions: Mapping[str, Sequence[str]]):
+        self.regions = {name: tuple(site_ids) for name, site_ids in regions.items()}
+        if not self.regions:
+            raise NetworkError("a tree topology needs at least one region")
+        seen: set = set()
+        for name, site_ids in self.regions.items():
+            if not site_ids:
+                raise NetworkError(f"region {name!r} has no sites")
+            for site_id in site_ids:
+                if site_id in seen:
+                    raise NetworkError(f"site {site_id!r} in multiple regions")
+                seen.add(site_id)
+        self.all_sites = tuple(seen)
+
+    @classmethod
+    def balanced(cls, site_ids: Sequence[str], region_count: int) -> "TreeTopology":
+        """Deal sites into ``region_count`` regions of near-equal size."""
+        site_ids = tuple(site_ids)
+        if not 1 <= region_count <= len(site_ids):
+            raise NetworkError(
+                f"region_count must be in 1..{len(site_ids)}, got {region_count}"
+            )
+        regions: dict = {f"region{index}": [] for index in range(region_count)}
+        for index, site_id in enumerate(site_ids):
+            regions[f"region{index % region_count}"].append(site_id)
+        return cls(regions)
+
+    def region_of(self, site_id: str) -> str:
+        for name, site_ids in self.regions.items():
+            if site_id in site_ids:
+                return name
+        raise NetworkError(f"site {site_id!r} not in any region")
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TreeLinkStats:
+    bytes_down: int = 0
+    bytes_up: int = 0
+    tuples_down: int = 0
+    tuples_up: int = 0
+    compute_s: float = 0.0  # attached endpoint's compute this round
+
+
+@dataclass
+class TreeRoundStats:
+    """One round over the tree: per-region and per-site link activity."""
+
+    index: int
+    kind: str
+    region_links: dict = field(default_factory=dict)  # region -> TreeLinkStats
+    site_links: dict = field(default_factory=dict)  # (region, site) -> TreeLinkStats
+    root_compute_s: float = 0.0
+
+    def region(self, name: str) -> TreeLinkStats:
+        return self.region_links.setdefault(name, TreeLinkStats())
+
+    def site(self, region: str, site_id: str) -> TreeLinkStats:
+        return self.site_links.setdefault((region, site_id), TreeLinkStats())
+
+    @property
+    def root_link_bytes(self) -> int:
+        return sum(link.bytes_down + link.bytes_up for link in self.region_links.values())
+
+    @property
+    def site_link_bytes(self) -> int:
+        return sum(link.bytes_down + link.bytes_up for link in self.site_links.values())
+
+    def response_time_s(
+        self, model: CostModel, site_model: Optional[CostModel] = None
+    ) -> float:
+        """Round critical path through the tree.
+
+        ``model`` prices the root<->region links; ``site_model`` (default:
+        same) prices region<->site links. Separate models capture the
+        deployment the tree targets: regional sites on a fast local
+        network behind one expensive wide-area link to the root.
+        """
+        site_model = site_model or model
+        slowest_region = 0.0
+        for region_name, region_link in self.region_links.items():
+            down = model.transfer_time(region_link.bytes_down) if region_link.bytes_down else 0.0
+            up = model.transfer_time(region_link.bytes_up) if region_link.bytes_up else 0.0
+            slowest_site = 0.0
+            for (region, _site_id), link in self.site_links.items():
+                if region != region_name:
+                    continue
+                site_down = (
+                    site_model.transfer_time(link.bytes_down) if link.bytes_down else 0.0
+                )
+                site_up = site_model.transfer_time(link.bytes_up) if link.bytes_up else 0.0
+                slowest_site = max(slowest_site, site_down + link.compute_s + site_up)
+            slowest_region = max(
+                slowest_region, down + slowest_site + region_link.compute_s + up
+            )
+        return slowest_region + self.root_compute_s
+
+
+@dataclass
+class TreeStats:
+    rounds: list = field(default_factory=list)
+
+    def new_round(self, kind: str) -> TreeRoundStats:
+        stats = TreeRoundStats(index=len(self.rounds), kind=kind)
+        self.rounds.append(stats)
+        return stats
+
+    @property
+    def root_link_bytes(self) -> int:
+        return sum(stats.root_link_bytes for stats in self.rounds)
+
+    @property
+    def site_link_bytes(self) -> int:
+        return sum(stats.site_link_bytes for stats in self.rounds)
+
+    @property
+    def bytes_total(self) -> int:
+        return self.root_link_bytes + self.site_link_bytes
+
+    def response_time_s(
+        self, model: CostModel = WAN, site_model: Optional[CostModel] = None
+    ) -> float:
+        return sum(stats.response_time_s(model, site_model) for stats in self.rounds)
+
+
+@dataclass
+class HierarchicalResult:
+    relation: Relation
+    stats: TreeStats
+    plan: Plan
+    topology: TreeTopology
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+class _Region:
+    """A regional coordinator: channels to its sites plus merge logic."""
+
+    def __init__(self, name: str, site_ids: Sequence[str]):
+        self.name = name
+        self.site_ids = tuple(site_ids)
+        self.network = Network(self.site_ids)
+
+
+def execute_plan_hierarchical(
+    cluster: SimulatedCluster,
+    topology: TreeTopology,
+    plan: Plan,
+) -> HierarchicalResult:
+    """Run a plan over a two-level coordinator tree.
+
+    ``cluster`` supplies the sites and catalog (its flat star network is
+    not used); the topology must cover every site any plan round needs.
+    """
+    covered = set(topology.all_sites)
+    for md_round in plan.rounds:
+        missing = set(md_round.sites) - covered
+        if missing:
+            raise PlanError(f"topology does not cover sites {sorted(missing)}")
+
+    regions = {
+        name: _Region(name, site_ids) for name, site_ids in topology.regions.items()
+    }
+    root_network = Network(tuple(regions))
+    stats = TreeStats()
+    coordinator = Coordinator(plan.expression.key)
+
+    _tree_base(cluster, plan, coordinator, regions, root_network, stats, topology)
+
+    for round_number, md_round in enumerate(plan.rounds, start=1):
+        round_stats = stats.new_round("chain" if md_round.is_chain else "md")
+        blocks = md_round.all_blocks()
+        region_results = []
+
+        for region_name, region in regions.items():
+            region_sites = [
+                site_id for site_id in md_round.sites if site_id in region.site_ids
+            ]
+            if not region_sites:
+                continue
+            region_link = round_stats.region(region_name)
+            root_channel = root_network.channel(region_name)
+
+            if md_round.merged_base:
+                request = msg.Message(msg.BASE_QUERY, "root", region_name, round_number)
+                root_channel.send_to_site(request)
+                region_link.bytes_down += request.size_bytes
+                root_channel.receive_at_site()
+                region_fragment = None
+            else:
+                started = time.perf_counter()
+                region_fragment = _region_fragment(coordinator, md_round, region_sites)
+                shipment = msg.Message.with_relation(
+                    msg.SHIP_BASE, "root", region_name, round_number, region_fragment
+                )
+                round_stats.root_compute_s += time.perf_counter() - started
+                root_channel.send_to_site(shipment)
+                region_link.bytes_down += shipment.size_bytes
+                region_link.tuples_down += len(region_fragment)
+                started = time.perf_counter()
+                region_fragment = root_channel.receive_at_site().relation()
+                region_link.compute_s += time.perf_counter() - started
+
+            # Region fans out to its sites and collects their H_i.
+            site_results = []
+            for site_id in region_sites:
+                channel = region.network.channel(site_id)
+                site = cluster.site(site_id)
+                link = round_stats.site(region_name, site_id)
+
+                if md_round.merged_base:
+                    request = msg.Message(msg.BASE_QUERY, region_name, site_id, round_number)
+                    channel.send_to_site(request)
+                    link.bytes_down += request.size_bytes
+                    channel.receive_at_site()
+                    started = time.perf_counter()
+                    h_i = site.evaluate_merged_round(
+                        plan.base.source, md_round.steps, plan.expression.key
+                    )
+                    reply = msg.Message.with_relation(
+                        msg.SUB_RESULT, site_id, region_name, round_number, h_i
+                    )
+                    link.compute_s += time.perf_counter() - started
+                else:
+                    started = time.perf_counter()
+                    ship_filter = md_round.ship_filter(site_id)
+                    if ship_filter is None:
+                        fragment = region_fragment
+                    else:
+                        predicate = ship_filter.compile(
+                            {BASE_VAR: region_fragment.schema}
+                        )
+                        fragment = region_fragment.select_fn(
+                            lambda row, _predicate=predicate: _predicate({BASE_VAR: row})
+                        )
+                    shipment = msg.Message.with_relation(
+                        msg.SHIP_BASE, region_name, site_id, round_number, fragment
+                    )
+                    region_link.compute_s += time.perf_counter() - started
+                    channel.send_to_site(shipment)
+                    link.bytes_down += shipment.size_bytes
+                    link.tuples_down += len(fragment)
+
+                    received = channel.receive_at_site()
+                    started = time.perf_counter()
+                    h_i = site.evaluate_round(
+                        received.relation(),
+                        md_round.steps,
+                        plan.expression.key,
+                        md_round.independent_reduction,
+                    )
+                    reply = msg.Message.with_relation(
+                        msg.SUB_RESULT, site_id, region_name, round_number, h_i
+                    )
+                    link.compute_s += time.perf_counter() - started
+
+                channel.send_to_coordinator(reply)
+                link.bytes_up += reply.size_bytes
+                link.tuples_up += len(h_i)
+                started = time.perf_counter()
+                site_results.append(channel.receive_at_coordinator().relation())
+                region_link.compute_s += time.perf_counter() - started
+
+            # Regional merge: combine sub-results by key before forwarding.
+            started = time.perf_counter()
+            combined = site_results[0]
+            for fragment in site_results[1:]:
+                combined = combined.union_all(fragment)
+            merged = merge_sub_results(combined, plan.expression.key, blocks)
+            reply = msg.Message.with_relation(
+                msg.SUB_RESULT, region_name, "root", round_number, merged
+            )
+            region_link.compute_s += time.perf_counter() - started
+            root_channel.send_to_coordinator(reply)
+            region_link.bytes_up += reply.size_bytes
+            region_link.tuples_up += len(merged)
+
+            started = time.perf_counter()
+            region_results.append(root_channel.receive_at_coordinator().relation())
+            round_stats.root_compute_s += time.perf_counter() - started
+
+        started = time.perf_counter()
+        if md_round.merged_base:
+            coordinator.assemble_from_chain(region_results, blocks)
+        else:
+            coordinator.synchronize(region_results, blocks)
+        round_stats.root_compute_s += time.perf_counter() - started
+
+    return HierarchicalResult(coordinator.x, stats, plan, topology)
+
+
+def _region_fragment(coordinator, md_round, region_sites) -> Relation:
+    """The X fragment a region needs: union of its sites' fragments."""
+    filters = [md_round.ship_filter(site_id) for site_id in region_sites]
+    if any(ship_filter is None for ship_filter in filters):
+        return coordinator.x
+    x = coordinator.x
+    predicates = [
+        ship_filter.compile({BASE_VAR: x.schema}) for ship_filter in filters
+    ]
+    return x.select_fn(
+        lambda row: any(predicate({BASE_VAR: row}) for predicate in predicates)
+    )
+
+
+def _tree_base(cluster, plan, coordinator, regions, root_network, stats, topology):
+    base = plan.base
+    if base.merged_into_chain:
+        return
+    if not base.is_distributed:
+        if not isinstance(base.source, LiteralBase):
+            raise PlanError("non-distributed base must be literal")
+        round_stats = stats.new_round("base")
+        started = time.perf_counter()
+        coordinator.set_base(base.source.relation)
+        round_stats.root_compute_s += time.perf_counter() - started
+        return
+
+    round_stats = stats.new_round("base")
+    fragments = []
+    for region_name, region in regions.items():
+        region_sites = [
+            site_id for site_id in base.sites if site_id in region.site_ids
+        ]
+        if not region_sites:
+            continue
+        region_link = round_stats.region(region_name)
+        root_channel = root_network.channel(region_name)
+        request = msg.Message(msg.BASE_QUERY, "root", region_name, 0)
+        root_channel.send_to_site(request)
+        region_link.bytes_down += request.size_bytes
+        root_channel.receive_at_site()
+
+        pieces = []
+        for site_id in region_sites:
+            channel = region.network.channel(site_id)
+            site = cluster.site(site_id)
+            link = round_stats.site(region_name, site_id)
+            request = msg.Message(msg.BASE_QUERY, region_name, site_id, 0)
+            channel.send_to_site(request)
+            link.bytes_down += request.size_bytes
+            channel.receive_at_site()
+
+            started = time.perf_counter()
+            b_i = site.compute_base(base.source)
+            reply = msg.Message.with_relation(
+                msg.BASE_RESULT, site_id, region_name, 0, b_i
+            )
+            link.compute_s += time.perf_counter() - started
+            channel.send_to_coordinator(reply)
+            link.bytes_up += reply.size_bytes
+            link.tuples_up += len(b_i)
+            started = time.perf_counter()
+            pieces.append(channel.receive_at_coordinator().relation())
+            region_link.compute_s += time.perf_counter() - started
+
+        # Regional dedup before forwarding to the root.
+        started = time.perf_counter()
+        combined = pieces[0]
+        for piece in pieces[1:]:
+            combined = combined.union_all(piece)
+        combined = combined.distinct()
+        reply = msg.Message.with_relation(
+            msg.BASE_RESULT, region_name, "root", 0, combined
+        )
+        region_link.compute_s += time.perf_counter() - started
+        root_channel.send_to_coordinator(reply)
+        region_link.bytes_up += reply.size_bytes
+        region_link.tuples_up += len(combined)
+
+        started = time.perf_counter()
+        fragments.append(root_channel.receive_at_coordinator().relation())
+        round_stats.root_compute_s += time.perf_counter() - started
+
+    started = time.perf_counter()
+    coordinator.sync_base(fragments)
+    round_stats.root_compute_s += time.perf_counter() - started
+
+
+def execute_query_hierarchical(
+    cluster: SimulatedCluster,
+    topology: TreeTopology,
+    expression,
+    options=None,
+) -> HierarchicalResult:
+    """Plan with Egil, then execute over the coordinator tree."""
+    from repro.distributed.optimizer import plan_query
+
+    plan = plan_query(expression, cluster.catalog, options)
+    return execute_plan_hierarchical(cluster, topology, plan)

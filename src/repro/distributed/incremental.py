@@ -1,0 +1,236 @@
+"""Incremental refresh of distributed query results (append-only).
+
+The motivating deployment (Section 1) collects flow records continuously
+at each router; analysts keep standing OLAP results that must follow the
+data. Because Skalla's aggregates ship as *mergeable sub-aggregates*
+(Theorem 1), an already-computed result can absorb new detail tuples
+without recomputation over the old data.
+
+:class:`IncrementalView` keeps the global state in **sub-aggregate form**
+(one merged row of component values per group — the same shape a
+regional coordinator forwards in the tree topology) and finalizes on
+read. A refresh with per-site deltas Δᵢ ships:
+
+1. the current group list down to each site, which evaluates the blocks
+   over **Δᵢ only** and returns the touched groups' delta sub-aggregates;
+2. for *new* groups appearing only in the delta (possible when the base
+   is a distinct projection), the new group keys down, which each site
+   evaluates against its **full** (post-append) partition — necessary
+   because with general GMDJ conditions old detail rows can contribute
+   to a brand-new group.
+
+Both contributions merge into the state with
+:func:`repro.gmdj.operator.merge_sub_results`; the refreshed result is
+exactly what full re-evaluation over old+new data returns (tested,
+including randomized delta splits).
+
+Scope: append-only (no retractions), single-GMDJ queries (possibly
+multi-block, i.e. coalesced) with distributive/algebraic aggregates.
+Correlated chains are rejected — a later stage's condition reads earlier
+aggregates whose values change with the delta, so those queries must
+re-run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.stats import ExecutionStats
+from repro.errors import PlanError, SchemaError
+from repro.gmdj import operator
+from repro.gmdj.expression import DistinctBase, GMDJExpression, LiteralBase
+from repro.net import message as msg
+from repro.relalg.relation import Relation
+
+
+@dataclass
+class RefreshResult:
+    """The refreshed (finalized) relation plus accounting."""
+
+    relation: Relation
+    stats: ExecutionStats
+    new_groups: int
+
+
+class IncrementalView:
+    """A standing single-GMDJ distributed query result."""
+
+    def __init__(self, cluster: SimulatedCluster, expression: GMDJExpression):
+        if len(expression.steps) != 1:
+            raise PlanError(
+                "incremental refresh supports single-GMDJ queries only: a "
+                "correlated chain's later conditions read earlier aggregates, "
+                "which a delta changes — re-run such queries instead"
+            )
+        step = expression.steps[0]
+        if step.has_holistic:
+            raise PlanError("holistic aggregates cannot be refreshed incrementally")
+        self.cluster = cluster
+        self.expression = expression
+        self.step = step
+        self.key_attrs = list(expression.key)
+        #: Global state: one merged sub-aggregate row per group.
+        self._h: Relation = self._initial_state()
+
+    # -- construction -------------------------------------------------------------
+
+    def _initial_state(self) -> Relation:
+        base = self._current_base_relation(initial=True)
+        pieces = []
+        for site_id in self.cluster.site_ids:
+            site = self.cluster.site(site_id)
+            if not site.warehouse.has_table(self.step.detail):
+                continue
+            detail = site.warehouse.table(self.step.detail)
+            h_i, _touched = operator.evaluate_sub(base, detail, self.step.blocks)
+            pieces.append(h_i)
+        combined = pieces[0]
+        for piece in pieces[1:]:
+            combined = combined.union_all(piece)
+        return operator.merge_sub_results(combined, self.key_attrs, self.step.blocks)
+
+    def _current_base_relation(self, initial: bool = False) -> Relation:
+        source = self.expression.base_source
+        if isinstance(source, LiteralBase):
+            return source.relation
+        if isinstance(source, DistinctBase):
+            if initial:
+                conceptual = self.cluster.conceptual_table(source.table)
+                return conceptual.distinct_project(list(source.attrs))
+            return self._h.distinct_project(list(source.attrs))
+        raise PlanError(f"unsupported base source {source!r}")
+
+    # -- reads ---------------------------------------------------------------------
+
+    def relation(self) -> Relation:
+        """The finalized result, computed from the sub-aggregate state."""
+        base = self._current_base_relation()
+        return operator.super_aggregate(base, self._h, self.key_attrs, self.step.blocks)
+
+    @property
+    def group_count(self) -> int:
+        return len(self._h)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def refresh(self, deltas: Mapping[str, Relation]) -> RefreshResult:
+        """Absorb per-site appended rows and return the refreshed result.
+
+        Updates the site warehouses too, keeping the cluster consistent
+        for later full queries.
+        """
+        detail_name = self.step.detail
+        stats = ExecutionStats()
+        round_stats = stats.new_round("md", "incremental refresh")
+
+        old_base = self._current_base_relation()
+        new_base = self._new_groups_base(deltas)
+        fragments = [self._h]
+
+        for site_id, delta in deltas.items():
+            site = self.cluster.site(site_id)
+            site_schema = site.warehouse.schema(detail_name)
+            if delta.schema != site_schema:
+                raise SchemaError(
+                    f"delta for {site_id!r} has schema {delta.schema!r}, "
+                    f"table has {site_schema!r}"
+                )
+            channel = self.cluster.network.channel(site_id)
+            site_stats = round_stats.site(site_id)
+
+            shipment = msg.Message.with_relation(
+                msg.SHIP_BASE, "coordinator", site_id, 0, old_base
+            )
+            channel.send_to_site(shipment)
+            site_stats.bytes_down += shipment.size_bytes
+            site_stats.tuples_down += len(old_base)
+            received_base = channel.receive_at_site().relation()
+
+            started = time.perf_counter()
+            site.warehouse.append(detail_name, delta)
+            h_delta, touched = operator.evaluate_sub(
+                received_base, delta, self.step.blocks
+            )
+            reduced = Relation(
+                h_delta.schema,
+                [row for row, touch in zip(h_delta.rows, touched) if touch],
+            )
+            reply = msg.Message.with_relation(
+                msg.SUB_RESULT, site_id, "coordinator", 0, reduced
+            )
+            site_stats.compute_s += time.perf_counter() - started
+            channel.send_to_coordinator(reply)
+            site_stats.bytes_up += reply.size_bytes
+            site_stats.tuples_up += len(reduced)
+            started = time.perf_counter()
+            fragments.append(channel.receive_at_coordinator().relation())
+            round_stats.coordinator_compute_s += time.perf_counter() - started
+
+        # New groups must see every site's FULL data, old rows included.
+        if len(new_base):
+            for site_id in self.cluster.site_ids:
+                site = self.cluster.site(site_id)
+                if not site.warehouse.has_table(detail_name):
+                    continue
+                channel = self.cluster.network.channel(site_id)
+                site_stats = round_stats.site(site_id)
+                shipment = msg.Message.with_relation(
+                    msg.SHIP_BASE, "coordinator", site_id, 1, new_base
+                )
+                channel.send_to_site(shipment)
+                site_stats.bytes_down += shipment.size_bytes
+                site_stats.tuples_down += len(new_base)
+                received_base = channel.receive_at_site().relation()
+
+                started = time.perf_counter()
+                h_new, _touched = operator.evaluate_sub(
+                    received_base,
+                    site.warehouse.table(detail_name),
+                    self.step.blocks,
+                )
+                reply = msg.Message.with_relation(
+                    msg.SUB_RESULT, site_id, "coordinator", 1, h_new
+                )
+                site_stats.compute_s += time.perf_counter() - started
+                channel.send_to_coordinator(reply)
+                site_stats.bytes_up += reply.size_bytes
+                site_stats.tuples_up += len(h_new)
+                started = time.perf_counter()
+                fragments.append(channel.receive_at_coordinator().relation())
+                round_stats.coordinator_compute_s += time.perf_counter() - started
+
+        started = time.perf_counter()
+        combined = fragments[0]
+        for fragment in fragments[1:]:
+            combined = combined.union_all(fragment)
+        self._h = operator.merge_sub_results(
+            combined, self.key_attrs, self.step.blocks
+        )
+        round_stats.coordinator_compute_s += time.perf_counter() - started
+        return RefreshResult(self.relation(), stats, len(new_base))
+
+    def _new_groups_base(self, deltas: Mapping[str, Relation]) -> Relation:
+        """Groups appearing in the delta but not in the current state."""
+        source = self.expression.base_source
+        if not isinstance(source, DistinctBase):
+            schema = self._h.schema.project(self.key_attrs)
+            return Relation.empty(schema)
+        key_attrs = list(source.attrs)
+        known = {
+            tuple(row[position] for position in self._h.schema.positions(key_attrs))
+            for row in self._h.rows
+        }
+        fresh = []
+        seen = set(known)
+        for delta in deltas.values():
+            positions = delta.schema.positions(key_attrs)
+            for row in delta.rows:
+                key = tuple(row[position] for position in positions)
+                if key not in seen:
+                    seen.add(key)
+                    fresh.append(key)
+        schema = self._h.schema.project(key_attrs)
+        return Relation(schema, fresh)

@@ -1,0 +1,117 @@
+"""Skalla sites: the local-warehouse side of Alg. GMDJDistribEval.
+
+A site owns its partition of every fact relation and performs all
+detail-data processing — detail tuples never leave the site (Section 3).
+Per round, a site:
+
+1. receives its (possibly group-reduced) fragment of the base-result
+   structure X — or derives the base locally under Proposition 2;
+2. evaluates the round's GMDJ step(s) against its local detail partition,
+   producing the sub-aggregate relation Hᵢ; multi-step rounds chain
+   locally without synchronization (Theorem 5 / Corollary 1);
+3. optionally applies distribution-independent group reduction
+   (Proposition 1): rows with |RNG| = 0 across all of the round's
+   conditions are dropped from Hᵢ;
+4. ships Hᵢ — projected to the key attributes plus sub-aggregate columns
+   — back to the coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import WarehouseError
+from repro.gmdj import operator
+from repro.gmdj.expression import BaseSource, MDStep
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+from repro.warehouse.storage import LocalWarehouse
+
+
+class SkallaSite:
+    """One local data warehouse plus its query-evaluation logic."""
+
+    def __init__(self, site_id: str, warehouse: LocalWarehouse):
+        self.site_id = site_id
+        self.warehouse = warehouse
+
+    # -- round handlers ----------------------------------------------------------
+
+    def compute_base(self, source: BaseSource) -> Relation:
+        """Evaluate the base-values query over the local partition."""
+        return source.evaluate(self.warehouse.tables())
+
+    def evaluate_round(
+        self,
+        base_fragment: Relation,
+        steps: Sequence[MDStep],
+        key_attrs: Sequence[str],
+        independent_reduction: bool,
+    ) -> Relation:
+        """Evaluate one round's steps locally; return the shipped Hᵢ.
+
+        ``base_fragment`` is this site's fragment of X (already decoded
+        from the wire). For multi-step rounds the steps chain locally:
+        each step's *finalized* output becomes the next step's base —
+        correct precisely under the optimizer-verified Corollary 1
+        precondition that every group's detail data is site-local.
+        """
+        detail = self.warehouse.table(steps[0].detail)
+        current_base = base_fragment
+        sub_columns: list = []  # row-aligned sub-value tuples per step
+        touched_any = [False] * len(base_fragment.rows)
+
+        for index, step in enumerate(steps):
+            if step.detail != steps[0].detail:
+                raise WarehouseError(
+                    "chained steps must share one detail table"
+                )
+            is_last = index == len(steps) - 1
+            if is_last:
+                sub, touched = operator.evaluate_sub(current_base, detail, step.blocks)
+                full = None
+            else:
+                full, sub, touched = operator.evaluate_both(
+                    current_base, detail, step.blocks
+                )
+            base_width = len(current_base.schema)
+            sub_columns.append(
+                [row[base_width:] for row in sub.rows]
+            )
+            touched_any = [a or b for a, b in zip(touched_any, touched)]
+            if not is_last:
+                current_base = full
+
+        # Assemble H_i: key attributes + concatenated sub columns.
+        key_positions = base_fragment.schema.positions(key_attrs)
+        rows = []
+        for row_index, base_row in enumerate(base_fragment.rows):
+            if independent_reduction and not touched_any[row_index]:
+                continue
+            key = tuple(base_row[position] for position in key_positions)
+            subs: tuple = ()
+            for per_step in sub_columns:
+                subs += per_step[row_index]
+            rows.append(key + subs)
+
+        attributes = list(base_fragment.schema.project(key_attrs).attributes)
+        for step in steps:
+            for block in step.blocks:
+                attributes.extend(block.sub_attributes())
+        return Relation(Schema(attributes), rows)
+
+    def evaluate_merged_round(
+        self,
+        source: BaseSource,
+        steps: Sequence[MDStep],
+        key_attrs: Sequence[str],
+    ) -> Relation:
+        """Proposition 2 round: derive Bᵢ locally, then evaluate the steps.
+
+        Every row of the local base is a locally generated group, so
+        independent group reduction has nothing to drop here.
+        """
+        local_base = self.compute_base(source)
+        return self.evaluate_round(
+            local_base, steps, key_attrs, independent_reduction=False
+        )

@@ -1,0 +1,422 @@
+"""Spanning-tree networks of arbitrary depth (paper future work, §6).
+
+Where :mod:`repro.distributed.hierarchy` implements the two-level
+"multi-tiered coordinator" variant with full per-link statistics, this
+module implements the general "spanning-tree networks" variant: an
+arbitrary-depth tree whose leaves are Skalla sites and whose internal
+nodes are relay coordinators. Every internal node:
+
+- forwards the round's base-result fragment to each child (one copy per
+  subtree, filtered to what that subtree's sites can use);
+- collects the children's sub-results and *merges them by key*
+  (:func:`repro.gmdj.operator.merge_sub_results`) before answering its
+  parent — so every edge of the tree carries at most |X| rows per round
+  regardless of how many sites sit below it.
+
+The root is the query coordinator: it runs Theorem-1 synchronization on
+the merged stream exactly as in the star topology, which is why results
+are identical for every plan the optimizer emits.
+
+Statistics are per-edge byte counts plus a recursive critical-path time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.plan import Plan
+from repro.errors import NetworkError, PlanError
+from repro.gmdj.expression import LiteralBase
+from repro.gmdj.operator import merge_sub_results
+from repro.net import message as msg
+from repro.net.costmodel import CostModel, WAN
+from repro.net.serialize import wire_size
+from repro.relalg.expressions import BASE_VAR
+from repro.relalg.relation import Relation
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """A node of the spanning tree: a site (leaf) or a relay (internal)."""
+
+    name: str
+    children: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "children", tuple(self.children))
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> tuple:
+        if self.is_leaf:
+            return (self.name,)
+        collected: list = []
+        for child in self.children:
+            collected.extend(child.leaves())
+        return tuple(collected)
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def validate(self) -> None:
+        seen: set = set()
+
+        def visit(node: "TreeNode") -> None:
+            if node.name in seen:
+                raise NetworkError(f"duplicate node name {node.name!r} in tree")
+            seen.add(node.name)
+            for child in node.children:
+                visit(child)
+
+        visit(self)
+
+
+def chain_tree(site_ids: Sequence[str], fanout: int, prefix: str = "relay") -> TreeNode:
+    """Build a balanced tree over ``site_ids`` with the given fanout.
+
+    Leaves are grouped ``fanout`` at a time under relay nodes, then the
+    relays are grouped again, until a single root remains.
+    """
+    if fanout < 2:
+        raise NetworkError(f"fanout must be at least 2, got {fanout}")
+    level: list = [TreeNode(site_id) for site_id in site_ids]
+    if not level:
+        raise NetworkError("a spanning tree needs at least one site")
+    counter = 0
+    while len(level) > 1:
+        grouped: list = []
+        for start in range(0, len(level), fanout):
+            group = level[start : start + fanout]
+            if len(group) == 1:
+                grouped.append(group[0])
+            else:
+                grouped.append(TreeNode(f"{prefix}{counter}", tuple(group)))
+                counter += 1
+        level = grouped
+    root = level[0]
+    if root.is_leaf:
+        root = TreeNode(f"{prefix}{counter}", (root,))
+    root.validate()
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EdgeStats:
+    """Traffic on the edge between a node and its parent, one round."""
+
+    bytes_down: int = 0
+    bytes_up: int = 0
+    compute_s: float = 0.0  # the child-side compute (site eval or merge)
+
+
+@dataclass
+class SpanningRoundStats:
+    index: int
+    kind: str
+    edges: dict = field(default_factory=dict)  # node name -> EdgeStats
+    #: Child names per internal node, for critical-path recursion.
+    children: dict = field(default_factory=dict)
+    root_name: str = ""
+    root_compute_s: float = 0.0
+
+    def edge(self, name: str) -> EdgeStats:
+        return self.edges.setdefault(name, EdgeStats())
+
+    @property
+    def bytes_total(self) -> int:
+        return sum(edge.bytes_down + edge.bytes_up for edge in self.edges.values())
+
+    def bytes_at_depth(self, names: Sequence[str]) -> int:
+        return sum(
+            self.edges[name].bytes_down + self.edges[name].bytes_up
+            for name in names
+            if name in self.edges
+        )
+
+    def response_time_s(self, model: CostModel) -> float:
+        def node_time(name: str) -> float:
+            edge = self.edges.get(name, EdgeStats())
+            down = model.transfer_time(edge.bytes_down) if edge.bytes_down else 0.0
+            up = model.transfer_time(edge.bytes_up) if edge.bytes_up else 0.0
+            subtree = 0.0
+            for child in self.children.get(name, ()):
+                subtree = max(subtree, node_time(child))
+            return down + subtree + edge.compute_s + up
+
+        slowest = 0.0
+        for child in self.children.get(self.root_name, ()):
+            slowest = max(slowest, node_time(child))
+        return slowest + self.root_compute_s
+
+
+@dataclass
+class SpanningStats:
+    rounds: list = field(default_factory=list)
+
+    def new_round(self, kind: str, root_name: str) -> SpanningRoundStats:
+        stats = SpanningRoundStats(index=len(self.rounds), kind=kind, root_name=root_name)
+        self.rounds.append(stats)
+        return stats
+
+    @property
+    def bytes_total(self) -> int:
+        return sum(stats.bytes_total for stats in self.rounds)
+
+    def root_edge_bytes(self, root: TreeNode) -> int:
+        """Traffic on the edges directly below the root."""
+        names = [child.name for child in root.children]
+        return sum(stats.bytes_at_depth(names) for stats in self.rounds)
+
+    def response_time_s(self, model: CostModel = WAN) -> float:
+        return sum(stats.response_time_s(model) for stats in self.rounds)
+
+
+@dataclass
+class SpanningResult:
+    relation: Relation
+    stats: SpanningStats
+    plan: Plan
+    tree: TreeNode
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def execute_plan_spanning(
+    cluster: SimulatedCluster, tree: TreeNode, plan: Plan
+) -> SpanningResult:
+    """Run a plan over a spanning tree of relays rooted at ``tree``."""
+    tree.validate()
+    if tree.is_leaf:
+        raise NetworkError("the root must be a relay, not a site")
+    leaves = set(tree.leaves())
+    for md_round in plan.rounds:
+        missing = set(md_round.sites) - leaves
+        if missing:
+            raise PlanError(f"tree does not cover sites {sorted(missing)}")
+
+    stats = SpanningStats()
+    coordinator = Coordinator(plan.expression.key)
+    _spanning_base(cluster, tree, plan, coordinator, stats)
+
+    for md_round in plan.rounds:
+        round_stats = stats.new_round(
+            "chain" if md_round.is_chain else "md", tree.name
+        )
+        _register_children(tree, round_stats)
+        blocks = md_round.all_blocks()
+        participating = set(md_round.sites)
+
+        collected = []
+        for child in tree.children:
+            result = _descend_md(
+                cluster,
+                child,
+                plan,
+                md_round,
+                blocks,
+                participating,
+                coordinator if not md_round.merged_base else None,
+                round_stats,
+            )
+            if result is not None:
+                collected.append(result)
+
+        started = time.perf_counter()
+        if md_round.merged_base:
+            coordinator.assemble_from_chain(collected, blocks)
+        else:
+            coordinator.synchronize(collected, blocks)
+        round_stats.root_compute_s += time.perf_counter() - started
+
+    return SpanningResult(coordinator.x, stats, plan, tree)
+
+
+def _register_children(node: TreeNode, round_stats: SpanningRoundStats) -> None:
+    round_stats.children[node.name] = tuple(child.name for child in node.children)
+    for child in node.children:
+        if not child.is_leaf:
+            _register_children(child, round_stats)
+
+
+def _subtree_fragment(x: Relation, node: TreeNode, md_round, participating) -> Relation:
+    """The fragment a subtree needs: union of its sites' ship filters."""
+    filters = []
+    for site_id in node.leaves():
+        if site_id not in participating:
+            continue
+        ship_filter = md_round.ship_filter(site_id)
+        if ship_filter is None:
+            return x
+        filters.append(ship_filter)
+    predicates = [
+        ship_filter.compile({BASE_VAR: x.schema}) for ship_filter in filters
+    ]
+    return x.select_fn(
+        lambda row: any(predicate({BASE_VAR: row}) for predicate in predicates)
+    )
+
+
+def _descend_md(
+    cluster,
+    node: TreeNode,
+    plan,
+    md_round,
+    blocks,
+    participating,
+    coordinator: Optional[Coordinator],
+    round_stats: SpanningRoundStats,
+    fragment: Optional[Relation] = None,
+):
+    """Evaluate the round in ``node``'s subtree; return its merged H.
+
+    ``coordinator`` is non-None only for non-merged rounds at the top
+    call, where the fragment comes from the global X; deeper levels
+    receive the parent's (already filtered) fragment.
+    """
+    subtree_sites = [site_id for site_id in node.leaves() if site_id in participating]
+    if not subtree_sites:
+        return None
+    edge = round_stats.edge(node.name)
+
+    if md_round.merged_base:
+        edge.bytes_down += msg.HEADER_BYTES  # request only
+        node_fragment = None
+    else:
+        if coordinator is not None:
+            node_fragment = _subtree_fragment(
+                coordinator.x, node, md_round, participating
+            )
+        else:
+            node_fragment = _subtree_fragment(fragment, node, md_round, participating)
+        edge.bytes_down += msg.HEADER_BYTES + wire_size(node_fragment)
+
+    if node.is_leaf:
+        site = cluster.site(node.name)
+        started = time.perf_counter()
+        if md_round.merged_base:
+            h = site.evaluate_merged_round(
+                plan.base.source, md_round.steps, plan.expression.key
+            )
+        else:
+            ship_filter = md_round.ship_filter(node.name)
+            site_fragment = node_fragment
+            if ship_filter is not None:
+                predicate = ship_filter.compile({BASE_VAR: node_fragment.schema})
+                site_fragment = node_fragment.select_fn(
+                    lambda row: predicate({BASE_VAR: row})
+                )
+            h = site.evaluate_round(
+                site_fragment,
+                md_round.steps,
+                plan.expression.key,
+                md_round.independent_reduction,
+            )
+        edge.compute_s += time.perf_counter() - started
+        edge.bytes_up += msg.HEADER_BYTES + wire_size(h)
+        return h
+
+    collected = []
+    for child in node.children:
+        result = _descend_md(
+            cluster,
+            child,
+            plan,
+            md_round,
+            blocks,
+            participating,
+            None,
+            round_stats,
+            fragment=node_fragment,
+        )
+        if result is not None:
+            collected.append(result)
+    started = time.perf_counter()
+    combined = collected[0]
+    for piece in collected[1:]:
+        combined = combined.union_all(piece)
+    merged = merge_sub_results(combined, plan.expression.key, blocks)
+    edge.compute_s += time.perf_counter() - started
+    edge.bytes_up += msg.HEADER_BYTES + wire_size(merged)
+    return merged
+
+
+def _spanning_base(cluster, tree, plan, coordinator, stats) -> None:
+    base = plan.base
+    if base.merged_into_chain:
+        return
+    if not base.is_distributed:
+        if not isinstance(base.source, LiteralBase):
+            raise PlanError("non-distributed base must be literal")
+        round_stats = stats.new_round("base", tree.name)
+        started = time.perf_counter()
+        coordinator.set_base(base.source.relation)
+        round_stats.root_compute_s += time.perf_counter() - started
+        return
+
+    round_stats = stats.new_round("base", tree.name)
+    _register_children(tree, round_stats)
+    participating = set(base.sites)
+
+    def descend_base(node: TreeNode) -> Optional[Relation]:
+        subtree_sites = [
+            site_id for site_id in node.leaves() if site_id in participating
+        ]
+        if not subtree_sites:
+            return None
+        edge = round_stats.edge(node.name)
+        edge.bytes_down += msg.HEADER_BYTES
+        if node.is_leaf:
+            site = cluster.site(node.name)
+            started = time.perf_counter()
+            b_i = site.compute_base(base.source)
+            edge.compute_s += time.perf_counter() - started
+            edge.bytes_up += msg.HEADER_BYTES + wire_size(b_i)
+            return b_i
+        pieces = [
+            piece
+            for piece in (descend_base(child) for child in node.children)
+            if piece is not None
+        ]
+        started = time.perf_counter()
+        combined = pieces[0]
+        for piece in pieces[1:]:
+            combined = combined.union_all(piece)
+        combined = combined.distinct()
+        edge.compute_s += time.perf_counter() - started
+        edge.bytes_up += msg.HEADER_BYTES + wire_size(combined)
+        return combined
+
+    fragments = [
+        fragment
+        for fragment in (descend_base(child) for child in tree.children)
+        if fragment is not None
+    ]
+    started = time.perf_counter()
+    coordinator.sync_base(fragments)
+    round_stats.root_compute_s += time.perf_counter() - started
+
+
+def execute_query_spanning(
+    cluster: SimulatedCluster, tree: TreeNode, expression, options=None
+) -> SpanningResult:
+    """Plan with Egil, then execute over the spanning tree."""
+    from repro.distributed.optimizer import plan_query
+
+    plan = plan_query(expression, cluster.catalog, options)
+    return execute_plan_spanning(cluster, tree, plan)

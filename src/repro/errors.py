@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro (Skalla) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one handler while still being able to
+discriminate specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or two schemas are incompatible."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An expression or operator referenced an attribute not in scope."""
+
+    def __init__(self, attribute, available=()):
+        self.attribute = attribute
+        self.available = tuple(available)
+        message = f"unknown attribute {attribute!r}"
+        if self.available:
+            message += f"; available: {', '.join(map(str, self.available))}"
+        super().__init__(message)
+
+
+class TypeMismatchError(SchemaError):
+    """A value did not match the declared type of its attribute."""
+
+
+class ExpressionError(ReproError):
+    """A scalar expression is malformed or cannot be evaluated."""
+
+
+class AggregateError(ReproError):
+    """An aggregate specification is invalid."""
+
+
+class HolisticAggregateError(AggregateError):
+    """A holistic aggregate (no sub/super decomposition) was used in a
+    distributed plan.
+
+    Holistic aggregates such as MEDIAN cannot be computed from partial
+    results without shipping detail data, which Skalla never does
+    (Section 3 of the paper). They remain available for centralized
+    evaluation.
+    """
+
+
+class PlanError(ReproError):
+    """A distributed evaluation plan is invalid or cannot be constructed."""
+
+
+class OptimizationError(PlanError):
+    """An optimization was requested whose precondition does not hold."""
+
+
+class SerializationError(ReproError):
+    """A relation or message could not be encoded or decoded."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed (unknown site, closed channel)."""
+
+
+class CatalogError(ReproError):
+    """Distribution catalog lookup or registration failed."""
+
+
+class WarehouseError(ReproError):
+    """A local warehouse operation failed (unknown table, bad partition)."""

@@ -1,0 +1,53 @@
+"""``repro.gmdj`` — the GMDJ operator, expressions, and their analysis.
+
+This package implements the paper's core algebra:
+
+- :class:`~repro.gmdj.blocks.MDBlock` — an ``(aggregate list, condition)``
+  pair (Definition 1);
+- :mod:`~repro.gmdj.operator` — centralized hash-based evaluation, the
+  site-side sub-aggregate variant, and Theorem 1 super-aggregation;
+- :class:`~repro.gmdj.expression.GMDJExpression` — chains of GMDJ
+  operators (complex GMDJ expressions);
+- :mod:`~repro.gmdj.analysis` — condition analysis backing the
+  optimizations of Section 4;
+- :mod:`~repro.gmdj.coalesce` — the coalescing transformation.
+"""
+
+from repro.gmdj.blocks import MDBlock, block_output_attributes, result_schema, sub_result_schema
+from repro.gmdj.coalesce import can_coalesce, coalesce, coalesce_steps
+from repro.gmdj.expression import (
+    BaseSource,
+    DistinctBase,
+    GMDJExpression,
+    LiteralBase,
+    MDStep,
+)
+from repro.gmdj.operator import (
+    SyncSession,
+    evaluate,
+    evaluate_both,
+    evaluate_sub,
+    merge_sub_results,
+    super_aggregate,
+)
+
+__all__ = [
+    "SyncSession",
+    "BaseSource",
+    "DistinctBase",
+    "GMDJExpression",
+    "LiteralBase",
+    "MDBlock",
+    "MDStep",
+    "block_output_attributes",
+    "can_coalesce",
+    "coalesce",
+    "coalesce_steps",
+    "evaluate",
+    "evaluate_both",
+    "evaluate_sub",
+    "merge_sub_results",
+    "result_schema",
+    "sub_result_schema",
+    "super_aggregate",
+]

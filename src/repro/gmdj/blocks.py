@@ -1,0 +1,106 @@
+"""GMDJ blocks: paired aggregate lists and conditions.
+
+Definition 1 of the paper gives the GMDJ operator
+``MD(B, R, (l_1, ..., l_m), (theta_1, ..., theta_m))``: each *block*
+pairs a list of aggregate functions ``l_i`` with a condition ``theta_i``
+over attributes of the base-values relation B and the detail relation R.
+:class:`MDBlock` is one such ``(l_i, theta_i)`` pair.
+
+Conditions reference base attributes through the ``base`` namespace
+(relvar ``"b"``) and detail attributes through ``detail`` (relvar
+``"r"``); aggregate inputs reference the detail relation (qualified or
+unqualified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AggregateError, ExpressionError
+from repro.relalg.aggregates import AggSpec
+from repro.relalg.expressions import BASE_VAR, DETAIL_VAR, Expr
+from repro.relalg.schema import Attribute, Schema
+
+
+@dataclass(frozen=True)
+class MDBlock:
+    """One ``(aggregate list, condition)`` pair of a GMDJ operator."""
+
+    aggregates: tuple
+    condition: Expr
+
+    def __init__(self, aggregates: Sequence[AggSpec], condition: Expr):
+        aggregates = tuple(aggregates)
+        if not aggregates:
+            raise AggregateError("an MDBlock needs at least one aggregate")
+        for spec in aggregates:
+            if not isinstance(spec, AggSpec):
+                raise AggregateError(f"expected AggSpec, got {spec!r}")
+            if spec.input_expr is None:
+                bad_vars = set()
+            else:
+                bad_vars = spec.input_expr.relvars() - {DETAIL_VAR, None}
+            if bad_vars:
+                raise AggregateError(
+                    f"aggregate input {spec} references non-detail relation "
+                    f"variables {sorted(map(repr, bad_vars))}"
+                )
+        if not isinstance(condition, Expr):
+            raise ExpressionError(f"condition must be an Expr, got {condition!r}")
+        bad_vars = condition.relvars() - {BASE_VAR, DETAIL_VAR}
+        if bad_vars:
+            raise ExpressionError(
+                f"GMDJ conditions must qualify every field with base/detail; "
+                f"found relation variables {sorted(map(repr, bad_vars))} in {condition!r}"
+            )
+        object.__setattr__(self, "aggregates", aggregates)
+        object.__setattr__(self, "condition", condition)
+
+    # -- schema contributions -----------------------------------------------
+
+    def result_attributes(self) -> tuple:
+        """Attributes this block adds to the (finalized) GMDJ output."""
+        return tuple(spec.result_attribute() for spec in self.aggregates)
+
+    def sub_attributes(self) -> tuple:
+        """Attributes this block adds to a shipped sub-result H_i."""
+        attributes: list = []
+        for spec in self.aggregates:
+            attributes.extend(spec.sub_attributes())
+        return tuple(attributes)
+
+    def output_names(self) -> tuple:
+        return tuple(spec.output for spec in self.aggregates)
+
+    @property
+    def has_holistic(self) -> bool:
+        return any(spec.is_holistic for spec in self.aggregates)
+
+    def __str__(self):
+        aggs = ", ".join(str(spec) for spec in self.aggregates)
+        return f"[{aggs}] WHERE {self.condition!r}"
+
+
+def result_schema(base_schema: Schema, blocks: Sequence[MDBlock]) -> Schema:
+    """Output schema of ``MD(B, R, blocks)`` — Definition 1's X."""
+    attributes = list(base_schema.attributes)
+    for block in blocks:
+        attributes.extend(block.result_attributes())
+    return Schema(attributes)
+
+
+def sub_result_schema(base_schema: Schema, blocks: Sequence[MDBlock]) -> Schema:
+    """Schema of a site's sub-result H_i (sub-aggregate columns)."""
+    attributes = list(base_schema.attributes)
+    for block in blocks:
+        attributes.extend(block.sub_attributes())
+    return Schema(attributes)
+
+
+def block_output_attributes(blocks: Sequence[MDBlock]) -> tuple:
+    """All finalized output attributes across blocks, in order."""
+    attributes: list = []
+    for block in blocks:
+        attributes.extend(block.result_attributes())
+    return tuple(attributes)

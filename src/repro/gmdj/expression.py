@@ -1,0 +1,200 @@
+"""GMDJ expression trees.
+
+The paper composes GMDJ operators into *complex GMDJ expressions* where
+the result of an inner GMDJ serves as the base-values relation of an
+outer GMDJ (Section 2.2). An expression is therefore a chain::
+
+    B_0  --MD_1-->  B_1  --MD_2-->  ...  --MD_m-->  B_m  (the result)
+
+``B_0`` comes from a :class:`BaseSource`; each :class:`MDStep` applies one
+GMDJ operator over a named detail table. Detail tables are resolved by
+name against a mapping (a local warehouse, or the conceptual union of all
+site warehouses in distributed evaluation).
+
+Key attributes ``K`` of the base-values relation (Definition 1's
+discussion) are carried explicitly: they drive Theorem 1 synchronization
+and the optimizer's entailment checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import PlanError, SchemaError
+from repro.gmdj import operator
+from repro.gmdj.blocks import MDBlock, result_schema
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+
+class BaseSource:
+    """Produces the initial base-values relation B_0."""
+
+    #: Attribute names forming a key of the produced relation.
+    key: tuple
+
+    def schema(self, tables: Mapping[str, Schema]) -> Schema:
+        raise NotImplementedError
+
+    def evaluate(self, tables: Mapping[str, Relation]) -> Relation:
+        raise NotImplementedError
+
+    @property
+    def table_name(self) -> Optional[str]:
+        """Name of the detail table this source reads, if any."""
+        return None
+
+
+@dataclass(frozen=True)
+class DistinctBase(BaseSource):
+    """``B_0 = distinct(pi_attrs(table))`` — the common base-values query.
+
+    The projected attributes form the key K of B_0 (the relation is
+    deduplicated on exactly those attributes).
+    """
+
+    table: str
+    attrs: tuple
+
+    def __init__(self, table: str, attrs: Sequence[str]):
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "attrs", tuple(attrs))
+        if not self.attrs:
+            raise SchemaError("DistinctBase needs at least one attribute")
+
+    @property
+    def key(self) -> tuple:
+        return self.attrs
+
+    @property
+    def table_name(self) -> Optional[str]:
+        return self.table
+
+    def schema(self, tables: Mapping[str, Schema]) -> Schema:
+        return tables[self.table].project(self.attrs)
+
+    def evaluate(self, tables: Mapping[str, Relation]) -> Relation:
+        return tables[self.table].distinct_project(self.attrs)
+
+
+@dataclass(frozen=True)
+class LiteralBase(BaseSource):
+    """A caller-supplied base-values relation (e.g. a dimension table).
+
+    The caller must state which attributes form its key.
+    """
+
+    relation: Relation
+    key: tuple
+
+    def __init__(self, relation: Relation, key: Sequence[str]):
+        key = tuple(key)
+        for name in key:
+            relation.schema.position(name)  # validates
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "key", key)
+
+    def schema(self, tables: Mapping[str, Schema]) -> Schema:
+        return self.relation.schema
+
+    def evaluate(self, tables: Mapping[str, Relation]) -> Relation:
+        return self.relation
+
+
+@dataclass(frozen=True)
+class MDStep:
+    """One GMDJ operator application: detail table + blocks."""
+
+    detail: str
+    blocks: tuple
+
+    def __init__(self, detail: str, blocks: Sequence[MDBlock]):
+        blocks = tuple(blocks)
+        if not blocks:
+            raise PlanError("an MDStep needs at least one block")
+        object.__setattr__(self, "detail", detail)
+        object.__setattr__(self, "blocks", blocks)
+
+    def output_names(self) -> tuple:
+        names: list = []
+        for block in self.blocks:
+            names.extend(block.output_names())
+        return tuple(names)
+
+    @property
+    def has_holistic(self) -> bool:
+        return any(block.has_holistic for block in self.blocks)
+
+    def __str__(self):
+        inner = "; ".join(str(block) for block in self.blocks)
+        return f"MD(detail={self.detail}, {inner})"
+
+
+class GMDJExpression:
+    """A chain of GMDJ operators over a base source.
+
+    >>> expr = GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [
+    ...     MDStep("Flow", [MDBlock([count_star("cnt")], base.SourceAS == detail.SourceAS)]),
+    ... ])
+    """
+
+    def __init__(self, base_source: BaseSource, steps: Sequence[MDStep]):
+        if not isinstance(base_source, BaseSource):
+            raise PlanError(f"expected a BaseSource, got {base_source!r}")
+        self.base_source = base_source
+        self.steps = tuple(steps)
+        if not self.steps:
+            raise PlanError("a GMDJ expression needs at least one MD step")
+        self._validate_unique_outputs()
+
+    def _validate_unique_outputs(self) -> None:
+        seen = set()
+        for step in self.steps:
+            for name in step.output_names():
+                if name in seen:
+                    raise SchemaError(f"duplicate aggregate output name {name!r}")
+                seen.add(name)
+
+    # -- metadata ---------------------------------------------------------------
+
+    @property
+    def key(self) -> tuple:
+        """Key attributes of every intermediate base-values relation."""
+        return self.base_source.key
+
+    def detail_tables(self) -> tuple:
+        """All detail table names used, in step order (with duplicates)."""
+        return tuple(step.detail for step in self.steps)
+
+    def result_schema(self, table_schemas: Mapping[str, Schema]) -> Schema:
+        schema = self.base_source.schema(table_schemas)
+        for step in self.steps:
+            schema = result_schema(schema, step.blocks)
+        return schema
+
+    @property
+    def has_holistic(self) -> bool:
+        return any(step.has_holistic for step in self.steps)
+
+    def describe(self) -> str:
+        lines = [f"B0 <- {self.base_source!r}"]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(f"B{index} <- {step}")
+        return "\n".join(lines)
+
+    # -- centralized evaluation ----------------------------------------------------
+
+    def evaluate_centralized(self, tables: Mapping[str, Relation]) -> Relation:
+        """Evaluate the whole chain on one node holding all detail data.
+
+        This is the reference semantics every distributed plan must match.
+        """
+        current = self.base_source.evaluate(tables)
+        for step in self.steps:
+            try:
+                detail = tables[step.detail]
+            except KeyError:
+                raise PlanError(f"unknown detail table {step.detail!r}") from None
+            current = operator.evaluate(current, detail, step.blocks)
+        return current

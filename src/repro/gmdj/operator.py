@@ -1,0 +1,353 @@
+"""Centralized GMDJ evaluation (Definition 1 of the paper).
+
+The evaluation strategy is the hash-based MD-join of Chatziantoniou et
+al. (ICDE 2001), the paper's reference [7]: for each block, the equality
+atoms of the condition build a hash table over the base-values relation;
+a single scan of the detail relation probes it and updates per-base-row
+accumulators, checking any residual (non-equality) conjuncts per
+candidate pair. Conditions without equality atoms degrade to a
+nested-loop scan — still correct, and exactly why GMDJ groups may
+overlap, unlike SQL ``GROUP BY`` groups.
+
+Three entry points:
+
+- :func:`evaluate` — the full operator, producing finalized aggregates
+  (what a centralized warehouse computes);
+- :func:`evaluate_sub` — the site-side variant, producing *sub-aggregate*
+  columns and per-row touch flags (|RNG| > 0 over the disjunction of all
+  block conditions), used by Skalla sites and Proposition 1 reduction;
+- :func:`super_aggregate` — the coordinator-side second GMDJ of Theorem
+  1: combines shipped sub-results ``H`` into the global result via key
+  equality θ_K and super-aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import HolisticAggregateError
+from repro.gmdj.blocks import MDBlock, result_schema, sub_result_schema
+from repro.relalg.expressions import BASE_VAR, DETAIL_VAR
+from repro.relalg.predicates import split_condition
+from repro.relalg.relation import Relation
+
+
+def evaluate(base: Relation, detail: Relation, blocks: Sequence[MDBlock]) -> Relation:
+    """``MD(B, R, (l_1..l_m), (theta_1..theta_m))`` with finalized aggregates."""
+    accumulators, _touched = _accumulate(base, detail, blocks, track_touch=False)
+    schema = result_schema(base.schema, blocks)
+    rows = []
+    for base_index, base_row in enumerate(base.rows):
+        extra = []
+        for block_index, block in enumerate(blocks):
+            for accumulator in accumulators[block_index][base_index]:
+                extra.append(accumulator.result())
+        rows.append(base_row + tuple(extra))
+    return Relation(schema, rows)
+
+
+def evaluate_sub(
+    base: Relation, detail: Relation, blocks: Sequence[MDBlock]
+) -> tuple:
+    """Site-side GMDJ: sub-aggregate columns plus touch flags.
+
+    Returns ``(H_i, touched)`` where ``H_i`` carries one column per
+    sub-aggregate component (Theorem 1's ``l'``) and ``touched[k]`` is
+    True iff base row ``k`` had ``|RNG(b, R_i, theta_1 v ... v theta_m)| > 0``
+    — the Proposition 1 group-reduction test.
+    """
+    for block in blocks:
+        if block.has_holistic:
+            raise HolisticAggregateError(
+                "holistic aggregates cannot produce shippable sub-results"
+            )
+    accumulators, touched = _accumulate(base, detail, blocks, track_touch=True)
+    schema = sub_result_schema(base.schema, blocks)
+    rows = []
+    for base_index, base_row in enumerate(base.rows):
+        extra = []
+        for block_index, _block in enumerate(blocks):
+            for accumulator in accumulators[block_index][base_index]:
+                extra.extend(accumulator.sub_values())
+        rows.append(base_row + tuple(extra))
+    return Relation(schema, rows), touched
+
+
+def evaluate_both(
+    base: Relation, detail: Relation, blocks: Sequence[MDBlock]
+) -> tuple:
+    """One scan producing finalized *and* sub-aggregate outputs.
+
+    Used by synchronization-reduced local chains (Theorem 5 / Corollary
+    1): the finalized relation feeds the next GMDJ of the chain locally,
+    while the sub-aggregate columns are what eventually gets shipped.
+
+    Returns ``(full, sub, touched)``; ``full`` and ``sub`` are row-aligned
+    with ``base``.
+    """
+    for block in blocks:
+        if block.has_holistic:
+            raise HolisticAggregateError(
+                "holistic aggregates cannot produce shippable sub-results"
+            )
+    accumulators, touched = _accumulate(base, detail, blocks, track_touch=True)
+    full_rows = []
+    sub_rows = []
+    for base_index, base_row in enumerate(base.rows):
+        finals = []
+        subs = []
+        for block_index, _block in enumerate(blocks):
+            for accumulator in accumulators[block_index][base_index]:
+                finals.append(accumulator.result())
+                subs.extend(accumulator.sub_values())
+        full_rows.append(base_row + tuple(finals))
+        sub_rows.append(base_row + tuple(subs))
+    full = Relation(result_schema(base.schema, blocks), full_rows)
+    sub = Relation(sub_result_schema(base.schema, blocks), sub_rows)
+    return full, sub, touched
+
+
+class SyncSession:
+    """Incremental Theorem-1 synchronization against a fixed base.
+
+    Section 3.2: "the coordinator can synchronize H with those
+    sub-results it has already received while receiving blocks of H from
+    slower sites, rather than having to wait for all of H to be
+    assembled". A session holds one accumulator set per base row (keyed
+    by K through a hash index), absorbs sub-result fragments in any
+    order, and finalizes once.
+    """
+
+    def __init__(self, base: Relation, key_attrs: Sequence[str], blocks: Sequence[MDBlock]):
+        self._base = base
+        self._key_attrs = tuple(key_attrs)
+        self._blocks = tuple(blocks)
+        key_positions = base.schema.positions(self._key_attrs)
+        self._lookup: dict = {}
+        for base_index, base_row in enumerate(base.rows):
+            key = tuple(base_row[position] for position in key_positions)
+            self._lookup.setdefault(key, []).append(base_index)
+        self._accumulators = [
+            [[spec.accumulator() for spec in block.aggregates] for _row in base.rows]
+            for block in blocks
+        ]
+
+    def absorb(self, h: Relation) -> None:
+        """Fold one sub-result fragment into the session (O(|h|))."""
+        key_positions = h.schema.positions(self._key_attrs)
+        sub_positions = [
+            [h.schema.positions(spec.sub_names()) for spec in block.aggregates]
+            for block in self._blocks
+        ]
+        accumulators = self._accumulators
+        for h_row in h.rows:
+            key = tuple(h_row[position] for position in key_positions)
+            for base_index in self._lookup.get(key, ()):
+                for block_index, block in enumerate(self._blocks):
+                    for agg_index, _spec in enumerate(block.aggregates):
+                        positions = sub_positions[block_index][agg_index]
+                        values = tuple(h_row[position] for position in positions)
+                        accumulators[block_index][base_index][agg_index].load_sub_values(
+                            values
+                        )
+
+    def finish(self) -> Relation:
+        """Finalize super-aggregates into the next base-result structure."""
+        schema = result_schema(self._base.schema, self._blocks)
+        rows = []
+        for base_index, base_row in enumerate(self._base.rows):
+            extra = []
+            for block_index, _block in enumerate(self._blocks):
+                for accumulator in self._accumulators[block_index][base_index]:
+                    extra.append(accumulator.result())
+            rows.append(base_row + tuple(extra))
+        return Relation(schema, rows)
+
+
+def super_aggregate(
+    base: Relation,
+    h: Relation,
+    key_attrs: Sequence[str],
+    blocks: Sequence[MDBlock],
+) -> Relation:
+    """Theorem 1's outer GMDJ: ``MD(B, H, (l''_1..l''_m), theta_K)``.
+
+    ``h`` is the multiset union of site sub-results; rows of ``h`` are
+    matched to rows of ``base`` by equality on ``key_attrs`` and their
+    sub-aggregate components are combined, then finalized. Implemented
+    as a one-fragment :class:`SyncSession`.
+    """
+    session = SyncSession(base, key_attrs, blocks)
+    session.absorb(h)
+    return session.finish()
+
+
+def merge_sub_results(
+    h: Relation, key_attrs: Sequence[str], blocks: Sequence[MDBlock]
+) -> Relation:
+    """Combine sub-result rows sharing a key into one row per key.
+
+    Sub-aggregate components are associative and commutative, so partial
+    results can be merged *without finalizing* — the output is again a
+    valid sub-result relation with the same schema. This is what lets an
+    intermediate coordinator in a multi-tier topology (the paper's
+    future-work architecture, Section 6) compress its children's H
+    relations before forwarding them upward.
+
+    Rows keep the first-seen order of their keys; non-key, non-aggregate
+    base attributes (if any) are taken from the first row of each key.
+    """
+    key_positions = h.schema.positions(key_attrs)
+    sub_positions = []  # per block, per agg: component positions in h
+    for block in blocks:
+        per_agg = []
+        for spec in block.aggregates:
+            per_agg.append(h.schema.positions(spec.sub_names()))
+        sub_positions.append(per_agg)
+
+    order: list = []
+    first_row: dict = {}
+    accumulators: dict = {}
+    for row in h.rows:
+        key = tuple(row[position] for position in key_positions)
+        if key not in accumulators:
+            order.append(key)
+            first_row[key] = row
+            accumulators[key] = [
+                [spec.accumulator() for spec in block.aggregates] for block in blocks
+            ]
+        per_block = accumulators[key]
+        for block_index, block in enumerate(blocks):
+            for agg_index, _spec in enumerate(block.aggregates):
+                positions = sub_positions[block_index][agg_index]
+                values = tuple(row[position] for position in positions)
+                per_block[block_index][agg_index].load_sub_values(values)
+
+    all_sub_positions = [
+        position
+        for per_agg in sub_positions
+        for positions in per_agg
+        for position in positions
+    ]
+    rows = []
+    for key in order:
+        template = list(first_row[key])
+        flat_values: list = []
+        for per_agg in accumulators[key]:
+            for accumulator in per_agg:
+                flat_values.extend(accumulator.sub_values())
+        for position, value in zip(all_sub_positions, flat_values):
+            template[position] = value
+        rows.append(tuple(template))
+    return Relation(h.schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# Shared accumulation scan
+# ---------------------------------------------------------------------------
+
+
+def _accumulate(base, detail, blocks, track_touch):
+    """Run the MD-join scan; returns (accumulators, touched).
+
+    ``accumulators[block][base_row][agg]`` holds the per-group state.
+    ``touched[base_row]`` is maintained only when ``track_touch``.
+    """
+    schemas = {BASE_VAR: base.schema, DETAIL_VAR: detail.schema, None: detail.schema}
+    touched = [False] * len(base.rows) if track_touch else None
+    accumulators = []
+
+    for block in blocks:
+        block_accumulators = [
+            [spec.accumulator() for spec in block.aggregates] for _row in base.rows
+        ]
+        accumulators.append(block_accumulators)
+        input_funcs = [spec.compile_input(detail.schema) for spec in block.aggregates]
+        split = split_condition(block.condition, BASE_VAR, DETAIL_VAR)
+        rows_env: dict = {BASE_VAR: None, DETAIL_VAR: None, None: None}
+
+        # Base rows that can possibly match (base-only conjuncts).
+        if split.base_only:
+            base_predicates = [conjunct.compile(schemas) for conjunct in split.base_only]
+
+            def base_admits(row, _predicates=base_predicates, _env=rows_env):
+                _env[BASE_VAR] = row
+                return all(predicate(_env) for predicate in _predicates)
+
+            candidate_base = [
+                index for index, row in enumerate(base.rows) if base_admits(row)
+            ]
+        else:
+            candidate_base = range(len(base.rows))
+
+        # Detail rows that can possibly match (detail-only conjuncts).
+        if split.detail_only:
+            detail_predicates = [conjunct.compile(schemas) for conjunct in split.detail_only]
+
+            def detail_admits(row, _predicates=detail_predicates, _env=rows_env):
+                _env[DETAIL_VAR] = row
+                _env[None] = row
+                return all(predicate(_env) for predicate in _predicates)
+
+            detail_rows = [row for row in detail.rows if detail_admits(row)]
+        else:
+            detail_rows = detail.rows
+
+        residual_funcs = [conjunct.compile(schemas) for conjunct in split.residual]
+
+        if split.hashable:
+            base_key_funcs = [atom.base_expr.compile(schemas) for atom in split.atoms]
+            detail_key_funcs = [atom.detail_expr.compile(schemas) for atom in split.atoms]
+            # NULL keys never match under SQL equality semantics, so rows
+            # with a NULL key component are excluded from build and probe.
+            table: dict = {}
+            for base_index in candidate_base:
+                rows_env[BASE_VAR] = base.rows[base_index]
+                key = tuple(func(rows_env) for func in base_key_funcs)
+                if None in key:
+                    continue
+                table.setdefault(key, []).append(base_index)
+
+            for detail_row in detail_rows:
+                rows_env[DETAIL_VAR] = detail_row
+                rows_env[None] = detail_row
+                key = tuple(func(rows_env) for func in detail_key_funcs)
+                if None in key:
+                    continue
+                matches = table.get(key)
+                if not matches:
+                    continue
+                input_values = [
+                    None if func is None else func(rows_env) for func in input_funcs
+                ]
+                for base_index in matches:
+                    if residual_funcs:
+                        rows_env[BASE_VAR] = base.rows[base_index]
+                        if not all(func(rows_env) for func in residual_funcs):
+                            continue
+                    if track_touch:
+                        touched[base_index] = True
+                    for accumulator, value in zip(
+                        block_accumulators[base_index], input_values
+                    ):
+                        accumulator.update(value)
+        else:
+            # No equality atoms: nested-loop evaluation, O(|B| * |R|).
+            for detail_row in detail_rows:
+                rows_env[DETAIL_VAR] = detail_row
+                rows_env[None] = detail_row
+                input_values = [
+                    None if func is None else func(rows_env) for func in input_funcs
+                ]
+                for base_index in candidate_base:
+                    rows_env[BASE_VAR] = base.rows[base_index]
+                    if residual_funcs and not all(func(rows_env) for func in residual_funcs):
+                        continue
+                    if track_touch:
+                        touched[base_index] = True
+                    for accumulator, value in zip(
+                        block_accumulators[base_index], input_values
+                    ):
+                        accumulator.update(value)
+
+    return accumulators, touched

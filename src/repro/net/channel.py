@@ -1,0 +1,118 @@
+"""Simulated coordinator<->site channels with byte accounting.
+
+The coordinator owns one duplex :class:`Channel` per site. All data moves
+as encoded :class:`~repro.net.message.Message` payloads — the receiving
+side *decodes* the bytes into fresh objects, so sites and coordinator
+never share mutable state, exactly as separate machines would not.
+
+Channels count bytes per direction and per round; these counters are the
+ground truth behind every "data transferred" number reported by the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+
+
+@dataclass
+class DirectionStats:
+    """Byte/message counters for one direction of a channel."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_round: dict = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        self.messages += 1
+        self.bytes += message.size_bytes
+        self.by_round[message.round_index] = (
+            self.by_round.get(message.round_index, 0) + message.size_bytes
+        )
+
+
+class Channel:
+    """A duplex queue pair between the coordinator and one site."""
+
+    def __init__(self, site_id: str):
+        self.site_id = site_id
+        self._to_site: deque = deque()
+        self._to_coordinator: deque = deque()
+        self.downstream = DirectionStats()  # coordinator -> site
+        self.upstream = DirectionStats()  # site -> coordinator
+
+    def send_to_site(self, message: Message) -> None:
+        if message.recipient != self.site_id:
+            raise NetworkError(
+                f"message addressed to {message.recipient!r} on channel to {self.site_id!r}"
+            )
+        self.downstream.record(message)
+        self._to_site.append(message)
+
+    def send_to_coordinator(self, message: Message) -> None:
+        if message.sender != self.site_id:
+            raise NetworkError(
+                f"message from {message.sender!r} on channel of {self.site_id!r}"
+            )
+        self.upstream.record(message)
+        self._to_coordinator.append(message)
+
+    def receive_at_site(self) -> Message:
+        try:
+            return self._to_site.popleft()
+        except IndexError:
+            raise NetworkError(f"no pending message for site {self.site_id!r}") from None
+
+    def receive_at_coordinator(self) -> Message:
+        try:
+            return self._to_coordinator.popleft()
+        except IndexError:
+            raise NetworkError(f"no pending message from site {self.site_id!r}") from None
+
+    @property
+    def total_bytes(self) -> int:
+        return self.downstream.bytes + self.upstream.bytes
+
+
+class Network:
+    """The star topology: one channel per site, coordinator at the hub."""
+
+    def __init__(self, site_ids):
+        self._channels = {site_id: Channel(site_id) for site_id in site_ids}
+        if not self._channels:
+            raise NetworkError("a network needs at least one site")
+
+    def channel(self, site_id: str) -> Channel:
+        try:
+            return self._channels[site_id]
+        except KeyError:
+            raise NetworkError(f"unknown site {site_id!r}") from None
+
+    @property
+    def site_ids(self) -> tuple:
+        return tuple(self._channels)
+
+    def total_bytes(self) -> int:
+        return sum(channel.total_bytes for channel in self._channels.values())
+
+    def bytes_by_direction(self) -> tuple:
+        """``(coordinator_to_sites, sites_to_coordinator)`` byte totals."""
+        down = sum(channel.downstream.bytes for channel in self._channels.values())
+        up = sum(channel.upstream.bytes for channel in self._channels.values())
+        return down, up
+
+    def round_bytes(self, round_index: int, site_id: Optional[str] = None) -> int:
+        """Bytes moved in one round, for one site or all sites."""
+        channels = (
+            [self.channel(site_id)] if site_id is not None else self._channels.values()
+        )
+        total = 0
+        for channel in channels:
+            total += channel.downstream.by_round.get(round_index, 0)
+            total += channel.upstream.by_round.get(round_index, 0)
+        return total

@@ -1,0 +1,52 @@
+"""``repro.queries`` — OLAP front-end compiling to GMDJ expressions.
+
+Translations of the OLAP query classes the paper says GMDJs capture
+uniformly (Section 2.2): SQL grouping/aggregation, correlated
+aggregates, data cubes, unpivot marginals and multi-feature queries.
+"""
+
+from repro.queries.cube import (
+    combine_lattice_results,
+    cube_base_relation,
+    cube_lattice_queries,
+    cube_single_expression,
+    dimension_subsets,
+    execute_cube_distributed,
+    grand_total_expression,
+)
+from repro.queries.multifeature import Feature, multifeature_query
+from repro.queries.olap import (
+    QueryBuilder,
+    group_by_query,
+    key_condition,
+    windowed_comparison_query,
+)
+from repro.queries.sql import ParsedQuery, SqlError, parse_olap_query, parse_olap_statement
+from repro.queries.unpivot import (
+    combine_marginals,
+    execute_marginals_distributed,
+    marginal_queries,
+)
+
+__all__ = [
+    "Feature",
+    "QueryBuilder",
+    "SqlError",
+    "combine_lattice_results",
+    "combine_marginals",
+    "cube_base_relation",
+    "cube_lattice_queries",
+    "cube_single_expression",
+    "dimension_subsets",
+    "execute_cube_distributed",
+    "execute_marginals_distributed",
+    "grand_total_expression",
+    "group_by_query",
+    "key_condition",
+    "marginal_queries",
+    "multifeature_query",
+    "ParsedQuery",
+    "parse_olap_query",
+    "parse_olap_statement",
+    "windowed_comparison_query",
+]

@@ -1,0 +1,192 @@
+"""Data cubes (Gray et al.) expressed with GMDJs.
+
+The paper lists the data cube among the OLAP queries GMDJ expressions
+capture (Section 1, Section 2.2). Two formulations are provided:
+
+- :func:`cube_single_expression` — the textbook single-GMDJ encoding:
+  the base-values relation is the cube lattice (one row per group-by
+  tuple of every dimension subset, with ``None`` playing SQL's ALL), and
+  the condition matches a detail row to every lattice row whose non-ALL
+  dimensions agree: ``AND_d (b.d IS NULL | b.d == r.d)``. Elegant, but
+  the disjunctions defeat hash evaluation, so it is O(|B|·|R|).
+- :func:`cube_lattice_queries` — one group-by GMDJ per dimension subset
+  (2^d cheap hash-evaluated queries) whose results
+  :func:`combine_lattice_results` unions into the same cube relation.
+  This is how a practical system (and the distributed benchmarks) run it.
+
+Both return cubes whose rolled-up dimensions hold ``None``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from repro.errors import PlanError
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import GMDJExpression, LiteralBase, MDStep
+from repro.queries.olap import group_by_query
+from repro.relalg.aggregates import AggSpec
+from repro.relalg.expressions import BASE_VAR, Const, DETAIL_VAR, Field, and_all
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+
+def dimension_subsets(dims: Sequence[str]) -> list:
+    """All subsets of the dimensions, largest (finest grouping) first."""
+    subsets = []
+    for size in range(len(dims), -1, -1):
+        for subset in combinations(dims, size):
+            subsets.append(subset)
+    return subsets
+
+
+def cube_base_relation(detail: Relation, dims: Sequence[str]) -> Relation:
+    """The cube lattice: distinct dim tuples of every subset, ALL = None."""
+    if not dims:
+        raise PlanError("a cube needs at least one dimension")
+    schema = detail.schema.project(dims)
+    rows = []
+    seen = set()
+    for subset in dimension_subsets(dims):
+        projected = detail.distinct_project(list(subset)) if subset else None
+        if subset:
+            for row in projected.rows:
+                values = dict(zip(subset, row))
+                lattice_row = tuple(values.get(dim) for dim in dims)
+                if lattice_row not in seen:
+                    seen.add(lattice_row)
+                    rows.append(lattice_row)
+        else:
+            all_row = (None,) * len(dims)
+            if all_row not in seen:
+                seen.add(all_row)
+                rows.append(all_row)
+    return Relation(schema, rows)
+
+
+def cube_single_expression(
+    detail: Relation,
+    table: str,
+    dims: Sequence[str],
+    aggs: Sequence[AggSpec],
+) -> GMDJExpression:
+    """The cube as ONE GMDJ over a literal lattice base.
+
+    ``detail`` is needed up front to materialize the lattice (in a
+    distributed setting, build it from the conceptual relation or a
+    dimension table). Note the O(|B|·|R|) evaluation cost — prefer
+    :func:`cube_lattice_queries` for anything large.
+    """
+    lattice = cube_base_relation(detail, dims)
+    condition = and_all(
+        Field(dim, BASE_VAR).is_null() | (Field(dim, BASE_VAR) == Field(dim, DETAIL_VAR))
+        for dim in dims
+    )
+    step = MDStep(table, [MDBlock(list(aggs), condition)])
+    return GMDJExpression(LiteralBase(lattice, tuple(dims)), [step])
+
+
+def cube_lattice_queries(
+    table: str, dims: Sequence[str], aggs: Sequence[AggSpec]
+) -> list:
+    """One hash-friendly group-by GMDJ per dimension subset.
+
+    Returns ``[(subset, expression), ...]``; the empty subset (grand
+    total) uses the finest subset's expression base trick — it is emitted
+    as a single-group query over a constant key and must be handled by
+    :func:`combine_lattice_results`.
+    """
+    queries = []
+    for subset in dimension_subsets(dims):
+        if subset:
+            queries.append((subset, group_by_query(table, list(subset), aggs)))
+    return queries
+
+
+def grand_total_expression(table: str, aggs: Sequence[AggSpec]) -> GMDJExpression:
+    """A distributed GMDJ computing the single grand-total row.
+
+    The base-values relation is one literal row and the condition is the
+    constant TRUE, so every detail tuple at every site feeds the (only)
+    group — the ALL cell of the cube — still shipping only sub-aggregates.
+    """
+    from repro.relalg.schema import INT, Schema
+
+    one_row = Relation(Schema.of(("__all__", INT)), [(1,)])
+    step = MDStep(table, [MDBlock(list(aggs), Const(True))])
+    return GMDJExpression(LiteralBase(one_row, ["__all__"]), [step])
+
+
+def execute_cube_distributed(
+    cluster,
+    table: str,
+    dims: Sequence[str],
+    aggs: Sequence[AggSpec],
+    options=None,
+) -> Relation:
+    """Evaluate a full data cube over a distributed warehouse.
+
+    Runs one distributed group-by GMDJ per dimension subset plus one
+    grand-total GMDJ — each through the full Skalla pipeline with the
+    given optimizations — and combines everything into a single cube
+    relation with ``None`` as ALL.
+    """
+    from repro.distributed.evaluator import execute_query
+
+    results = {}
+    for subset, expression in cube_lattice_queries(table, dims, aggs):
+        results[subset] = execute_query(cluster, expression, options).relation
+        cluster.reset_network()
+    total = execute_query(
+        cluster, grand_total_expression(table, aggs), options
+    ).relation
+    cluster.reset_network()
+    grand_total = total.project([spec.output for spec in aggs])
+    return combine_lattice_results(dims, aggs, results, grand_total)
+
+
+def combine_lattice_results(
+    dims: Sequence[str],
+    aggs: Sequence[AggSpec],
+    results: Mapping[tuple, Relation],
+    grand_total: Relation = None,
+) -> Relation:
+    """Union per-subset group-by results into one cube relation.
+
+    ``results`` maps each non-empty dimension subset to its group-by
+    result; ``grand_total`` (optional) is a one-row relation with just
+    the aggregate columns. Rolled-up dimensions become ``None``.
+    """
+    agg_names = [spec.output for spec in aggs]
+    first = next(iter(results.values()))
+    attributes = list(first.schema.project([]).attributes)  # empty, for symmetry
+    dim_attributes = []
+    for dim in dims:
+        for subset, relation in results.items():
+            if dim in subset:
+                dim_attributes.append(relation.schema[dim])
+                break
+        else:
+            raise PlanError(f"dimension {dim!r} missing from every subset result")
+    agg_attributes = [spec.result_attribute() for spec in aggs]
+    schema = Schema([*attributes, *dim_attributes, *agg_attributes])
+
+    rows = []
+    for subset, relation in results.items():
+        dim_positions = {dim: relation.schema.position(dim) for dim in subset}
+        agg_positions = [relation.schema.position(name) for name in agg_names]
+        for row in relation.rows:
+            dim_values = tuple(
+                row[dim_positions[dim]] if dim in dim_positions else None
+                for dim in dims
+            )
+            rows.append(dim_values + tuple(row[position] for position in agg_positions))
+    if grand_total is not None:
+        agg_positions = [grand_total.schema.position(name) for name in agg_names]
+        for row in grand_total.rows:
+            rows.append(
+                (None,) * len(dims)
+                + tuple(row[position] for position in agg_positions)
+            )
+    return Relation(schema, rows)

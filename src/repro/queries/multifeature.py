@@ -1,0 +1,60 @@
+"""Multi-feature queries (Ross, Srivastava & Chatziantoniou, EDBT 1998).
+
+A multi-feature query computes, per group, a cascade of *features* where
+each feature's qualifying tuples depend on previously computed features —
+e.g. "for each (supplier, month): the minimum price, the count of sales
+at that minimum price, and the average quantity of those sales". These
+are exactly correlated-aggregate GMDJ chains; this module gives them a
+declarative spelling.
+
+A :class:`Feature` contributes one GMDJ step whose condition is the key
+equality plus a predicate over the detail tuple and the previously
+computed features (referenced with the ``base`` namespace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import PlanError
+from repro.gmdj.expression import GMDJExpression
+from repro.queries.olap import QueryBuilder
+from repro.relalg.aggregates import AggSpec
+from repro.relalg.expressions import Expr
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One feature stage: aggregates + an optional correlation predicate.
+
+    ``when`` may reference detail attributes (``detail.X``) and the
+    outputs of *earlier* features (``base.Y``).
+    """
+
+    aggs: tuple
+    when: Optional[Expr] = None
+
+    def __init__(self, aggs: Sequence[AggSpec], when: Optional[Expr] = None):
+        aggs = tuple(aggs)
+        if not aggs:
+            raise PlanError("a Feature needs at least one aggregate")
+        object.__setattr__(self, "aggs", aggs)
+        object.__setattr__(self, "when", when)
+
+
+def multifeature_query(
+    table: str, keys: Sequence[str], features: Sequence[Feature]
+) -> GMDJExpression:
+    """Compile a feature cascade into a GMDJ chain.
+
+    Earlier features' outputs are in scope for later features' ``when``
+    predicates; the validation that references resolve happens at GMDJ
+    evaluation/compile time (unknown attributes raise).
+    """
+    if not features:
+        raise PlanError("a multi-feature query needs at least one feature")
+    builder = QueryBuilder(table, keys)
+    for feature in features:
+        builder.stage(list(feature.aggs), extra=feature.when)
+    return builder.build()

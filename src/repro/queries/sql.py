@@ -1,0 +1,524 @@
+"""A small SQL dialect for OLAP queries, compiled to GMDJ expressions.
+
+Figure 1 of the paper shows a *query generator* turning user OLAP
+queries into GMDJ query plans. This module plays that role with a
+compact SQL-like dialect covering the query classes of the evaluation —
+grouping/aggregation and correlated aggregates — in a form analysts can
+type::
+
+    SELECT NationKey, COUNT(*) AS cnt, AVG(Price) AS avg_price
+    FROM TPCR
+    GROUP BY NationKey
+    THEN SELECT COUNT(*) AS above WHERE Price >= avg_price
+
+Semantics:
+
+- the first stage is a GROUP BY query; an optional ``WHERE`` between
+  ``FROM`` and ``GROUP BY`` filters detail tuples feeding the
+  aggregates (groups still come from the whole table, per GMDJ
+  semantics);
+- each ``THEN SELECT ... [WHERE ...]`` adds one GMDJ stage whose
+  condition is the key equality conjoined with the ``WHERE`` predicate;
+- inside a ``WHERE``, an identifier naming an aggregate produced by an
+  *earlier* stage refers to the base-values tuple (``base.X``); every
+  other identifier refers to the detail tuple (``detail.X``). Grouping
+  keys resolve to the detail side, which is equivalent under the
+  implicit key equality.
+
+Operators: ``+ - * / %``, comparisons, ``AND OR NOT``, ``IN (v, ...)``,
+``BETWEEN a AND b``, ``IS [NOT] NULL``, parentheses. Literals: integers,
+floats, single-quoted strings, TRUE/FALSE/NULL.
+
+Errors raise :class:`SqlError` with the offending position.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.gmdj.expression import GMDJExpression
+from repro.queries.olap import QueryBuilder
+from repro.relalg import aggregates
+from repro.relalg.aggregates import AggSpec
+from repro.relalg.expressions import (
+    BASE_VAR,
+    Comparison,
+    Const,
+    DETAIL_VAR,
+    Expr,
+    Field,
+    Not,
+)
+
+
+class SqlError(ReproError):
+    """A parse or compile error in the OLAP SQL dialect."""
+
+    def __init__(self, message: str, position: Optional[int] = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "group",
+    "by",
+    "then",
+    "as",
+    "and",
+    "or",
+    "not",
+    "in",
+    "between",
+    "is",
+    "null",
+    "true",
+    "false",
+    "having",
+    "order",
+    "asc",
+    "desc",
+    "limit",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|==|[=<>+\-*/%(),])
+  | (?P<star>\*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "kw", "ident", "number", "string", "op", "eof"
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlError(f"unexpected character {text[position]!r}", position)
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "ident":
+            lowered = value.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(Token("kw", lowered, match.start()))
+            else:
+                tokens.append(Token("ident", value, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", value, match.start()))
+        else:
+            tokens.append(Token("op", value, match.start()))
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed statement: the GMDJ expression plus client-side clauses.
+
+    ``HAVING``, ``ORDER BY`` and ``LIMIT`` operate on the *final* query
+    result at the client — they never affect distributed evaluation.
+    ``apply_post`` performs them on the result relation.
+    """
+
+    expression: GMDJExpression
+    having: Optional[Expr] = None
+    order_by: tuple = ()  # (attribute, descending) pairs
+    limit: Optional[int] = None
+
+    def apply_post(self, relation):
+        """Apply HAVING / ORDER BY / LIMIT to a result relation."""
+        result = relation
+        if self.having is not None:
+            result = result.select(self.having)
+        # Mixed ASC/DESC: successive stable sorts, least-significant first.
+        for attribute, descending in reversed(self.order_by):
+            result = result.sorted_by([attribute], descending=descending)
+        if self.limit is not None:
+            result = result.limit(self.limit)
+        return result
+
+    @property
+    def has_post_clauses(self) -> bool:
+        return (
+            self.having is not None or bool(self.order_by) or self.limit is not None
+        )
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+        #: Aggregate outputs of earlier stages: names resolving to base.
+        self.base_scope: set = set()
+        #: When True, identifiers resolve unqualified (HAVING clauses).
+        self.result_scope = False
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def at_kw(self, *words) -> bool:
+        return self.current.kind == "kw" and self.current.value in words
+
+    def at_op(self, *ops) -> bool:
+        return self.current.kind == "op" and self.current.value in ops
+
+    def expect_kw(self, word: str) -> Token:
+        if not self.at_kw(word):
+            raise SqlError(
+                f"expected {word.upper()}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        if not self.at_op(op):
+            raise SqlError(
+                f"expected {op!r}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise SqlError(
+                f"expected identifier, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_statement(self) -> ParsedQuery:
+        expression = self.parse_query(allow_trailing=True)
+        having = None
+        order_by: list = []
+        limit = None
+        if self.at_kw("having"):
+            self.advance()
+            self.result_scope = True
+            having = self.parse_condition()
+            self.result_scope = False
+        if self.at_kw("order"):
+            self.advance()
+            self.expect_kw("by")
+            order_by.append(self.parse_order_item())
+            while self.at_op(","):
+                self.advance()
+                order_by.append(self.parse_order_item())
+        if self.at_kw("limit"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "number" or "." in token.value:
+                raise SqlError(
+                    f"LIMIT needs an integer, found {token.value!r}", token.position
+                )
+            limit = int(token.value)
+        if self.current.kind != "eof":
+            raise SqlError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+            )
+        return ParsedQuery(expression, having, tuple(order_by), limit)
+
+    def parse_order_item(self) -> tuple:
+        name = self.expect_ident().value
+        descending = False
+        if self.at_kw("asc", "desc"):
+            descending = self.advance().value == "desc"
+        return (name, descending)
+
+    def parse_query(self, allow_trailing: bool = False) -> GMDJExpression:
+        self.expect_kw("select")
+        items = self.parse_select_list()
+        self.expect_kw("from")
+        table = self.expect_ident().value
+        where = None
+        if self.at_kw("where"):
+            self.advance()
+            where = self.parse_condition()
+        self.expect_kw("group")
+        self.expect_kw("by")
+        keys = [self.expect_ident().value]
+        while self.at_op(","):
+            self.advance()
+            keys.append(self.expect_ident().value)
+
+        plain, aggs = [], []
+        for item in items:
+            if isinstance(item, AggSpec):
+                aggs.append(item)
+            else:
+                plain.append(item)
+        unknown = [name for name in plain if name not in keys]
+        if unknown:
+            raise SqlError(
+                f"non-aggregate select item(s) {unknown} must appear in GROUP BY"
+            )
+        if not aggs:
+            raise SqlError("the first stage needs at least one aggregate")
+
+        builder = QueryBuilder(table, keys)
+        builder.stage(aggs, extra=where)
+        self.base_scope.update(spec.output for spec in aggs)
+
+        while self.at_kw("then"):
+            self.advance()
+            self.expect_kw("select")
+            stage_aggs = [self.parse_aggregate()]
+            while self.at_op(","):
+                self.advance()
+                stage_aggs.append(self.parse_aggregate())
+            stage_where = None
+            if self.at_kw("where"):
+                self.advance()
+                stage_where = self.parse_condition()
+            builder.stage(stage_aggs, extra=stage_where)
+            self.base_scope.update(spec.output for spec in stage_aggs)
+
+        if not allow_trailing and self.current.kind != "eof":
+            raise SqlError(
+                f"unexpected trailing input {self.current.value!r}; "
+                "HAVING/ORDER BY/LIMIT need parse_olap_statement()",
+                self.current.position,
+            )
+        return builder.build()
+
+    def parse_select_list(self) -> list:
+        items = [self.parse_select_item()]
+        while self.at_op(","):
+            self.advance()
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self):
+        if self.current.kind == "ident" and self.current.value.lower() in aggregates.AGGREGATE_NAMES:
+            following = self.tokens[self.index + 1]
+            if following.kind == "op" and following.value == "(":
+                return self.parse_aggregate()
+        token = self.expect_ident()
+        return token.value
+
+    def parse_aggregate(self) -> AggSpec:
+        name_token = self.expect_ident()
+        func = name_token.value.lower()
+        if func not in aggregates.AGGREGATE_NAMES:
+            raise SqlError(
+                f"unknown aggregate function {name_token.value!r}",
+                name_token.position,
+            )
+        self.expect_op("(")
+        if self.at_op("*"):
+            self.advance()
+            input_expr = None
+            if func != "count":
+                raise SqlError(
+                    f"{func.upper()}(*) is not valid; only COUNT takes *",
+                    name_token.position,
+                )
+        else:
+            input_expr = self.parse_additive(detail_only=True)
+        self.expect_op(")")
+        self.expect_kw("as")
+        output = self.expect_ident().value
+        return AggSpec(func, input_expr, output)
+
+    # -- conditions ------------------------------------------------------------------
+
+    def parse_condition(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at_kw("or"):
+            self.advance()
+            left = left | self.parse_and()
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at_kw("and"):
+            self.advance()
+            left = left & self.parse_not()
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.at_kw("not"):
+            self.advance()
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.at_kw("is"):
+            self.advance()
+            negated = False
+            if self.at_kw("not"):
+                self.advance()
+                negated = True
+            self.expect_kw("null")
+            test = left.is_null()
+            return Not(test) if negated else test
+        if self.at_kw("in"):
+            self.advance()
+            return left.is_in(self.parse_literal_list())
+        if self.at_kw("between"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_kw("and")
+            high = self.parse_additive()
+            return left.between(low, high)
+        if self.at_kw("not"):
+            self.advance()
+            if self.at_kw("in"):
+                self.advance()
+                return Not(left.is_in(self.parse_literal_list()))
+            if self.at_kw("between"):
+                self.advance()
+                low = self.parse_additive()
+                self.expect_kw("and")
+                high = self.parse_additive()
+                return Not(left.between(low, high))
+            raise SqlError("expected IN or BETWEEN after NOT", self.current.position)
+        if self.at_op("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+            op_token = self.advance()
+            op = {"=": "==", "<>": "!="}.get(op_token.value, op_token.value)
+            right = self.parse_additive()
+            return Comparison(op, left, right)
+        raise SqlError(
+            f"expected a comparison, found {self.current.value!r}",
+            self.current.position,
+        )
+
+    def parse_literal_list(self) -> list:
+        self.expect_op("(")
+        values = [self.parse_literal_value()]
+        while self.at_op(","):
+            self.advance()
+            values.append(self.parse_literal_value())
+        self.expect_op(")")
+        return values
+
+    def parse_literal_value(self):
+        token = self.advance()
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            return token.value[1:-1].replace("''", "'")
+        if token.kind == "op" and token.value == "-":
+            value = self.parse_literal_value()
+            return -value
+        if token.kind == "kw" and token.value in ("true", "false"):
+            return token.value == "true"
+        raise SqlError(f"expected a literal, found {token.value!r}", token.position)
+
+    # -- arithmetic --------------------------------------------------------------------
+
+    def parse_additive(self, detail_only: bool = False) -> Expr:
+        left = self.parse_multiplicative(detail_only)
+        while self.at_op("+", "-"):
+            op = self.advance().value
+            right = self.parse_multiplicative(detail_only)
+            left = left + right if op == "+" else left - right
+        return left
+
+    def parse_multiplicative(self, detail_only: bool) -> Expr:
+        left = self.parse_unary(detail_only)
+        while self.at_op("*", "/", "%"):
+            op = self.advance().value
+            right = self.parse_unary(detail_only)
+            if op == "*":
+                left = left * right
+            elif op == "/":
+                left = left / right
+            else:
+                left = left % right
+        return left
+
+    def parse_unary(self, detail_only: bool) -> Expr:
+        if self.at_op("-"):
+            self.advance()
+            return -self.parse_unary(detail_only)
+        if self.at_op("("):
+            self.advance()
+            inner = self.parse_additive(detail_only)
+            self.expect_op(")")
+            return inner
+        token = self.advance()
+        if token.kind == "number":
+            if "." in token.value:
+                return Const(float(token.value))
+            return Const(int(token.value))
+        if token.kind == "string":
+            return Const(token.value[1:-1].replace("''", "'"))
+        if token.kind == "kw" and token.value == "null":
+            return Const(None)
+        if token.kind == "kw" and token.value in ("true", "false"):
+            return Const(token.value == "true")
+        if token.kind == "ident":
+            return self.resolve_identifier(token, detail_only)
+        raise SqlError(
+            f"expected an expression, found {token.value!r}", token.position
+        )
+
+    def resolve_identifier(self, token: Token, detail_only: bool) -> Field:
+        if self.result_scope:
+            return Field(token.value, None)
+        if not detail_only and token.value in self.base_scope:
+            return Field(token.value, BASE_VAR)
+        return Field(token.value, DETAIL_VAR)
+
+
+def parse_olap_query(sql: str) -> GMDJExpression:
+    """Parse an OLAP SQL query into a GMDJ expression.
+
+    Rejects statements with HAVING / ORDER BY / LIMIT — those clauses
+    need the result relation, so use :func:`parse_olap_statement`.
+    """
+    return _Parser(sql).parse_query()
+
+
+def parse_olap_statement(sql: str) -> ParsedQuery:
+    """Parse a full statement, including HAVING / ORDER BY / LIMIT."""
+    return _Parser(sql).parse_statement()

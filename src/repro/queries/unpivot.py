@@ -1,0 +1,90 @@
+"""Unpivot / marginal distributions (Graefe, Fayyad & Chaudhuri).
+
+The paper's introduction cites "marginal distributions extracted by the
+unpivot operator" among the analyses GMDJs express. A *marginal* of an
+attribute is the distribution of its values — a group-by on that single
+attribute; unpivoting several attributes stacks their marginals into one
+relation of ``(attribute, value, agg...)`` rows.
+
+:func:`marginal_queries` compiles one group-by GMDJ per attribute (each
+hash-evaluated and independently distributable);
+:func:`combine_marginals` stacks the results. Values are rendered as
+strings in the combined relation so heterogeneously typed attributes can
+share the ``value`` column (the standard unpivot behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import PlanError
+from repro.queries.olap import group_by_query
+from repro.relalg.aggregates import AggSpec
+from repro.relalg.relation import Relation
+from repro.relalg.schema import STR, Attribute, Schema
+
+
+def marginal_queries(
+    table: str, attributes: Sequence[str], aggs: Sequence[AggSpec]
+) -> list:
+    """One group-by GMDJ per unpivoted attribute.
+
+    Returns ``[(attribute, expression), ...]``.
+    """
+    if not attributes:
+        raise PlanError("unpivot needs at least one attribute")
+    return [
+        (attribute, group_by_query(table, [attribute], aggs))
+        for attribute in attributes
+    ]
+
+
+def execute_marginals_distributed(
+    cluster,
+    table: str,
+    attributes: Sequence[str],
+    aggs: Sequence[AggSpec],
+    options=None,
+) -> Relation:
+    """Evaluate all marginals over a distributed warehouse and stack them."""
+    from repro.distributed.evaluator import execute_query
+
+    results = {}
+    for attribute, expression in marginal_queries(table, attributes, aggs):
+        results[attribute] = execute_query(cluster, expression, options).relation
+        cluster.reset_network()
+    return combine_marginals(attributes, aggs, results)
+
+
+def combine_marginals(
+    attributes: Sequence[str],
+    aggs: Sequence[AggSpec],
+    results: Mapping[str, Relation],
+) -> Relation:
+    """Stack per-attribute marginals into ``(attribute, value, aggs...)``."""
+    agg_names = [spec.output for spec in aggs]
+    schema = Schema(
+        [
+            Attribute("attribute", STR),
+            Attribute("value", STR),
+            *(spec.result_attribute() for spec in aggs),
+        ]
+    )
+    rows = []
+    for attribute in attributes:
+        try:
+            relation = results[attribute]
+        except KeyError:
+            raise PlanError(f"missing marginal result for {attribute!r}") from None
+        value_position = relation.schema.position(attribute)
+        agg_positions = [relation.schema.position(name) for name in agg_names]
+        for row in relation.rows:
+            value = row[value_position]
+            rows.append(
+                (
+                    attribute,
+                    "NULL" if value is None else str(value),
+                    *(row[position] for position in agg_positions),
+                )
+            )
+    return Relation(schema, rows)

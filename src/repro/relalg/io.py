@@ -1,0 +1,122 @@
+"""CSV import/export for relations.
+
+Real deployments load collected trace files into the local warehouses;
+this module provides that ingestion path (and the symmetric export used
+by the examples to hand results to other tools). The format is standard
+RFC-4180-style CSV via the stdlib ``csv`` module, with a typed header
+convention so round-trips preserve schemas:
+
+    name:type,name:type,...
+
+Values are rendered with ``str``; NULL is the empty field. Booleans are
+``true``/``false``; dates are ISO ``YYYY-MM-DD``.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+from typing import TextIO, Union
+
+from repro.errors import SerializationError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import BOOL, DATE, FLOAT, INT, STR, Attribute, Schema
+
+
+def write_csv(relation: Relation, destination: Union[str, TextIO]) -> None:
+    """Write a relation to a path or text stream with a typed header."""
+    if isinstance(destination, str):
+        with open(destination, "w", newline="", encoding="utf-8") as handle:
+            _write(relation, handle)
+    else:
+        _write(relation, destination)
+
+
+def _write(relation: Relation, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(
+        f"{attribute.name}:{attribute.type}" for attribute in relation.schema
+    )
+    for row in relation.rows:
+        writer.writerow("" if value is None else _render(value) for value in row)
+
+
+def _render(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def read_csv(source: Union[str, TextIO]) -> Relation:
+    """Read a relation written by :func:`write_csv`."""
+    if isinstance(source, str):
+        with open(source, "r", newline="", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def _read(handle: TextIO) -> Relation:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SerializationError("empty CSV: no header row") from None
+    attributes = []
+    for column in header:
+        name, separator, type_name = column.partition(":")
+        if not separator:
+            raise SerializationError(
+                f"header column {column!r} lacks the name:type convention"
+            )
+        attributes.append(Attribute(name, type_name))
+    schema = Schema(attributes)
+    parsers = [_PARSERS[attribute.type] for attribute in schema]
+    rows = []
+    for line_number, record in enumerate(reader, start=2):
+        if len(record) != len(attributes):
+            raise SerializationError(
+                f"line {line_number}: {len(record)} fields, schema has {len(attributes)}"
+            )
+        try:
+            rows.append(
+                tuple(
+                    None if field == "" else parser(field)
+                    for field, parser in zip(record, parsers)
+                )
+            )
+        except ValueError as exc:
+            raise SerializationError(f"line {line_number}: {exc}") from exc
+    return Relation(schema, rows)
+
+
+def _parse_bool(field: str) -> bool:
+    lowered = field.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    raise ValueError(f"not a boolean: {field!r}")
+
+
+_PARSERS = {
+    INT: int,
+    FLOAT: float,
+    STR: str,
+    BOOL: _parse_bool,
+    DATE: datetime.date.fromisoformat,
+}
+
+
+def to_csv_text(relation: Relation) -> str:
+    """Render a relation as a CSV string (typed header included)."""
+    buffer = io.StringIO()
+    write_csv(relation, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_text(text: str) -> Relation:
+    """Parse a CSV string produced by :func:`to_csv_text`."""
+    return read_csv(io.StringIO(text))

@@ -1,0 +1,202 @@
+"""Relation schemas and the attribute type system.
+
+A :class:`Schema` is an ordered sequence of :class:`Attribute` objects.
+Attribute types are a small closed set sufficient for OLAP workloads:
+integers, floats, strings, booleans and dates (stored as ordinal ints).
+Every attribute is nullable; ``None`` is the SQL NULL analogue.
+
+Schemas are immutable value objects: deriving a new schema (project,
+rename, concat) always returns a fresh instance.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError, UnknownAttributeError
+
+#: Closed set of attribute type names.
+INT = "int"
+FLOAT = "float"
+STR = "str"
+BOOL = "bool"
+DATE = "date"
+
+ALL_TYPES = (INT, FLOAT, STR, BOOL, DATE)
+
+_PYTHON_TYPES = {
+    INT: (int,),
+    FLOAT: (float, int),
+    STR: (str,),
+    BOOL: (bool,),
+    DATE: (datetime.date,),
+}
+
+
+def infer_type(value) -> str:
+    """Infer the attribute type name for a Python value.
+
+    ``bool`` is checked before ``int`` because ``bool`` is a subclass of
+    ``int`` in Python.
+    """
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STR
+    if isinstance(value, datetime.date):
+        return DATE
+    raise TypeMismatchError(f"cannot infer attribute type for {value!r}")
+
+
+def check_value(value, type_name: str) -> None:
+    """Raise :class:`TypeMismatchError` unless ``value`` fits ``type_name``.
+
+    ``None`` fits every type (all attributes are nullable).
+    """
+    if value is None:
+        return
+    if type_name not in _PYTHON_TYPES:
+        raise SchemaError(f"unknown attribute type {type_name!r}")
+    if type_name == INT and isinstance(value, bool):
+        raise TypeMismatchError(f"{value!r} is bool, expected {INT}")
+    if not isinstance(value, _PYTHON_TYPES[type_name]):
+        raise TypeMismatchError(f"{value!r} does not match type {type_name!r}")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    type: str = FLOAT
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if self.type not in ALL_TYPES:
+            raise SchemaError(f"unknown attribute type {self.type!r} for {self.name!r}")
+
+    def renamed(self, new_name: str) -> "Attribute":
+        return Attribute(new_name, self.type)
+
+
+class Schema:
+    """An ordered, immutable collection of uniquely named attributes."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        index = {}
+        for position, attribute in enumerate(attrs):
+            if not isinstance(attribute, Attribute):
+                raise SchemaError(f"expected Attribute, got {attribute!r}")
+            if attribute.name in index:
+                raise SchemaError(f"duplicate attribute name {attribute.name!r}")
+            index[attribute.name] = position
+        self._attributes = attrs
+        self._index = index
+
+    @classmethod
+    def of(cls, *specs) -> "Schema":
+        """Build a schema from ``("name", "type")`` pairs or plain names.
+
+        Plain names default to FLOAT.
+
+        >>> Schema.of(("a", INT), "b").names
+        ('a', 'b')
+        """
+        attributes = []
+        for spec in specs:
+            if isinstance(spec, Attribute):
+                attributes.append(spec)
+            elif isinstance(spec, str):
+                attributes.append(Attribute(spec))
+            else:
+                name, type_name = spec
+                attributes.append(Attribute(name, type_name))
+        return cls(attributes)
+
+    @property
+    def attributes(self) -> tuple:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple:
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise UnknownAttributeError(name, self.names) from None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}:{a.type}" for a in self._attributes)
+        return f"Schema({inner})"
+
+    def position(self, name: str) -> int:
+        """Return the column position of ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self.names) from None
+
+    def positions(self, names: Sequence[str]) -> tuple:
+        return tuple(self.position(name) for name in names)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to ``names``."""
+        return Schema(self[name] for name in names)
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Schema with attributes renamed per ``mapping`` (old -> new)."""
+        for old in mapping:
+            if old not in self._index:
+                raise UnknownAttributeError(old, self.names)
+        return Schema(
+            attribute.renamed(mapping.get(attribute.name, attribute.name))
+            for attribute in self._attributes
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema with ``other``'s attributes appended.
+
+        Raises :class:`SchemaError` on name clashes.
+        """
+        return Schema(self._attributes + other._attributes)
+
+    def check_row(self, row: tuple) -> None:
+        """Validate one row tuple against this schema."""
+        if len(row) != len(self._attributes):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self._attributes)} attributes"
+            )
+        for value, attribute in zip(row, self._attributes):
+            try:
+                check_value(value, attribute.type)
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(f"attribute {attribute.name!r}: {exc}") from None

@@ -1,0 +1,30 @@
+"""``repro.warehouse`` — local storage and distribution knowledge.
+
+:class:`~repro.warehouse.storage.LocalWarehouse` is the per-site table
+store; :mod:`~repro.warehouse.partition` defines how a conceptual fact
+relation is split across sites; and
+:class:`~repro.warehouse.catalog.DistributionCatalog` records what the
+coordinator knows about that split (site predicates φᵢ and partition
+attributes), which is what the Skalla optimizer consumes.
+"""
+
+from repro.warehouse.catalog import DistributionCatalog, TableDistribution
+from repro.warehouse.partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    ValueListPartitioner,
+)
+from repro.warehouse.storage import LocalWarehouse
+
+__all__ = [
+    "DistributionCatalog",
+    "HashPartitioner",
+    "LocalWarehouse",
+    "Partitioner",
+    "RangePartitioner",
+    "RoundRobinPartitioner",
+    "TableDistribution",
+    "ValueListPartitioner",
+]

@@ -1,0 +1,203 @@
+"""Distribution catalog: what the coordinator knows about data placement.
+
+The optimizations of Section 4 consume two kinds of distribution
+knowledge, tracked separately because they have different strength:
+
+- **site predicates** φᵢ — a predicate every detail row at site *i*
+  satisfies (Theorem 4, distribution-aware group reduction). Available
+  for value-list and range partitioning; *not* for hash partitioning.
+- **partition attributes** — attributes whose per-site value sets are
+  disjoint (Definition 2; Corollary 1, synchronization reduction).
+  Available whenever rows are placed by any deterministic function of the
+  attribute, including hashing.
+
+A catalog may also record *functional dependencies* between attributes:
+if A is a partition attribute and B functionally determines A, then B is
+a partition attribute too (the paper's "NationKey and therefore also
+CustKey" remark in Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import CatalogError
+from repro.relalg.expressions import Expr
+from repro.warehouse.partition import Partitioner
+
+
+@dataclass
+class TableDistribution:
+    """Distribution facts for one conceptual table."""
+
+    site_ids: tuple
+    phi_by_site: dict = field(default_factory=dict)
+    partition_attrs: tuple = ()
+    #: True when every listed site holds a FULL copy (dimension tables).
+    replicated: bool = False
+
+    def phi(self, site_id: str) -> Optional[Expr]:
+        return self.phi_by_site.get(site_id)
+
+
+class DistributionCatalog:
+    """Per-table distribution knowledge, keyed by conceptual table name."""
+
+    def __init__(self):
+        self._tables: dict = {}
+        #: determinant -> frozenset of attributes it functionally determines
+        self._fds: dict = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        table_name: str,
+        site_ids: Sequence[str],
+        phi_by_site: Optional[Mapping[str, Expr]] = None,
+        partition_attrs: Sequence[str] = (),
+        replicated: bool = False,
+    ) -> None:
+        site_ids = tuple(site_ids)
+        if not site_ids:
+            raise CatalogError(f"table {table_name!r} registered with no sites")
+        phi_by_site = dict(phi_by_site or {})
+        unknown = set(phi_by_site) - set(site_ids)
+        if unknown:
+            raise CatalogError(
+                f"phi predicates for unregistered sites {sorted(unknown)}"
+            )
+        if replicated and (phi_by_site or partition_attrs):
+            raise CatalogError(
+                "a replicated table has no site predicates or partition "
+                "attributes: every site holds everything"
+            )
+        self._tables[table_name] = TableDistribution(
+            site_ids, phi_by_site, tuple(partition_attrs), replicated
+        )
+
+    def register_partitioner(
+        self,
+        table_name: str,
+        partitioner: Partitioner,
+        site_ids: Sequence[str],
+        schema,
+    ) -> None:
+        """Derive and register distribution facts from a partitioner."""
+        site_ids = tuple(site_ids)
+        if len(site_ids) != partitioner.site_count:
+            raise CatalogError(
+                f"partitioner covers {partitioner.site_count} sites, "
+                f"{len(site_ids)} site ids given"
+            )
+        phi_by_site = {}
+        for index, site_id in enumerate(site_ids):
+            predicate = partitioner.site_predicate(index, schema)
+            if predicate is not None:
+                phi_by_site[site_id] = predicate
+        self.register(
+            table_name,
+            site_ids,
+            phi_by_site,
+            partitioner.partition_attributes(),
+        )
+
+    def add_functional_dependency(self, determinant: str, determined: str) -> None:
+        """Record ``determinant -> determined`` (e.g. CustKey -> NationKey)."""
+        self._fds.setdefault(determinant, set()).add(determined)
+
+    # -- lookups ------------------------------------------------------------------
+
+    def is_registered(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def _distribution(self, table_name: str) -> TableDistribution:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise CatalogError(f"no distribution registered for {table_name!r}") from None
+
+    def sites(self, table_name: str) -> tuple:
+        return self._distribution(table_name).site_ids
+
+    def phi(self, table_name: str, site_id: str) -> Optional[Expr]:
+        """Site predicate φᵢ, or ``None`` when unknown."""
+        return self._distribution(table_name).phi(site_id)
+
+    def partition_attributes(self, table_name: str) -> tuple:
+        """All partition attributes, including FD-derived ones.
+
+        If A is a partition attribute and some attribute B functionally
+        determines A, rows sharing a B value share an A value and hence a
+        site, so B's per-site value sets are disjoint too.
+        """
+        direct = self._distribution(table_name).partition_attrs
+        derived = [
+            determinant
+            for determinant, determined in self._fds.items()
+            if any(attr in determined for attr in direct)
+        ]
+        return tuple(dict.fromkeys((*direct, *derived)))
+
+    def is_partition_attribute(self, table_name: str, attribute: str) -> bool:
+        return attribute in self.partition_attributes(table_name)
+
+    def has_site_predicates(self, table_name: str) -> bool:
+        return bool(self._distribution(table_name).phi_by_site)
+
+    def is_replicated(self, table_name: str) -> bool:
+        return self._distribution(table_name).replicated
+
+    # -- distribution knowledge harvesting ------------------------------------------
+
+    def harvest_value_predicates(
+        self,
+        table_name: str,
+        attributes: Sequence[str],
+        partitions: Mapping[str, object],
+        max_values: int = 10_000,
+    ) -> int:
+        """Derive φᵢ from the *observed* per-site value sets of attributes.
+
+        Section 4.1's closing observation: an attribute need not be a
+        partition attribute for Theorem 4 to help — "any given value of
+        SourceAS might occur in the Flow relation at only a few sites.
+        Even in such cases, we would be able to further reduce the number
+        of groups sent to the sites." This method scans each site's
+        partition once, records the distinct values of the given
+        attributes, and strengthens each site's φᵢ with
+        ``attr IN (observed values)`` — sound because a site trivially
+        satisfies a predicate enumerating its own values, regardless of
+        overlaps between sites.
+
+        ``partitions`` maps site ids to the site's local relation.
+        Attributes whose per-site value count exceeds ``max_values`` are
+        skipped (an enormous IN-list would cost more than it saves).
+        Returns the number of (site, attribute) predicates added.
+        """
+        from repro.relalg.expressions import Field, DETAIL_VAR, and_all
+
+        distribution = self._distribution(table_name)
+        added = 0
+        for site_id in distribution.site_ids:
+            relation = partitions.get(site_id)
+            if relation is None:
+                continue
+            conjuncts = []
+            for attribute in attributes:
+                values = set(relation.column(attribute))
+                values.discard(None)
+                if not values or len(values) > max_values:
+                    continue
+                conjuncts.append(Field(attribute, DETAIL_VAR).is_in(values))
+                added += 1
+            if not conjuncts:
+                continue
+            existing = distribution.phi_by_site.get(site_id)
+            harvested = and_all(conjuncts)
+            if existing is None:
+                distribution.phi_by_site[site_id] = harvested
+            else:
+                distribution.phi_by_site[site_id] = existing & harvested
+        return added

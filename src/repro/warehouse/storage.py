@@ -1,0 +1,78 @@
+"""Local data warehouses: the per-site storage engine.
+
+Each Skalla site is "adjacent" to a collection point and stores its
+partition of every fact relation (Section 2.1). A
+:class:`LocalWarehouse` is a named-table store capable of the local
+operations Alg. GMDJDistribEval requires — scans, distinct projections
+and GMDJ evaluation — via the ``repro.relalg`` / ``repro.gmdj`` engines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from repro.errors import WarehouseError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+
+class LocalWarehouse:
+    """A named collection of relations held by one site (or coordinator)."""
+
+    def __init__(self, name: str = "warehouse", tables: Optional[Mapping[str, Relation]] = None):
+        self.name = name
+        self._tables: dict = {}
+        if tables:
+            for table_name, relation in tables.items():
+                self.register(table_name, relation)
+
+    def register(self, table_name: str, relation: Relation) -> None:
+        """Add or replace a table."""
+        if not isinstance(relation, Relation):
+            raise WarehouseError(f"expected Relation for {table_name!r}, got {relation!r}")
+        self._tables[table_name] = relation
+
+    def append(self, table_name: str, relation: Relation) -> None:
+        """Append rows to an existing table (same schema required)."""
+        existing = self.table(table_name)
+        self._tables[table_name] = existing.union_all(relation)
+
+    def drop(self, table_name: str) -> None:
+        try:
+            del self._tables[table_name]
+        except KeyError:
+            raise WarehouseError(f"{self.name}: unknown table {table_name!r}") from None
+
+    def table(self, table_name: str) -> Relation:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise WarehouseError(
+                f"{self.name}: unknown table {table_name!r}; "
+                f"have {sorted(self._tables)}"
+            ) from None
+
+    def schema(self, table_name: str) -> Schema:
+        return self.table(table_name).schema
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def table_names(self) -> tuple:
+        return tuple(sorted(self._tables))
+
+    def tables(self) -> Mapping[str, Relation]:
+        """Read-only view of all tables (for centralized evaluation)."""
+        return dict(self._tables)
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.table(table_name))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{name}({len(relation)})" for name, relation in sorted(self._tables.items())
+        )
+        return f"LocalWarehouse({self.name!r}: {inner})"

@@ -1,0 +1,140 @@
+"""Shared fixtures and reference implementations for the test suite.
+
+The key piece is :func:`brute_force_gmdj`: a direct, slow transcription
+of Definition 1 (per base tuple, filter the detail relation with the
+condition, aggregate). It shares no code with the hash-based production
+evaluator, so agreement between the two is meaningful evidence of
+correctness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gmdj.blocks import MDBlock, result_schema
+from repro.relalg.aggregates import AggSpec
+from repro.relalg.expressions import BASE_VAR, DETAIL_VAR
+from repro.relalg.relation import Relation
+from repro.relalg.schema import FLOAT, INT, STR, Schema
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations
+# ---------------------------------------------------------------------------
+
+
+def brute_force_gmdj(base: Relation, detail: Relation, blocks) -> Relation:
+    """Definition 1, evaluated the naive way (no hashing, no compiling)."""
+    rows = []
+    base_names = base.schema.names
+    detail_names = detail.schema.names
+    for base_row in base.rows:
+        base_dict = dict(zip(base_names, base_row))
+        out = list(base_row)
+        for block in blocks:
+            matching = []
+            for detail_row in detail.rows:
+                detail_dict = dict(zip(detail_names, detail_row))
+                bindings = {BASE_VAR: base_dict, DETAIL_VAR: detail_dict, None: detail_dict}
+                if block.condition.eval(bindings):
+                    matching.append(detail_dict)
+            for spec in block.aggregates:
+                accumulator = spec.accumulator()
+                for detail_dict in matching:
+                    if spec.input_expr is None:
+                        accumulator.update(None)
+                    else:
+                        bindings = {DETAIL_VAR: detail_dict, None: detail_dict}
+                        accumulator.update(spec.input_expr.eval(bindings))
+                out.append(accumulator.result())
+        rows.append(tuple(out))
+    return Relation(result_schema(base.schema, blocks), rows)
+
+
+def assert_relations_equal(left: Relation, right: Relation, places: int = 9):
+    """Multiset row equality with float tolerance, aligned by column name."""
+    assert set(left.schema.names) == set(right.schema.names), (
+        f"schemas differ: {left.schema!r} vs {right.schema!r}"
+    )
+    aligned = right.project(left.schema.names)
+    left_rows = sorted(left.rows, key=_sort_key)
+    right_rows = sorted(aligned.rows, key=_sort_key)
+    assert len(left_rows) == len(right_rows), (
+        f"row counts differ: {len(left_rows)} vs {len(right_rows)}"
+    )
+    for l_row, r_row in zip(left_rows, right_rows):
+        for l_value, r_value in zip(l_row, r_row):
+            if isinstance(l_value, float) and isinstance(r_value, float):
+                assert l_value == pytest.approx(r_value, abs=10 ** -places), (
+                    f"{l_row} vs {r_row}"
+                )
+            else:
+                assert l_value == r_value, f"{l_row} vs {r_row}"
+
+
+def _sort_key(row):
+    return tuple((value is not None, str(type(value)), value) for value in row)
+
+
+# ---------------------------------------------------------------------------
+# Data fixtures
+# ---------------------------------------------------------------------------
+
+FLOW_TEST_SCHEMA = Schema.of(
+    ("RouterId", INT), ("SourceAS", INT), ("DestAS", INT), ("NumBytes", FLOAT)
+)
+
+
+def make_flows(count: int = 200, seed: int = 3, routers: int = 4) -> Relation:
+    """Small deterministic flow-like relation; SourceAS pinned to router."""
+    rng = random.Random(seed)
+    rows = []
+    for _index in range(count):
+        source_as = rng.randrange(0, 16)
+        rows.append(
+            (
+                source_as % routers,
+                source_as,
+                rng.randrange(0, 8),
+                float(rng.randrange(40, 4000)),
+            )
+        )
+    return Relation(FLOW_TEST_SCHEMA, rows)
+
+
+@pytest.fixture
+def flows() -> Relation:
+    return make_flows()
+
+
+@pytest.fixture
+def tiny_relation() -> Relation:
+    schema = Schema.of(("k", INT), ("v", FLOAT), ("name", STR))
+    return Relation(
+        schema,
+        [
+            (1, 10.0, "a"),
+            (1, 20.0, "b"),
+            (2, 5.0, "a"),
+            (2, None, "c"),
+            (3, 7.5, None),
+        ],
+    )
+
+
+def count_and_sum_blocks(key: str = "SourceAS", measure: str = "NumBytes"):
+    """A standard single block: COUNT(*) and SUM(measure) grouped on key."""
+    from repro.relalg.expressions import Field
+
+    condition = Field(key, BASE_VAR) == Field(key, DETAIL_VAR)
+    return [
+        MDBlock(
+            [
+                AggSpec("count", None, "cnt"),
+                AggSpec("sum", Field(measure, DETAIL_VAR), "total"),
+            ],
+            condition,
+        )
+    ]

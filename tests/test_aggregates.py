@@ -1,0 +1,209 @@
+"""Unit tests for aggregate functions and their sub/super decomposition."""
+
+import math
+
+import pytest
+
+from repro.errors import AggregateError, HolisticAggregateError
+from repro.relalg.aggregates import (
+    ALGEBRAIC,
+    DISTRIBUTIVE,
+    HOLISTIC,
+    AggSpec,
+    count_star,
+)
+from repro.relalg.expressions import col, detail
+from repro.relalg.schema import FLOAT, INT, Schema
+
+
+def run(spec: AggSpec, values):
+    accumulator = spec.accumulator()
+    for value in values:
+        accumulator.update(value)
+    return accumulator.result()
+
+
+def run_split(spec: AggSpec, values, split_at):
+    """Aggregate via two partial accumulators merged through sub-values."""
+    left = spec.accumulator()
+    right = spec.accumulator()
+    for value in values[:split_at]:
+        left.update(value)
+    for value in values[split_at:]:
+        right.update(value)
+    merged = spec.accumulator()
+    merged.load_sub_values(left.sub_values())
+    merged.load_sub_values(right.sub_values())
+    return merged.result()
+
+
+class TestSemantics:
+    def test_count_star_counts_everything(self):
+        spec = count_star("c")
+        assert run(spec, [1, None, 3]) == 3
+
+    def test_count_expr_skips_nulls(self):
+        spec = AggSpec("count", col.x, "c")
+        assert run(spec, [1, None, 3]) == 2
+
+    def test_sum(self):
+        spec = AggSpec("sum", col.x, "s")
+        assert run(spec, [1.0, 2.0, None]) == 3.0
+
+    def test_sum_empty_is_null(self):
+        assert run(AggSpec("sum", col.x, "s"), []) is None
+
+    def test_sum_all_null_is_null(self):
+        assert run(AggSpec("sum", col.x, "s"), [None, None]) is None
+
+    def test_min_max(self):
+        values = [5.0, None, 1.0, 3.0]
+        assert run(AggSpec("min", col.x, "m"), values) == 1.0
+        assert run(AggSpec("max", col.x, "m"), values) == 5.0
+        assert run(AggSpec("min", col.x, "m"), []) is None
+
+    def test_avg(self):
+        assert run(AggSpec("avg", col.x, "a"), [1.0, 2.0, None, 3.0]) == 2.0
+        assert run(AggSpec("avg", col.x, "a"), []) is None
+        assert run(AggSpec("avg", col.x, "a"), [None]) is None
+
+    def test_var_and_std(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert run(AggSpec("var", col.x, "v"), values) == pytest.approx(4.0)
+        assert run(AggSpec("std", col.x, "s"), values) == pytest.approx(2.0)
+
+    def test_var_single_value_is_zero(self):
+        assert run(AggSpec("var", col.x, "v"), [3.0]) == pytest.approx(0.0)
+
+    def test_var_empty_is_null(self):
+        assert run(AggSpec("var", col.x, "v"), []) is None
+
+    def test_median_odd_even(self):
+        assert run(AggSpec("median", col.x, "m"), [3.0, 1.0, 2.0]) == 2.0
+        assert run(AggSpec("median", col.x, "m"), [4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert run(AggSpec("median", col.x, "m"), [None]) is None
+
+    def test_count_distinct(self):
+        assert run(AggSpec("count_distinct", col.x, "d"), [1, 1, 2, None]) == 2
+
+
+class TestDecomposition:
+    CASES = [
+        (count_star("c"), [1, None, 2, 2]),
+        (AggSpec("count", col.x, "c"), [1, None, 2, 2]),
+        (AggSpec("sum", col.x, "s"), [1.0, -2.0, None, 4.0]),
+        (AggSpec("min", col.x, "m"), [3.0, None, 1.0]),
+        (AggSpec("max", col.x, "m"), [3.0, None, 9.0]),
+        (AggSpec("avg", col.x, "a"), [1.0, 2.0, None, 7.0]),
+        (AggSpec("var", col.x, "v"), [1.0, 2.0, 3.0, 4.0]),
+        (AggSpec("std", col.x, "v"), [1.0, 2.0, 3.0, 4.0]),
+    ]
+
+    @pytest.mark.parametrize("spec,values", CASES, ids=[c[0].func for c in CASES])
+    def test_split_equals_direct_every_split_point(self, spec, values):
+        direct = run(spec, values)
+        for split_at in range(len(values) + 1):
+            split = run_split(spec, values, split_at)
+            if direct is None:
+                assert split is None
+            else:
+                assert split == pytest.approx(direct)
+
+    @pytest.mark.parametrize("spec,values", CASES, ids=[c[0].func for c in CASES])
+    def test_merge_accumulators_equals_direct(self, spec, values):
+        left = spec.accumulator()
+        right = spec.accumulator()
+        for value in values[:2]:
+            left.update(value)
+        for value in values[2:]:
+            right.update(value)
+        left.merge(right)
+        direct = run(spec, values)
+        if direct is None:
+            assert left.result() is None
+        else:
+            assert left.result() == pytest.approx(direct)
+
+    def test_empty_partition_contributes_nothing(self):
+        spec = AggSpec("avg", col.x, "a")
+        main = spec.accumulator()
+        main.update(4.0)
+        empty = spec.accumulator()
+        main.load_sub_values(empty.sub_values())
+        assert main.result() == 4.0
+
+    def test_classifications(self):
+        assert count_star("c").classification == DISTRIBUTIVE
+        assert AggSpec("avg", col.x, "a").classification == ALGEBRAIC
+        assert AggSpec("median", col.x, "m").classification == HOLISTIC
+        assert AggSpec("median", col.x, "m").is_holistic
+
+    def test_holistic_sub_values_raise(self):
+        accumulator = AggSpec("median", col.x, "m").accumulator()
+        accumulator.update(1.0)
+        with pytest.raises(HolisticAggregateError):
+            accumulator.sub_values()
+        with pytest.raises(HolisticAggregateError):
+            accumulator.load_sub_values(())
+
+    def test_holistic_merge_works_centrally(self):
+        spec = AggSpec("median", col.x, "m")
+        left = spec.accumulator()
+        right = spec.accumulator()
+        left.update(1.0)
+        right.update(3.0)
+        right.update(2.0)
+        left.merge(right)
+        assert left.result() == 2.0
+
+
+class TestAggSpec:
+    def test_unknown_function(self):
+        with pytest.raises(AggregateError):
+            AggSpec("frobnicate", col.x, "f")
+
+    def test_count_star_requires_no_input(self):
+        assert count_star("c").input_expr is None
+
+    def test_sum_requires_input(self):
+        with pytest.raises(AggregateError):
+            AggSpec("sum", None, "s")
+
+    def test_output_name_required(self):
+        with pytest.raises(AggregateError):
+            AggSpec("sum", col.x, "")
+
+    def test_plain_value_input_is_wrapped(self):
+        spec = AggSpec("sum", 1, "ones")
+        assert run(spec, [1, 1]) is not None  # runnable
+
+    def test_result_attribute_types(self):
+        assert count_star("c").result_attribute().type == INT
+        assert AggSpec("avg", col.x, "a").result_attribute().type == FLOAT
+
+    def test_sub_attributes_single_component(self):
+        assert [a.name for a in AggSpec("sum", col.x, "s").sub_attributes()] == ["s"]
+
+    def test_sub_attributes_avg(self):
+        names = [a.name for a in AggSpec("avg", col.x, "a").sub_attributes()]
+        assert names == ["a__sum", "a__count"]
+
+    def test_sub_attributes_var(self):
+        names = [a.name for a in AggSpec("var", col.x, "v").sub_attributes()]
+        assert names == ["v__sum", "v__sumsq", "v__count"]
+
+    def test_compile_input_star_is_none(self):
+        assert count_star("c").compile_input(Schema.of("x")) is None
+
+    def test_compile_input_detail_namespace(self):
+        schema = Schema.of(("x", FLOAT),)
+        func = AggSpec("sum", detail.x, "s").compile_input(schema)
+        assert func({"r": (4.0,), None: (4.0,)}) == 4.0
+
+    def test_compile_input_unqualified(self):
+        schema = Schema.of(("x", FLOAT),)
+        func = AggSpec("sum", col.x * 2, "s").compile_input(schema)
+        assert func({"r": (4.0,), None: (4.0,)}) == 8.0
+
+    def test_str(self):
+        assert "count(*)" in str(count_star("c"))

@@ -1,0 +1,83 @@
+"""Unit tests for the distribution catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relalg.expressions import detail
+from repro.relalg.schema import FLOAT, INT, Schema
+from repro.warehouse.catalog import DistributionCatalog
+from repro.warehouse.partition import HashPartitioner, ValueListPartitioner
+
+SCHEMA = Schema.of(("nation", INT), ("cust", INT), ("v", FLOAT))
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        catalog = DistributionCatalog()
+        phi = detail.nation.is_in([0, 1])
+        catalog.register("T", ["s0", "s1"], {"s0": phi}, ["nation"])
+        assert catalog.is_registered("T")
+        assert catalog.sites("T") == ("s0", "s1")
+        assert catalog.phi("T", "s0") is phi
+        assert catalog.phi("T", "s1") is None
+        assert catalog.partition_attributes("T") == ("nation",)
+        assert catalog.is_partition_attribute("T", "nation")
+        assert not catalog.is_partition_attribute("T", "v")
+        assert catalog.has_site_predicates("T")
+
+    def test_register_no_sites_rejected(self):
+        with pytest.raises(CatalogError):
+            DistributionCatalog().register("T", [])
+
+    def test_phi_for_unknown_site_rejected(self):
+        with pytest.raises(CatalogError):
+            DistributionCatalog().register(
+                "T", ["s0"], {"ghost": detail.nation == 1}
+            )
+
+    def test_unregistered_lookup_raises(self):
+        with pytest.raises(CatalogError):
+            DistributionCatalog().sites("nope")
+
+
+class TestRegisterPartitioner:
+    def test_value_list_partitioner_registers_phi(self):
+        catalog = DistributionCatalog()
+        partitioner = ValueListPartitioner.spread("nation", range(4), 2)
+        catalog.register_partitioner("T", partitioner, ["s0", "s1"], SCHEMA)
+        assert catalog.has_site_predicates("T")
+        assert catalog.partition_attributes("T") == ("nation",)
+
+    def test_hash_partitioner_registers_attr_but_no_phi(self):
+        catalog = DistributionCatalog()
+        partitioner = HashPartitioner(["cust"], 2)
+        catalog.register_partitioner("T", partitioner, ["s0", "s1"], SCHEMA)
+        assert not catalog.has_site_predicates("T")
+        assert catalog.partition_attributes("T") == ("cust",)
+
+    def test_site_count_mismatch(self):
+        catalog = DistributionCatalog()
+        partitioner = HashPartitioner(["cust"], 2)
+        with pytest.raises(CatalogError):
+            catalog.register_partitioner("T", partitioner, ["s0"], SCHEMA)
+
+
+class TestFunctionalDependencies:
+    def test_fd_extends_partition_attributes(self):
+        catalog = DistributionCatalog()
+        catalog.register("T", ["s0"], partition_attrs=["nation"])
+        catalog.add_functional_dependency("cust", "nation")
+        assert set(catalog.partition_attributes("T")) == {"nation", "cust"}
+        assert catalog.is_partition_attribute("T", "cust")
+
+    def test_irrelevant_fd_ignored(self):
+        catalog = DistributionCatalog()
+        catalog.register("T", ["s0"], partition_attrs=["nation"])
+        catalog.add_functional_dependency("v", "cust")
+        assert catalog.partition_attributes("T") == ("nation",)
+
+    def test_fd_without_partition_attrs(self):
+        catalog = DistributionCatalog()
+        catalog.register("T", ["s0"])
+        catalog.add_functional_dependency("cust", "nation")
+        assert catalog.partition_attributes("T") == ()

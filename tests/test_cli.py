@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.queries.sql import SqlError
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+
+class TestDemo:
+    def test_demo_runs(self):
+        code, output = run_cli(["demo", "--sites", "2", "--scale", "0.0002"])
+        assert code == 0
+        assert "no optimizations" in output
+        assert "all optimizations" in output
+        assert "NationKey" in output
+
+
+class TestSql:
+    QUERY = (
+        "SELECT NationKey, COUNT(*) AS cnt FROM TPCR GROUP BY NationKey "
+        "THEN SELECT MAX(Price) AS top WHERE Price > 0"
+    )
+
+    def test_star(self):
+        code, output = run_cli(
+            ["sql", self.QUERY, "--sites", "2", "--scale", "0.0002"]
+        )
+        assert code == 0
+        assert "syncs=" in output
+        assert "cnt" in output
+
+    def test_tree(self):
+        code, output = run_cli(
+            [
+                "sql",
+                self.QUERY,
+                "--sites",
+                "4",
+                "--scale",
+                "0.0002",
+                "--topology",
+                "tree:2",
+            ]
+        )
+        assert code == 0
+        assert "root-link bytes=" in output
+
+    def test_flows_data(self):
+        code, output = run_cli(
+            [
+                "sql",
+                "SELECT SourceAS, COUNT(*) AS flows FROM Flow GROUP BY SourceAS",
+                "--data",
+                "flows",
+                "--sites",
+                "2",
+                "--scale",
+                "0.0001",
+            ]
+        )
+        assert code == 0
+        assert "flows" in output
+
+    def test_bad_topology(self):
+        code, _output = run_cli(
+            ["sql", self.QUERY, "--topology", "ring", "--scale", "0.0002"]
+        )
+        assert code == 2
+
+    def test_bad_sql_raises(self):
+        with pytest.raises(SqlError):
+            run_cli(["sql", "SELECT FROM nowhere"])
+
+
+class TestFigures:
+    def test_single_figure(self):
+        code, output = run_cli(["figures", "fig2", "--scale", "0.0002"])
+        assert code == 0
+        assert "Figure 2" in output
+        assert "predicted=" in output
+
+    def test_aware_extension(self):
+        code, output = run_cli(["figures", "fig2x", "--scale", "0.0002"])
+        assert code == 0
+        assert "aware" in output
+
+    def test_fig3_and_fig4(self):
+        code, output = run_cli(["figures", "fig3", "--scale", "0.0002"])
+        assert code == 0
+        assert "coalescing" in output
+        code, output = run_cli(["figures", "fig4", "--scale", "0.0002"])
+        assert code == 0
+        assert "synchronization" in output
+
+    def test_fig5(self):
+        code, output = run_cli(["figures", "fig5", "--scale", "0.0002"])
+        assert code == 0
+        assert "scale-up" in output

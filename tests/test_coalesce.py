@@ -1,0 +1,103 @@
+"""Unit tests for the GMDJ coalescing transformation (Section 4.3)."""
+
+from conftest import assert_relations_equal, make_flows
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.coalesce import can_coalesce, coalesce, coalesce_steps
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+
+FLOW = make_flows(count=150, seed=13)
+TABLES = {"Flow": FLOW}
+KEY = base.SourceAS == detail.SourceAS
+
+
+def step(outputs, condition, table="Flow"):
+    return MDStep(table, [MDBlock([count_star(name) for name in outputs], condition)])
+
+
+class TestCanCoalesce:
+    def test_independent_conditions(self):
+        inner = step(["c1"], KEY)
+        outer = step(["c2"], KEY & (detail.NumBytes > 100))
+        assert can_coalesce(inner, outer)
+
+    def test_correlated_conditions_blocked(self):
+        inner = MDStep(
+            "Flow",
+            [MDBlock([AggSpec("avg", detail.NumBytes, "avg_nb")], KEY)],
+        )
+        outer = step(["c2"], KEY & (detail.NumBytes >= base.avg_nb))
+        assert not can_coalesce(inner, outer)
+
+    def test_different_detail_tables_blocked(self):
+        inner = step(["c1"], KEY, table="Flow")
+        outer = step(["c2"], KEY, table="Other")
+        assert not can_coalesce(inner, outer)
+
+    def test_base_attrs_unrelated_to_inner_are_fine(self):
+        inner = step(["c1"], KEY)
+        outer = step(["c2"], KEY & (base.SourceAS > 2))
+        assert can_coalesce(inner, outer)
+
+
+class TestCoalesceSteps:
+    def test_merges_adjacent(self):
+        steps = [step(["a"], KEY), step(["b"], KEY), step(["c"], KEY)]
+        merged = coalesce_steps(steps)
+        assert len(merged) == 1
+        assert merged[0].output_names() == ("a", "b", "c")
+
+    def test_stops_at_correlation(self):
+        inner = MDStep(
+            "Flow", [MDBlock([AggSpec("avg", detail.NumBytes, "m")], KEY)]
+        )
+        correlated = step(["c"], KEY & (detail.NumBytes > base.m))
+        tail = step(["d"], KEY)
+        merged = coalesce_steps([inner, correlated, tail])
+        # inner cannot merge with correlated; correlated merges with tail.
+        assert len(merged) == 2
+        assert merged[1].output_names() == ("c", "d")
+
+    def test_empty(self):
+        assert coalesce_steps([]) == []
+
+
+class TestCoalesceExpression:
+    def test_identity_when_nothing_merges(self):
+        inner = MDStep(
+            "Flow", [MDBlock([AggSpec("avg", detail.NumBytes, "m")], KEY)]
+        )
+        outer = step(["c"], KEY & (detail.NumBytes > base.m))
+        expression = GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [inner, outer])
+        assert coalesce(expression) is expression
+
+    def test_semantics_preserved(self):
+        steps = [
+            MDStep(
+                "Flow",
+                [MDBlock([count_star("c1"), AggSpec("sum", detail.NumBytes, "s1")], KEY)],
+            ),
+            MDStep(
+                "Flow",
+                [
+                    MDBlock(
+                        [count_star("c2"), AggSpec("avg", detail.NumBytes, "a2")],
+                        KEY & (detail.NumBytes > 500),
+                    )
+                ],
+            ),
+        ]
+        expression = GMDJExpression(DistinctBase("Flow", ["SourceAS"]), steps)
+        merged = coalesce(expression)
+        assert len(merged.steps) == 1
+        assert_relations_equal(
+            expression.evaluate_centralized(TABLES),
+            merged.evaluate_centralized(TABLES),
+        )
+
+    def test_coalesced_is_idempotent(self):
+        steps = [step(["a"], KEY), step(["b"], KEY)]
+        expression = GMDJExpression(DistinctBase("Flow", ["SourceAS"]), steps)
+        once = coalesce(expression)
+        assert coalesce(once) is once

@@ -1,0 +1,134 @@
+"""Unit tests for the coordinator's synchronization logic."""
+
+import pytest
+
+from conftest import assert_relations_equal, make_flows
+from repro.distributed.coordinator import Coordinator
+from repro.errors import PlanError
+from repro.gmdj import operator
+from repro.gmdj.blocks import MDBlock
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.relalg.relation import Relation
+
+FLOW = make_flows(count=90, seed=17)
+KEY_ATTRS = ["SourceAS"]
+BLOCKS = [
+    MDBlock(
+        [count_star("cnt"), AggSpec("avg", detail.NumBytes, "m")],
+        base.SourceAS == detail.SourceAS,
+    )
+]
+
+
+def split_three():
+    return [Relation(FLOW.schema, FLOW.rows[start::3]) for start in range(3)]
+
+
+class TestBase:
+    def test_uninitialized_access_raises(self):
+        coordinator = Coordinator(KEY_ATTRS)
+        assert not coordinator.has_base
+        with pytest.raises(PlanError):
+            coordinator.x
+
+    def test_set_base_literal(self):
+        coordinator = Coordinator(KEY_ATTRS)
+        relation = FLOW.distinct_project(KEY_ATTRS)
+        coordinator.set_base(relation)
+        assert coordinator.x is relation
+
+    def test_sync_base_deduplicates(self):
+        coordinator = Coordinator(KEY_ATTRS)
+        fragments = [piece.distinct_project(KEY_ATTRS) for piece in split_three()]
+        merged = coordinator.sync_base(fragments)
+        assert merged.same_rows(FLOW.distinct_project(KEY_ATTRS))
+
+    def test_sync_base_empty_list_raises(self):
+        with pytest.raises(PlanError):
+            Coordinator(KEY_ATTRS).sync_base([])
+
+
+class TestFragments:
+    def test_no_filter_ships_everything(self):
+        coordinator = Coordinator(KEY_ATTRS)
+        coordinator.set_base(FLOW.distinct_project(KEY_ATTRS))
+        assert coordinator.fragment_for_site(None) is coordinator.x
+
+    def test_filter_restricts(self):
+        coordinator = Coordinator(KEY_ATTRS)
+        coordinator.set_base(FLOW.distinct_project(KEY_ATTRS))
+        fragment = coordinator.fragment_for_site(base.SourceAS < 4)
+        assert len(fragment) < len(coordinator.x)
+        assert all(row[0] < 4 for row in fragment.rows)
+
+
+class TestSynchronize:
+    def test_matches_centralized(self):
+        base_relation = FLOW.distinct_project(KEY_ATTRS)
+        coordinator = Coordinator(KEY_ATTRS)
+        coordinator.set_base(base_relation)
+        subs = []
+        for piece in split_three():
+            h, _touched = operator.evaluate_sub(base_relation, piece, BLOCKS)
+            subs.append(h)
+        merged = coordinator.synchronize(subs, BLOCKS)
+        assert_relations_equal(merged, operator.evaluate(base_relation, FLOW, BLOCKS))
+
+    def test_partial_sub_results_leave_missing_groups_empty(self):
+        base_relation = FLOW.distinct_project(KEY_ATTRS)
+        coordinator = Coordinator(KEY_ATTRS)
+        coordinator.set_base(base_relation)
+        piece = split_three()[0]
+        h, touched = operator.evaluate_sub(base_relation, piece, BLOCKS)
+        # Simulate independent reduction: ship only touched rows.
+        reduced = Relation(
+            h.schema, [row for row, touch in zip(h.rows, touched) if touch]
+        )
+        merged = coordinator.synchronize([reduced], BLOCKS)
+        assert len(merged) == len(base_relation)
+        count_position = merged.schema.position("cnt")
+        touched_keys = {row[0] for row in reduced.rows}
+        for row in merged.rows:
+            if row[0] not in touched_keys:
+                assert row[count_position] == 0
+
+    def test_empty_sub_results_raise(self):
+        coordinator = Coordinator(KEY_ATTRS)
+        coordinator.set_base(FLOW.distinct_project(KEY_ATTRS))
+        with pytest.raises(PlanError):
+            coordinator.synchronize([], BLOCKS)
+
+
+class TestAssembleFromChain:
+    def test_proposition2_assembly(self):
+        base_relation = FLOW.distinct_project(KEY_ATTRS)
+        coordinator = Coordinator(KEY_ATTRS)
+        subs = []
+        for piece in split_three():
+            local_base = piece.distinct_project(KEY_ATTRS)
+            h, _touched = operator.evaluate_sub(local_base, piece, BLOCKS)
+            subs.append(h)
+        merged = coordinator.assemble_from_chain(subs, BLOCKS)
+        assert_relations_equal(merged, operator.evaluate(base_relation, FLOW, BLOCKS))
+
+    def test_duplicate_groups_across_sites_are_merged(self):
+        # Same SourceAS present at two sites: the assembled base must
+        # contain it once with combined aggregates (coordinator dedup).
+        pieces = split_three()
+        shared = {row[1] for row in pieces[0].rows} & {row[1] for row in pieces[1].rows}
+        assert shared, "test data must have overlapping SourceAS across pieces"
+        coordinator = Coordinator(KEY_ATTRS)
+        subs = []
+        for piece in pieces[:2]:
+            local_base = piece.distinct_project(KEY_ATTRS)
+            h, _touched = operator.evaluate_sub(local_base, piece, BLOCKS)
+            subs.append(h)
+        merged = coordinator.assemble_from_chain(subs, BLOCKS)
+        keys = [row[0] for row in merged.rows]
+        assert len(keys) == len(set(keys))
+        combined = pieces[0].union_all(pieces[1])
+        assert_relations_equal(
+            merged,
+            operator.evaluate(combined.distinct_project(KEY_ATTRS), combined, BLOCKS),
+        )

@@ -1,0 +1,50 @@
+"""Tests for the cost-based plan chooser."""
+
+from repro.bench.figures import correlated_query, HIGH_CARDINALITY_KEY
+from repro.bench.harness import speedup_cluster
+from repro.data.tpcr import TPCRConfig, generate_tpcr
+from repro.distributed import OptimizationOptions, StatisticsStore
+from repro.distributed.optimizer import plan_query, plan_query_cost_based
+
+TPCR = generate_tpcr(TPCRConfig(scale=0.0003, seed=17))
+
+
+def build():
+    cluster = speedup_cluster(TPCR, 4, 8)
+    statistics = StatisticsStore()
+    statistics.register_from_relation("TPCR", cluster.conceptual_table("TPCR"))
+    return cluster, statistics
+
+
+class TestCostBasedPlanning:
+    def test_picks_the_optimized_plan_by_default(self):
+        cluster, statistics = build()
+        expression = correlated_query(HIGH_CARDINALITY_KEY)
+        chosen = plan_query_cost_based(expression, cluster.catalog, statistics)
+        reference = plan_query(expression, cluster.catalog, OptimizationOptions.all())
+        assert chosen.synchronization_count == reference.synchronization_count
+        assert chosen.notes == reference.notes
+
+    def test_custom_candidates(self):
+        cluster, statistics = build()
+        expression = correlated_query(HIGH_CARDINALITY_KEY)
+        candidates = {
+            "baseline": OptimizationOptions.none(),
+            "reductions": OptimizationOptions(False, False, False, True, False),
+        }
+        chosen = plan_query_cost_based(
+            expression, cluster.catalog, statistics, candidates
+        )
+        # Independent reduction is estimated cheaper than the baseline.
+        assert any(md_round.independent_reduction for md_round in chosen.rounds)
+
+    def test_degenerate_single_candidate(self):
+        cluster, statistics = build()
+        expression = correlated_query(HIGH_CARDINALITY_KEY)
+        chosen = plan_query_cost_based(
+            expression,
+            cluster.catalog,
+            statistics,
+            {"only": OptimizationOptions.none()},
+        )
+        assert chosen.synchronization_count == 3

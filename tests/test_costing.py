@@ -1,0 +1,148 @@
+"""Tests for the plan cost estimator, validated against measured traffic."""
+
+import pytest
+
+from repro.bench.figures import correlated_query, HIGH_CARDINALITY_KEY, LOW_CARDINALITY_KEY
+from repro.bench.harness import speedup_cluster
+from repro.data.tpcr import TPCRConfig, generate_tpcr
+from repro.distributed import (
+    OptimizationOptions,
+    execute_plan,
+    plan_query,
+)
+from repro.distributed.costing import (
+    PlanEstimate,
+    StatisticsStore,
+    TableStatistics,
+    compare_plans,
+    estimate_group_count,
+    estimate_plan,
+)
+from repro.errors import CatalogError
+
+TPCR = generate_tpcr(TPCRConfig(scale=0.0005, seed=13))
+
+
+def build(participating=4):
+    cluster = speedup_cluster(TPCR, participating, 8)
+    statistics = StatisticsStore()
+    statistics.register_from_relation(
+        "TPCR", cluster.conceptual_table("TPCR")
+    )
+    return cluster, statistics
+
+
+class TestStatisticsStore:
+    def test_register_from_relation(self):
+        _cluster, statistics = build()
+        table_statistics = statistics.get("TPCR")
+        assert table_statistics.row_count > 0
+        assert table_statistics.cardinality("NationKey") <= 25
+        assert table_statistics.cardinality("Ghost") is None
+
+    def test_missing_table(self):
+        with pytest.raises(CatalogError):
+            StatisticsStore().get("nope")
+
+    def test_manual_registration(self):
+        statistics = StatisticsStore()
+        statistics.register("T", TableStatistics(100, {"a": 10}))
+        assert statistics.has("T")
+        assert statistics.get("T").cardinality("a") == 10
+
+
+class TestGroupCountEstimate:
+    def test_single_attribute(self):
+        cluster, statistics = build()
+        plan = plan_query(
+            correlated_query(HIGH_CARDINALITY_KEY),
+            cluster.catalog,
+            OptimizationOptions.none(),
+        )
+        estimate = estimate_group_count(plan, statistics)
+        actual = len(
+            cluster.conceptual_table("TPCR").distinct_project(HIGH_CARDINALITY_KEY)
+        )
+        assert estimate == actual  # exact statistics -> exact estimate
+
+    def test_capped_by_row_count(self):
+        statistics = StatisticsStore()
+        statistics.register("T", TableStatistics(50, {"a": 100, "b": 100}))
+        from repro.gmdj.blocks import MDBlock
+        from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+        from repro.relalg.aggregates import count_star
+        from repro.relalg.expressions import base, detail
+        from repro.warehouse.catalog import DistributionCatalog
+
+        catalog = DistributionCatalog()
+        catalog.register("T", ["s0"])
+        expression = GMDJExpression(
+            DistinctBase("T", ["a", "b"]),
+            [
+                MDStep(
+                    "T",
+                    [
+                        MDBlock(
+                            [count_star("c")],
+                            (base.a == detail.a) & (base.b == detail.b),
+                        )
+                    ],
+                )
+            ],
+        )
+        plan = plan_query(expression, catalog, OptimizationOptions.none())
+        assert estimate_group_count(plan, statistics) == 50
+
+
+class TestAccuracyAgainstMeasurement:
+    @pytest.mark.parametrize("keys", [HIGH_CARDINALITY_KEY, LOW_CARDINALITY_KEY])
+    @pytest.mark.parametrize(
+        "options",
+        [OptimizationOptions.none(), OptimizationOptions(False, False, False, True, False)],
+        ids=["none", "independent_gr"],
+    )
+    def test_estimate_within_factor_two(self, keys, options):
+        cluster, statistics = build(participating=4)
+        plan = plan_query(correlated_query(keys), cluster.catalog, options)
+        estimate = estimate_plan(plan, statistics, cluster.catalog)
+        result = execute_plan(cluster, plan)
+        measured = result.stats.tuples_total
+        assert measured > 0
+        ratio = estimate.tuples_total / measured
+        assert 0.5 < ratio < 2.0, f"estimate {estimate.tuples_total} vs {measured}"
+
+    def test_merged_base_estimate(self):
+        cluster, statistics = build(participating=4)
+        plan = plan_query(
+            correlated_query(HIGH_CARDINALITY_KEY),
+            cluster.catalog,
+            OptimizationOptions(False, True, False, False, False),
+        )
+        assert plan.base.merged_into_chain
+        estimate = estimate_plan(plan, statistics, cluster.catalog)
+        result = execute_plan(cluster, plan)
+        ratio = estimate.tuples_total / result.stats.tuples_total
+        assert 0.5 < ratio < 2.0
+
+
+class TestPlanComparison:
+    def test_ranking_matches_measurement_order(self):
+        cluster, statistics = build(participating=4)
+        expression = correlated_query(HIGH_CARDINALITY_KEY)
+        plans = {
+            "none": plan_query(expression, cluster.catalog, OptimizationOptions.none()),
+            "all": plan_query(expression, cluster.catalog, OptimizationOptions.all()),
+        }
+        ranked = compare_plans(plans, statistics, cluster.catalog)
+        assert [name for name, _estimate in ranked] == ["all", "none"]
+
+    def test_bytes_estimate_positive(self):
+        cluster, statistics = build()
+        plan = plan_query(
+            correlated_query(HIGH_CARDINALITY_KEY),
+            cluster.catalog,
+            OptimizationOptions.none(),
+        )
+        estimate = estimate_plan(plan, statistics, cluster.catalog)
+        assert isinstance(estimate, PlanEstimate)
+        assert estimate.bytes_total() > estimate.tuples_total

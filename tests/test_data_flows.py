@@ -1,0 +1,83 @@
+"""Unit tests for the IP-flow generator."""
+
+import pytest
+
+from repro.data.flows import (
+    FLOW_SCHEMA,
+    WEB_PORTS,
+    FlowConfig,
+    generate_flows,
+    router_partitioner,
+)
+from repro.errors import WarehouseError
+
+
+class TestGeneration:
+    CONFIG = FlowConfig(flow_count=500, seed=5)
+
+    def test_schema_and_validity(self):
+        relation = generate_flows(self.CONFIG)
+        assert relation.schema == FLOW_SCHEMA
+        assert len(relation) == 500
+        for row in relation.rows[:50]:
+            relation.schema.check_row(row)
+
+    def test_determinism(self):
+        assert generate_flows(self.CONFIG).rows == generate_flows(self.CONFIG).rows
+
+    def test_validation(self):
+        with pytest.raises(WarehouseError):
+            generate_flows(FlowConfig(flow_count=0))
+        with pytest.raises(WarehouseError):
+            generate_flows(FlowConfig(router_count=0))
+
+    def test_as_pinned_to_router(self):
+        relation = generate_flows(self.CONFIG)
+        router_position = relation.schema.position("RouterId")
+        as_position = relation.schema.position("SourceAS")
+        mapping = {}
+        for row in relation.rows:
+            source_as = row[as_position]
+            assert mapping.setdefault(source_as, row[router_position]) == row[router_position]
+
+    def test_unpinned_spreads_as_over_routers(self):
+        relation = generate_flows(
+            FlowConfig(flow_count=2000, seed=5, as_pinned_to_router=False)
+        )
+        router_position = relation.schema.position("RouterId")
+        as_position = relation.schema.position("SourceAS")
+        routers_of_as0 = {
+            row[router_position] for row in relation.rows if row[as_position] == 0
+        }
+        assert len(routers_of_as0) > 1
+
+    def test_time_ordering(self):
+        relation = generate_flows(self.CONFIG)
+        start = relation.schema.position("StartTime")
+        end = relation.schema.position("EndTime")
+        for row in relation.rows:
+            assert row[end] > row[start]
+            assert 0 <= row[start] < self.CONFIG.hours * 3600
+
+    def test_web_fraction(self):
+        relation = generate_flows(FlowConfig(flow_count=4000, seed=7, web_fraction=0.6))
+        port_position = relation.schema.position("DestPort")
+        web = sum(1 for row in relation.rows if row[port_position] in WEB_PORTS)
+        assert 0.5 < web / len(relation) < 0.7
+
+    def test_bytes_positive_and_heavy_tailed(self):
+        relation = generate_flows(self.CONFIG)
+        volumes = relation.column("NumBytes")
+        assert all(volume > 0 for volume in volumes)
+        mean = sum(volumes) / len(volumes)
+        assert max(volumes) > 5 * mean  # heavy tail
+
+
+class TestPartitioner:
+    def test_router_partitioner_matches_config(self):
+        config = FlowConfig(flow_count=300, router_count=4, seed=5)
+        partitioner = router_partitioner(config)
+        partitions = partitioner.split(generate_flows(config))
+        assert len(partitions) == 4
+        assert sum(len(partition) for partition in partitions) == 300
+        assert partitioner.partition_attributes() == ("RouterId",)

@@ -1,0 +1,109 @@
+"""Unit tests for the TPC-R-style generator."""
+
+import pytest
+
+from repro.data.tpcr import (
+    NATION_COUNT,
+    TPCR_SCHEMA,
+    TPCRConfig,
+    generate_tpcr,
+    nation_partitioner,
+    register_tpcr_fds,
+)
+from repro.errors import WarehouseError
+from repro.warehouse.catalog import DistributionCatalog
+
+
+class TestConfig:
+    def test_counts_scale(self):
+        config = TPCRConfig(scale=0.001)
+        assert config.lineitem_count == 6_000
+        assert config.customer_count == 100
+
+    def test_fixed_customers(self):
+        config = TPCRConfig(scale=0.004, fixed_customers=50)
+        assert config.customer_count == 50
+        assert config.lineitem_count == 24_000
+
+    def test_minimums(self):
+        config = TPCRConfig(scale=1e-9)
+        assert config.lineitem_count == 1
+        assert config.customer_count == 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(WarehouseError):
+            generate_tpcr(TPCRConfig(scale=0))
+
+
+class TestGeneration:
+    CONFIG = TPCRConfig(scale=0.0005, seed=42)
+
+    def test_schema_and_validity(self):
+        relation = generate_tpcr(self.CONFIG)
+        assert relation.schema == TPCR_SCHEMA
+        for row in relation.rows[:50]:
+            relation.schema.check_row(row)
+
+    def test_determinism(self):
+        first = generate_tpcr(self.CONFIG)
+        second = generate_tpcr(self.CONFIG)
+        assert first.rows == second.rows
+
+    def test_seed_changes_data(self):
+        other = generate_tpcr(TPCRConfig(scale=0.0005, seed=43))
+        assert other.rows != generate_tpcr(self.CONFIG).rows
+
+    def test_cardinalities(self):
+        relation = generate_tpcr(TPCRConfig(scale=0.002, seed=1))
+        nations = set(relation.column("NationKey"))
+        assert nations <= set(range(NATION_COUNT))
+        assert len(nations) == NATION_COUNT
+        customers = set(relation.column("CustKey"))
+        assert len(customers) <= TPCRConfig(scale=0.002).customer_count
+        names = set(relation.column("CustName"))
+        assert len(names) == len(customers)  # unique per customer
+
+    def test_custkey_determines_nationkey(self):
+        relation = generate_tpcr(self.CONFIG)
+        cust_position = relation.schema.position("CustKey")
+        nation_position = relation.schema.position("NationKey")
+        mapping = {}
+        for row in relation.rows:
+            cust = row[cust_position]
+            nation = row[nation_position]
+            assert mapping.setdefault(cust, nation) == nation
+
+    def test_value_ranges(self):
+        relation = generate_tpcr(self.CONFIG)
+        for quantity in relation.column("Quantity"):
+            assert 1 <= quantity <= 50
+        for discount in relation.column("Discount"):
+            assert 0 <= discount <= 0.10
+        for month in relation.column("OrderMonth"):
+            assert 1 <= month <= 12
+        for region in relation.column("RegionKey"):
+            assert 0 <= region <= 4
+
+    def test_low_cardinality_attributes(self):
+        relation = generate_tpcr(TPCRConfig(scale=0.005, seed=2))
+        assert len(set(relation.column("SuppKey"))) <= 2_000
+        assert len(set(relation.column("PartKey"))) <= 4_000
+
+
+class TestPartitioning:
+    def test_nation_partitioner_covers_all_nations(self):
+        partitioner = nation_partitioner(8)
+        assert set(partitioner.assignment) == set(range(NATION_COUNT))
+        assert partitioner.site_count == 8
+
+    def test_split_is_complete(self):
+        relation = generate_tpcr(TPCRConfig(scale=0.0005, seed=9))
+        partitions = nation_partitioner(4).split(relation)
+        assert sum(len(partition) for partition in partitions) == len(relation)
+
+    def test_fds_make_customer_attrs_partition_attrs(self):
+        catalog = DistributionCatalog()
+        catalog.register("TPCR", ["s0"], partition_attrs=["NationKey"])
+        register_tpcr_fds(catalog)
+        attrs = set(catalog.partition_attributes("TPCR"))
+        assert {"NationKey", "CustKey", "CustName"} <= attrs

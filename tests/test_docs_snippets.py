@@ -1,0 +1,42 @@
+"""Executable documentation: the README quickstart must actually run."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def extract_python_blocks(text: str) -> list:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_block_runs(self, capsys):
+        blocks = extract_python_blocks(README.read_text())
+        assert blocks, "README lost its quickstart code block"
+        namespace: dict = {}
+        exec(compile(blocks[0], str(README), "exec"), namespace)  # noqa: S102
+        output = capsys.readouterr().out
+        assert "NationKey" in output
+        assert "round" in output.lower()
+
+    def test_shell_examples_reference_real_files(self):
+        text = README.read_text()
+        repo = README.parent
+        for match in re.findall(r"python (benchmarks/\S+\.py|examples/\S+\.py)", text):
+            assert (repo / match).exists(), f"README references missing {match}"
+
+    def test_module_init_quickstart_runs(self, capsys):
+        import repro
+
+        blocks = re.findall(r"(?s)Quickstart::\n\n(.*?)(?:\n\"\"\"|\Z)", repro.__doc__ + '"""')
+        assert blocks
+        code = "\n".join(
+            line[4:] if line.startswith("    ") else line
+            for line in blocks[0].splitlines()
+        )
+        namespace: dict = {}
+        exec(compile(code, "repro.__doc__", "exec"), namespace)  # noqa: S102
+        assert "NationKey" in capsys.readouterr().out

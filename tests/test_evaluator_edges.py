@@ -1,0 +1,117 @@
+"""Edge cases of distributed evaluation: degenerate clusters and data."""
+
+import pytest
+
+from conftest import assert_relations_equal, make_flows, FLOW_TEST_SCHEMA
+from repro.distributed import (
+    OptimizationOptions,
+    SimulatedCluster,
+    execute_query,
+)
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.relalg.relation import Relation
+from repro.warehouse.partition import ValueListPartitioner
+
+FLOW = make_flows(count=120, seed=131)
+KEY = base.SourceAS == detail.SourceAS
+
+
+def expression():
+    step = MDStep(
+        "Flow",
+        [MDBlock([count_star("cnt"), AggSpec("avg", detail.NumBytes, "m")], KEY)],
+    )
+    return GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [step])
+
+
+OPTIONS = [OptimizationOptions.none(), OptimizationOptions.all()]
+
+
+class TestDegenerateClusters:
+    @pytest.mark.parametrize("options", OPTIONS, ids=["none", "all"])
+    def test_single_site(self, options):
+        cluster = SimulatedCluster.with_sites(1)
+        cluster.load_partitioned(
+            "Flow", FLOW, ValueListPartitioner.spread("SourceAS", range(16), 1)
+        )
+        reference = expression().evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query(cluster, expression(), options)
+        assert_relations_equal(reference, result.relation)
+
+    @pytest.mark.parametrize("options", OPTIONS, ids=["none", "all"])
+    def test_site_with_empty_partition(self, options):
+        # Assign every value to sites 0..2; site 3 holds an empty table.
+        partitioner = ValueListPartitioner(
+            "SourceAS", {value: value % 3 for value in range(16)}, 4
+        )
+        cluster = SimulatedCluster.with_sites(4)
+        cluster.load_partitioned("Flow", FLOW, partitioner)
+        assert cluster.site("site3").warehouse.row_count("Flow") == 0
+        reference = expression().evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query(cluster, expression(), options)
+        assert_relations_equal(reference, result.relation)
+
+    @pytest.mark.parametrize("options", OPTIONS, ids=["none", "all"])
+    def test_completely_empty_table(self, options):
+        empty = Relation.empty(FLOW_TEST_SCHEMA)
+        cluster = SimulatedCluster.with_sites(3)
+        cluster.load_partitioned(
+            "Flow", empty, ValueListPartitioner.spread("SourceAS", range(16), 3)
+        )
+        result = execute_query(cluster, expression(), options)
+        assert len(result.relation) == 0
+
+    @pytest.mark.parametrize("options", OPTIONS, ids=["none", "all"])
+    def test_one_row_table(self, options):
+        one = Relation(FLOW_TEST_SCHEMA, [FLOW.rows[0]])
+        cluster = SimulatedCluster.with_sites(2)
+        cluster.load_partitioned(
+            "Flow", one, ValueListPartitioner.spread("SourceAS", range(16), 2)
+        )
+        reference = expression().evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query(cluster, expression(), options)
+        assert_relations_equal(reference, result.relation)
+        assert len(result.relation) == 1
+
+
+class TestConditionEdges:
+    @pytest.mark.parametrize("options", OPTIONS, ids=["none", "all"])
+    def test_always_false_condition(self, options):
+        step = MDStep(
+            "Flow", [MDBlock([count_star("cnt")], KEY & (detail.NumBytes < 0))]
+        )
+        query = GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [step])
+        cluster = SimulatedCluster.with_sites(3)
+        cluster.load_partitioned(
+            "Flow", FLOW, ValueListPartitioner.spread("SourceAS", range(16), 3)
+        )
+        result = execute_query(cluster, query, options)
+        assert all(row[-1] == 0 for row in result.relation.rows)
+        reference = query.evaluate_centralized(cluster.conceptual_tables())
+        assert_relations_equal(reference, result.relation)
+
+    def test_division_by_zero_in_condition_is_safe(self):
+        # A zero count in the denominator must disqualify, not crash.
+        from repro.queries.olap import QueryBuilder
+
+        query = (
+            QueryBuilder("Flow", ["SourceAS"])
+            .stage(
+                [AggSpec("count", detail.NumBytes, "zeroable")],
+                extra=detail.NumBytes < 0,  # all-zero counts
+            )
+            .stage(
+                [count_star("ratio_hits")],
+                extra=detail.NumBytes / base.zeroable > 1,
+            )
+            .build()
+        )
+        cluster = SimulatedCluster.with_sites(2)
+        cluster.load_partitioned(
+            "Flow", FLOW, ValueListPartitioner.spread("SourceAS", range(16), 2)
+        )
+        result = execute_query(cluster, query, OptimizationOptions.all())
+        assert all(row[-1] == 0 for row in result.relation.rows)

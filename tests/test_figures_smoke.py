@@ -1,0 +1,111 @@
+"""Smoke tests: every paper figure runs at micro scale with verified arms.
+
+Full-scale shape assertions (growth exponents, crossovers) live in the
+benchmarks; here we check that each experiment executes, all arms match
+the centralized reference (enforced inside run_arms), and the basic
+qualitative orderings hold even at tiny scale.
+"""
+
+import pytest
+
+from repro.bench.figures import figure2, figure2_aware, figure3, figure4, figure5
+
+MICRO = dict(scale=0.0002, participating=[1, 3])
+
+
+class TestFigure2:
+    def test_runs_and_reduces_traffic(self):
+        series, formula_points = figure2(**MICRO)
+        assert series.x_values == [1, 3]
+        for point in series.measurements:
+            assert (
+                point["group_reduction"].bytes_total
+                <= point["no_reduction"].bytes_total
+            )
+
+    def test_traffic_formula_within_five_percent(self):
+        _series, formula_points = figure2(**MICRO)
+        for point in formula_points:
+            assert point.relative_error < 0.05
+
+    def test_show_renders(self):
+        series, _formula = figure2(**MICRO)
+        text = series.show()
+        assert "Figure 2" in text
+        assert "bytes transferred" in text
+
+    def test_aware_extension_runs_and_wins(self):
+        series = figure2_aware(**MICRO)
+        for point in series.measurements:
+            assert (
+                point["aware+independent"].bytes_total
+                <= point["independent_only"].bytes_total
+            )
+            assert (
+                point["independent_only"].bytes_total
+                <= point["no_reduction"].bytes_total
+            )
+
+
+class TestFigure3:
+    def test_coalesced_always_cheaper(self):
+        result = figure3(**MICRO)
+        for label in ("high", "low"):
+            for point in result[label].measurements:
+                assert (
+                    point["coalesced"].bytes_total
+                    < point["non_coalesced"].bytes_total
+                )
+                assert (
+                    point["coalesced"].synchronizations
+                    < point["non_coalesced"].synchronizations
+                )
+
+    def test_coalesced_single_synchronization(self):
+        result = figure3(**MICRO)
+        for point in result["high"].measurements:
+            assert point["coalesced"].synchronizations == 1
+
+
+class TestFigure4:
+    def test_sync_reduction_cuts_rounds_high_cardinality(self):
+        result = figure4(**MICRO)
+        for point in result["high"].measurements:
+            assert point["sync_reduction"].synchronizations == 1
+            assert point["no_sync_reduction"].synchronizations == 3
+
+    def test_low_cardinality_still_helps_but_less(self):
+        result = figure4(**MICRO)
+        for point in result["low"].measurements:
+            # SuppKey is not a partition attribute: only Proposition 2
+            # applies, leaving two synchronizations.
+            assert point["sync_reduction"].synchronizations == 2
+            assert (
+                point["sync_reduction"].bytes_total
+                < point["no_sync_reduction"].bytes_total
+            )
+
+
+class TestFigure5:
+    def test_scaleup_both_variants(self):
+        for constant_groups in (False, True):
+            series = figure5(
+                base_scale=0.0002,
+                scale_factors=(1, 2),
+                constant_groups=constant_groups,
+            )
+            for point in series.measurements:
+                assert (
+                    point["all_optimizations"].bytes_total
+                    < point["no_optimizations"].bytes_total
+                )
+
+    def test_group_growth_variants_differ(self):
+        growing = figure5(base_scale=0.0002, scale_factors=(1, 2))
+        constant = figure5(
+            base_scale=0.0002, scale_factors=(1, 2), constant_groups=True
+        )
+        growing_rows = growing.column("no_optimizations", "result_rows")
+        constant_rows = constant.column("no_optimizations", "result_rows")
+        assert growing_rows[1] > growing_rows[0]
+        assert constant_rows[1] == constant_rows[0]

@@ -1,0 +1,75 @@
+"""Unit tests for MDBlock and GMDJ schema derivation."""
+
+import pytest
+
+from repro.errors import AggregateError, ExpressionError
+from repro.gmdj.blocks import (
+    MDBlock,
+    block_output_attributes,
+    result_schema,
+    sub_result_schema,
+)
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, col, detail
+from repro.relalg.schema import INT, Schema
+
+CONDITION = base.k == detail.k
+
+
+class TestMDBlock:
+    def test_construction(self):
+        block = MDBlock([count_star("c")], CONDITION)
+        assert block.output_names() == ("c",)
+        assert not block.has_holistic
+
+    def test_needs_aggregates(self):
+        with pytest.raises(AggregateError):
+            MDBlock([], CONDITION)
+
+    def test_rejects_non_aggspec(self):
+        with pytest.raises(AggregateError):
+            MDBlock(["count"], CONDITION)
+
+    def test_rejects_base_fields_in_aggregate_input(self):
+        with pytest.raises(AggregateError):
+            MDBlock([AggSpec("sum", base.v, "s")], CONDITION)
+
+    def test_accepts_detail_and_unqualified_inputs(self):
+        MDBlock([AggSpec("sum", detail.v, "s1"), AggSpec("sum", col.v, "s2")], CONDITION)
+
+    def test_rejects_unqualified_condition_fields(self):
+        with pytest.raises(ExpressionError):
+            MDBlock([count_star("c")], col.k == detail.k)
+
+    def test_rejects_non_expr_condition(self):
+        with pytest.raises(ExpressionError):
+            MDBlock([count_star("c")], True)
+
+    def test_holistic_flag(self):
+        block = MDBlock([AggSpec("median", detail.v, "m")], CONDITION)
+        assert block.has_holistic
+
+    def test_str(self):
+        text = str(MDBlock([count_star("c")], CONDITION))
+        assert "count(*)" in text
+        assert "WHERE" in text
+
+
+class TestSchemas:
+    BASE = Schema.of(("k", INT),)
+    BLOCKS = [
+        MDBlock([count_star("c"), AggSpec("avg", detail.v, "a")], CONDITION),
+        MDBlock([AggSpec("sum", detail.v, "s")], CONDITION),
+    ]
+
+    def test_result_schema(self):
+        schema = result_schema(self.BASE, self.BLOCKS)
+        assert schema.names == ("k", "c", "a", "s")
+
+    def test_sub_result_schema_expands_algebraic(self):
+        schema = sub_result_schema(self.BASE, self.BLOCKS)
+        assert schema.names == ("k", "c", "a__sum", "a__count", "s")
+
+    def test_block_output_attributes(self):
+        names = [attribute.name for attribute in block_output_attributes(self.BLOCKS)]
+        assert names == ["c", "a", "s"]

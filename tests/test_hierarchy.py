@@ -1,0 +1,173 @@
+"""Tests for the multi-tier coordinator architecture (paper future work)."""
+
+import pytest
+
+from conftest import assert_relations_equal, make_flows
+from repro.distributed import (
+    OptimizationOptions,
+    SimulatedCluster,
+    TreeTopology,
+    execute_query,
+    execute_query_hierarchical,
+)
+from repro.errors import NetworkError, PlanError
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.gmdj.operator import evaluate_sub, merge_sub_results, super_aggregate, evaluate
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.relalg.relation import Relation
+from repro.warehouse.partition import RoundRobinPartitioner, ValueListPartitioner
+
+FLOW = make_flows(count=400, seed=51)
+KEY = base.SourceAS == detail.SourceAS
+
+
+def correlated_expression():
+    inner = MDStep(
+        "Flow",
+        [MDBlock([count_star("cnt"), AggSpec("avg", detail.NumBytes, "m")], KEY)],
+    )
+    outer = MDStep(
+        "Flow", [MDBlock([count_star("big")], KEY & (detail.NumBytes >= base.m))]
+    )
+    return GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [inner, outer])
+
+
+def build_cluster(sites=8, partitioner=None):
+    cluster = SimulatedCluster.with_sites(sites)
+    partitioner = partitioner or ValueListPartitioner.spread("SourceAS", range(16), sites)
+    cluster.load_partitioned("Flow", FLOW, partitioner)
+    return cluster
+
+
+class TestTreeTopology:
+    def test_balanced(self):
+        topology = TreeTopology.balanced(["a", "b", "c", "d", "e"], 2)
+        assert set(topology.regions) == {"region0", "region1"}
+        assert sorted(topology.all_sites) == ["a", "b", "c", "d", "e"]
+        assert topology.region_of("a") == "region0"
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            TreeTopology({})
+        with pytest.raises(NetworkError):
+            TreeTopology({"r": []})
+        with pytest.raises(NetworkError):
+            TreeTopology({"r1": ["a"], "r2": ["a"]})
+        with pytest.raises(NetworkError):
+            TreeTopology.balanced(["a"], 2)
+        with pytest.raises(NetworkError):
+            TreeTopology({"r": ["a"]}).region_of("ghost")
+
+
+class TestMergeSubResults:
+    def test_merge_then_super_equals_direct_super(self):
+        base_relation = FLOW.distinct_project(["SourceAS"])
+        blocks = [
+            MDBlock(
+                [count_star("cnt"), AggSpec("avg", detail.NumBytes, "m")], KEY
+            )
+        ]
+        pieces = [Relation(FLOW.schema, FLOW.rows[start::4]) for start in range(4)]
+        h = None
+        for piece in pieces:
+            h_i, _touched = evaluate_sub(base_relation, piece, blocks)
+            h = h_i if h is None else h.union_all(h_i)
+        merged = merge_sub_results(h, ["SourceAS"], blocks)
+        # One row per key after merging.
+        keys = [row[0] for row in merged.rows]
+        assert len(keys) == len(set(keys))
+        # Super-aggregating the merged H gives the same result.
+        assert_relations_equal(
+            super_aggregate(base_relation, merged, ["SourceAS"], blocks),
+            evaluate(base_relation, FLOW, blocks),
+        )
+
+    def test_merge_is_idempotent(self):
+        base_relation = FLOW.distinct_project(["SourceAS"])
+        blocks = [MDBlock([count_star("cnt")], KEY)]
+        h, _touched = evaluate_sub(base_relation, FLOW, blocks)
+        once = merge_sub_results(h, ["SourceAS"], blocks)
+        twice = merge_sub_results(once, ["SourceAS"], blocks)
+        assert once.same_rows(twice)
+
+
+OPTION_SETS = {
+    "none": OptimizationOptions.none(),
+    "all": OptimizationOptions.all(),
+    "sync_only": OptimizationOptions(False, True, False, False, False),
+    "reductions": OptimizationOptions(False, False, True, True, False),
+}
+
+
+class TestHierarchicalCorrectness:
+    @pytest.mark.parametrize("options_name", sorted(OPTION_SETS))
+    @pytest.mark.parametrize("region_count", [1, 2, 4])
+    def test_matches_centralized(self, options_name, region_count):
+        cluster = build_cluster(8)
+        topology = TreeTopology.balanced(cluster.site_ids, region_count)
+        expression = correlated_expression()
+        reference = expression.evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query_hierarchical(
+            cluster, topology, expression, OPTION_SETS[options_name]
+        )
+        assert_relations_equal(reference, result.relation)
+
+    def test_round_robin_partitioning(self):
+        cluster = build_cluster(6, RoundRobinPartitioner(6))
+        topology = TreeTopology.balanced(cluster.site_ids, 2)
+        expression = correlated_expression()
+        reference = expression.evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query_hierarchical(
+            cluster, topology, expression, OptimizationOptions.all()
+        )
+        assert_relations_equal(reference, result.relation)
+
+    def test_topology_must_cover_plan_sites(self):
+        cluster = build_cluster(4)
+        topology = TreeTopology({"r0": ["site0", "site1"]})
+        with pytest.raises(PlanError):
+            execute_query_hierarchical(
+                cluster, topology, correlated_expression(), OptimizationOptions.none()
+            )
+
+
+class TestRootLinkCompression:
+    def test_root_link_carries_less_than_star_coordinator(self):
+        """The headline benefit: per-round root traffic is O(regions),
+        not O(sites), because regional coordinators merge sub-results."""
+        cluster = build_cluster(8)
+        expression = correlated_expression()
+        star = execute_query(cluster, expression, OptimizationOptions.none())
+
+        cluster.reset_network()
+        topology = TreeTopology.balanced(cluster.site_ids, 2)
+        tree = execute_query_hierarchical(
+            cluster, topology, expression, OptimizationOptions.none()
+        )
+        assert tree.stats.root_link_bytes < star.stats.bytes_total
+        # Site links carry about what the star carried in total.
+        assert tree.stats.site_link_bytes <= star.stats.bytes_total * 1.05
+
+    def test_single_region_degenerates_to_extra_hop(self):
+        cluster = build_cluster(4)
+        topology = TreeTopology.balanced(cluster.site_ids, 1)
+        expression = correlated_expression()
+        result = execute_query_hierarchical(
+            cluster, topology, expression, OptimizationOptions.all()
+        )
+        reference = expression.evaluate_centralized(cluster.conceptual_tables())
+        assert_relations_equal(reference, result.relation)
+
+    def test_response_time_positive_and_stats_consistent(self):
+        cluster = build_cluster(8)
+        topology = TreeTopology.balanced(cluster.site_ids, 2)
+        result = execute_query_hierarchical(
+            cluster, topology, correlated_expression(), OptimizationOptions.none()
+        )
+        assert result.stats.response_time_s() > 0
+        assert result.stats.bytes_total == (
+            result.stats.root_link_bytes + result.stats.site_link_bytes
+        )
+        assert len(result.stats.rounds) == 3  # base + 2 MD rounds

@@ -1,0 +1,51 @@
+"""Unit tests for the hash index backing the base-result structure."""
+
+from repro.relalg.index import HashIndex
+from repro.relalg.relation import Relation
+from repro.relalg.schema import INT, STR, Schema
+
+SCHEMA = Schema.of(("a", INT), ("b", STR), ("c", INT))
+RELATION = Relation(
+    SCHEMA,
+    [(1, "x", 10), (1, "y", 20), (2, "x", 30), (1, "x", 40)],
+)
+
+
+class TestHashIndex:
+    def test_lookup_single_key(self):
+        index = HashIndex(RELATION, ["a"])
+        assert index.lookup((1,)) == [0, 1, 3]
+        assert index.lookup((2,)) == [2]
+
+    def test_lookup_composite_key(self):
+        index = HashIndex(RELATION, ["a", "b"])
+        assert index.lookup((1, "x")) == [0, 3]
+        assert index.lookup((2, "y")) == []
+
+    def test_contains_and_len(self):
+        index = HashIndex(RELATION, ["a"])
+        assert (1,) in index
+        assert (9,) not in index
+        assert len(index) == 2
+
+    def test_keys(self):
+        index = HashIndex(RELATION, ["a"])
+        assert set(index.keys()) == {(1,), (2,)}
+
+    def test_key_of(self):
+        index = HashIndex(RELATION, ["a", "b"])
+        assert index.key_of((5, "z", 0)) == (5, "z")
+
+    def test_is_unique(self):
+        assert not HashIndex(RELATION, ["a"]).is_unique
+        assert HashIndex(RELATION, ["a", "b", "c"]).is_unique
+
+    def test_empty_relation(self):
+        index = HashIndex(Relation.empty(SCHEMA), ["a"])
+        assert len(index) == 0
+        assert index.lookup((1,)) == []
+
+    def test_null_keys_indexable(self):
+        relation = Relation(SCHEMA, [(None, "x", 1), (None, "x", 2)])
+        index = HashIndex(relation, ["a"])
+        assert index.lookup((None,)) == [0, 1]

@@ -1,0 +1,125 @@
+"""Chains whose rounds use *different* detail relations.
+
+Section 3.2: "We use R_k to denote the detail relation at round k. ...
+depending on the query, the detail relation may or may not be the same
+across all rounds." These tests run a GMDJ chain over two distinct
+conceptual tables with different distributions.
+"""
+
+import pytest
+
+from conftest import assert_relations_equal, make_flows
+from repro.distributed import OptimizationOptions, SimulatedCluster, execute_query
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.relalg.relation import Relation
+from repro.relalg.schema import FLOAT, INT, Schema
+from repro.warehouse.partition import RoundRobinPartitioner, ValueListPartitioner
+
+FLOW = make_flows(count=250, seed=81)
+
+# A second fact table: per-AS alert events, differently partitioned.
+ALERTS_SCHEMA = Schema.of(("SourceAS", INT), ("Severity", INT), ("Cost", FLOAT))
+
+
+def make_alerts():
+    import random
+
+    rng = random.Random(5)
+    rows = [
+        (rng.randrange(0, 16), rng.randrange(1, 5), float(rng.randrange(1, 100)))
+        for _index in range(180)
+    ]
+    return Relation(ALERTS_SCHEMA, rows)
+
+
+ALERTS = make_alerts()
+
+
+def two_table_expression():
+    """Per SourceAS: flow stats from Flow, then alert stats from Alerts
+    correlated with the flow average."""
+    flow_step = MDStep(
+        "Flow",
+        [
+            MDBlock(
+                [count_star("flows"), AggSpec("avg", detail.NumBytes, "avg_nb")],
+                base.SourceAS == detail.SourceAS,
+            )
+        ],
+    )
+    alert_step = MDStep(
+        "Alerts",
+        [
+            MDBlock(
+                [count_star("alerts"), AggSpec("sum", detail.Cost, "alert_cost")],
+                (base.SourceAS == detail.SourceAS) & (base.flows > 0),
+            )
+        ],
+    )
+    return GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [flow_step, alert_step])
+
+
+def build_cluster():
+    cluster = SimulatedCluster.with_sites(4)
+    cluster.load_partitioned(
+        "Flow", FLOW, ValueListPartitioner.spread("SourceAS", range(16), 4)
+    )
+    # Alerts are spread with no distribution knowledge at all.
+    cluster.load_partitioned("Alerts", ALERTS, RoundRobinPartitioner(4))
+    return cluster
+
+
+class TestMultiTableChains:
+    @pytest.mark.parametrize("options_name,options", [
+        ("none", OptimizationOptions.none()),
+        ("all", OptimizationOptions.all()),
+    ])
+    def test_matches_centralized(self, options_name, options):
+        cluster = build_cluster()
+        expression = two_table_expression()
+        reference = expression.evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query(cluster, expression, options)
+        assert_relations_equal(reference, result.relation)
+        assert result.respects_theorem2()
+
+    def test_rounds_cannot_chain_across_tables(self):
+        cluster = build_cluster()
+        result = execute_query(
+            cluster,
+            two_table_expression(),
+            OptimizationOptions(False, True, False, False, False),
+        )
+        # Different detail tables -> no Corollary-1 chain between them;
+        # Proposition 2 still merges the base into the Flow round.
+        assert result.stats.round_count == 2
+
+    def test_coalescing_cannot_merge_across_tables(self):
+        cluster = build_cluster()
+        result = execute_query(
+            cluster,
+            two_table_expression(),
+            OptimizationOptions(True, False, False, False, False),
+        )
+        assert len(result.plan.rounds) == 2
+
+    def test_per_round_participants_follow_each_table(self):
+        cluster = SimulatedCluster.with_sites(4)
+        cluster.load_partitioned(
+            "Flow", FLOW, ValueListPartitioner.spread("SourceAS", range(16), 4)
+        )
+        # Alerts live on only two of the four sites.
+        cluster.load_partitioned(
+            "Alerts",
+            ALERTS,
+            RoundRobinPartitioner(2),
+            participating=["site0", "site1"],
+        )
+        expression = two_table_expression()
+        reference = expression.evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query(cluster, expression, OptimizationOptions.none())
+        assert_relations_equal(reference, result.relation)
+        assert len(result.plan.rounds[0].sites) == 4
+        assert len(result.plan.rounds[1].sites) == 2

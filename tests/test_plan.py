@@ -1,0 +1,107 @@
+"""Unit tests for distributed plan structures."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.distributed.plan import BaseRound, MDRound, Plan
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.relalg.aggregates import count_star
+from repro.relalg.expressions import base, detail
+
+KEY = base.k == detail.k
+
+
+def step(output="c", table="T"):
+    return MDStep(table, [MDBlock([count_star(output)], KEY)])
+
+
+def expression(step_count=1):
+    return GMDJExpression(
+        DistinctBase("T", ["k"]), [step(f"c{i}") for i in range(step_count)]
+    )
+
+
+class TestMDRound:
+    def test_needs_steps_and_sites(self):
+        with pytest.raises(PlanError):
+            MDRound(steps=(), sites=("s0",))
+        with pytest.raises(PlanError):
+            MDRound(steps=(step(),), sites=())
+
+    def test_chain_requires_single_detail_table(self):
+        with pytest.raises(PlanError):
+            MDRound(steps=(step("a", "T"), step("b", "U")), sites=("s0",))
+
+    def test_all_blocks_and_conditions(self):
+        md_round = MDRound(steps=(step("a"), step("b")), sites=("s0",))
+        assert md_round.is_chain
+        assert len(md_round.all_blocks()) == 2
+        assert len(md_round.conditions()) == 2
+
+    def test_ship_filter_lookup(self):
+        md_round = MDRound(
+            steps=(step(),), sites=("s0", "s1"), ship_filters={"s0": KEY}
+        )
+        assert md_round.ship_filter("s0") is KEY
+        assert md_round.ship_filter("s1") is None
+
+
+class TestPlan:
+    def test_step_count_must_match(self):
+        plan_rounds = (MDRound(steps=(step("c0"),), sites=("s0",)),)
+        with pytest.raises(PlanError):
+            Plan(expression(2), BaseRound(DistinctBase("T", ["k"]), ("s0",)), plan_rounds)
+
+    def test_merged_base_flag_consistency(self):
+        rounds = (MDRound(steps=(step("c0"),), sites=("s0",)),)
+        with pytest.raises(PlanError):
+            Plan(
+                expression(1),
+                BaseRound(DistinctBase("T", ["k"]), ("s0",), merged_into_chain=True),
+                rounds,
+            )
+
+    def test_synchronization_count(self):
+        expr = expression(2)
+        rounds = (
+            MDRound(steps=(step("c0"),), sites=("s0",)),
+            MDRound(steps=(step("c1"),), sites=("s0",)),
+        )
+        distributed_base = Plan(expr, BaseRound(DistinctBase("T", ["k"]), ("s0",)), rounds)
+        assert distributed_base.synchronization_count == 3
+
+        merged_rounds = (
+            MDRound(steps=(step("c0"), step("c1")), sites=("s0",), merged_base=True),
+        )
+        merged = Plan(
+            expr,
+            BaseRound(DistinctBase("T", ["k"]), ("s0",), merged_into_chain=True),
+            merged_rounds,
+        )
+        assert merged.synchronization_count == 1
+
+    def test_participating_site_counts(self):
+        expr = expression(1)
+        rounds = (MDRound(steps=(step("c0"),), sites=("s0", "s1")),)
+        plan = Plan(expr, BaseRound(DistinctBase("T", ["k"]), ("s0", "s1")), rounds)
+        base_sites, round_sites = plan.participating_site_counts()
+        assert base_sites == 2
+        assert round_sites == [2]
+
+    def test_describe_mentions_optimizations(self):
+        expr = expression(2)
+        rounds = (
+            MDRound(
+                steps=(step("c0"), step("c1")),
+                sites=("s0",),
+                independent_reduction=True,
+                ship_filters={"s0": KEY},
+            ),
+        )
+        plan = Plan(expr, BaseRound(DistinctBase("T", ["k"]), ("s0",)), rounds, ("note",))
+        text = plan.describe()
+        assert "chain" in text
+        assert "independent group reduction" in text
+        assert "aware group reduction" in text
+        assert "note" in text

@@ -1,0 +1,97 @@
+"""Property-based soundness tests for the optimizer's condition analysis.
+
+Theorem 4 soundness: if the derived ship filter ¬ψᵢ rejects a base tuple
+b, then *no* detail tuple satisfying φᵢ may satisfy any condition with b.
+We verify it operationally: evaluate the GMDJ of the full base against
+the φᵢ-filtered detail partition, and check every rejected base tuple
+has empty RNG (count 0 in every block).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmdj.analysis import derive_ship_filter
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.operator import evaluate
+from repro.relalg.aggregates import count_star
+from repro.relalg.expressions import BASE_VAR, DETAIL_VAR, base, detail
+from repro.relalg.relation import Relation
+from repro.relalg.schema import INT, Schema
+
+DETAIL_SCHEMA = Schema.of(("p", INT), ("q", INT))
+BASE_SCHEMA = Schema.of(("x", INT), ("y", INT))
+
+detail_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+    ),
+    max_size=40,
+)
+base_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+    ),
+    max_size=25,
+)
+
+THETAS = [
+    base.x == detail.p,
+    (base.x == detail.p) & (base.y == detail.q),
+    base.x + base.y < detail.p * 2,
+    (base.x == detail.p) & (detail.q > 5),
+    base.y <= detail.q,
+    base.x == detail.p + detail.q,
+]
+
+PHIS = [
+    detail.p.between(-5, 5),
+    detail.p.is_in([0, 1, 2]),
+    (detail.p > 0) & (detail.q.between(-3, 3)),
+    detail.q == 7,
+]
+
+
+@given(
+    rows=detail_rows,
+    groups=base_rows,
+    theta_indices=st.lists(
+        st.integers(min_value=0, max_value=len(THETAS) - 1),
+        min_size=1,
+        max_size=3,
+    ),
+    phi_index=st.integers(min_value=0, max_value=len(PHIS) - 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_ship_filter_is_sound(rows, groups, theta_indices, phi_index):
+    phi = PHIS[phi_index]
+    thetas = [THETAS[index] for index in theta_indices]
+    ship_filter = derive_ship_filter(thetas, phi)
+    if ship_filter is None:
+        return  # no reduction derived: trivially sound
+
+    # The site's partition: detail rows satisfying phi.
+    phi_predicate = phi.compile({DETAIL_VAR: DETAIL_SCHEMA})
+    site_rows = [row for row in rows if phi_predicate({DETAIL_VAR: row})]
+    site_relation = Relation(DETAIL_SCHEMA, site_rows)
+    base_relation = Relation(BASE_SCHEMA, groups)
+
+    blocks = [
+        MDBlock([count_star(f"c{index}")], theta)
+        for index, theta in enumerate(thetas)
+    ]
+    result = evaluate(base_relation, site_relation, blocks)
+
+    filter_predicate = ship_filter.compile({BASE_VAR: BASE_SCHEMA})
+    count_positions = [
+        result.schema.position(f"c{index}") for index in range(len(thetas))
+    ]
+    for base_row, result_row in zip(base_relation.rows, result.rows):
+        if not filter_predicate({BASE_VAR: base_row}):
+            # Rejected tuples must have contributed nothing at this site.
+            for position in count_positions:
+                assert result_row[position] == 0, (
+                    f"unsound filter: {ship_filter!r} rejected {base_row} "
+                    f"which matches at the site"
+                )

@@ -1,0 +1,213 @@
+"""Tests for the OLAP SQL dialect."""
+
+import pytest
+
+from conftest import assert_relations_equal, make_flows
+from repro.distributed import OptimizationOptions, SimulatedCluster, execute_query
+from repro.queries.olap import QueryBuilder
+from repro.queries.sql import SqlError, parse_olap_query, tokenize
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.warehouse.partition import ValueListPartitioner
+
+FLOW = make_flows(count=250, seed=71)
+TABLES = {"Flow": FLOW}
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = tokenize("SELECT x, COUNT(*) AS c FROM t WHERE v >= 1.5")
+        kinds = [token.kind for token in tokens]
+        assert kinds[0] == "kw"
+        assert kinds[-1] == "eof"
+        values = [token.value for token in tokens]
+        assert "count" not in values  # COUNT stays an ident (case kept)
+        assert "COUNT" in values
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "'it''s'"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError) as info:
+            tokenize("SELECT #")
+        assert "offset" in str(info.value)
+
+
+class TestParsing:
+    def test_simple_group_by(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, COUNT(*) AS cnt, AVG(NumBytes) AS m "
+            "FROM Flow GROUP BY SourceAS"
+        )
+        assert expression.key == ("SourceAS",)
+        assert len(expression.steps) == 1
+        reference = (
+            QueryBuilder("Flow", ["SourceAS"])
+            .stage([count_star("cnt"), AggSpec("avg", detail.NumBytes, "m")])
+            .build()
+        )
+        assert_relations_equal(
+            expression.evaluate_centralized(TABLES),
+            reference.evaluate_centralized(TABLES),
+        )
+
+    def test_correlated_then_stage(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, COUNT(*) AS cnt, AVG(NumBytes) AS m "
+            "FROM Flow GROUP BY SourceAS "
+            "THEN SELECT COUNT(*) AS big WHERE NumBytes >= m"
+        )
+        assert len(expression.steps) == 2
+        reference = (
+            QueryBuilder("Flow", ["SourceAS"])
+            .stage([count_star("cnt"), AggSpec("avg", detail.NumBytes, "m")])
+            .stage([count_star("big")], extra=detail.NumBytes >= base.m)
+            .build()
+        )
+        assert_relations_equal(
+            expression.evaluate_centralized(TABLES),
+            reference.evaluate_centralized(TABLES),
+        )
+
+    def test_detail_where_on_first_stage(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, COUNT(*) AS cnt FROM Flow "
+            "WHERE DestAS IN (0, 1, 2) GROUP BY SourceAS"
+        )
+        reference = (
+            QueryBuilder("Flow", ["SourceAS"])
+            .stage([count_star("cnt")], extra=detail.DestAS.is_in([0, 1, 2]))
+            .build()
+        )
+        assert_relations_equal(
+            expression.evaluate_centralized(TABLES),
+            reference.evaluate_centralized(TABLES),
+        )
+
+    def test_multi_key_and_arithmetic(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, DestAS, SUM(NumBytes) AS total, COUNT(*) AS c "
+            "FROM Flow GROUP BY SourceAS, DestAS "
+            "THEN SELECT COUNT(*) AS above WHERE NumBytes * 2 >= total / c"
+        )
+        result = expression.evaluate_centralized(TABLES)
+        assert set(result.schema.names) == {
+            "SourceAS",
+            "DestAS",
+            "total",
+            "c",
+            "above",
+        }
+
+    def test_between_and_boolean_connectives(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, COUNT(*) AS c FROM Flow "
+            "WHERE NumBytes BETWEEN 100 AND 5000 AND NOT DestAS = 3 "
+            "GROUP BY SourceAS"
+        )
+        reference = (
+            QueryBuilder("Flow", ["SourceAS"])
+            .stage(
+                [count_star("c")],
+                extra=detail.NumBytes.between(100, 5000)
+                & ~(detail.DestAS == 3),
+            )
+            .build()
+        )
+        assert_relations_equal(
+            expression.evaluate_centralized(TABLES),
+            reference.evaluate_centralized(TABLES),
+        )
+
+    def test_or_and_negative_literals(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, MIN(NumBytes - 100) AS adjusted FROM Flow "
+            "WHERE DestAS = 0 OR DestAS = 1 GROUP BY SourceAS"
+        )
+        result = expression.evaluate_centralized(TABLES)
+        assert "adjusted" in result.schema
+
+    def test_is_null_and_not_in(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, COUNT(*) AS c FROM Flow "
+            "WHERE NOT DestAS IN (7) AND NumBytes IS NOT NULL "
+            "GROUP BY SourceAS"
+        )
+        result = expression.evaluate_centralized(TABLES)
+        assert len(result) == len(FLOW.distinct_project(["SourceAS"]))
+
+    def test_plain_select_items_must_be_keys(self):
+        with pytest.raises(SqlError):
+            parse_olap_query(
+                "SELECT DestAS, COUNT(*) AS c FROM Flow GROUP BY SourceAS"
+            )
+
+    def test_needs_an_aggregate(self):
+        with pytest.raises(SqlError):
+            parse_olap_query("SELECT SourceAS FROM Flow GROUP BY SourceAS")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlError):
+            parse_olap_query("SELECT SourceAS, SUM(*) AS s FROM Flow GROUP BY SourceAS")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SqlError):
+            parse_olap_query(
+                "SELECT SourceAS, FANCY(NumBytes) AS f FROM Flow GROUP BY SourceAS"
+            )
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse_olap_query(
+                "SELECT SourceAS, COUNT(*) AS c FROM Flow GROUP BY SourceAS EXTRA"
+            )
+
+    def test_missing_group_by(self):
+        with pytest.raises(SqlError):
+            parse_olap_query("SELECT SourceAS, COUNT(*) AS c FROM Flow")
+
+    def test_aggregate_requires_alias(self):
+        with pytest.raises(SqlError):
+            parse_olap_query("SELECT SourceAS, COUNT(*) FROM Flow GROUP BY SourceAS")
+
+
+class TestScoping:
+    def test_earlier_outputs_resolve_to_base(self):
+        expression = parse_olap_query(
+            "SELECT SourceAS, AVG(NumBytes) AS m FROM Flow GROUP BY SourceAS "
+            "THEN SELECT COUNT(*) AS c1 WHERE NumBytes >= m "
+            "THEN SELECT COUNT(*) AS c2 WHERE NumBytes >= m AND c1 > 0"
+        )
+        third = expression.steps[2].blocks[0].condition
+        assert "m" in third.attrs("b")
+        assert "c1" in third.attrs("b")
+        assert "NumBytes" in third.attrs("r")
+
+    def test_aggregate_inputs_always_detail(self):
+        # Even if an earlier output shadows a detail attribute name, the
+        # aggregate input must stay on the detail side.
+        expression = parse_olap_query(
+            "SELECT SourceAS, MAX(NumBytes) AS NumBytes2 FROM Flow GROUP BY SourceAS "
+            "THEN SELECT SUM(NumBytes) AS s WHERE NumBytes = NumBytes2"
+        )
+        spec = expression.steps[1].blocks[0].aggregates[0]
+        assert spec.input_expr.attrs("r") == frozenset(["NumBytes"])
+
+
+class TestEndToEnd:
+    def test_distributed_execution_of_parsed_query(self):
+        cluster = SimulatedCluster.with_sites(4)
+        cluster.load_partitioned(
+            "Flow", FLOW, ValueListPartitioner.spread("SourceAS", range(16), 4)
+        )
+        expression = parse_olap_query(
+            "SELECT SourceAS, COUNT(*) AS cnt, AVG(NumBytes) AS m "
+            "FROM Flow GROUP BY SourceAS "
+            "THEN SELECT COUNT(*) AS big, MAX(NumBytes) AS top "
+            "WHERE NumBytes >= m * 1.5"
+        )
+        reference = expression.evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query(cluster, expression, OptimizationOptions.all())
+        assert_relations_equal(reference, result.relation)
+        assert result.plan.synchronization_count == 1  # fully sync-reduced

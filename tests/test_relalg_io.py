@@ -1,0 +1,80 @@
+"""Tests for CSV import/export."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SerializationError
+from repro.relalg.io import from_csv_text, read_csv, to_csv_text, write_csv
+from repro.relalg.relation import Relation
+from repro.relalg.schema import BOOL, DATE, FLOAT, INT, STR, Schema
+from test_property_codec import relations
+
+FULL = Relation(
+    Schema.of(("i", INT), ("f", FLOAT), ("s", STR), ("b", BOOL), ("d", DATE)),
+    [
+        (1, 2.5, "hello", True, datetime.date(2002, 3, 1)),
+        (None, None, None, None, None),
+        (-7, 0.0, "comma, quoted \"x\"", False, datetime.date(1999, 12, 31)),
+    ],
+)
+
+
+class TestRoundTrip:
+    def test_text_round_trip(self):
+        decoded = from_csv_text(to_csv_text(FULL))
+        assert decoded.schema == FULL.schema
+        assert decoded.rows == FULL.rows
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        write_csv(FULL, path)
+        decoded = read_csv(path)
+        assert decoded.rows == FULL.rows
+
+    def test_empty_relation(self):
+        empty = Relation.empty(FULL.schema)
+        decoded = from_csv_text(to_csv_text(empty))
+        assert decoded.schema == FULL.schema
+        assert decoded.rows == []
+
+    @given(relations())
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, relation):
+        # Strings with embedded newlines/quotes must survive CSV quoting.
+        decoded = from_csv_text(to_csv_text(relation))
+        assert decoded.schema == relation.schema
+        for original, parsed in zip(relation.rows, decoded.rows):
+            for original_value, parsed_value in zip(original, parsed):
+                if isinstance(original_value, float):
+                    assert parsed_value == pytest.approx(original_value, nan_ok=True)
+                elif original_value == "":
+                    # Empty string is indistinguishable from NULL in CSV.
+                    assert parsed_value in ("", None)
+                else:
+                    assert parsed_value == original_value
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(SerializationError):
+            from_csv_text("")
+
+    def test_untyped_header(self):
+        with pytest.raises(SerializationError):
+            from_csv_text("a,b\n1,2\n")
+
+    def test_field_count_mismatch(self):
+        with pytest.raises(SerializationError) as info:
+            from_csv_text("a:int,b:int\n1\n")
+        assert "line 2" in str(info.value)
+
+    def test_bad_value(self):
+        with pytest.raises(SerializationError) as info:
+            from_csv_text("a:int\nnope\n")
+        assert "line 2" in str(info.value)
+
+    def test_bad_bool(self):
+        with pytest.raises(SerializationError):
+            from_csv_text("a:bool\nmaybe\n")

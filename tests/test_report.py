@@ -1,0 +1,47 @@
+"""Tests for the markdown report generator."""
+
+import io
+
+import pytest
+
+from repro.bench.report import make_markdown_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report() -> str:
+    # Generated once: each figure sweep is moderately expensive.
+    return make_markdown_report(scale=0.0002, participating=(1, 3))
+
+
+class TestMarkdownReport:
+    def test_contains_all_sections(self, report):
+        assert "# Regenerated experiment report" in report
+        for heading in (
+            "## Figure 2",
+            "### Extension: distribution-aware reduction",
+            "## Figure 3",
+            "## Figure 4",
+            "## Figure 5",
+            "### constant groups",
+        ):
+            assert heading in report
+
+    def test_formula_table_present(self, report):
+        assert "traffic formula" in report
+        assert "| n | c | predicted | measured | error |" in report
+
+    def test_exponent_lines(self, report):
+        assert "growth exponents" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|") and not set(line) <= {"|", "-", " "}:
+                # Every data row has the same number of pipes as a table row.
+                assert line.count("|") >= 3
+
+    def test_cli_report_command(self):
+        out = io.StringIO()
+        code = main(["report", "--scale", "0.0002"], out=out)
+        assert code == 0
+        assert "# Regenerated experiment report" in out.getvalue()

@@ -1,0 +1,164 @@
+"""Unit tests for repro.relalg.schema."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError, UnknownAttributeError
+from repro.relalg.schema import (
+    BOOL,
+    DATE,
+    FLOAT,
+    INT,
+    STR,
+    Attribute,
+    Schema,
+    check_value,
+    infer_type,
+)
+
+
+class TestAttribute:
+    def test_construction(self):
+        attribute = Attribute("price", FLOAT)
+        assert attribute.name == "price"
+        assert attribute.type == FLOAT
+
+    def test_default_type_is_float(self):
+        assert Attribute("x").type == FLOAT
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(SchemaError):
+            Attribute(42)
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "decimal")
+
+    def test_renamed_preserves_type(self):
+        renamed = Attribute("a", INT).renamed("b")
+        assert renamed == Attribute("b", INT)
+
+    def test_is_hashable_and_frozen(self):
+        attribute = Attribute("a", INT)
+        assert hash(attribute) == hash(Attribute("a", INT))
+        with pytest.raises(Exception):
+            attribute.name = "b"
+
+
+class TestInferType:
+    def test_bool_before_int(self):
+        assert infer_type(True) == BOOL
+        assert infer_type(1) == INT
+
+    def test_float(self):
+        assert infer_type(1.5) == FLOAT
+
+    def test_str(self):
+        assert infer_type("x") == STR
+
+    def test_date(self):
+        assert infer_type(datetime.date(2002, 1, 1)) == DATE
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestCheckValue:
+    def test_none_fits_all_types(self):
+        for type_name in (INT, FLOAT, STR, BOOL, DATE):
+            check_value(None, type_name)
+
+    def test_int_fits_float(self):
+        check_value(3, FLOAT)
+
+    def test_float_does_not_fit_int(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(3.5, INT)
+
+    def test_bool_does_not_fit_int(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(True, INT)
+
+    def test_unknown_type_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            check_value(1, "bignum")
+
+
+class TestSchema:
+    def test_of_mixed_specs(self):
+        schema = Schema.of(("a", INT), "b", Attribute("c", STR))
+        assert schema.names == ("a", "b", "c")
+        assert schema["b"].type == FLOAT
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", INT), ("a", FLOAT))
+
+    def test_len_iter_contains(self):
+        schema = Schema.of("a", "b")
+        assert len(schema) == 2
+        assert [attribute.name for attribute in schema] == ["a", "b"]
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_getitem_unknown_raises(self):
+        schema = Schema.of("a")
+        with pytest.raises(UnknownAttributeError) as info:
+            schema["missing"]
+        assert "missing" in str(info.value)
+        assert "a" in str(info.value)
+
+    def test_position_and_positions(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.position("b") == 1
+        assert schema.positions(["c", "a"]) == (2, 0)
+
+    def test_project_reorders(self):
+        schema = Schema.of(("a", INT), ("b", STR), ("c", FLOAT))
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+        assert projected["c"].type == FLOAT
+
+    def test_rename(self):
+        schema = Schema.of(("a", INT), ("b", STR))
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ("x", "b")
+        assert renamed["x"].type == INT
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema.of("a").rename({"zz": "y"})
+
+    def test_concat(self):
+        left = Schema.of("a")
+        right = Schema.of("b")
+        assert left.concat(right).names == ("a", "b")
+
+    def test_concat_clash_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))
+
+    def test_equality_and_hash(self):
+        assert Schema.of(("a", INT)) == Schema.of(("a", INT))
+        assert Schema.of(("a", INT)) != Schema.of(("a", FLOAT))
+        assert hash(Schema.of("a", "b")) == hash(Schema.of("a", "b"))
+
+    def test_check_row_validates_length(self):
+        schema = Schema.of("a", "b")
+        with pytest.raises(SchemaError):
+            schema.check_row((1.0,))
+
+    def test_check_row_validates_types_with_attribute_name(self):
+        schema = Schema.of(("a", INT),)
+        with pytest.raises(TypeMismatchError) as info:
+            schema.check_row(("oops",))
+        assert "'a'" in str(info.value)
+
+    def test_check_row_accepts_nulls(self):
+        Schema.of(("a", INT), ("b", STR)).check_row((None, None))

@@ -1,0 +1,111 @@
+"""Unit tests for the wire codec."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.serialize import decode_relation, encode_relation, wire_size
+from repro.relalg.relation import Relation
+from repro.relalg.schema import BOOL, DATE, FLOAT, INT, STR, Schema
+
+FULL_SCHEMA = Schema.of(
+    ("i", INT), ("f", FLOAT), ("s", STR), ("b", BOOL), ("d", DATE)
+)
+
+
+def round_trip(relation: Relation) -> Relation:
+    return decode_relation(encode_relation(relation))
+
+
+class TestRoundTrip:
+    def test_all_types(self):
+        relation = Relation(
+            FULL_SCHEMA,
+            [
+                (1, 2.5, "hello", True, datetime.date(2002, 3, 1)),
+                (-42, -0.125, "", False, datetime.date(1970, 1, 1)),
+            ],
+        )
+        decoded = round_trip(relation)
+        assert decoded.schema == relation.schema
+        assert decoded.rows == relation.rows
+
+    def test_nulls_everywhere(self):
+        relation = Relation(FULL_SCHEMA, [(None,) * 5, (1, None, "x", None, None)])
+        assert round_trip(relation).rows == relation.rows
+
+    def test_empty_relation(self):
+        relation = Relation.empty(FULL_SCHEMA)
+        decoded = round_trip(relation)
+        assert decoded.schema == relation.schema
+        assert decoded.rows == []
+
+    def test_large_ints(self):
+        schema = Schema.of(("i", INT),)
+        relation = Relation(schema, [(2**62,), (-(2**62),), (0,)])
+        assert round_trip(relation).rows == relation.rows
+
+    def test_unicode_strings(self):
+        schema = Schema.of(("s", STR),)
+        relation = Relation(schema, [("héllo wörld ☃",), ("日本語",)])
+        assert round_trip(relation).rows == relation.rows
+
+    def test_float_special_values(self):
+        schema = Schema.of(("f", FLOAT),)
+        relation = Relation(schema, [(1e300,), (-1e-300,), (0.0,)])
+        assert round_trip(relation).rows == relation.rows
+
+    def test_int_value_in_float_column(self):
+        # SUM over an int column can ship through a FLOAT sub-column.
+        schema = Schema.of(("f", FLOAT),)
+        decoded = round_trip(Relation(schema, [(7,)]))
+        assert decoded.rows == [(7.0,)]
+
+
+class TestWireFormat:
+    def test_wire_size_matches_encoding(self):
+        relation = Relation(FULL_SCHEMA, [(1, 1.0, "a", True, None)])
+        assert wire_size(relation) == len(encode_relation(relation))
+
+    def test_size_grows_with_rows(self):
+        schema = Schema.of(("i", INT),)
+        small = Relation(schema, [(1,)] * 10)
+        large = Relation(schema, [(1,)] * 100)
+        assert wire_size(large) > wire_size(small)
+
+    def test_varint_efficiency(self):
+        schema = Schema.of(("i", INT),)
+        small_values = Relation(schema, [(1,)] * 50)
+        large_values = Relation(schema, [(2**40,)] * 50)
+        assert wire_size(small_values) < wire_size(large_values)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            decode_relation(b"NOPE" + b"\x00" * 10)
+
+    def test_bad_version(self):
+        data = bytearray(encode_relation(Relation.empty(FULL_SCHEMA)))
+        data[4] = 99
+        with pytest.raises(SerializationError):
+            decode_relation(bytes(data))
+
+    def test_truncated(self):
+        data = encode_relation(
+            Relation(Schema.of(("s", STR),), [("hello world",)] * 3)
+        )
+        with pytest.raises(SerializationError):
+            decode_relation(data[:-4])
+
+    def test_trailing_garbage(self):
+        data = encode_relation(Relation.empty(FULL_SCHEMA))
+        with pytest.raises(SerializationError):
+            decode_relation(data + b"\x00")
+
+    def test_unencodable_value(self):
+        schema = Schema.of(("s", STR),)
+        relation = Relation(schema, [(3.14,)])  # not validated at build
+        with pytest.raises(SerializationError):
+            encode_relation(relation)

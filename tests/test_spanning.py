@@ -1,0 +1,165 @@
+"""Tests for arbitrary-depth spanning-tree networks."""
+
+import pytest
+
+from conftest import assert_relations_equal, make_flows
+from repro.distributed import (
+    OptimizationOptions,
+    SimulatedCluster,
+    TreeNode,
+    chain_tree,
+    execute_query,
+    execute_query_spanning,
+)
+from repro.errors import NetworkError, PlanError
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.warehouse.partition import ValueListPartitioner
+
+FLOW = make_flows(count=360, seed=91, routers=8)
+KEY = base.SourceAS == detail.SourceAS
+
+
+def correlated_expression():
+    inner = MDStep(
+        "Flow",
+        [MDBlock([count_star("cnt"), AggSpec("avg", detail.NumBytes, "m")], KEY)],
+    )
+    outer = MDStep(
+        "Flow", [MDBlock([count_star("big")], KEY & (detail.NumBytes >= base.m))]
+    )
+    return GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [inner, outer])
+
+
+def build_cluster(sites=8):
+    cluster = SimulatedCluster.with_sites(sites)
+    cluster.load_partitioned(
+        "Flow", FLOW, ValueListPartitioner.spread("SourceAS", range(16), sites)
+    )
+    return cluster
+
+
+class TestTreeNode:
+    def test_leaves_and_depth(self):
+        tree = TreeNode(
+            "root",
+            (
+                TreeNode("r0", (TreeNode("a"), TreeNode("b"))),
+                TreeNode("c"),
+            ),
+        )
+        assert set(tree.leaves()) == {"a", "b", "c"}
+        assert tree.depth() == 3
+
+    def test_duplicate_names_rejected(self):
+        tree = TreeNode("root", (TreeNode("a"), TreeNode("a")))
+        with pytest.raises(NetworkError):
+            tree.validate()
+
+    def test_chain_tree_shapes(self):
+        sites = [f"site{index}" for index in range(8)]
+        binary = chain_tree(sites, fanout=2)
+        assert set(binary.leaves()) == set(sites)
+        assert binary.depth() == 4  # 8 -> 4 -> 2 -> 1
+        wide = chain_tree(sites, fanout=8)
+        assert wide.depth() == 2
+
+    def test_chain_tree_validation(self):
+        with pytest.raises(NetworkError):
+            chain_tree([], 2)
+        with pytest.raises(NetworkError):
+            chain_tree(["a"], 1)
+
+    def test_single_site_wrapped_under_relay(self):
+        tree = chain_tree(["only"], 2)
+        assert not tree.is_leaf
+        assert tree.leaves() == ("only",)
+
+
+class TestSpanningCorrectness:
+    OPTION_SETS = {
+        "none": OptimizationOptions.none(),
+        "all": OptimizationOptions.all(),
+        "reductions": OptimizationOptions(False, False, True, True, False),
+        "sync": OptimizationOptions(False, True, False, False, False),
+    }
+
+    @pytest.mark.parametrize("fanout", [2, 3, 8])
+    @pytest.mark.parametrize("options_name", sorted(OPTION_SETS))
+    def test_matches_centralized_all_depths(self, fanout, options_name):
+        cluster = build_cluster(8)
+        tree = chain_tree(cluster.site_ids, fanout)
+        expression = correlated_expression()
+        reference = expression.evaluate_centralized(cluster.conceptual_tables())
+        result = execute_query_spanning(
+            cluster, tree, expression, self.OPTION_SETS[options_name]
+        )
+        assert_relations_equal(reference, result.relation)
+
+    def test_leaf_root_rejected(self):
+        cluster = build_cluster(1)
+        with pytest.raises(NetworkError):
+            execute_query_spanning(
+                cluster,
+                TreeNode("site0"),
+                correlated_expression(),
+                OptimizationOptions.none(),
+            )
+
+    def test_tree_must_cover_sites(self):
+        cluster = build_cluster(4)
+        tree = chain_tree(["site0", "site1"], 2)
+        with pytest.raises(PlanError):
+            execute_query_spanning(
+                cluster, tree, correlated_expression(), OptimizationOptions.none()
+            )
+
+    def test_matches_star_result(self):
+        cluster = build_cluster(8)
+        expression = correlated_expression()
+        star = execute_query(cluster, expression, OptimizationOptions.all())
+        tree = chain_tree(cluster.site_ids, 2)
+        spanning = execute_query_spanning(
+            cluster, tree, expression, OptimizationOptions.all()
+        )
+        assert_relations_equal(star.relation, spanning.relation)
+
+
+class TestSpanningTraffic:
+    def test_root_edges_carry_bounded_traffic(self):
+        """Each root edge carries merged sub-results: at most |Q| rows per
+        round, independent of the number of sites below it."""
+        cluster = build_cluster(8)
+        expression = correlated_expression()
+        options = OptimizationOptions.none()
+        star = execute_query(cluster, expression, options)
+
+        tree = chain_tree(cluster.site_ids, 2)  # depth 4, binary
+        result = execute_query_spanning(cluster, tree, expression, options)
+        root_bytes = result.stats.root_edge_bytes(tree)
+        assert root_bytes < star.stats.bytes_total
+
+    def test_deeper_trees_cost_more_total_bytes(self):
+        cluster = build_cluster(8)
+        expression = correlated_expression()
+        options = OptimizationOptions.none()
+        shallow = execute_query_spanning(
+            cluster, chain_tree(cluster.site_ids, 8), expression, options
+        )
+        deep = execute_query_spanning(
+            cluster, chain_tree(cluster.site_ids, 2), expression, options
+        )
+        assert deep.stats.bytes_total > shallow.stats.bytes_total
+
+    def test_response_time_positive(self):
+        cluster = build_cluster(8)
+        result = execute_query_spanning(
+            cluster,
+            chain_tree(cluster.site_ids, 2),
+            correlated_expression(),
+            OptimizationOptions.none(),
+        )
+        assert result.stats.response_time_s() > 0
+        assert len(result.stats.rounds) == 3

@@ -1,0 +1,112 @@
+"""Tests for HAVING / ORDER BY / LIMIT in the SQL dialect."""
+
+import pytest
+
+from conftest import make_flows
+from repro.queries.sql import (
+    SqlError,
+    parse_olap_query,
+    parse_olap_statement,
+)
+
+FLOW = make_flows(count=220, seed=101)
+TABLES = {"Flow": FLOW}
+
+BASE_QUERY = (
+    "SELECT SourceAS, COUNT(*) AS cnt, AVG(NumBytes) AS m "
+    "FROM Flow GROUP BY SourceAS"
+)
+
+
+def run(sql):
+    statement = parse_olap_statement(sql)
+    relation = statement.expression.evaluate_centralized(TABLES)
+    return statement, statement.apply_post(relation)
+
+
+class TestHaving:
+    def test_filters_result(self):
+        _statement, result = run(BASE_QUERY + " HAVING cnt >= 20")
+        assert len(result) > 0
+        cnt = result.schema.position("cnt")
+        assert all(row[cnt] >= 20 for row in result.rows)
+
+    def test_having_sees_aggregates_and_keys(self):
+        _statement, result = run(BASE_QUERY + " HAVING cnt > 0 AND SourceAS < 8")
+        key = result.schema.position("SourceAS")
+        assert all(row[key] < 8 for row in result.rows)
+
+    def test_having_arithmetic(self):
+        _statement, result = run(BASE_QUERY + " HAVING m / cnt > 0")
+        assert len(result) > 0
+
+
+class TestOrderBy:
+    def test_ascending_default(self):
+        _statement, result = run(BASE_QUERY + " ORDER BY cnt")
+        values = result.column("cnt")
+        assert values == sorted(values)
+
+    def test_descending(self):
+        _statement, result = run(BASE_QUERY + " ORDER BY cnt DESC")
+        values = result.column("cnt")
+        assert values == sorted(values, reverse=True)
+
+    def test_mixed_directions(self):
+        statement, result = run(BASE_QUERY + " ORDER BY cnt DESC, SourceAS ASC")
+        assert statement.order_by == (("cnt", True), ("SourceAS", False))
+        rows = result.rows
+        for previous, current in zip(rows, rows[1:]):
+            assert previous[1] >= current[1]
+            if previous[1] == current[1]:
+                assert previous[0] <= current[0]
+
+
+class TestLimit:
+    def test_limit(self):
+        _statement, result = run(BASE_QUERY + " LIMIT 3")
+        assert len(result) == 3
+
+    def test_order_then_limit_gives_top_k(self):
+        _statement, result = run(BASE_QUERY + " ORDER BY cnt DESC LIMIT 2")
+        full_counts = sorted(
+            (
+                parse_olap_statement(BASE_QUERY)
+                .expression.evaluate_centralized(TABLES)
+                .column("cnt")
+            ),
+            reverse=True,
+        )
+        assert result.column("cnt") == full_counts[:2]
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(SqlError):
+            parse_olap_statement(BASE_QUERY + " LIMIT 2.5")
+        with pytest.raises(SqlError):
+            parse_olap_statement(BASE_QUERY + " LIMIT many")
+
+
+class TestClauseOrdering:
+    def test_all_clauses_together(self):
+        statement, result = run(
+            BASE_QUERY + " HAVING cnt >= 5 ORDER BY m DESC LIMIT 4"
+        )
+        assert statement.has_post_clauses
+        assert len(result) <= 4
+        values = result.column("m")
+        assert values == sorted(values, reverse=True)
+
+    def test_clauses_out_of_order_rejected(self):
+        with pytest.raises(SqlError):
+            parse_olap_statement(BASE_QUERY + " LIMIT 2 HAVING cnt > 1")
+
+    def test_plain_parse_rejects_post_clauses(self):
+        with pytest.raises(SqlError) as info:
+            parse_olap_query(BASE_QUERY + " ORDER BY cnt")
+        assert "parse_olap_statement" in str(info.value)
+
+    def test_statement_without_post_clauses(self):
+        statement = parse_olap_statement(BASE_QUERY)
+        assert not statement.has_post_clauses
+        relation = statement.expression.evaluate_centralized(TABLES)
+        assert statement.apply_post(relation) is relation

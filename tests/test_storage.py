@@ -1,0 +1,67 @@
+"""Unit tests for the local warehouse store."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import INT, Schema
+from repro.warehouse.storage import LocalWarehouse
+
+SCHEMA = Schema.of(("k", INT),)
+RELATION = Relation(SCHEMA, [(1,), (2,)])
+
+
+class TestLocalWarehouse:
+    def test_register_and_lookup(self):
+        warehouse = LocalWarehouse("w")
+        warehouse.register("T", RELATION)
+        assert warehouse.table("T") is RELATION
+        assert warehouse.schema("T") is SCHEMA
+        assert warehouse.has_table("T")
+        assert warehouse.row_count("T") == 2
+
+    def test_constructor_tables(self):
+        warehouse = LocalWarehouse("w", {"T": RELATION})
+        assert warehouse.table_names() == ("T",)
+
+    def test_register_replaces(self):
+        warehouse = LocalWarehouse("w", {"T": RELATION})
+        other = Relation(SCHEMA, [(9,)])
+        warehouse.register("T", other)
+        assert warehouse.table("T") is other
+
+    def test_register_requires_relation(self):
+        with pytest.raises(WarehouseError):
+            LocalWarehouse("w").register("T", [(1,)])
+
+    def test_append(self):
+        warehouse = LocalWarehouse("w", {"T": RELATION})
+        warehouse.append("T", Relation(SCHEMA, [(3,)]))
+        assert warehouse.row_count("T") == 3
+
+    def test_drop(self):
+        warehouse = LocalWarehouse("w", {"T": RELATION})
+        warehouse.drop("T")
+        assert not warehouse.has_table("T")
+        with pytest.raises(WarehouseError):
+            warehouse.drop("T")
+
+    def test_unknown_table_error_lists_tables(self):
+        warehouse = LocalWarehouse("w", {"T": RELATION})
+        with pytest.raises(WarehouseError) as info:
+            warehouse.table("missing")
+        assert "T" in str(info.value)
+
+    def test_tables_view_is_copy(self):
+        warehouse = LocalWarehouse("w", {"T": RELATION})
+        view = warehouse.tables()
+        view["X"] = RELATION
+        assert not warehouse.has_table("X")
+
+    def test_iteration_sorted(self):
+        warehouse = LocalWarehouse("w", {"B": RELATION, "A": RELATION})
+        assert list(warehouse) == ["A", "B"]
+
+    def test_repr(self):
+        warehouse = LocalWarehouse("w", {"T": RELATION})
+        assert "T(2)" in repr(warehouse)

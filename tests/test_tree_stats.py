@@ -1,0 +1,98 @@
+"""Unit tests for tree-topology statistics math (hand-computed cases)."""
+
+import pytest
+
+from repro.distributed.hierarchy import TreeLinkStats, TreeRoundStats, TreeStats
+from repro.distributed.spanning import (
+    EdgeStats,
+    SpanningRoundStats,
+    SpanningStats,
+    TreeNode,
+)
+from repro.net.costmodel import CostModel
+
+MODEL = CostModel(latency_s=0.0, bandwidth_bytes_per_s=1000)  # 1 KB/s, no latency
+
+
+class TestTreeRoundStats:
+    def make_round(self):
+        round_stats = TreeRoundStats(index=0, kind="md")
+        region = round_stats.region("r0")
+        region.bytes_down = 1000  # 1.0 s
+        region.bytes_up = 500  # 0.5 s
+        region.compute_s = 0.1
+        site_a = round_stats.site("r0", "s0")
+        site_a.bytes_down = 2000  # 2.0 s
+        site_a.bytes_up = 1000  # 1.0 s
+        site_a.compute_s = 0.3
+        site_b = round_stats.site("r0", "s1")
+        site_b.bytes_down = 100
+        site_b.bytes_up = 100
+        site_b.compute_s = 0.05
+        round_stats.root_compute_s = 0.2
+        return round_stats
+
+    def test_response_time_composition(self):
+        round_stats = self.make_round()
+        # slowest site: s0 = 2.0 + 0.3 + 1.0 = 3.3
+        # region: 1.0 (down) + 3.3 + 0.1 (merge) + 0.5 (up) = 4.9
+        # + root compute 0.2 = 5.1
+        assert round_stats.response_time_s(MODEL) == pytest.approx(5.1)
+
+    def test_separate_site_model(self):
+        fast = CostModel(latency_s=0.0, bandwidth_bytes_per_s=1_000_000)
+        round_stats = self.make_round()
+        # site legs now ~free: slowest site = 0.3 + ~0.003
+        value = round_stats.response_time_s(MODEL, site_model=fast)
+        assert value == pytest.approx(1.0 + 0.3 + 0.003 + 0.1 + 0.5 + 0.2, abs=0.01)
+
+    def test_byte_split(self):
+        round_stats = self.make_round()
+        assert round_stats.root_link_bytes == 1500
+        assert round_stats.site_link_bytes == 3200
+
+    def test_tree_stats_totals(self):
+        stats = TreeStats()
+        stats.rounds.append(self.make_round())
+        assert stats.bytes_total == 4700
+        assert stats.response_time_s(MODEL) == pytest.approx(5.1)
+
+
+class TestSpanningRoundStats:
+    def make_round(self):
+        #        root
+        #        /  \
+        #     relay  s2
+        #     /   \
+        #    s0   s1
+        round_stats = SpanningRoundStats(index=0, kind="md", root_name="root")
+        round_stats.children["root"] = ("relay", "s2")
+        round_stats.children["relay"] = ("s0", "s1")
+        round_stats.edges["relay"] = EdgeStats(bytes_down=1000, bytes_up=500, compute_s=0.1)
+        round_stats.edges["s0"] = EdgeStats(bytes_down=2000, bytes_up=1000, compute_s=0.3)
+        round_stats.edges["s1"] = EdgeStats(bytes_down=100, bytes_up=100, compute_s=0.05)
+        round_stats.edges["s2"] = EdgeStats(bytes_down=400, bytes_up=200, compute_s=0.2)
+        round_stats.root_compute_s = 0.2
+        return round_stats
+
+    def test_recursive_critical_path(self):
+        round_stats = self.make_round()
+        # relay subtree: 1.0 + max(2.0+0.3+1.0, 0.1+0.05+0.1) + 0.1 + 0.5 = 4.9
+        # s2: 0.4 + 0.2 + 0.2 = 0.8
+        # max(4.9, 0.8) + root 0.2 = 5.1
+        assert round_stats.response_time_s(MODEL) == pytest.approx(5.1)
+
+    def test_bytes_at_depth(self):
+        round_stats = self.make_round()
+        assert round_stats.bytes_at_depth(["relay", "s2"]) == 1500 + 600
+        assert round_stats.bytes_total == 1500 + 3000 + 200 + 600
+
+    def test_stats_root_edge_bytes(self):
+        stats = SpanningStats()
+        stats.rounds.append(self.make_round())
+        tree = TreeNode(
+            "root",
+            (TreeNode("relay", (TreeNode("s0"), TreeNode("s1"))), TreeNode("s2")),
+        )
+        assert stats.root_edge_bytes(tree) == 2100
+        assert stats.response_time_s(MODEL) == pytest.approx(5.1)
