@@ -10,6 +10,7 @@ and tabulate the measurements the figures plot.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -27,6 +28,7 @@ from repro.distributed import (
 from repro.errors import ReproError
 from repro.gmdj.expression import GMDJExpression
 from repro.net.costmodel import CostModel, WAN
+from repro.obs import MetricsRegistry, Tracer, build_trace
 from repro.relalg.relation import Relation
 
 
@@ -214,6 +216,69 @@ def run_arms(
 
 
 # ---------------------------------------------------------------------------
+# Traced runs & tracing overhead
+# ---------------------------------------------------------------------------
+
+
+def run_traced(
+    cluster: SimulatedCluster,
+    expression: GMDJExpression,
+    options: OptimizationOptions,
+    model: CostModel = WAN,
+) -> tuple:
+    """Execute once with live tracing; returns ``(result, EventLog)``.
+
+    The channels account into the same registry the operator counters
+    land in, so the emitted JSONL trace is one self-consistent artifact.
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    cluster.reset_network(metrics=registry)
+    result = execute_query(
+        cluster, expression, options, tracer=tracer, metrics=registry
+    )
+    return result, build_trace(tracer, registry, result.stats, model=model)
+
+
+def measure_tracing_overhead(
+    cluster: SimulatedCluster,
+    expression: GMDJExpression,
+    options: OptimizationOptions,
+    repetitions: int = 3,
+) -> dict:
+    """Wall-clock cost of the tracing layer itself.
+
+    Runs the same query ``repetitions`` times with the default
+    :class:`~repro.obs.tracer.NullTracer` and again with a live tracer +
+    registry, taking the fastest run of each arm (standard micro-bench
+    practice: the minimum is the least-noise estimate). The delta is
+    reported so the tracing tax stays visible — the obs layer's budget
+    is < 5% on real workloads.
+    """
+    if repetitions < 1:
+        raise ShapeCheckError(f"repetitions must be >= 1, got {repetitions}")
+
+    def _time_one(tracer, registry) -> float:
+        cluster.reset_network(metrics=registry)
+        started = time.perf_counter()
+        execute_query(cluster, expression, options, tracer=tracer, metrics=registry)
+        return time.perf_counter() - started
+
+    untraced_s = min(_time_one(None, None) for _ in range(repetitions))
+    traced_s = min(
+        _time_one(Tracer(), MetricsRegistry()) for _ in range(repetitions)
+    )
+    overhead_s = traced_s - untraced_s
+    return {
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "overhead_s": overhead_s,
+        "overhead_frac": (overhead_s / untraced_s) if untraced_s > 0 else 0.0,
+        "repetitions": repetitions,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Series & tabulation
 # ---------------------------------------------------------------------------
 
@@ -300,3 +365,110 @@ def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
     if denominator == 0:
         raise ShapeCheckError("degenerate x values in growth fit")
     return numerator / denominator
+
+
+# ---------------------------------------------------------------------------
+# Standalone harness CLI
+# ---------------------------------------------------------------------------
+
+
+def benchmark_report(
+    sites: int = 4,
+    scale: float = 0.001,
+    model: CostModel = WAN,
+    emit_trace: Optional[str] = None,
+    overhead_repetitions: int = 3,
+) -> dict:
+    """One harness run as a JSON-serializable benchmark report.
+
+    Runs the Section-5 correlated query on a ``sites``-site scale-up
+    cluster under the no-optimizations and all-optimizations arms
+    (reference-checked), measures the tracing layer's own overhead, and
+    — when ``emit_trace`` is given — writes the all-optimizations arm's
+    JSONL trace alongside the benchmark JSON.
+    """
+    from dataclasses import asdict
+
+    from repro.queries.olap import QueryBuilder
+    from repro.relalg.aggregates import AggSpec, count_star
+    from repro.relalg.expressions import base, detail
+
+    cluster = scaleup_cluster(TPCRConfig(scale=scale), sites=sites)
+    expression = (
+        QueryBuilder("TPCR", keys=["NationKey"])
+        .stage([count_star("cnt"), AggSpec("avg", detail.Price, "avg_price")])
+        .stage([count_star("above")], extra=detail.Price >= base.avg_price)
+        .build()
+    )
+    arms = {
+        "no_optimizations": OptimizationOptions.none(),
+        "all_optimizations": OptimizationOptions.all(),
+    }
+    measurements = run_arms(cluster, expression, arms, model=model)
+    overhead = measure_tracing_overhead(
+        cluster,
+        expression,
+        OptimizationOptions.all(),
+        repetitions=overhead_repetitions,
+    )
+    report = {
+        "sites": sites,
+        "scale": scale,
+        "arms": {name: asdict(arm) for name, arm in measurements.items()},
+        "tracing_overhead": overhead,
+    }
+    if emit_trace:
+        _result, log = run_traced(
+            cluster, expression, OptimizationOptions.all(), model=model
+        )
+        log.dump(emit_trace)
+        report["trace_path"] = emit_trace
+        report["trace_records"] = len(log)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """``python -m repro.bench.harness``: one benchmark run as JSON."""
+    import argparse
+    import json
+    import sys
+
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.harness",
+        description="run one reference-checked benchmark and print JSON",
+    )
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.001)
+    parser.add_argument(
+        "--emit-trace",
+        metavar="PATH",
+        help="write the all-optimizations arm's JSONL trace to PATH",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", help="write the benchmark JSON to PATH"
+    )
+    args = parser.parse_args(argv)
+    report = benchmark_report(
+        sites=args.sites, scale=args.scale, emit_trace=args.emit_trace
+    )
+    text = json.dumps(report, indent=2, sort_keys=True, default=str)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text, file=out)
+    overhead = report["tracing_overhead"]
+    print(
+        f"tracing overhead: {overhead['overhead_s'] * 1000:.2f}ms "
+        f"({overhead['overhead_frac']:.1%}) over "
+        f"{overhead['untraced_s'] * 1000:.2f}ms untraced",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

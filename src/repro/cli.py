@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Subcommands:
 
 - ``demo`` — build a distributed TPC-R warehouse and run the quickstart
   correlated query with and without optimizations;
 - ``sql QUERY`` — run a query in the OLAP SQL dialect against a freshly
   generated distributed warehouse (TPC-R or flows), on a star or
   multi-tier topology;
+- ``trace QUERY`` — run a query (same options as ``sql``) with tracing
+  on and print an ASCII per-round timeline — one bar per site scaled to
+  ``down_xfer + compute + up_xfer`` plus the coordinator merge — whose
+  totals footer agrees with ``ExecutionStats``; ``--json`` emits the raw
+  JSONL trace instead, ``--emit-trace PATH`` writes it alongside;
 - ``figures [NAME]`` — regenerate the paper's experiments and print
   their reports (fig2, fig2x, fig3, fig4, fig5, or all).
 """
@@ -59,6 +64,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="'star' or 'tree:R' for a two-level tree with R regions",
     )
     sql.add_argument("--max-rows", type=int, default=20, help="rows to print")
+
+    trace = commands.add_parser(
+        "trace", help="run a query traced and print a per-round timeline"
+    )
+    trace.add_argument("query", help="query text (same dialect as 'sql')")
+    _add_cluster_options(trace)
+    trace.add_argument(
+        "--data",
+        choices=("tpcr", "flows"),
+        default="tpcr",
+        help="which synthetic warehouse to build (table name TPCR or Flow)",
+    )
+    trace.add_argument(
+        "--topology",
+        default="star",
+        help="only 'star' supports tracing today",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw JSONL trace instead of the ASCII timeline",
+    )
+    trace.add_argument(
+        "--emit-trace",
+        metavar="PATH",
+        help="also write the JSONL trace to PATH",
+    )
 
     figures = commands.add_parser("figures", help="regenerate paper experiments")
     figures.add_argument(
@@ -177,6 +209,47 @@ def run_sql(args, out) -> int:
     return 0
 
 
+def run_trace(args, out) -> int:
+    from repro.net.costmodel import WAN
+    from repro.obs import MetricsRegistry, Tracer, build_trace, render_timeline
+    from repro.distributed.stats import verify_against_network
+
+    if args.topology != "star":
+        print(
+            f"tracing supports the star topology only, got {args.topology!r}",
+            file=sys.stderr,
+        )
+        return 2
+    statement = parse_olap_statement(args.query)
+    cluster = _build_cluster(args)
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    cluster.reset_network(metrics=registry)
+    result = execute_query(
+        cluster, statement.expression, _options(args), tracer=tracer, metrics=registry
+    )
+
+    log = build_trace(tracer, registry, result.stats, model=WAN)
+    if args.emit_trace:
+        log.dump(args.emit_trace)
+    if args.json:
+        out.write(log.dumps())
+        return 0
+
+    mismatches = verify_against_network(result.stats, cluster.network)
+    print(result.plan.describe(), file=out)
+    print(render_timeline(result.stats, WAN), file=out)
+    print(
+        f"trace: {len(tracer.spans)} spans, {len(registry)} metrics"
+        + (f", written to {args.emit_trace}" if args.emit_trace else ""),
+        file=out,
+    )
+    for mismatch in mismatches:  # pragma: no cover - bookkeeping invariant
+        print(f"WARNING stats/network mismatch — {mismatch}", file=sys.stderr)
+    return 1 if mismatches else 0
+
+
 def run_figures(args, out) -> int:
     from repro.bench import figure2, figure2_aware, figure3, figure4, figure5
 
@@ -217,6 +290,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return run_demo(args, out)
     if args.command == "sql":
         return run_sql(args, out)
+    if args.command == "trace":
+        return run_trace(args, out)
     if args.command == "figures":
         return run_figures(args, out)
     if args.command == "report":

@@ -19,6 +19,8 @@ from typing import Mapping, Optional, Sequence
 from repro.errors import WarehouseError
 from repro.distributed.site import SkallaSite
 from repro.net.channel import Network
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.relalg.operators import union_all
 from repro.relalg.relation import Relation
 from repro.warehouse.catalog import DistributionCatalog
@@ -46,6 +48,9 @@ class SimulatedCluster:
         }
         self.catalog = DistributionCatalog()
         self.network = Network(site_ids)
+        #: Span tracer for per-site evaluation; the evaluator installs a
+        #: live one per traced run (default: record nothing).
+        self.tracer = NULL_TRACER
 
     @classmethod
     def with_sites(cls, site_count: int) -> "SimulatedCluster":
@@ -161,9 +166,60 @@ class SimulatedCluster:
             table_name, attributes, partitions, max_values
         )
 
-    def reset_network(self) -> None:
-        """Fresh traffic counters (e.g. between benchmark repetitions)."""
-        self.network = Network(self.site_ids)
+    # -- traced site evaluation ---------------------------------------------------
+
+    def compute_base_at(self, site_id: str, source) -> Relation:
+        """Run one site's base-values query under a ``round.evaluate`` span."""
+        with self.tracer.span(
+            "round.evaluate", kind="site", site=site_id, phase="base"
+        ) as span:
+            result = self.site(site_id).compute_base(source)
+            span.set(rows=len(result))
+        return result
+
+    def evaluate_round_at(
+        self,
+        site_id: str,
+        base_fragment: Relation,
+        steps,
+        key_attrs,
+        independent_reduction: bool,
+    ) -> Relation:
+        """Run one site's round evaluation under a ``round.evaluate`` span."""
+        with self.tracer.span(
+            "round.evaluate",
+            kind="site",
+            site=site_id,
+            steps=len(steps),
+            fragment_rows=len(base_fragment),
+        ) as span:
+            result = self.site(site_id).evaluate_round(
+                base_fragment, steps, key_attrs, independent_reduction
+            )
+            span.set(rows=len(result))
+        return result
+
+    def evaluate_merged_round_at(
+        self, site_id: str, source, steps, key_attrs
+    ) -> Relation:
+        """Run one site's Proposition-2 round under a ``round.evaluate`` span."""
+        with self.tracer.span(
+            "round.evaluate", kind="site", site=site_id, merged_base=True
+        ) as span:
+            result = self.site(site_id).evaluate_merged_round(
+                source, steps, key_attrs
+            )
+            span.set(rows=len(result))
+        return result
+
+    def reset_network(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        """Fresh traffic counters (e.g. between benchmark repetitions).
+
+        Pass a registry to have the new channels account their bytes and
+        message counts there (a traced run shares one registry between
+        the network and the evaluator).
+        """
+        self.network = Network(self.site_ids, metrics=metrics)
 
     @property
     def site_count(self) -> int:

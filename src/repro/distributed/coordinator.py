@@ -19,15 +19,22 @@ from typing import Optional, Sequence
 from repro.errors import PlanError
 from repro.gmdj import operator
 from repro.gmdj.blocks import MDBlock
+from repro.obs.tracer import NULL_TRACER
 from repro.relalg.expressions import BASE_VAR, Expr
 from repro.relalg.relation import Relation
 
 
 class Coordinator:
-    """Holds and synchronizes the global base-result structure X."""
+    """Holds and synchronizes the global base-result structure X.
 
-    def __init__(self, key_attrs: Sequence[str]):
+    ``tracer`` records a ``round.merge`` span around every Theorem-1
+    merge / base synchronization; the default no-op tracer keeps the
+    untraced path free.
+    """
+
+    def __init__(self, key_attrs: Sequence[str], tracer=NULL_TRACER):
         self.key_attrs = tuple(key_attrs)
+        self.tracer = tracer
         self._x: Optional[Relation] = None
 
     # -- state --------------------------------------------------------------------
@@ -52,10 +59,14 @@ class Coordinator:
         """Union the sites' base-query results into B₀ (deduplicated)."""
         if not fragments:
             raise PlanError("no base fragments to synchronize")
-        combined = fragments[0]
-        for fragment in fragments[1:]:
-            combined = combined.union_all(fragment)
-        self._x = combined.distinct()
+        with self.tracer.span(
+            "round.merge", kind="coordinator", phase="base", fragments=len(fragments)
+        ) as span:
+            combined = fragments[0]
+            for fragment in fragments[1:]:
+                combined = combined.union_all(fragment)
+            self._x = combined.distinct()
+            span.set(rows=len(self._x))
         return self._x
 
     # -- round synchronization ----------------------------------------------------
@@ -82,7 +93,11 @@ class Coordinator:
         return operator.SyncSession(self.x, self.key_attrs, blocks)
 
     def commit_sync(self, session: operator.SyncSession) -> Relation:
-        self._x = session.finish()
+        with self.tracer.span(
+            "round.merge", kind="coordinator", phase="commit"
+        ) as span:
+            self._x = session.finish()
+            span.set(rows=len(self._x))
         return self._x
 
     def synchronize(self, sub_results: Sequence[Relation], blocks: Sequence[MDBlock]) -> Relation:
@@ -107,9 +122,16 @@ class Coordinator:
         """
         if not sub_results:
             raise PlanError("no sub-results to assemble")
-        h = sub_results[0]
-        for fragment in sub_results[1:]:
-            h = h.union_all(fragment)
-        base = h.distinct_project(self.key_attrs)
-        self._x = operator.super_aggregate(base, h, self.key_attrs, blocks)
+        with self.tracer.span(
+            "round.merge",
+            kind="coordinator",
+            phase="assemble",
+            fragments=len(sub_results),
+        ) as span:
+            h = sub_results[0]
+            for fragment in sub_results[1:]:
+                h = h.union_all(fragment)
+            base = h.distinct_project(self.key_attrs)
+            self._x = operator.super_aggregate(base, h, self.key_attrs, blocks)
+            span.set(rows=len(self._x))
         return self._x

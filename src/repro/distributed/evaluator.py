@@ -14,6 +14,12 @@ Attribution rules for the measured times:
 - communication *time* is not measured (everything is in-process) — it
   is modeled from the measured bytes by the cost model in
   ``repro.distributed.stats``.
+
+Tracing: pass a live :class:`~repro.obs.tracer.Tracer` to record the
+span tree ``query → round → round.{encode,evaluate,decode,merge}``, and
+a :class:`~repro.obs.metrics.MetricsRegistry` to capture the GMDJ
+operator counters for the run. Both default to no-ops, so the untraced
+hot path pays nothing beyond a handful of no-op calls per round.
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ from repro.errors import PlanError
 from repro.gmdj.expression import GMDJExpression, LiteralBase
 from repro.net import message as msg
 from repro.net.costmodel import CostModel, WAN
+from repro.obs.metrics import MetricsRegistry, activate
+from repro.obs.tracer import NULL_TRACER
 from repro.relalg.relation import Relation
 
 
@@ -44,12 +52,19 @@ class ExecutionConfig:
     message. More messages means more header bytes, but the coordinator
     synchronizes each arriving block immediately (Section 3.2's
     streaming merge), which in a real deployment overlaps transfer with
-    merge work. ``None`` ships each relation whole.
+    merge work. ``0`` — the default and the *only* "unlimited" sentinel
+    — ships each relation whole, one message per relation; ``None`` is
+    rejected.
     """
 
     row_block_size: int = 0  # 0 = unlimited (one message per relation)
 
     def __post_init__(self):
+        if self.row_block_size is None:
+            raise PlanError(
+                "row_block_size must be an int; use 0 (not None) to ship "
+                "each relation whole"
+            )
         if self.row_block_size < 0:
             raise PlanError(
                 f"row_block_size must be >= 0, got {self.row_block_size}"
@@ -89,47 +104,102 @@ def execute_plan(
     cluster: SimulatedCluster,
     plan: Plan,
     config: Optional[ExecutionConfig] = None,
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DistributedResult:
-    """Run a plan over the cluster and return result + statistics."""
+    """Run a plan over the cluster and return result + statistics.
+
+    ``tracer`` (default: the shared no-op tracer) records the run's span
+    tree; ``metrics`` (optional) becomes the active registry for the
+    duration, so operator counters land next to the run's channel
+    counters.
+    """
+    if tracer is None:
+        tracer = NULL_TRACER
+    if metrics is not None:
+        with activate(metrics):
+            return _execute_plan_traced(cluster, plan, config, tracer)
+    return _execute_plan_traced(cluster, plan, config, tracer)
+
+
+def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
     config = config or ExecutionConfig()
     stats = ExecutionStats()
-    coordinator = Coordinator(plan.expression.key)
-    _evaluate_base(cluster, plan, coordinator, stats)
-
-    for round_number, md_round in enumerate(plan.rounds, start=1):
-        round_stats = stats.new_round(
-            "chain" if md_round.is_chain else "md",
-            f"steps={len(md_round.steps)} sites={len(md_round.sites)}",
-        )
-        blocks = md_round.all_blocks()
-        sub_results = []
-        # Streaming synchronization (Section 3.2): for ordinary rounds the
-        # coordinator absorbs each site's sub-result as it arrives instead
-        # of assembling all of H first. Merged-base rounds must see all
-        # fragments to discover the base, so they collect.
-        session = None if md_round.merged_base else coordinator.begin_sync(blocks)
-
-        for site_id in md_round.sites:
-            channel = cluster.network.channel(site_id)
-            site = cluster.site(site_id)
-            site_stats = round_stats.site(site_id)
-
-            if md_round.merged_base:
-                # Proposition 2: no shipment down beyond the request header.
-                request = msg.Message(
-                    msg.BASE_QUERY, "coordinator", site_id, round_number
+    coordinator = Coordinator(plan.expression.key, tracer)
+    previous_tracer = cluster.tracer
+    cluster.tracer = tracer
+    try:
+        with tracer.span(
+            "query", kind="query", rounds=len(plan.rounds), sites=cluster.site_count
+        ):
+            _evaluate_base(cluster, plan, coordinator, stats, tracer)
+            for round_number, md_round in enumerate(plan.rounds, start=1):
+                round_stats = stats.new_round(
+                    "chain" if md_round.is_chain else "md",
+                    f"steps={len(md_round.steps)} sites={len(md_round.sites)}",
                 )
-                channel.send_to_site(request)
-                site_stats.bytes_down += request.size_bytes
-                channel.receive_at_site()
+                with tracer.span(
+                    "round",
+                    kind="round",
+                    index=round_stats.index,
+                    round_kind=round_stats.kind,
+                    sites=len(md_round.sites),
+                ) as round_span:
+                    _evaluate_round(
+                        cluster,
+                        plan,
+                        coordinator,
+                        config,
+                        tracer,
+                        md_round,
+                        round_number,
+                        round_stats,
+                    )
+                    round_span.set(
+                        bytes_down=round_stats.bytes_down,
+                        bytes_up=round_stats.bytes_up,
+                        coordinator_compute_s=round_stats.coordinator_compute_s,
+                    )
+    finally:
+        cluster.tracer = previous_tracer
+    return DistributedResult(coordinator.x, stats, plan)
 
-                started = time.perf_counter()
-                h_i = site.evaluate_merged_round(
-                    plan.base.source, md_round.steps, plan.expression.key
-                )
-                site_stats.compute_s += time.perf_counter() - started
-            else:
-                started = time.perf_counter()
+
+def _evaluate_round(
+    cluster, plan, coordinator, config, tracer, md_round, round_number, round_stats
+) -> None:
+    """One MD/chain round: fan out, evaluate, stream sub-results back."""
+    blocks = md_round.all_blocks()
+    sub_results = []
+    # Streaming synchronization (Section 3.2): for ordinary rounds the
+    # coordinator absorbs each site's sub-result as it arrives instead
+    # of assembling all of H first. Merged-base rounds must see all
+    # fragments to discover the base, so they collect.
+    session = None if md_round.merged_base else coordinator.begin_sync(blocks)
+
+    for site_id in md_round.sites:
+        channel = cluster.network.channel(site_id)
+        site_stats = round_stats.site(site_id)
+
+        if md_round.merged_base:
+            # Proposition 2: no shipment down beyond the request header.
+            request = msg.Message(
+                msg.BASE_QUERY, "coordinator", site_id, round_number
+            )
+            channel.send_to_site(request)
+            site_stats.bytes_down += request.size_bytes
+            channel.receive_at_site()
+
+            started = time.perf_counter()
+            h_i = cluster.evaluate_merged_round_at(
+                site_id, plan.base.source, md_round.steps, plan.expression.key
+            )
+            site_stats.compute_s += time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            with tracer.span(
+                "round.encode", kind="coordinator", site=site_id
+            ) as encode_span:
                 fragment = coordinator.fragment_for_site(
                     md_round.ship_filter(site_id)
                 )
@@ -139,40 +209,54 @@ def execute_plan(
                     )
                     for block in config.blocks_of(fragment)
                 ]
-                round_stats.coordinator_compute_s += time.perf_counter() - started
-                for shipment in down_blocks:
-                    channel.send_to_site(shipment)
-                    site_stats.bytes_down += shipment.size_bytes
-                site_stats.tuples_down += len(fragment)
+                encode_span.set(
+                    rows=len(fragment),
+                    messages=len(down_blocks),
+                    bytes=sum(shipment.size_bytes for shipment in down_blocks),
+                )
+            round_stats.coordinator_compute_s += time.perf_counter() - started
+            for shipment in down_blocks:
+                channel.send_to_site(shipment)
+                site_stats.bytes_down += shipment.size_bytes
+            site_stats.tuples_down += len(fragment)
 
-                started = time.perf_counter()
+            started = time.perf_counter()
+            with tracer.span("round.decode", kind="site", site=site_id):
                 base_fragment = channel.receive_at_site().relation()
                 for _extra in down_blocks[1:]:
                     base_fragment = base_fragment.union_all(
                         channel.receive_at_site().relation()
                     )
-                h_i = site.evaluate_round(
-                    base_fragment,
-                    md_round.steps,
-                    plan.expression.key,
-                    md_round.independent_reduction,
-                )
-                site_stats.compute_s += time.perf_counter() - started
+            h_i = cluster.evaluate_round_at(
+                site_id,
+                base_fragment,
+                md_round.steps,
+                plan.expression.key,
+                md_round.independent_reduction,
+            )
+            site_stats.compute_s += time.perf_counter() - started
 
-            started = time.perf_counter()
+        started = time.perf_counter()
+        with tracer.span("round.encode", kind="site", site=site_id) as encode_span:
             up_blocks = [
                 msg.Message.with_relation(
                     msg.SUB_RESULT, site_id, "coordinator", round_number, block
                 )
                 for block in config.blocks_of(h_i)
             ]
-            site_stats.compute_s += time.perf_counter() - started
-            for reply in up_blocks:
-                channel.send_to_coordinator(reply)
-                site_stats.bytes_up += reply.size_bytes
-            site_stats.tuples_up += len(h_i)
+            encode_span.set(
+                rows=len(h_i),
+                messages=len(up_blocks),
+                bytes=sum(reply.size_bytes for reply in up_blocks),
+            )
+        site_stats.compute_s += time.perf_counter() - started
+        for reply in up_blocks:
+            channel.send_to_coordinator(reply)
+            site_stats.bytes_up += reply.size_bytes
+        site_stats.tuples_up += len(h_i)
 
-            started = time.perf_counter()
+        started = time.perf_counter()
+        with tracer.span("round.decode", kind="coordinator", site=site_id):
             collected = None
             for _reply in up_blocks:
                 received_h = channel.receive_at_coordinator().relation()
@@ -185,21 +269,19 @@ def execute_plan(
                 else:
                     # Streaming merge: each block synchronizes on arrival.
                     session.absorb(received_h)
-            if session is None:
-                sub_results.append(collected)
-            round_stats.coordinator_compute_s += time.perf_counter() - started
-
-        started = time.perf_counter()
-        if md_round.merged_base:
-            coordinator.assemble_from_chain(sub_results, blocks)
-        else:
-            coordinator.commit_sync(session)
+        if session is None:
+            sub_results.append(collected)
         round_stats.coordinator_compute_s += time.perf_counter() - started
 
-    return DistributedResult(coordinator.x, stats, plan)
+    started = time.perf_counter()
+    if md_round.merged_base:
+        coordinator.assemble_from_chain(sub_results, blocks)
+    else:
+        coordinator.commit_sync(session)
+    round_stats.coordinator_compute_s += time.perf_counter() - started
 
 
-def _evaluate_base(cluster, plan, coordinator, stats) -> None:
+def _evaluate_base(cluster, plan, coordinator, stats, tracer=NULL_TRACER) -> None:
     base = plan.base
     if base.merged_into_chain:
         return
@@ -215,34 +297,44 @@ def _evaluate_base(cluster, plan, coordinator, stats) -> None:
         return
 
     round_stats = stats.new_round("base", f"distributed over {len(base.sites)} sites")
-    fragments = []
-    for site_id in base.sites:
-        channel = cluster.network.channel(site_id)
-        site = cluster.site(site_id)
-        site_stats = round_stats.site(site_id)
+    with tracer.span(
+        "round", kind="round", index=round_stats.index, round_kind="base",
+        sites=len(base.sites),
+    ) as round_span:
+        fragments = []
+        for site_id in base.sites:
+            channel = cluster.network.channel(site_id)
+            site_stats = round_stats.site(site_id)
 
-        request = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
-        channel.send_to_site(request)
-        site_stats.bytes_down += request.size_bytes
-        channel.receive_at_site()
+            request = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
+            channel.send_to_site(request)
+            site_stats.bytes_down += request.size_bytes
+            channel.receive_at_site()
+
+            started = time.perf_counter()
+            b_i = cluster.compute_base_at(site_id, base.source)
+            with tracer.span("round.encode", kind="site", site=site_id):
+                reply = msg.Message.with_relation(
+                    msg.BASE_RESULT, site_id, "coordinator", 0, b_i
+                )
+            site_stats.compute_s += time.perf_counter() - started
+            channel.send_to_coordinator(reply)
+            site_stats.bytes_up += reply.size_bytes
+            site_stats.tuples_up += len(b_i)
+
+            started = time.perf_counter()
+            with tracer.span("round.decode", kind="coordinator", site=site_id):
+                fragments.append(channel.receive_at_coordinator().relation())
+            round_stats.coordinator_compute_s += time.perf_counter() - started
 
         started = time.perf_counter()
-        b_i = site.compute_base(base.source)
-        reply = msg.Message.with_relation(
-            msg.BASE_RESULT, site_id, "coordinator", 0, b_i
-        )
-        site_stats.compute_s += time.perf_counter() - started
-        channel.send_to_coordinator(reply)
-        site_stats.bytes_up += reply.size_bytes
-        site_stats.tuples_up += len(b_i)
-
-        started = time.perf_counter()
-        fragments.append(channel.receive_at_coordinator().relation())
+        coordinator.sync_base(fragments)
         round_stats.coordinator_compute_s += time.perf_counter() - started
-
-    started = time.perf_counter()
-    coordinator.sync_base(fragments)
-    round_stats.coordinator_compute_s += time.perf_counter() - started
+        round_span.set(
+            bytes_down=round_stats.bytes_down,
+            bytes_up=round_stats.bytes_up,
+            coordinator_compute_s=round_stats.coordinator_compute_s,
+        )
 
 
 def execute_query(
@@ -250,7 +342,9 @@ def execute_query(
     expression: GMDJExpression,
     options: Optional[OptimizationOptions] = None,
     config: Optional[ExecutionConfig] = None,
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DistributedResult:
     """Plan and execute a GMDJ expression in one call."""
     plan = plan_query(expression, cluster.catalog, options)
-    return execute_plan(cluster, plan, config)
+    return execute_plan(cluster, plan, config, tracer=tracer, metrics=metrics)

@@ -201,6 +201,22 @@ class ExecutionStats:
             "total_s": site + coordinator + communication,
         }
 
+    def overlap_tolerance_s(self, model: CostModel) -> float:
+        """The documented bound on breakdown-vs-critical-path divergence.
+
+        Per round the additive breakdown charges ``max_i(down_i + up_i)
+        + max_i(compute_i)`` where the exact critical path takes
+        ``max_i(down_i + compute_i + up_i)``; the exact path is at least
+        the larger of the two maxima, so the additive total exceeds it by
+        at most the *smaller* — the round-internal overlap. Summed over
+        rounds this bounds ``breakdown(model)["total_s"] -
+        response_time_s(model)`` from above (and 0 bounds it from below).
+        """
+        return sum(
+            min(stats.communication_s(model), stats.site_compute_critical_s())
+            for stats in self.rounds
+        )
+
     def to_dict(self, model: CostModel = None) -> dict:
         """A JSON-serializable snapshot for dashboards and tooling.
 
@@ -253,6 +269,46 @@ class ExecutionStats:
                 f"sites={len(round_stats.sites)}"
             )
         return "\n".join(lines)
+
+
+def verify_against_network(stats: ExecutionStats, network) -> list:
+    """Cross-check measured stats against the channels' own accounting.
+
+    The evaluator attributes bytes to rounds/sites as it sends; the
+    channels count the same traffic independently (per direction, via
+    :meth:`~repro.net.channel.DirectionStats.bytes_in_round`). Returns a
+    list of human-readable mismatch descriptions — empty when the two
+    bookkeepers agree, which the ``repro trace`` timeline relies on.
+    """
+    problems = []
+    down = sum(
+        network.channel(site_id).downstream.bytes for site_id in network.site_ids
+    )
+    up = sum(
+        network.channel(site_id).upstream.bytes for site_id in network.site_ids
+    )
+    if stats.bytes_down != down:
+        problems.append(f"bytes_down: stats={stats.bytes_down} network={down}")
+    if stats.bytes_up != up:
+        problems.append(f"bytes_up: stats={stats.bytes_up} network={up}")
+    for site_id in network.site_ids:
+        channel = network.channel(site_id)
+        stats_total = sum(
+            site.bytes_down + site.bytes_up
+            for round_stats in stats.rounds
+            for observed_id, site in round_stats.sites.items()
+            if observed_id == site_id
+        )
+        wire_total = sum(
+            channel.downstream.bytes_in_round(index)
+            + channel.upstream.bytes_in_round(index)
+            for index in channel.downstream.by_round | channel.upstream.by_round
+        )
+        if stats_total != wire_total:
+            problems.append(
+                f"site {site_id}: stats={stats_total} network={wire_total}"
+            )
+    return problems
 
 
 def theorem2_bound(

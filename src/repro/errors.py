@@ -73,3 +73,11 @@ class CatalogError(ReproError):
 
 class WarehouseError(ReproError):
     """A local warehouse operation failed (unknown table, bad partition)."""
+
+
+class ObservabilityError(ReproError):
+    """A tracing/metrics operation failed (bad metric, malformed trace)."""
+
+
+class TraceSchemaError(ObservabilityError):
+    """A JSONL trace file is malformed or has an unsupported schema version."""

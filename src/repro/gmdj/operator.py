@@ -27,6 +27,7 @@ from typing import Sequence
 
 from repro.errors import HolisticAggregateError
 from repro.gmdj.blocks import MDBlock, result_schema, sub_result_schema
+from repro.obs.metrics import active_registry
 from repro.relalg.expressions import BASE_VAR, DETAIL_VAR
 from repro.relalg.predicates import split_condition
 from repro.relalg.relation import Relation
@@ -43,6 +44,7 @@ def evaluate(base: Relation, detail: Relation, blocks: Sequence[MDBlock]) -> Rel
             for accumulator in accumulators[block_index][base_index]:
                 extra.append(accumulator.result())
         rows.append(base_row + tuple(extra))
+    active_registry().counter("gmdj.tuples_emitted").inc(len(rows))
     return Relation(schema, rows)
 
 
@@ -70,6 +72,7 @@ def evaluate_sub(
             for accumulator in accumulators[block_index][base_index]:
                 extra.extend(accumulator.sub_values())
         rows.append(base_row + tuple(extra))
+    active_registry().counter("gmdj.tuples_emitted").inc(len(rows))
     return Relation(schema, rows), touched
 
 
@@ -104,6 +107,7 @@ def evaluate_both(
         sub_rows.append(base_row + tuple(subs))
     full = Relation(result_schema(base.schema, blocks), full_rows)
     sub = Relation(sub_result_schema(base.schema, blocks), sub_rows)
+    active_registry().counter("gmdj.tuples_emitted").inc(len(full_rows))
     return full, sub, touched
 
 
@@ -256,6 +260,7 @@ def _accumulate(base, detail, blocks, track_touch):
     schemas = {BASE_VAR: base.schema, DETAIL_VAR: detail.schema, None: detail.schema}
     touched = [False] * len(base.rows) if track_touch else None
     accumulators = []
+    tuples_examined = 0
 
     for block in blocks:
         block_accumulators = [
@@ -294,6 +299,7 @@ def _accumulate(base, detail, blocks, track_touch):
             detail_rows = detail.rows
 
         residual_funcs = [conjunct.compile(schemas) for conjunct in split.residual]
+        tuples_examined += len(detail_rows)
 
         if split.hashable:
             base_key_funcs = [atom.base_expr.compile(schemas) for atom in split.atoms]
@@ -350,4 +356,5 @@ def _accumulate(base, detail, blocks, track_touch):
                     ):
                         accumulator.update(value)
 
+    active_registry().counter("gmdj.tuples_examined").inc(tuples_examined)
     return accumulators, touched

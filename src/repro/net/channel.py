@@ -5,46 +5,107 @@ as encoded :class:`~repro.net.message.Message` payloads — the receiving
 side *decodes* the bytes into fresh objects, so sites and coordinator
 never share mutable state, exactly as separate machines would not.
 
-Channels count bytes per direction and per round; these counters are the
+Byte/message accounting lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (one per :class:`Network`,
+or injected so a traced run sees wire traffic next to its spans):
+``net.messages{direction,site}``, ``net.bytes{direction,site}`` and the
+per-round ``net.round.bytes{direction,round,site}`` counters are the
 ground truth behind every "data transferred" number reported by the
-benchmarks.
+benchmarks. :class:`DirectionStats` keeps its historic ``messages`` /
+``bytes`` / ``by_round`` surface as *views* over those counters.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import NetworkError
 from repro.net.message import Message
+from repro.obs.metrics import Counter, MetricsRegistry
+
+DOWN = "down"  # coordinator -> site
+UP = "up"  # site -> coordinator
 
 
-@dataclass
 class DirectionStats:
-    """Byte/message counters for one direction of a channel."""
+    """Byte/message counters for one direction of a channel.
 
-    messages: int = 0
-    bytes: int = 0
-    by_round: dict = field(default_factory=dict)
+    A view over the channel's metrics registry: recording increments
+    registry counters, and the read properties reflect them, so existing
+    callers (stats, benchmarks, tests) see the same numbers whether they
+    read the registry or this object.
+    """
+
+    __slots__ = ("site_id", "direction", "_registry", "_messages", "_bytes", "_rounds")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        site_id: str = "",
+        direction: str = DOWN,
+    ):
+        if direction not in (DOWN, UP):
+            raise NetworkError(f"unknown direction {direction!r}")
+        self.site_id = site_id
+        self.direction = direction
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._messages = self._registry.counter(
+            "net.messages", direction=direction, site=site_id
+        )
+        self._bytes = self._registry.counter(
+            "net.bytes", direction=direction, site=site_id
+        )
+        self._rounds: Dict[int, Counter] = {}
 
     def record(self, message: Message) -> None:
-        self.messages += 1
-        self.bytes += message.size_bytes
-        self.by_round[message.round_index] = (
-            self.by_round.get(message.round_index, 0) + message.size_bytes
-        )
+        self._messages.inc()
+        self._bytes.inc(message.size_bytes)
+        round_counter = self._rounds.get(message.round_index)
+        if round_counter is None:
+            round_counter = self._registry.counter(
+                "net.round.bytes",
+                direction=self.direction,
+                site=self.site_id,
+                round=message.round_index,
+            )
+            self._rounds[message.round_index] = round_counter
+        round_counter.inc(message.size_bytes)
+
+    # -- read views --------------------------------------------------------------
+
+    @property
+    def messages(self) -> int:
+        return self._messages.value
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes.value
+
+    @property
+    def by_round(self) -> Dict[int, int]:
+        """Bytes per round index (a fresh snapshot dict on every access)."""
+        return {
+            round_index: counter.value
+            for round_index, counter in self._rounds.items()
+        }
+
+    def bytes_in_round(self, round_index: int) -> int:
+        """Bytes this direction moved in one round (0 if it was idle)."""
+        counter = self._rounds.get(round_index)
+        return counter.value if counter is not None else 0
 
 
 class Channel:
     """A duplex queue pair between the coordinator and one site."""
 
-    def __init__(self, site_id: str):
+    def __init__(self, site_id: str, metrics: Optional[MetricsRegistry] = None):
         self.site_id = site_id
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._to_site: deque = deque()
         self._to_coordinator: deque = deque()
-        self.downstream = DirectionStats()  # coordinator -> site
-        self.upstream = DirectionStats()  # site -> coordinator
+        self.downstream = DirectionStats(self.metrics, site_id, DOWN)
+        self.upstream = DirectionStats(self.metrics, site_id, UP)
 
     def send_to_site(self, message: Message) -> None:
         if message.recipient != self.site_id:
@@ -82,8 +143,11 @@ class Channel:
 class Network:
     """The star topology: one channel per site, coordinator at the hub."""
 
-    def __init__(self, site_ids):
-        self._channels = {site_id: Channel(site_id) for site_id in site_ids}
+    def __init__(self, site_ids, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._channels = {
+            site_id: Channel(site_id, self.metrics) for site_id in site_ids
+        }
         if not self._channels:
             raise NetworkError("a network needs at least one site")
 
@@ -113,6 +177,6 @@ class Network:
         )
         total = 0
         for channel in channels:
-            total += channel.downstream.by_round.get(round_index, 0)
-            total += channel.upstream.by_round.get(round_index, 0)
+            total += channel.downstream.bytes_in_round(round_index)
+            total += channel.upstream.bytes_in_round(round_index)
         return total

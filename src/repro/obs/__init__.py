@@ -1,0 +1,51 @@
+"""Observability for the Skalla reproduction: spans, metrics, JSONL traces.
+
+Four pieces, all zero-dependency and import-free of the execution layers
+(so any module may instrument itself without cycles):
+
+- :mod:`repro.obs.tracer` — span tracing with a no-op default
+  (:data:`NULL_TRACER`) so untraced runs pay nothing;
+- :mod:`repro.obs.metrics` — process-local counters/gauges/histograms;
+- :mod:`repro.obs.events` — schema-versioned JSONL trace export with a
+  lossless ``dump``/``load`` round trip;
+- :mod:`repro.obs.timeline` — the ASCII per-round timeline behind the
+  ``repro trace`` CLI subcommand.
+"""
+
+from repro.obs.events import SCHEMA_VERSION, EventLog, build_trace
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    GLOBAL_REGISTRY,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    activate,
+    active_registry,
+    set_active_registry,
+)
+from repro.obs.timeline import render_timeline, timeline_totals
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "Counter",
+    "EventLog",
+    "GLOBAL_REGISTRY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "SECONDS_BUCKETS",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_registry",
+    "build_trace",
+    "render_timeline",
+    "set_active_registry",
+    "timeline_totals",
+]

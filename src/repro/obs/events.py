@@ -1,0 +1,212 @@
+"""Structured JSONL trace export with a versioned schema.
+
+One trace file is a sequence of JSON objects, one per line:
+
+- line 1 is the **header**: ``{"record": "header", "schema_version": 1,
+  "generator": "repro.obs"}``;
+- every following line is a record with a ``"record"`` type tag:
+
+  - ``"span"`` — one :class:`~repro.obs.tracer.Span` (name, kind, ids,
+    monotonic start/end seconds, attribute dict);
+  - ``"metric"`` — one metric snapshot (encoded identity, type,
+    value or histogram buckets) from a
+    :class:`~repro.obs.metrics.MetricsRegistry`;
+  - ``"stats"`` — the run's :class:`~repro.distributed.stats.ExecutionStats`
+    snapshot (``to_dict``), the same numbers the benchmarks report.
+
+The round trip is redaction-free and lossless: ``load(dump(path))``
+returns exactly the records written. Unknown record types are preserved
+(they validate as long as they carry a ``"record"`` tag), so older
+readers skip rather than crash on newer producers *within* a schema
+version; a different ``schema_version`` is rejected loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.errors import TraceSchemaError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+#: Version of the JSONL record layout. Bump on any breaking change.
+SCHEMA_VERSION = 1
+
+GENERATOR = "repro.obs"
+
+_SPAN_REQUIRED = ("name", "kind", "span_id", "parent_id", "start_s", "end_s")
+_METRIC_REQUIRED = ("name", "type")
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+class EventLog:
+    """An in-memory JSONL trace: a list of record dicts plus the header."""
+
+    def __init__(self, records: Optional[List[dict]] = None,
+                 schema_version: int = SCHEMA_VERSION):
+        self.schema_version = schema_version
+        self.records: List[dict] = list(records or [])
+
+    # -- building ----------------------------------------------------------------
+
+    def append(self, record_type: str, **fields) -> dict:
+        record = {"record": record_type, **fields}
+        self.records.append(record)
+        return record
+
+    def add_span(self, span: Span) -> dict:
+        return self.append("span", **span.to_dict())
+
+    def add_metrics(self, registry: MetricsRegistry) -> None:
+        for key, snapshot in registry.snapshot().items():
+            self.append("metric", name=key, **snapshot)
+
+    # -- reading -----------------------------------------------------------------
+
+    def records_of(self, record_type: str) -> List[dict]:
+        return [record for record in self.records if record["record"] == record_type]
+
+    def spans(self) -> List[Span]:
+        return [Span.from_dict(record) for record in self.records_of("span")]
+
+    def header(self) -> dict:
+        return {
+            "record": "header",
+            "schema_version": self.schema_version,
+            "generator": GENERATOR,
+        }
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every record against the schema; raise TraceSchemaError."""
+        if self.schema_version != SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"unsupported trace schema version {self.schema_version!r} "
+                f"(this reader understands {SCHEMA_VERSION})"
+            )
+        for line_number, record in enumerate(self.records, start=2):
+            _validate_record(record, line_number)
+
+    # -- serialization -----------------------------------------------------------
+
+    def dumps(self) -> str:
+        """The JSONL text: header line plus one line per record."""
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True) for record in self.records)
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "EventLog":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceSchemaError("empty trace: missing header line")
+        records = []
+        for line_number, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(
+                    f"line {line_number}: not valid JSON ({error})"
+                ) from None
+            if not isinstance(record, dict) or "record" not in record:
+                raise TraceSchemaError(
+                    f"line {line_number}: every record needs a 'record' tag"
+                )
+            records.append(record)
+        header = records[0]
+        if header["record"] != "header":
+            raise TraceSchemaError("line 1: first record must be the header")
+        version = header.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"unsupported trace schema version {version!r} "
+                f"(this reader understands {SCHEMA_VERSION})"
+            )
+        log = cls(records[1:], schema_version=version)
+        log.validate()
+        return log
+
+    @classmethod
+    def load(cls, path) -> "EventLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.loads(handle.read())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, EventLog)
+            and self.schema_version == other.schema_version
+            and self.records == other.records
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _validate_record(record: dict, line_number: int) -> None:
+    record_type = record.get("record")
+    if not isinstance(record_type, str):
+        raise TraceSchemaError(f"line {line_number}: 'record' tag must be a string")
+    if record_type == "span":
+        for field_name in _SPAN_REQUIRED:
+            if field_name not in record:
+                raise TraceSchemaError(
+                    f"line {line_number}: span record missing {field_name!r}"
+                )
+        if not isinstance(record.get("attributes", {}), dict):
+            raise TraceSchemaError(
+                f"line {line_number}: span attributes must be an object"
+            )
+    elif record_type == "metric":
+        for field_name in _METRIC_REQUIRED:
+            if field_name not in record:
+                raise TraceSchemaError(
+                    f"line {line_number}: metric record missing {field_name!r}"
+                )
+        if record["type"] not in _METRIC_TYPES:
+            raise TraceSchemaError(
+                f"line {line_number}: unknown metric type {record['type']!r}"
+            )
+        if record["type"] == "histogram":
+            if "counts" not in record or "boundaries" not in record:
+                raise TraceSchemaError(
+                    f"line {line_number}: histogram record needs counts+boundaries"
+                )
+        elif "value" not in record:
+            raise TraceSchemaError(
+                f"line {line_number}: {record['type']} record missing 'value'"
+            )
+    elif record_type == "stats":
+        if "rounds" not in record:
+            raise TraceSchemaError(
+                f"line {line_number}: stats record missing 'rounds'"
+            )
+    # Unknown record types are allowed within a schema version.
+
+
+def build_trace(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    stats=None,
+    model=None,
+) -> EventLog:
+    """Assemble one run's trace: spans, metrics snapshot, stats snapshot.
+
+    ``stats`` is an :class:`~repro.distributed.stats.ExecutionStats` (kept
+    untyped here so ``repro.obs`` stays import-free of the distributed
+    layer); ``model`` optionally prices its communication breakdown.
+    """
+    log = EventLog()
+    if tracer is not None and getattr(tracer, "enabled", False):
+        for span in tracer.spans:
+            log.add_span(span)
+    if metrics is not None:
+        log.add_metrics(metrics)
+    if stats is not None:
+        log.append("stats", **stats.to_dict(model))
+    return log

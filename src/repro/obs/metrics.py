@@ -1,0 +1,224 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The execution stack records its load-bearing quantities here — wire
+bytes and message counts per direction and round
+(:mod:`repro.net.channel`), tuples examined/emitted by the GMDJ scan
+(:mod:`repro.gmdj.operator`) — so one registry snapshot answers "where
+did the bytes and tuples go" for a whole run.
+
+Metric identity is ``name`` plus an optional sorted label set, encoded
+as ``name{k=v,...}``; registering the same identity with a different
+metric type raises :class:`~repro.errors.ObservabilityError`. Everything
+snapshots to plain dicts for the JSONL trace export
+(:mod:`repro.obs.events`).
+
+A module-level *active* registry serves instrumentation points that have
+no natural parameter to thread a registry through (the GMDJ operator
+functions). The default active registry is a real registry — recording
+is cheap enough (an integer add per operator call) that there is no null
+variant; :func:`activate` swaps it for a run-scoped registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Histogram boundaries for byte sizes (message/relation payloads).
+BYTES_BUCKETS: Tuple[float, ...] = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+)
+
+#: Histogram boundaries for durations in seconds.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value metric (set/add)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-style bucket counts.
+
+    ``boundaries`` are upper bounds of the non-overflow buckets;
+    observations greater than the last boundary land in the implicit
+    overflow bucket. ``counts`` has ``len(boundaries) + 1`` entries.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "boundaries", "counts", "count", "sum")
+
+    def __init__(self, name: str, boundaries: Sequence[float] = SECONDS_BUCKETS):
+        boundaries = tuple(float(bound) for bound in boundaries)
+        if not boundaries:
+            raise ObservabilityError(f"histogram {name!r} needs at least one boundary")
+        if list(boundaries) != sorted(boundaries):
+            raise ObservabilityError(
+                f"histogram {name!r} boundaries must be sorted, got {boundaries}"
+            )
+        self.name = name
+        self.boundaries = boundaries
+        self.counts = [0] * (len(boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+def _metric_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    encoded = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{encoded}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for the process's metrics."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, labels: dict, *args):
+        key = _metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key, *args)
+            self._metrics[key] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise ObservabilityError(
+                f"metric {key!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = SECONDS_BUCKETS, **labels
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, boundaries)
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, name: str, **labels) -> Optional[object]:
+        """The metric at this identity, or None if never registered."""
+        return self._metrics.get(_metric_key(name, labels))
+
+    def value_of(self, name: str, default: float = 0, **labels) -> float:
+        metric = self.get(name, **labels)
+        if metric is None:
+            return default
+        return metric.value  # counters and gauges; histograms have no .value
+
+    def sum_matching(self, prefix: str) -> float:
+        """Sum of counter/gauge values whose key starts with ``prefix``.
+
+        ``prefix`` should include the ``{`` when summing one metric name
+        across label sets (e.g. ``"net.bytes{"``), so that metric names
+        sharing a prefix are not conflated.
+        """
+        total = 0
+        for key, metric in self._metrics.items():
+            if key.startswith(prefix) and isinstance(metric, (Counter, Gauge)):
+                total += metric.value
+        return total
+
+    def snapshot(self) -> dict:
+        """All metrics as plain dicts, keyed by encoded identity."""
+        return {
+            key: metric.snapshot() for key, metric in sorted(self._metrics.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The process-local default registry (instrumentation with no threading path).
+GLOBAL_REGISTRY = MetricsRegistry()
+
+_active = GLOBAL_REGISTRY
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry instrumentation points record into right now."""
+    return _active
+
+
+def set_active_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as active; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+@contextmanager
+def activate(registry: MetricsRegistry):
+    """Scope ``registry`` as the active registry for a ``with`` block."""
+    previous = set_active_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_active_registry(previous)

@@ -1,0 +1,117 @@
+"""ASCII per-round timeline of one distributed evaluation.
+
+Renders an :class:`~repro.distributed.stats.ExecutionStats` (duck-typed;
+this module imports nothing from the distributed layer) as rows of
+rounds: one bar per site scaled to ``down_xfer + compute + up_xfer``
+(transfers priced by a :class:`~repro.net.costmodel.CostModel`), with
+the coordinator merge appended as its own bar, plus a totals footer that
+agrees with the stats object to the digit — the footer *is* printed from
+the same fields the benchmarks report.
+
+Bar legend: ``<`` down transfer, ``=`` site compute, ``>`` up transfer,
+``#`` coordinator compute/merge.
+"""
+
+from __future__ import annotations
+
+from repro.net.costmodel import CostModel, WAN
+
+
+def _segment(chars: str, seconds: float, scale: float) -> str:
+    if seconds <= 0:
+        return ""
+    return chars * max(1, round(seconds * scale))
+
+
+def _fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.6f}s"
+
+
+def _fmt_bytes(count: int) -> str:
+    return f"{count}B"
+
+
+def timeline_totals(stats, model: CostModel = WAN) -> dict:
+    """The footer numbers, straight from ``ExecutionStats`` accessors."""
+    breakdown = stats.breakdown(model)
+    return {
+        "rounds": stats.round_count,
+        "bytes_total": stats.bytes_total,
+        "bytes_down": stats.bytes_down,
+        "bytes_up": stats.bytes_up,
+        "tuples_total": stats.tuples_total,
+        "site_compute_s": stats.site_compute_s(),
+        "coordinator_compute_s": stats.coordinator_compute_s(),
+        "communication_s": breakdown["communication_s"],
+        "total_s": breakdown["total_s"],
+    }
+
+
+def render_timeline(stats, model: CostModel = WAN, width: int = 48) -> str:
+    """The full timeline: one block per round, then the totals footer."""
+    rows = []  # (round, [(site_id, down_s, compute_s, up_s)], merge_s)
+    longest = 0.0
+    for round_stats in stats.rounds:
+        site_rows = []
+        for site_id in sorted(round_stats.sites):
+            site = round_stats.sites[site_id]
+            down_s = model.transfer_time(site.bytes_down) if site.bytes_down else 0.0
+            up_s = model.transfer_time(site.bytes_up) if site.bytes_up else 0.0
+            site_rows.append((site_id, down_s, site.compute_s, up_s))
+            longest = max(longest, down_s + site.compute_s + up_s)
+        longest = max(longest, round_stats.coordinator_compute_s)
+        rows.append((round_stats, site_rows))
+
+    scale = (width / longest) if longest > 0 else 0.0
+    label_width = max(
+        [len("merge")]
+        + [len(site_id) for round_stats, site_rows in rows for site_id, *_ in site_rows]
+    )
+
+    lines = [
+        "per-round timeline "
+        f"(model: latency={model.latency_s}s, "
+        f"bandwidth={model.bandwidth_bytes_per_s:.0f}B/s; "
+        "bar: <down =compute >up #merge)"
+    ]
+    for round_stats, site_rows in rows:
+        lines.append(
+            f"round {round_stats.index} [{round_stats.kind}] "
+            f"{round_stats.description}".rstrip()
+        )
+        for site_id, down_s, compute_s, up_s in site_rows:
+            bar = (
+                _segment("<", down_s, scale)
+                + _segment("=", compute_s, scale)
+                + _segment(">", up_s, scale)
+            )
+            total_s = down_s + compute_s + up_s
+            site = round_stats.sites[site_id]
+            lines.append(
+                f"  {site_id.ljust(label_width)}  {bar.ljust(width)}  "
+                f"{_fmt_seconds(total_s)}  "
+                f"down={_fmt_bytes(site.bytes_down)} "
+                f"compute={_fmt_seconds(site.compute_s)} "
+                f"up={_fmt_bytes(site.bytes_up)}"
+            )
+        merge_s = round_stats.coordinator_compute_s
+        lines.append(
+            f"  {'merge'.ljust(label_width)}  "
+            f"{_segment('#', merge_s, scale).ljust(width)}  "
+            f"{_fmt_seconds(merge_s)}"
+        )
+
+    totals = timeline_totals(stats, model)
+    lines.append(
+        f"totals: rounds={totals['rounds']} "
+        f"bytes={totals['bytes_total']} "
+        f"(down={totals['bytes_down']} up={totals['bytes_up']}) "
+        f"tuples={totals['tuples_total']}"
+    )
+    lines.append(
+        f"        site_compute={_fmt_seconds(totals['site_compute_s'])} "
+        f"coordinator_compute={_fmt_seconds(totals['coordinator_compute_s'])} "
+        f"modeled_communication={_fmt_seconds(totals['communication_s'])} "
+        f"total={_fmt_seconds(totals['total_s'])}"
+    )
+    return "\n".join(lines)

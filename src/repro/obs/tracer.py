@@ -1,0 +1,193 @@
+"""Zero-dependency span tracer for Alg. GMDJDistribEval.
+
+The evaluator, coordinator, cluster and channels are instrumented with
+*spans*: named intervals on the process-local monotonic clock, nested by
+a parent pointer, carrying free-form attributes (site id, round index,
+byte counts...). The span taxonomy mirrors the algorithm::
+
+    query
+    └── round                 one per entry in ExecutionStats.rounds
+        ├── round.encode      building wire messages (coordinator or site)
+        ├── round.evaluate    a site's local GMDJ evaluation
+        ├── round.decode      decoding an incoming relation payload
+        └── round.merge       the coordinator's Theorem-1 merge
+
+Tracing is opt-in. The default :data:`NULL_TRACER` satisfies the same
+interface with a shared, stateless context manager, so the hot path pays
+one attribute lookup and one no-op call when tracing is off — nothing is
+allocated and no clock is read.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Span:
+    """One named interval, nested via ``parent_id``.
+
+    ``start_s``/``end_s`` are monotonic (``time.perf_counter``) seconds;
+    they order and measure spans within one trace but carry no epoch.
+    ``end_s`` is ``None`` while the span is open.
+    """
+
+    name: str
+    kind: str
+    span_id: int
+    parent_id: Optional[int]
+    start_s: float
+    end_s: Optional[float] = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attributes) -> "Span":
+        """Attach or overwrite attributes (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            span_id=payload["span_id"],
+            parent_id=payload["parent_id"],
+            start_s=payload["start_s"],
+            end_s=payload["end_s"],
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+class _SpanHandle:
+    """Context manager opening one span on enter, closing it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_kind", "_attributes", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, kind: str, attributes: dict):
+        self._tracer = tracer
+        self._name = name
+        self._kind = kind
+        self._attributes = attributes
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._open(self._name, self._kind, self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self.span, error=exc is not None)
+        return False
+
+
+class Tracer:
+    """Records spans on a single-threaded execution.
+
+    Spans appear in :attr:`spans` in *opening* order; nesting is encoded
+    by ``parent_id`` (the innermost open span when a new one opens).
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._next_id = 1
+        self._stack: list = []
+        self.spans: list = []
+
+    def span(self, name: str, kind: str = "span", **attributes) -> _SpanHandle:
+        """Open a span as a context manager: ``with tracer.span("round"):``."""
+        return _SpanHandle(self, name, kind, attributes)
+
+    def _open(self, name: str, kind: str, attributes: dict) -> Span:
+        span = Span(
+            name=name,
+            kind=kind,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_s=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span, error: bool = False) -> None:
+        popped = self._stack.pop()
+        if popped is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order (open: {popped.name!r})"
+            )
+        if error:
+            span.attributes.setdefault("error", True)
+        span.end_s = self._clock()
+
+    # -- queries -----------------------------------------------------------------
+
+    def finished(self) -> list:
+        """Spans whose interval is closed."""
+        return [span for span in self.spans if span.end_s is not None]
+
+    def spans_named(self, name: str) -> list:
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, span: Span) -> list:
+        return [child for child in self.spans if child.parent_id == span.span_id]
+
+    def total_s(self, name: str) -> float:
+        """Summed duration of all finished spans with ``name``."""
+        return sum(span.duration_s for span in self.spans_named(name))
+
+
+class _NullSpan:
+    """Shared no-op span: enter/exit/set all do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: records nothing, allocates nothing."""
+
+    enabled = False
+    spans: tuple = ()
+
+    __slots__ = ()
+
+    def span(self, name: str, kind: str = "span", **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: Process-wide shared no-op tracer (safe: it holds no state).
+NULL_TRACER = NullTracer()

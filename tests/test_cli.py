@@ -90,6 +90,91 @@ class TestSql:
             run_cli(["sql", "SELECT FROM nowhere"])
 
 
+class TestTrace:
+    QUERY = "SELECT NationKey, COUNT(*) AS cnt FROM TPCR GROUP BY NationKey"
+
+    def test_timeline(self):
+        code, output = run_cli(
+            ["trace", self.QUERY, "--sites", "2", "--scale", "0.0002"]
+        )
+        assert code == 0
+        assert "per-round timeline" in output
+        assert "totals: rounds=" in output
+        assert "merge" in output
+        assert "trace:" in output and "spans" in output
+
+    def test_timeline_totals_match_stats(self):
+        import re
+
+        from repro.cli import _build_cluster, _options, build_parser
+        from repro.distributed import execute_query
+        from repro.queries.sql import parse_olap_statement
+
+        argv = ["trace", self.QUERY, "--sites", "2", "--scale", "0.0002"]
+        code, output = run_cli(argv)
+        assert code == 0
+        footer = re.search(
+            r"totals: rounds=(\d+) bytes=(\d+) \(down=(\d+) up=(\d+)\) tuples=(\d+)",
+            output,
+        )
+        assert footer is not None
+        args = build_parser().parse_args(argv)
+        result = execute_query(
+            _build_cluster(args),
+            parse_olap_statement(args.query).expression,
+            _options(args),
+        )
+        assert [int(group) for group in footer.groups()] == [
+            result.stats.round_count,
+            result.stats.bytes_total,
+            result.stats.bytes_down,
+            result.stats.bytes_up,
+            result.stats.tuples_total,
+        ]
+
+    def test_json_round_trips(self):
+        from repro.obs import SCHEMA_VERSION, EventLog
+
+        code, output = run_cli(
+            ["trace", self.QUERY, "--sites", "2", "--scale", "0.0002", "--json"]
+        )
+        assert code == 0
+        log = EventLog.loads(output)
+        assert log.schema_version == SCHEMA_VERSION
+        assert log.records_of("span")
+        assert log.records_of("metric")
+        assert len(log.records_of("stats")) == 1
+        assert EventLog.loads(log.dumps()) == log
+
+    def test_emit_trace_writes_file(self, tmp_path):
+        from repro.obs import EventLog
+
+        path = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            [
+                "trace",
+                self.QUERY,
+                "--sites",
+                "2",
+                "--scale",
+                "0.0002",
+                "--emit-trace",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert str(path) in output
+        log = EventLog.load(path)
+        log.validate()
+        assert log.records_of("span")
+
+    def test_tree_topology_rejected(self):
+        code, _output = run_cli(
+            ["trace", self.QUERY, "--topology", "tree:2", "--scale", "0.0002"]
+        )
+        assert code == 2
+
+
 class TestFigures:
     def test_single_figure(self):
         code, output = run_cli(["figures", "fig2", "--scale", "0.0002"])

@@ -62,6 +62,40 @@ class TestChannel:
         assert channel.downstream.by_round[1] == 2 * HEADER_BYTES
         assert channel.downstream.by_round[2] == HEADER_BYTES
 
+    def test_bytes_in_round_accessor(self):
+        channel = Channel("site0")
+        for round_index in (1, 1, 2):
+            channel.send_to_site(
+                Message(BASE_QUERY, "coordinator", "site0", round_index)
+            )
+        assert channel.downstream.bytes_in_round(1) == 2 * HEADER_BYTES
+        assert channel.downstream.bytes_in_round(2) == HEADER_BYTES
+        assert channel.downstream.bytes_in_round(99) == 0
+        assert channel.upstream.bytes_in_round(1) == 0
+        assert channel.downstream.by_round == {
+            1: 2 * HEADER_BYTES, 2: HEADER_BYTES
+        }
+
+    def test_accounting_lands_in_shared_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        channel = Channel("site0", metrics=registry)
+        down = Message.with_relation(SHIP_BASE, "coordinator", "site0", 1, RELATION)
+        channel.send_to_site(down)
+        assert (
+            registry.value_of("net.bytes", direction="down", site="site0")
+            == down.size_bytes
+        )
+        assert registry.value_of("net.messages", direction="down", site="site0") == 1
+        assert (
+            registry.value_of(
+                "net.round.bytes", direction="down", round=1, site="site0"
+            )
+            == down.size_bytes
+        )
+        assert registry.value_of("net.bytes", direction="up", site="site0") == 0
+
     def test_misaddressed_messages_rejected(self):
         channel = Channel("site0")
         with pytest.raises(NetworkError):

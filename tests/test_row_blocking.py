@@ -47,6 +47,11 @@ class TestExecutionConfig:
         with pytest.raises(PlanError):
             ExecutionConfig(row_block_size=-1)
 
+    def test_none_rejected(self):
+        # 0 is the single "unlimited" sentinel; None is a contract error.
+        with pytest.raises(PlanError):
+            ExecutionConfig(row_block_size=None)
+
     def test_blocks_of_unlimited(self):
         relation = FLOW
         assert ExecutionConfig().blocks_of(relation) == [relation]
