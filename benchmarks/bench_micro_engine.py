@@ -60,3 +60,24 @@ def test_codec_decode(benchmark):
     payload = encode_relation(TPCR)
     result = benchmark(decode_relation, payload)
     assert len(result) == len(TPCR)
+
+
+def test_codec_encode_reference(benchmark):
+    """The pre-fast-path encoder, kept as the differential baseline.
+
+    Benchmarked next to :func:`test_codec_encode` so the before/after
+    rows/s of the compiled encode plan stays visible in every run.
+    """
+    from repro.net.serialize import _encode_relation_reference
+
+    payload = benchmark(_encode_relation_reference, TPCR)
+    assert payload == encode_relation(TPCR)
+
+
+def test_codec_decode_reference(benchmark):
+    """The pre-fast-path decoder (before/after partner of codec_decode)."""
+    from repro.net.serialize import _decode_relation_reference
+
+    payload = encode_relation(TPCR)
+    result = benchmark(_decode_relation_reference, payload)
+    assert result.rows == decode_relation(payload).rows

@@ -20,6 +20,7 @@ from repro.bench.figures import (
     coalescable_query,
     combined_query,
     correlated_query,
+    executor_sweep,
     figure2,
     figure2_aware,
     figure3,
@@ -53,6 +54,7 @@ __all__ = [
     "coalescable_query",
     "combined_query",
     "correlated_query",
+    "executor_sweep",
     "figure2",
     "figure2_aware",
     "figure3",

@@ -368,3 +368,81 @@ def figure5(
         )
         series.add_point(factor, measurements)
     return series
+
+
+def executor_sweep(
+    scale: float = 0.002,
+    sites: int = 8,
+    executors: Sequence[str] = ("serial", "threads", "processes"),
+    repetitions: int = 1,
+    options: Optional[OptimizationOptions] = None,
+) -> dict:
+    """Tentpole experiment: one query, one cluster, every execution engine.
+
+    Runs the combined-reductions query on a ``sites``-site scale-up
+    cluster once per executor and reports, per engine:
+
+    - ``wall_s`` — measured wall-clock of the round loop (best of
+      ``repetitions``, via :meth:`ExecutionStats.wall_time_s`);
+    - ``modeled_max_over_sites_s`` — the parallel-model site compute
+      time (max over sites per round, summed over rounds). Identical
+      across engines by construction, which is what keeps sequential
+      runs reproducible for the paper's speed-up figures;
+    - ``site_compute_total_s`` — work done across *all* sites (the
+      serial engine's wall-clock floor);
+    - byte totals and result rows.
+
+    Executor equivalence is asserted, not assumed: result rows must be
+    bit-identical and per-round per-site byte accounting must match the
+    first executor's exactly (raises
+    :class:`~repro.bench.harness.ShapeCheckError` otherwise).
+    """
+    from repro.bench.harness import ShapeCheckError
+    from repro.distributed import execute_query
+    from repro.distributed.evaluator import ExecutionConfig
+
+    if repetitions < 1:
+        raise ShapeCheckError(f"repetitions must be >= 1, got {repetitions}")
+    query = combined_query(HIGH_CARDINALITY_KEY)
+    options = options or ALL_OPTS
+    report: dict = {"sites": sites, "scale": scale, "executors": {}}
+    baseline = None
+    for executor in executors:
+        cluster = scaleup_cluster(TPCRConfig(scale=scale), sites)
+        config = ExecutionConfig(executor=executor)
+        best = None
+        for _repetition in range(repetitions):
+            cluster.reset_network()
+            result = execute_query(cluster, query, options, config=config)
+            if best is None or result.stats.wall_time_s() < best.stats.wall_time_s():
+                best = result
+        stats = best.stats
+        accounting = [
+            (round_stats.index, site_id, site.bytes_down, site.bytes_up, site.tuples_up)
+            for round_stats in stats.rounds
+            for site_id, site in sorted(round_stats.sites.items())
+        ]
+        if baseline is None:
+            baseline = (best.relation.rows, accounting)
+        elif best.relation.rows != baseline[0]:
+            raise ShapeCheckError(
+                f"{executor!r}: result rows differ from {executors[0]!r}"
+            )
+        elif accounting != baseline[1]:
+            raise ShapeCheckError(
+                f"{executor!r}: byte accounting differs from {executors[0]!r}"
+            )
+        report["executors"][executor] = {
+            "wall_s": stats.wall_time_s(),
+            "modeled_max_over_sites_s": stats.site_compute_s(),
+            "site_compute_total_s": stats.site_compute_total_s(),
+            "bytes_total": stats.bytes_total,
+            "result_rows": len(best.relation),
+        }
+    reference_name = "serial" if "serial" in report["executors"] else executors[0]
+    reference_wall = report["executors"][reference_name]["wall_s"]
+    for entry in report["executors"].values():
+        entry["speedup_vs_serial"] = (
+            reference_wall / entry["wall_s"] if entry["wall_s"] > 0 else 0.0
+        )
+    return report

@@ -25,6 +25,8 @@ from repro.distributed import (
     SimulatedCluster,
     execute_query,
 )
+from repro.distributed.evaluator import ExecutionConfig
+from repro.distributed.executor import EXECUTORS
 from repro.errors import ReproError
 from repro.gmdj.expression import GMDJExpression
 from repro.net.costmodel import CostModel, WAN
@@ -155,6 +157,8 @@ class ArmMeasurement:
     theorem2_ok: bool
     matches_reference: bool
     plan_notes: tuple = ()
+    executor: str = "serial"
+    wall_time_s: float = 0.0
 
 
 def run_arm(
@@ -164,10 +168,11 @@ def run_arm(
     options: OptimizationOptions,
     reference: Optional[Relation] = None,
     model: CostModel = WAN,
+    config: Optional[ExecutionConfig] = None,
 ) -> ArmMeasurement:
     """Execute one arm, returning its measurement (reference-checked)."""
     cluster.reset_network()
-    result = execute_query(cluster, expression, options)
+    result = execute_query(cluster, expression, options, config=config)
     breakdown = result.stats.breakdown(model)
     matches = True
     if reference is not None:
@@ -195,6 +200,8 @@ def run_arm(
         theorem2_ok=result.respects_theorem2(),
         matches_reference=matches,
         plan_notes=result.plan.notes,
+        executor=result.stats.executor,
+        wall_time_s=result.stats.wall_time_s(),
     )
 
 
@@ -204,13 +211,16 @@ def run_arms(
     arms: Mapping[str, OptimizationOptions],
     model: CostModel = WAN,
     check_reference: bool = True,
+    config: Optional[ExecutionConfig] = None,
 ) -> dict:
     """Run every arm of one experiment point; verify all against reference."""
     reference = None
     if check_reference:
         reference = expression.evaluate_centralized(cluster.conceptual_tables())
     return {
-        arm_name: run_arm(cluster, expression, arm_name, options, reference, model)
+        arm_name: run_arm(
+            cluster, expression, arm_name, options, reference, model, config
+        )
         for arm_name, options in arms.items()
     }
 
@@ -275,6 +285,76 @@ def measure_tracing_overhead(
         "overhead_s": overhead_s,
         "overhead_frac": (overhead_s / untraced_s) if untraced_s > 0 else 0.0,
         "repetitions": repetitions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Codec microbenchmark
+# ---------------------------------------------------------------------------
+
+
+def codec_microbenchmark(scale: float = 0.005, repetitions: int = 5) -> dict:
+    """Rows/s of the wire codec: fast path vs the reference implementation.
+
+    Encodes and decodes one TPCR relation with both the planned fast path
+    (:func:`repro.net.serialize.encode_relation`) and the straight-line
+    reference codec, taking the fastest of ``repetitions`` runs per arm.
+    The two must be byte-identical (asserted here — this doubles as a
+    differential check), so the ratio is pure overhead removed.
+    """
+    if repetitions < 1:
+        raise ShapeCheckError(f"repetitions must be >= 1, got {repetitions}")
+    from repro.net import serialize
+
+    relation = generate_tpcr(TPCRConfig(scale=scale, seed=12))
+    rows = len(relation)
+
+    def _best(fn, *args) -> float:
+        return min(
+            _timed(fn, *args) for _ in range(repetitions)
+        )
+
+    def _timed(fn, *args) -> float:
+        started = time.perf_counter()
+        fn(*args)
+        return time.perf_counter() - started
+
+    fast_payload = serialize.encode_relation(relation)
+    reference_payload = serialize._encode_relation_reference(relation)
+    if fast_payload != reference_payload:
+        raise ShapeCheckError("fast codec output differs from reference codec")
+
+    encode_fast_s = _best(serialize.encode_relation, relation)
+    encode_reference_s = _best(serialize._encode_relation_reference, relation)
+    decode_fast_s = _best(serialize.decode_relation, fast_payload)
+    decode_reference_s = _best(serialize._decode_relation_reference, fast_payload)
+
+    def _rate(seconds: float) -> float:
+        return rows / seconds if seconds > 0 else 0.0
+
+    return {
+        "rows": rows,
+        "bytes": len(fast_payload),
+        "scale": scale,
+        "repetitions": repetitions,
+        "encode": {
+            "fast_s": encode_fast_s,
+            "reference_s": encode_reference_s,
+            "fast_rows_per_s": _rate(encode_fast_s),
+            "reference_rows_per_s": _rate(encode_reference_s),
+            "speedup": (
+                encode_reference_s / encode_fast_s if encode_fast_s > 0 else 0.0
+            ),
+        },
+        "decode": {
+            "fast_s": decode_fast_s,
+            "reference_s": decode_reference_s,
+            "fast_rows_per_s": _rate(decode_fast_s),
+            "reference_rows_per_s": _rate(decode_reference_s),
+            "speedup": (
+                decode_reference_s / decode_fast_s if decode_fast_s > 0 else 0.0
+            ),
+        },
     }
 
 
@@ -378,6 +458,7 @@ def benchmark_report(
     model: CostModel = WAN,
     emit_trace: Optional[str] = None,
     overhead_repetitions: int = 3,
+    executor: str = "serial",
 ) -> dict:
     """One harness run as a JSON-serializable benchmark report.
 
@@ -404,7 +485,8 @@ def benchmark_report(
         "no_optimizations": OptimizationOptions.none(),
         "all_optimizations": OptimizationOptions.all(),
     }
-    measurements = run_arms(cluster, expression, arms, model=model)
+    config = ExecutionConfig(executor=executor)
+    measurements = run_arms(cluster, expression, arms, model=model, config=config)
     overhead = measure_tracing_overhead(
         cluster,
         expression,
@@ -414,6 +496,7 @@ def benchmark_report(
     report = {
         "sites": sites,
         "scale": scale,
+        "executor": executor,
         "arms": {name: asdict(arm) for name, arm in measurements.items()},
         "tracing_overhead": overhead,
     }
@@ -441,16 +524,41 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser.add_argument("--sites", type=int, default=4)
     parser.add_argument("--scale", type=float, default=0.001)
     parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="serial",
+        help="site execution engine for the benchmark arms",
+    )
+    parser.add_argument(
         "--emit-trace",
         metavar="PATH",
         help="write the all-optimizations arm's JSONL trace to PATH",
     )
     parser.add_argument(
+        "--micro",
+        metavar="PATH",
+        help="run the codec microbenchmark only and write its JSON to PATH",
+    )
+    parser.add_argument(
         "--output", metavar="PATH", help="write the benchmark JSON to PATH"
     )
     args = parser.parse_args(argv)
+    if args.micro:
+        micro = codec_microbenchmark()
+        with open(args.micro, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(micro, indent=2, sort_keys=True) + "\n")
+        print(
+            f"codec: encode {micro['encode']['speedup']:.2f}x, "
+            f"decode {micro['decode']['speedup']:.2f}x over reference "
+            f"({micro['rows']} rows)",
+            file=sys.stderr,
+        )
+        return 0
     report = benchmark_report(
-        sites=args.sites, scale=args.scale, emit_trace=args.emit_trace
+        sites=args.sites,
+        scale=args.scale,
+        emit_trace=args.emit_trace,
+        executor=args.executor,
     )
     text = json.dumps(report, indent=2, sort_keys=True, default=str)
     if args.output:

@@ -36,6 +36,8 @@ from repro.distributed import (
     execute_query,
     execute_query_hierarchical,
 )
+from repro.distributed.evaluator import ExecutionConfig
+from repro.distributed.executor import EXECUTORS
 from repro.queries.sql import parse_olap_statement
 
 
@@ -117,6 +119,13 @@ def _add_cluster_options(parser) -> None:
         default="all",
         help="Skalla optimization toggles",
     )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="serial",
+        help="site execution engine (star topology; 'threads'/'processes' "
+        "fan site legs out across a worker pool)",
+    )
 
 
 def _build_cluster(args) -> SimulatedCluster:
@@ -146,6 +155,10 @@ def _options(args) -> OptimizationOptions:
     return OptimizationOptions.none()
 
 
+def _config(args) -> ExecutionConfig:
+    return ExecutionConfig(executor=getattr(args, "executor", "serial"))
+
+
 def run_demo(args, out) -> int:
     from repro.queries.olap import QueryBuilder
     from repro.relalg.aggregates import AggSpec, count_star
@@ -163,7 +176,7 @@ def run_demo(args, out) -> int:
         ("all optimizations", OptimizationOptions.all()),
     ):
         cluster.reset_network()
-        result = execute_query(cluster, expression, options)
+        result = execute_query(cluster, expression, options, config=_config(args))
         print(f"=== {label} ===", file=out)
         print(result.plan.describe(), file=out)
         print(
@@ -182,13 +195,18 @@ def run_sql(args, out) -> int:
     cluster = _build_cluster(args)
 
     if args.topology == "star":
-        result = execute_query(cluster, expression, _options(args))
+        result = execute_query(
+            cluster, expression, _options(args), config=_config(args)
+        )
         stats_line = (
             f"syncs={result.plan.synchronization_count} "
             f"bytes={result.stats.bytes_total} rounds={result.stats.round_count}"
         )
         plan = result.plan
     elif args.topology.startswith("tree:"):
+        if args.executor != "serial":
+            print("--executor applies to the star topology only", file=sys.stderr)
+            return 2
         region_count = int(args.topology.split(":", 1)[1])
         topology = TreeTopology.balanced(cluster.site_ids, region_count)
         result = execute_query_hierarchical(
@@ -227,7 +245,12 @@ def run_trace(args, out) -> int:
     registry = MetricsRegistry()
     cluster.reset_network(metrics=registry)
     result = execute_query(
-        cluster, statement.expression, _options(args), tracer=tracer, metrics=registry
+        cluster,
+        statement.expression,
+        _options(args),
+        config=_config(args),
+        tracer=tracer,
+        metrics=registry,
     )
 
     log = build_trace(tracer, registry, result.stats, model=WAN)

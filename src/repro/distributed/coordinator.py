@@ -20,6 +20,7 @@ from repro.errors import PlanError
 from repro.gmdj import operator
 from repro.gmdj.blocks import MDBlock
 from repro.obs.tracer import NULL_TRACER
+from repro.relalg import compiler
 from repro.relalg.expressions import BASE_VAR, Expr
 from repro.relalg.relation import Relation
 
@@ -80,8 +81,10 @@ class Coordinator:
         x = self.x
         if ship_filter is None:
             return x
-        predicate = ship_filter.compile({BASE_VAR: x.schema})
-        return x.select_fn(lambda row: predicate({BASE_VAR: row}))
+        predicate = compiler.compile_predicate(
+            ship_filter, {BASE_VAR: x.schema}, (BASE_VAR,)
+        )
+        return x.select_fn(predicate)
 
     def begin_sync(self, blocks: Sequence[MDBlock]) -> operator.SyncSession:
         """Open an incremental synchronization round against current X.

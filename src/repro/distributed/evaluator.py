@@ -24,12 +24,15 @@ hot path pays nothing beyond a handful of no-op calls per round.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.coordinator import Coordinator
+from repro.distributed.executor import EXECUTORS, SiteRequest, create_engine
 from repro.distributed.optimizer import OptimizationOptions, plan_query
 from repro.distributed.plan import Plan
 from repro.distributed.stats import ExecutionStats, check_theorem2
@@ -55,9 +58,26 @@ class ExecutionConfig:
     merge work. ``0`` — the default and the *only* "unlimited" sentinel
     — ships each relation whole, one message per relation; ``None`` is
     rejected.
+
+    ``executor`` picks the site-execution engine
+    (:mod:`repro.distributed.executor`): ``"serial"`` runs the per-site
+    legs one after another, ``"threads"`` fans them out on a thread
+    pool, ``"processes"`` additionally dispatches the site compute to
+    forked workers (real multi-core parallelism). All three produce
+    bit-identical results, byte counts and trace span sets.
+    ``max_workers`` caps the pool size; ``0`` sizes it automatically
+    (one thread per site; one process per CPU up to the site count).
+
+    The ``executor`` default honours the ``REPRO_EXECUTOR`` environment
+    variable (used by the CI executor matrix to run the whole test suite
+    under each engine); an explicit value always wins.
     """
 
     row_block_size: int = 0  # 0 = unlimited (one message per relation)
+    executor: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXECUTOR", "serial")
+    )
+    max_workers: int = 0
 
     def __post_init__(self):
         if self.row_block_size is None:
@@ -69,6 +89,13 @@ class ExecutionConfig:
             raise PlanError(
                 f"row_block_size must be >= 0, got {self.row_block_size}"
             )
+        if self.executor not in EXECUTORS:
+            raise PlanError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {', '.join(EXECUTORS)}"
+            )
+        if self.max_workers < 0:
+            raise PlanError(f"max_workers must be >= 0, got {self.max_workers}")
 
     def blocks_of(self, relation: Relation):
         """Split a relation into shipping blocks per this config."""
@@ -124,20 +151,22 @@ def execute_plan(
 
 def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
     config = config or ExecutionConfig()
-    stats = ExecutionStats()
+    stats = ExecutionStats(executor=config.executor)
     coordinator = Coordinator(plan.expression.key, tracer)
     previous_tracer = cluster.tracer
     cluster.tracer = tracer
+    engine = create_engine(config.executor, cluster.sites, tracer, config.max_workers)
     try:
         with tracer.span(
             "query", kind="query", rounds=len(plan.rounds), sites=cluster.site_count
         ):
-            _evaluate_base(cluster, plan, coordinator, stats, tracer)
+            _evaluate_base(cluster, plan, coordinator, stats, tracer, engine)
             for round_number, md_round in enumerate(plan.rounds, start=1):
                 round_stats = stats.new_round(
                     "chain" if md_round.is_chain else "md",
                     f"steps={len(md_round.steps)} sites={len(md_round.sites)}",
                 )
+                round_started = time.perf_counter()
                 with tracer.span(
                     "round",
                     kind="round",
@@ -151,50 +180,77 @@ def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
                         coordinator,
                         config,
                         tracer,
+                        engine,
                         md_round,
                         round_number,
                         round_stats,
+                        round_span,
                     )
                     round_span.set(
                         bytes_down=round_stats.bytes_down,
                         bytes_up=round_stats.bytes_up,
                         coordinator_compute_s=round_stats.coordinator_compute_s,
                     )
+                round_stats.wall_s = time.perf_counter() - round_started
     finally:
         cluster.tracer = previous_tracer
+        engine.close()
     return DistributedResult(coordinator.x, stats, plan)
 
 
 def _evaluate_round(
-    cluster, plan, coordinator, config, tracer, md_round, round_number, round_stats
+    cluster,
+    plan,
+    coordinator,
+    config,
+    tracer,
+    engine,
+    md_round,
+    round_number,
+    round_stats,
+    round_span=None,
 ) -> None:
-    """One MD/chain round: fan out, evaluate, stream sub-results back."""
-    blocks = md_round.all_blocks()
-    sub_results = []
-    # Streaming synchronization (Section 3.2): for ordinary rounds the
-    # coordinator absorbs each site's sub-result as it arrives instead
-    # of assembling all of H first. Merged-base rounds must see all
-    # fragments to discover the base, so they collect.
-    session = None if md_round.merged_base else coordinator.begin_sync(blocks)
+    """One MD/chain round: fan out, evaluate, stream sub-results back.
 
+    The per-site work is expressed as one *leg* and handed to the
+    engine, which runs legs inline, on threads, or with forked site
+    workers. Streaming synchronization (Section 3.2): for ordinary
+    rounds the coordinator absorbs each sub-result fragment as it
+    arrives — under parallel engines that is completion order, which the
+    session's per-source banks make order-insensitive. Merged-base
+    rounds must see all fragments to discover the base, so they collect
+    (reassembled in site order for determinism).
+    """
+    blocks = md_round.all_blocks()
+    session = None if md_round.merged_base else coordinator.begin_sync(blocks)
+    coordinator_lock = threading.Lock()
+    # Pre-create per-site stats in site order so reporting order does not
+    # depend on leg completion order.
     for site_id in md_round.sites:
+        round_stats.site(site_id)
+
+    def leg(site_id):
         channel = cluster.network.channel(site_id)
         site_stats = round_stats.site(site_id)
 
         if md_round.merged_base:
             # Proposition 2: no shipment down beyond the request header.
-            request = msg.Message(
+            request_message = msg.Message(
                 msg.BASE_QUERY, "coordinator", site_id, round_number
             )
-            channel.send_to_site(request)
-            site_stats.bytes_down += request.size_bytes
+            channel.send_to_site(request_message)
+            site_stats.bytes_down += request_message.size_bytes
             channel.receive_at_site()
-
-            started = time.perf_counter()
-            h_i = cluster.evaluate_merged_round_at(
-                site_id, plan.base.source, md_round.steps, plan.expression.key
+            request = SiteRequest(
+                kind="merged",
+                site_id=site_id,
+                round_number=round_number,
+                steps=tuple(md_round.steps),
+                key_attrs=tuple(plan.expression.key),
+                source=plan.base.source,
+                row_block_size=config.row_block_size,
+                traced=tracer.enabled,
             )
-            site_stats.compute_s += time.perf_counter() - started
         else:
             started = time.perf_counter()
             with tracer.span(
@@ -214,50 +270,42 @@ def _evaluate_round(
                     messages=len(down_blocks),
                     bytes=sum(shipment.size_bytes for shipment in down_blocks),
                 )
-            round_stats.coordinator_compute_s += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            with coordinator_lock:
+                round_stats.coordinator_compute_s += elapsed
             for shipment in down_blocks:
                 channel.send_to_site(shipment)
                 site_stats.bytes_down += shipment.size_bytes
             site_stats.tuples_down += len(fragment)
-
-            started = time.perf_counter()
-            with tracer.span("round.decode", kind="site", site=site_id):
-                base_fragment = channel.receive_at_site().relation()
-                for _extra in down_blocks[1:]:
-                    base_fragment = base_fragment.union_all(
-                        channel.receive_at_site().relation()
-                    )
-            h_i = cluster.evaluate_round_at(
-                site_id,
-                base_fragment,
-                md_round.steps,
-                plan.expression.key,
-                md_round.independent_reduction,
+            down_payloads = tuple(
+                channel.receive_at_site().payload for _ in down_blocks
             )
-            site_stats.compute_s += time.perf_counter() - started
+            request = SiteRequest(
+                kind="round",
+                site_id=site_id,
+                round_number=round_number,
+                steps=tuple(md_round.steps),
+                key_attrs=tuple(plan.expression.key),
+                independent_reduction=md_round.independent_reduction,
+                row_block_size=config.row_block_size,
+                down_payloads=down_payloads,
+                traced=tracer.enabled,
+            )
+
+        reply = engine.evaluate(request)
+        site_stats.compute_s += reply.compute_s
+        up_blocks = [
+            msg.Message(msg.SUB_RESULT, site_id, "coordinator", round_number, payload)
+            for payload in reply.payloads
+        ]
+        for reply_message in up_blocks:
+            channel.send_to_coordinator(reply_message)
+            site_stats.bytes_up += reply_message.size_bytes
+        site_stats.tuples_up += reply.rows
 
         started = time.perf_counter()
-        with tracer.span("round.encode", kind="site", site=site_id) as encode_span:
-            up_blocks = [
-                msg.Message.with_relation(
-                    msg.SUB_RESULT, site_id, "coordinator", round_number, block
-                )
-                for block in config.blocks_of(h_i)
-            ]
-            encode_span.set(
-                rows=len(h_i),
-                messages=len(up_blocks),
-                bytes=sum(reply.size_bytes for reply in up_blocks),
-            )
-        site_stats.compute_s += time.perf_counter() - started
-        for reply in up_blocks:
-            channel.send_to_coordinator(reply)
-            site_stats.bytes_up += reply.size_bytes
-        site_stats.tuples_up += len(h_i)
-
-        started = time.perf_counter()
+        collected = None
         with tracer.span("round.decode", kind="coordinator", site=site_id):
-            collected = None
             for _reply in up_blocks:
                 received_h = channel.receive_at_coordinator().relation()
                 if session is None:
@@ -268,20 +316,25 @@ def _evaluate_round(
                     )
                 else:
                     # Streaming merge: each block synchronizes on arrival.
-                    session.absorb(received_h)
-        if session is None:
-            sub_results.append(collected)
-        round_stats.coordinator_compute_s += time.perf_counter() - started
+                    session.absorb(received_h, source=site_id)
+        elapsed = time.perf_counter() - started
+        with coordinator_lock:
+            round_stats.coordinator_compute_s += elapsed
+        return collected
+
+    results = engine.run_legs(md_round.sites, leg, round_span)
 
     started = time.perf_counter()
     if md_round.merged_base:
-        coordinator.assemble_from_chain(sub_results, blocks)
+        coordinator.assemble_from_chain(results, blocks)
     else:
         coordinator.commit_sync(session)
     round_stats.coordinator_compute_s += time.perf_counter() - started
 
 
-def _evaluate_base(cluster, plan, coordinator, stats, tracer=NULL_TRACER) -> None:
+def _evaluate_base(
+    cluster, plan, coordinator, stats, tracer=NULL_TRACER, engine=None
+) -> None:
     base = plan.base
     if base.merged_into_chain:
         return
@@ -294,38 +347,56 @@ def _evaluate_base(cluster, plan, coordinator, stats, tracer=NULL_TRACER) -> Non
         coordinator.set_base(base.source.relation)
         round_stats = stats.new_round("base", "literal base at coordinator")
         round_stats.coordinator_compute_s += time.perf_counter() - started
+        round_stats.wall_s = round_stats.coordinator_compute_s
         return
 
+    if engine is None:
+        engine = create_engine("serial", cluster.sites, tracer)
     round_stats = stats.new_round("base", f"distributed over {len(base.sites)} sites")
+    round_started = time.perf_counter()
+    coordinator_lock = threading.Lock()
     with tracer.span(
         "round", kind="round", index=round_stats.index, round_kind="base",
         sites=len(base.sites),
     ) as round_span:
-        fragments = []
         for site_id in base.sites:
+            round_stats.site(site_id)
+
+        def leg(site_id):
             channel = cluster.network.channel(site_id)
             site_stats = round_stats.site(site_id)
 
-            request = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
-            channel.send_to_site(request)
-            site_stats.bytes_down += request.size_bytes
+            request_message = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
+            channel.send_to_site(request_message)
+            site_stats.bytes_down += request_message.size_bytes
             channel.receive_at_site()
 
-            started = time.perf_counter()
-            b_i = cluster.compute_base_at(site_id, base.source)
-            with tracer.span("round.encode", kind="site", site=site_id):
-                reply = msg.Message.with_relation(
-                    msg.BASE_RESULT, site_id, "coordinator", 0, b_i
+            reply = engine.evaluate(
+                SiteRequest(
+                    kind="base",
+                    site_id=site_id,
+                    round_number=0,
+                    source=base.source,
+                    traced=tracer.enabled,
                 )
-            site_stats.compute_s += time.perf_counter() - started
-            channel.send_to_coordinator(reply)
-            site_stats.bytes_up += reply.size_bytes
-            site_stats.tuples_up += len(b_i)
+            )
+            site_stats.compute_s += reply.compute_s
+            reply_message = msg.Message(
+                msg.BASE_RESULT, site_id, "coordinator", 0, reply.payloads[0]
+            )
+            channel.send_to_coordinator(reply_message)
+            site_stats.bytes_up += reply_message.size_bytes
+            site_stats.tuples_up += reply.rows
 
             started = time.perf_counter()
             with tracer.span("round.decode", kind="coordinator", site=site_id):
-                fragments.append(channel.receive_at_coordinator().relation())
-            round_stats.coordinator_compute_s += time.perf_counter() - started
+                fragment = channel.receive_at_coordinator().relation()
+            elapsed = time.perf_counter() - started
+            with coordinator_lock:
+                round_stats.coordinator_compute_s += elapsed
+            return fragment
+
+        fragments = engine.run_legs(base.sites, leg, round_span)
 
         started = time.perf_counter()
         coordinator.sync_base(fragments)
@@ -335,6 +406,7 @@ def _evaluate_base(cluster, plan, coordinator, stats, tracer=NULL_TRACER) -> Non
             bytes_up=round_stats.bytes_up,
             coordinator_compute_s=round_stats.coordinator_compute_s,
         )
+    round_stats.wall_s = time.perf_counter() - round_started
 
 
 def execute_query(

@@ -1,0 +1,346 @@
+"""Site-execution engines: serial, thread-pool, and process-pool.
+
+Alg. GMDJDistribEval's per-round site work — ship the fragment down,
+evaluate the GMDJ step(s), ship H_i back — is independent across sites,
+so a real deployment overlaps it perfectly (the paper's response-time
+model in :mod:`repro.distributed.stats` already assumes max-over-sites).
+This module makes the *simulated* evaluation actually run that way: the
+evaluator expresses each round as one *leg* per site, and an engine
+decides how legs run:
+
+- ``serial`` — legs run inline, one site after another (the historic
+  behaviour, and the differential baseline);
+- ``threads`` — legs run on a thread pool. Channels, stats, metrics and
+  tracer are all safe under concurrent writers, and the coordinator's
+  :class:`~repro.gmdj.operator.SyncSession` absorbs fragments in
+  completion order (Section 3.2's streaming merge) while staying
+  bit-identical via per-source accumulator banks. Python's GIL still
+  serializes the pure-Python compute, so threads mostly help overlap and
+  prove out the concurrency story;
+- ``processes`` — the site-attributed work (decode -> evaluate ->
+  encode) is dispatched to forked worker processes, sidestepping the GIL
+  for real multi-core speedups. Workers inherit the site warehouses at
+  fork time (nothing is re-pickled per round); only the compact
+  :class:`SiteRequest`/:class:`SiteReply` payloads cross the process
+  boundary.
+
+The split between a leg and :func:`perform_site_request` is exactly the
+paper's attribution boundary: the leg (parent) does coordinator work —
+fragmenting, message framing, channel accounting, decoding H_i,
+synchronizing — while :func:`perform_site_request` does everything a
+Skalla site would be charged for. All three engines therefore produce
+identical byte counts, identical span *sets*, and (thanks to the
+deterministic bank merge) bit-identical result relations.
+
+Process-mode bookkeeping: a worker records spans into a private tracer
+and metric increments into a private registry, and the reply carries
+them back; the parent *replays* spans (fresh ids, parented under the
+round span) and adds counter deltas to the active registry, so traces
+and metrics look the same as a threaded run. Worker span timestamps come
+from the worker's own monotonic clock and are not comparable with the
+parent's — durations are, which is what the stats use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.net import message as msg
+from repro.net import serialize
+from repro.obs.metrics import MetricsRegistry, activate, active_registry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+EXECUTORS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class SiteRequest:
+    """Everything a site needs to perform its round-leg work.
+
+    ``kind`` selects the handler: ``"base"`` (compute the base-values
+    query), ``"round"`` (evaluate shipped fragment against the local
+    partition), ``"merged"`` (Proposition 2: derive the base locally).
+    The payload is picklable — plan step objects contain no closures —
+    so the same request drives inline, threaded and forked execution.
+    """
+
+    kind: str
+    site_id: str
+    round_number: int
+    steps: tuple = ()
+    key_attrs: tuple = ()
+    source: object = None
+    independent_reduction: bool = False
+    row_block_size: int = 0
+    down_payloads: tuple = ()
+    traced: bool = False
+
+
+@dataclass
+class SiteReply:
+    """The site-attributed outcome of one request.
+
+    ``payloads`` are the encoded reply relation blocks (the leg frames
+    them into messages, so byte accounting happens on the parent's
+    channels); ``compute_s`` is the site compute charge measured inside
+    the worker; ``spans``/``counters`` carry process-mode observability
+    back for replay.
+    """
+
+    payloads: Tuple[bytes, ...]
+    rows: int
+    compute_s: float
+    spans: tuple = ()
+    counters: dict = field(default_factory=dict)
+
+
+def _blocks_of(relation, size: int):
+    """Row blocking, mirroring ``ExecutionConfig.blocks_of``."""
+    if not size or len(relation) <= size:
+        return [relation]
+    from repro.relalg.relation import Relation
+
+    return [
+        Relation(relation.schema, relation.rows[start : start + size])
+        for start in range(0, len(relation), size)
+    ] or [relation]
+
+
+def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> SiteReply:
+    """Run the site-attributed body of one leg: decode, evaluate, encode.
+
+    Emits the same ``round.decode`` / ``round.evaluate`` /
+    ``round.encode`` site spans (same kinds, same attributes) the serial
+    evaluator historically produced, so executor choice never changes
+    the trace vocabulary.
+    """
+    started = time.perf_counter()
+    site_id = request.site_id
+
+    if request.kind == "base":
+        with tracer.span(
+            "round.evaluate", kind="site", site=site_id, phase="base"
+        ) as span:
+            result = site.compute_base(request.source)
+            span.set(rows=len(result))
+        with tracer.span("round.encode", kind="site", site=site_id):
+            payloads = (serialize.encode_relation(result),)
+        return SiteReply(
+            payloads=payloads,
+            rows=len(result),
+            compute_s=time.perf_counter() - started,
+        )
+
+    if request.kind == "merged":
+        with tracer.span(
+            "round.evaluate", kind="site", site=site_id, merged_base=True
+        ) as span:
+            h_i = site.evaluate_merged_round(
+                request.source, request.steps, request.key_attrs
+            )
+            span.set(rows=len(h_i))
+    elif request.kind == "round":
+        with tracer.span("round.decode", kind="site", site=site_id):
+            fragment = serialize.decode_relation(request.down_payloads[0])
+            for extra in request.down_payloads[1:]:
+                fragment = fragment.union_all(serialize.decode_relation(extra))
+        with tracer.span(
+            "round.evaluate",
+            kind="site",
+            site=site_id,
+            steps=len(request.steps),
+            fragment_rows=len(fragment),
+        ) as span:
+            h_i = site.evaluate_round(
+                fragment,
+                request.steps,
+                request.key_attrs,
+                request.independent_reduction,
+            )
+            span.set(rows=len(h_i))
+    else:
+        raise PlanError(f"unknown site request kind {request.kind!r}")
+
+    with tracer.span("round.encode", kind="site", site=site_id) as encode_span:
+        payloads = tuple(
+            serialize.encode_relation(block)
+            for block in _blocks_of(h_i, request.row_block_size)
+        )
+        encode_span.set(
+            rows=len(h_i),
+            messages=len(payloads),
+            bytes=sum(len(payload) + msg.HEADER_BYTES for payload in payloads),
+        )
+    return SiteReply(
+        payloads=payloads, rows=len(h_i), compute_s=time.perf_counter() - started
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------------
+
+
+class SerialEngine:
+    """Legs run inline on the calling thread — the differential baseline."""
+
+    name = "serial"
+
+    def __init__(self, sites, tracer):
+        self._sites = sites
+        self._tracer = tracer
+
+    def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
+        return [leg(site_id) for site_id in site_ids]
+
+    def evaluate(self, request: SiteRequest) -> SiteReply:
+        return perform_site_request(
+            self._sites[request.site_id], request, self._tracer
+        )
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadEngine:
+    """Legs fan out on a thread pool; site work stays in the leg's thread.
+
+    Results come back in *site order* regardless of completion order, and
+    the first leg exception propagates to the caller.
+    """
+
+    name = "threads"
+
+    def __init__(self, sites, tracer, max_workers: int = 0):
+        self._sites = sites
+        self._tracer = tracer
+        workers = max_workers or max(len(sites), 1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="skalla-site"
+        )
+
+    def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
+        tracer = self._tracer
+
+        def attached(site_id):
+            with tracer.attach(parent_span):
+                return leg(site_id)
+
+        futures = [self._pool.submit(attached, site_id) for site_id in site_ids]
+        return [future.result() for future in futures]
+
+    def evaluate(self, request: SiteRequest) -> SiteReply:
+        return perform_site_request(
+            self._sites[request.site_id], request, self._tracer
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+#: Sites inherited by forked workers (set by ProcessEngine before the
+#: fork, read by ``_fork_perform`` inside the children). One process-pool
+#: engine at a time — engines are created per ``execute_plan`` call.
+_FORK_SITES: Optional[dict] = None
+
+
+def _fork_warmup(delay_s: float) -> int:
+    time.sleep(delay_s)
+    return os.getpid()
+
+
+def _fork_perform(request: SiteRequest) -> SiteReply:
+    """Worker-side entry: run the request against the inherited site."""
+    site = _FORK_SITES[request.site_id]
+    registry = MetricsRegistry()
+    with activate(registry):
+        if request.traced:
+            tracer = Tracer()
+            reply = perform_site_request(site, request, tracer)
+            reply.spans = tuple(span.to_dict() for span in tracer.spans)
+        else:
+            reply = perform_site_request(site, request)
+    counters = {
+        key: snap["value"]
+        for key, snap in registry.snapshot().items()
+        if snap["type"] == "counter" and snap["value"] and "{" not in key
+    }
+    reply.counters = counters
+    return reply
+
+
+class ProcessEngine:
+    """Legs run on threads; site work is dispatched to forked workers.
+
+    Fork (not spawn) so workers inherit the simulated warehouses without
+    per-round pickling. All workers are warmed up *before* any leg
+    threads exist — forking a multi-threaded parent risks inheriting
+    held locks — and stay alive for the engine's lifetime.
+    """
+
+    name = "processes"
+
+    def __init__(self, sites, tracer, max_workers: int = 0):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise PlanError(
+                "executor 'processes' needs the fork start method, which this "
+                "platform does not provide; use 'threads' or 'serial'"
+            )
+        global _FORK_SITES
+        _FORK_SITES = sites
+        self._sites = sites
+        self._tracer = tracer
+        workers = max_workers or min(max(len(sites), 1), os.cpu_count() or 1)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("fork")
+        )
+        # Force every worker to fork now: each concurrent warm-up task
+        # occupies one worker long enough that the pool spawns all of them.
+        list(self._pool.map(_fork_warmup, [0.02] * workers))
+        self._legs = ThreadPoolExecutor(
+            max_workers=max(len(sites), 1), thread_name_prefix="skalla-leg"
+        )
+
+    def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
+        tracer = self._tracer
+
+        def attached(site_id):
+            with tracer.attach(parent_span):
+                return leg(site_id)
+
+        futures = [self._legs.submit(attached, site_id) for site_id in site_ids]
+        return [future.result() for future in futures]
+
+    def evaluate(self, request: SiteRequest) -> SiteReply:
+        reply = self._pool.submit(_fork_perform, request).result()
+        if reply.spans:
+            self._tracer.replay(reply.spans)
+        if reply.counters:
+            registry = active_registry()
+            for key, value in reply.counters.items():
+                registry.counter(key).inc(value)
+        return reply
+
+    def close(self) -> None:
+        self._legs.shutdown(wait=True)
+        self._pool.shutdown(wait=True)
+
+
+def create_engine(executor: str, sites, tracer, max_workers: int = 0):
+    """Build the engine for an :class:`ExecutionConfig` executor name."""
+    if executor == "serial":
+        return SerialEngine(sites, tracer)
+    if executor == "threads":
+        return ThreadEngine(sites, tracer, max_workers)
+    if executor == "processes":
+        return ProcessEngine(sites, tracer, max_workers)
+    raise PlanError(
+        f"unknown executor {executor!r}; expected one of {', '.join(EXECUTORS)}"
+    )

@@ -58,6 +58,10 @@ class RoundStats:
     description: str = ""
     sites: dict = field(default_factory=dict)  # site_id -> SiteRoundStats
     coordinator_compute_s: float = 0.0
+    #: Measured wall-clock of the whole round (set by the evaluator).
+    #: Under a parallel executor this is what actually elapsed, to be
+    #: compared against the modeled max-over-sites critical path.
+    wall_s: float = 0.0
 
     def site(self, site_id: str) -> SiteRoundStats:
         stats = self.sites.get(site_id)
@@ -124,6 +128,8 @@ class ExecutionStats:
     """Statistics of one distributed query evaluation."""
 
     rounds: list = field(default_factory=list)
+    #: Which site-execution engine produced these numbers.
+    executor: str = "serial"
 
     def new_round(self, kind: str, description: str = "") -> RoundStats:
         stats = RoundStats(index=len(self.rounds), kind=kind, description=description)
@@ -182,6 +188,16 @@ class ExecutionStats:
     def coordinator_compute_s(self) -> float:
         return sum(stats.coordinator_compute_s for stats in self.rounds)
 
+    def wall_time_s(self) -> float:
+        """Measured wall-clock summed over rounds (0.0 if never measured).
+
+        With ``executor="serial"`` this tracks ``site_compute_total_s()
+        + coordinator_compute_s()``; with a parallel executor it should
+        approach ``site_compute_s() + coordinator_compute_s()`` — the
+        modeled max-over-sites critical path — as cores allow.
+        """
+        return sum(stats.wall_s for stats in self.rounds)
+
     def communication_s(self, model: CostModel) -> float:
         return sum(stats.communication_s(model) for stats in self.rounds)
 
@@ -196,8 +212,11 @@ class ExecutionStats:
         communication = self.communication_s(model)
         return {
             "site_compute_s": site,
+            "site_compute_total_s": self.site_compute_total_s(),
             "coordinator_compute_s": coordinator,
             "communication_s": communication,
+            "wall_s": self.wall_time_s(),
+            "executor": self.executor,
             "total_s": site + coordinator + communication,
         }
 
@@ -223,12 +242,14 @@ class ExecutionStats:
         Includes the time breakdown when a cost model is given.
         """
         snapshot = {
+            "executor": self.executor,
             "rounds": [
                 {
                     "index": round_stats.index,
                     "kind": round_stats.kind,
                     "description": round_stats.description,
                     "coordinator_compute_s": round_stats.coordinator_compute_s,
+                    "wall_s": round_stats.wall_s,
                     "sites": {
                         site_id: {
                             "bytes_down": site.bytes_down,
@@ -247,7 +268,9 @@ class ExecutionStats:
             "bytes_up": self.bytes_up,
             "tuples_total": self.tuples_total,
             "site_compute_s": self.site_compute_s(),
+            "site_compute_total_s": self.site_compute_total_s(),
             "coordinator_compute_s": self.coordinator_compute_s(),
+            "wall_s": self.wall_time_s(),
         }
         if model is not None:
             snapshot["breakdown"] = self.breakdown(model)
@@ -255,11 +278,13 @@ class ExecutionStats:
 
     def summary(self) -> str:
         lines = [
-            f"rounds: {self.round_count}",
+            f"rounds: {self.round_count} (executor: {self.executor})",
             f"bytes: total={self.bytes_total} down={self.bytes_down} up={self.bytes_up}",
             f"tuples shipped: {self.tuples_total}",
             f"site compute (critical path): {self.site_compute_s():.4f}s",
+            f"site compute (all sites): {self.site_compute_total_s():.4f}s",
             f"coordinator compute: {self.coordinator_compute_s():.4f}s",
+            f"wall clock: {self.wall_time_s():.4f}s",
         ]
         for round_stats in self.rounds:
             lines.append(

@@ -23,14 +23,37 @@ Three entry points:
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 from repro.errors import HolisticAggregateError
 from repro.gmdj.blocks import MDBlock, result_schema, sub_result_schema
 from repro.obs.metrics import active_registry
+from repro.relalg import compiler
 from repro.relalg.expressions import BASE_VAR, DETAIL_VAR
 from repro.relalg.predicates import split_condition
 from repro.relalg.relation import Relation
+
+# Cached counter handles for the scan hot path: the registry lookup
+# (string formatting + dict probe) per operator call is measurable at
+# GMDJ call rates, so the handles are resolved once per active registry
+# and refreshed only when the active registry changes identity.
+_COUNTER_CACHE: tuple = ()
+
+
+def _hot_counters() -> tuple:
+    """``(tuples_examined, tuples_emitted)`` counters of the active registry."""
+    global _COUNTER_CACHE
+    registry = active_registry()
+    cache = _COUNTER_CACHE
+    if not cache or cache[0] is not registry:
+        cache = (
+            registry,
+            registry.counter("gmdj.tuples_examined"),
+            registry.counter("gmdj.tuples_emitted"),
+        )
+        _COUNTER_CACHE = cache
+    return cache[1], cache[2]
 
 
 def evaluate(base: Relation, detail: Relation, blocks: Sequence[MDBlock]) -> Relation:
@@ -44,7 +67,7 @@ def evaluate(base: Relation, detail: Relation, blocks: Sequence[MDBlock]) -> Rel
             for accumulator in accumulators[block_index][base_index]:
                 extra.append(accumulator.result())
         rows.append(base_row + tuple(extra))
-    active_registry().counter("gmdj.tuples_emitted").inc(len(rows))
+    _hot_counters()[1].inc(len(rows))
     return Relation(schema, rows)
 
 
@@ -72,7 +95,7 @@ def evaluate_sub(
             for accumulator in accumulators[block_index][base_index]:
                 extra.extend(accumulator.sub_values())
         rows.append(base_row + tuple(extra))
-    active_registry().counter("gmdj.tuples_emitted").inc(len(rows))
+    _hot_counters()[1].inc(len(rows))
     return Relation(schema, rows), touched
 
 
@@ -107,7 +130,7 @@ def evaluate_both(
         sub_rows.append(base_row + tuple(subs))
     full = Relation(result_schema(base.schema, blocks), full_rows)
     sub = Relation(sub_result_schema(base.schema, blocks), sub_rows)
-    active_registry().counter("gmdj.tuples_emitted").inc(len(full_rows))
+    _hot_counters()[1].inc(len(full_rows))
     return full, sub, touched
 
 
@@ -120,6 +143,15 @@ class SyncSession:
     assembled". A session holds one accumulator set per base row (keyed
     by K through a hash index), absorbs sub-result fragments in any
     order, and finalizes once.
+
+    Fragments are absorbed in *completion* order when site execution is
+    parallel, which would make float super-aggregation fold-order
+    dependent. To keep results bit-identical across executors, each
+    ``source`` (site) folds into its own accumulator bank, and
+    :meth:`finish` merges the banks in sorted source order — a
+    deterministic combine tree regardless of arrival order. Per-schema
+    absorb plans (key/sub-column positions) are cached so row blocking
+    does not recompute them per fragment.
     """
 
     def __init__(self, base: Relation, key_attrs: Sequence[str], blocks: Sequence[MDBlock]):
@@ -131,38 +163,86 @@ class SyncSession:
         for base_index, base_row in enumerate(base.rows):
             key = tuple(base_row[position] for position in key_positions)
             self._lookup.setdefault(key, []).append(base_index)
-        self._accumulators = [
-            [[spec.accumulator() for spec in block.aggregates] for _row in base.rows]
-            for block in blocks
-        ]
+        self._banks: dict = {}  # source -> accumulators[block][base_row][agg]
+        self._plans: dict = {}  # h schema -> (key_positions, sub_positions)
+        self._lock = threading.Lock()
 
-    def absorb(self, h: Relation) -> None:
-        """Fold one sub-result fragment into the session (O(|h|))."""
-        key_positions = h.schema.positions(self._key_attrs)
-        sub_positions = [
-            [h.schema.positions(spec.sub_names()) for spec in block.aggregates]
+    def _fresh_bank(self) -> list:
+        return [
+            [[spec.accumulator() for spec in block.aggregates] for _row in self._base.rows]
             for block in self._blocks
         ]
-        accumulators = self._accumulators
+
+    def _bank_for(self, source: str) -> list:
+        bank = self._banks.get(source)
+        if bank is None:
+            with self._lock:
+                bank = self._banks.get(source)
+                if bank is None:
+                    bank = self._fresh_bank()
+                    self._banks[source] = bank
+        return bank
+
+    def _plan_for(self, schema) -> tuple:
+        plan = self._plans.get(schema)
+        if plan is None:
+            key_positions = schema.positions(self._key_attrs)
+            sub_positions = [
+                [schema.positions(spec.sub_names()) for spec in block.aggregates]
+                for block in self._blocks
+            ]
+            plan = (key_positions, sub_positions)
+            with self._lock:
+                self._plans[schema] = plan
+        return plan
+
+    def absorb(self, h: Relation, source: str = "") -> None:
+        """Fold one sub-result fragment into the session (O(|h|)).
+
+        ``source`` identifies the fragment's origin (site id); fragments
+        sharing a source fold together in arrival order, distinct
+        sources merge deterministically at :meth:`finish`.
+        """
+        key_positions, sub_positions = self._plan_for(h.schema)
+        accumulators = self._bank_for(source)
+        lookup_get = self._lookup.get
+        block_range = range(len(self._blocks))
         for h_row in h.rows:
             key = tuple(h_row[position] for position in key_positions)
-            for base_index in self._lookup.get(key, ()):
-                for block_index, block in enumerate(self._blocks):
-                    for agg_index, _spec in enumerate(block.aggregates):
-                        positions = sub_positions[block_index][agg_index]
-                        values = tuple(h_row[position] for position in positions)
-                        accumulators[block_index][base_index][agg_index].load_sub_values(
-                            values
+            for base_index in lookup_get(key, ()):
+                for block_index in block_range:
+                    block_accumulators = accumulators[block_index][base_index]
+                    for agg_index, positions in enumerate(sub_positions[block_index]):
+                        block_accumulators[agg_index].load_sub_values(
+                            tuple(h_row[position] for position in positions)
                         )
+
+    def _merged_bank(self) -> list:
+        """All source banks combined in sorted source order."""
+        if len(self._banks) == 1:
+            return next(iter(self._banks.values()))
+        merged = self._fresh_bank()
+        for source in sorted(self._banks):
+            bank = self._banks[source]
+            for block_index in range(len(self._blocks)):
+                merged_block = merged[block_index]
+                bank_block = bank[block_index]
+                for base_index in range(len(self._base.rows)):
+                    for target, partial in zip(
+                        merged_block[base_index], bank_block[base_index]
+                    ):
+                        target.merge(partial)
+        return merged
 
     def finish(self) -> Relation:
         """Finalize super-aggregates into the next base-result structure."""
+        accumulators = self._merged_bank() if self._banks else self._fresh_bank()
         schema = result_schema(self._base.schema, self._blocks)
         rows = []
         for base_index, base_row in enumerate(self._base.rows):
             extra = []
             for block_index, _block in enumerate(self._blocks):
-                for accumulator in self._accumulators[block_index][base_index]:
+                for accumulator in accumulators[block_index][base_index]:
                     extra.append(accumulator.result())
             rows.append(base_row + tuple(extra))
         return Relation(schema, rows)
@@ -256,8 +336,19 @@ def _accumulate(base, detail, blocks, track_touch):
 
     ``accumulators[block][base_row][agg]`` holds the per-group state.
     ``touched[base_row]`` is maintained only when ``track_touch``.
+
+    The scan's per-row work runs through codegen kernels
+    (:mod:`repro.relalg.compiler`): predicates, hash keys and aggregate
+    inputs are lowered to positional closures once per block (cached
+    across calls by expression shape), so the inner loops pay a plain
+    function call per row instead of walking the expression AST. The
+    interpreter path (:meth:`Expr.compile`) remains the differential
+    oracle — see ``tests/test_compiler.py``.
     """
-    schemas = {BASE_VAR: base.schema, DETAIL_VAR: detail.schema, None: detail.schema}
+    base_schemas = {BASE_VAR: base.schema}
+    detail_schemas = {DETAIL_VAR: detail.schema, None: detail.schema}
+    both_schemas = {BASE_VAR: base.schema, **detail_schemas}
+    detail_aliases = {None: DETAIL_VAR}
     touched = [False] * len(base.rows) if track_touch else None
     accumulators = []
     tuples_examined = 0
@@ -267,18 +358,21 @@ def _accumulate(base, detail, blocks, track_touch):
             [spec.accumulator() for spec in block.aggregates] for _row in base.rows
         ]
         accumulators.append(block_accumulators)
-        input_funcs = [spec.compile_input(detail.schema) for spec in block.aggregates]
+        input_kernels = [
+            None
+            if spec.input_expr is None
+            else compiler.compile_scalar(
+                spec.input_expr, detail_schemas, (DETAIL_VAR,), aliases=detail_aliases
+            )
+            for spec in block.aggregates
+        ]
         split = split_condition(block.condition, BASE_VAR, DETAIL_VAR)
-        rows_env: dict = {BASE_VAR: None, DETAIL_VAR: None, None: None}
 
         # Base rows that can possibly match (base-only conjuncts).
         if split.base_only:
-            base_predicates = [conjunct.compile(schemas) for conjunct in split.base_only]
-
-            def base_admits(row, _predicates=base_predicates, _env=rows_env):
-                _env[BASE_VAR] = row
-                return all(predicate(_env) for predicate in _predicates)
-
+            base_admits = compiler.compile_predicate(
+                split.base_only, base_schemas, (BASE_VAR,)
+            )
             candidate_base = [
                 index for index, row in enumerate(base.rows) if base_admits(row)
             ]
@@ -287,50 +381,62 @@ def _accumulate(base, detail, blocks, track_touch):
 
         # Detail rows that can possibly match (detail-only conjuncts).
         if split.detail_only:
-            detail_predicates = [conjunct.compile(schemas) for conjunct in split.detail_only]
-
-            def detail_admits(row, _predicates=detail_predicates, _env=rows_env):
-                _env[DETAIL_VAR] = row
-                _env[None] = row
-                return all(predicate(_env) for predicate in _predicates)
-
+            detail_admits = compiler.compile_predicate(
+                split.detail_only, detail_schemas, (DETAIL_VAR,), aliases=detail_aliases
+            )
             detail_rows = [row for row in detail.rows if detail_admits(row)]
         else:
             detail_rows = detail.rows
 
-        residual_funcs = [conjunct.compile(schemas) for conjunct in split.residual]
+        residual = (
+            compiler.compile_predicate(
+                split.residual,
+                both_schemas,
+                (BASE_VAR, DETAIL_VAR),
+                aliases=detail_aliases,
+            )
+            if split.residual
+            else None
+        )
         tuples_examined += len(detail_rows)
+        base_rows = base.rows
 
         if split.hashable:
-            base_key_funcs = [atom.base_expr.compile(schemas) for atom in split.atoms]
-            detail_key_funcs = [atom.detail_expr.compile(schemas) for atom in split.atoms]
+            base_key = compiler.compile_values(
+                [atom.base_expr for atom in split.atoms], base_schemas, (BASE_VAR,)
+            )
+            detail_key = compiler.compile_values(
+                [atom.detail_expr for atom in split.atoms],
+                detail_schemas,
+                (DETAIL_VAR,),
+                aliases=detail_aliases,
+            )
             # NULL keys never match under SQL equality semantics, so rows
             # with a NULL key component are excluded from build and probe.
             table: dict = {}
             for base_index in candidate_base:
-                rows_env[BASE_VAR] = base.rows[base_index]
-                key = tuple(func(rows_env) for func in base_key_funcs)
+                key = base_key(base_rows[base_index])
                 if None in key:
                     continue
                 table.setdefault(key, []).append(base_index)
 
+            table_get = table.get
             for detail_row in detail_rows:
-                rows_env[DETAIL_VAR] = detail_row
-                rows_env[None] = detail_row
-                key = tuple(func(rows_env) for func in detail_key_funcs)
+                key = detail_key(detail_row)
                 if None in key:
                     continue
-                matches = table.get(key)
+                matches = table_get(key)
                 if not matches:
                     continue
                 input_values = [
-                    None if func is None else func(rows_env) for func in input_funcs
+                    None if kernel is None else kernel(detail_row)
+                    for kernel in input_kernels
                 ]
                 for base_index in matches:
-                    if residual_funcs:
-                        rows_env[BASE_VAR] = base.rows[base_index]
-                        if not all(func(rows_env) for func in residual_funcs):
-                            continue
+                    if residual is not None and not residual(
+                        base_rows[base_index], detail_row
+                    ):
+                        continue
                     if track_touch:
                         touched[base_index] = True
                     for accumulator, value in zip(
@@ -340,14 +446,14 @@ def _accumulate(base, detail, blocks, track_touch):
         else:
             # No equality atoms: nested-loop evaluation, O(|B| * |R|).
             for detail_row in detail_rows:
-                rows_env[DETAIL_VAR] = detail_row
-                rows_env[None] = detail_row
                 input_values = [
-                    None if func is None else func(rows_env) for func in input_funcs
+                    None if kernel is None else kernel(detail_row)
+                    for kernel in input_kernels
                 ]
                 for base_index in candidate_base:
-                    rows_env[BASE_VAR] = base.rows[base_index]
-                    if residual_funcs and not all(func(rows_env) for func in residual_funcs):
+                    if residual is not None and not residual(
+                        base_rows[base_index], detail_row
+                    ):
                         continue
                     if track_touch:
                         touched[base_index] = True
@@ -356,5 +462,5 @@ def _accumulate(base, detail, blocks, track_touch):
                     ):
                         accumulator.update(value)
 
-    active_registry().counter("gmdj.tuples_examined").inc(tuples_examined)
+    _hot_counters()[0].inc(tuples_examined)
     return accumulators, touched

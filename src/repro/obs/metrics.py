@@ -21,6 +21,7 @@ variant; :func:`activate` swaps it for a run-scoped registry.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -38,41 +39,51 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
 
 
 class Counter:
-    """Monotonically increasing integer metric."""
+    """Monotonically increasing integer metric; increments are atomic.
+
+    ``value += amount`` is not atomic in Python (read/add/write can
+    interleave between threads), so increments take a per-metric lock —
+    parallel site executors hit disjoint per-site counters almost
+    always, making contention negligible.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"type": self.kind, "value": self.value}
 
 
 class Gauge:
-    """Last-written value metric (set/add)."""
+    """Last-written value metric (set/add); adds are atomic."""
 
     kind = "gauge"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def add(self, delta: float) -> None:
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
     def snapshot(self) -> dict:
         return {"type": self.kind, "value": self.value}
@@ -87,7 +98,7 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "boundaries", "counts", "count", "sum")
+    __slots__ = ("name", "boundaries", "counts", "count", "sum", "_lock")
 
     def __init__(self, name: str, boundaries: Sequence[float] = SECONDS_BUCKETS):
         boundaries = tuple(float(bound) for bound in boundaries)
@@ -102,15 +113,17 @@ class Histogram:
         self.counts = [0] * (len(boundaries) + 1)
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        for index, bound in enumerate(self.boundaries):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for index, bound in enumerate(self.boundaries):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
 
     def snapshot(self) -> dict:
         return {
@@ -130,18 +143,22 @@ def _metric_key(name: str, labels: dict) -> str:
 
 
 class MetricsRegistry:
-    """Get-or-create home for the process's metrics."""
+    """Get-or-create home for the process's metrics (thread-safe)."""
 
     def __init__(self):
         self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, labels: dict, *args):
         key = _metric_key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(key, *args)
-            self._metrics[key] = metric
-            return metric
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(key, *args)
+                    self._metrics[key] = metric
+                    return metric
         if not isinstance(metric, cls):
             raise ObservabilityError(
                 f"metric {key!r} already registered as {metric.kind}, "

@@ -20,7 +20,9 @@ allocated and no clock is read.
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -100,10 +102,15 @@ class _SpanHandle:
 
 
 class Tracer:
-    """Records spans on a single-threaded execution.
+    """Records spans; safe under concurrent writers.
 
-    Spans appear in :attr:`spans` in *opening* order; nesting is encoded
-    by ``parent_id`` (the innermost open span when a new one opens).
+    Spans appear in :attr:`spans` in *opening* order (ties broken by
+    which thread wins the id lock); nesting is encoded by ``parent_id``.
+    Each thread keeps its own open-span stack, so spans opened by
+    parallel site workers nest correctly without cross-thread
+    interference. A worker thread starts with an empty stack and no
+    parent — use :meth:`attach` to parent its spans under a span opened
+    elsewhere (the evaluator attaches each site leg to its round span).
     """
 
     enabled = True
@@ -111,29 +118,58 @@ class Tracer:
     def __init__(self, clock=time.perf_counter):
         self._clock = clock
         self._next_id = 1
-        self._stack: list = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
         self.spans: list = []
 
     def span(self, name: str, kind: str = "span", **attributes) -> _SpanHandle:
         """Open a span as a context manager: ``with tracer.span("round"):``."""
         return _SpanHandle(self, name, kind, attributes)
 
+    @contextmanager
+    def attach(self, span: Optional[Span]):
+        """Parent this thread's top-level spans under ``span``.
+
+        Used when fanning work out to a pool: the worker thread has no
+        open spans of its own, so without attachment its spans would
+        become parentless roots.
+        """
+        previous = getattr(self._local, "base_parent_id", None)
+        self._local.base_parent_id = None if span is None else span.span_id
+        try:
+            yield
+        finally:
+            self._local.base_parent_id = previous
+
+    def _thread_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def _open(self, name: str, kind: str, attributes: dict) -> Span:
-        span = Span(
-            name=name,
-            kind=kind,
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
-            start_s=self._clock(),
-            attributes=dict(attributes),
-        )
-        self._next_id += 1
-        self.spans.append(span)
-        self._stack.append(span)
+        stack = self._thread_stack()
+        if stack:
+            parent_id = stack[-1].span_id
+        else:
+            parent_id = getattr(self._local, "base_parent_id", None)
+        start_s = self._clock()
+        with self._lock:
+            span = Span(
+                name=name,
+                kind=kind,
+                span_id=self._next_id,
+                parent_id=parent_id,
+                start_s=start_s,
+                attributes=dict(attributes),
+            )
+            self._next_id += 1
+            self.spans.append(span)
+        stack.append(span)
         return span
 
     def _close(self, span: Span, error: bool = False) -> None:
-        popped = self._stack.pop()
+        popped = self._thread_stack().pop()
         if popped is not span:  # pragma: no cover - misuse guard
             raise RuntimeError(
                 f"span {span.name!r} closed out of order (open: {popped.name!r})"
@@ -141,6 +177,29 @@ class Tracer:
         if error:
             span.attributes.setdefault("error", True)
         span.end_s = self._clock()
+
+    def replay(self, span_dicts) -> None:
+        """Re-record spans captured elsewhere (a forked site worker).
+
+        Each replayed span gets a fresh id here; parent links *within*
+        the batch are preserved, and batch roots are parented under this
+        thread's attached span (see :meth:`attach`). Timestamps are kept
+        verbatim — they come from the worker's own monotonic clock, so
+        only their differences (durations) are meaningful.
+        """
+        base_parent_id = getattr(self._local, "base_parent_id", None)
+        stack = self._thread_stack()
+        if stack:
+            base_parent_id = stack[-1].span_id
+        id_map: dict = {}
+        with self._lock:
+            for payload in span_dicts:
+                span = Span.from_dict(payload)
+                id_map[span.span_id] = self._next_id
+                span.span_id = self._next_id
+                span.parent_id = id_map.get(span.parent_id, base_parent_id)
+                self._next_id += 1
+                self.spans.append(span)
 
     # -- queries -----------------------------------------------------------------
 
@@ -187,6 +246,13 @@ class NullTracer:
 
     def span(self, name: str, kind: str = "span", **attributes) -> _NullSpan:
         return _NULL_SPAN
+
+    def attach(self, span) -> _NullSpan:
+        """No-op attachment (the null span is also a null context)."""
+        return _NULL_SPAN
+
+    def replay(self, span_dicts) -> None:
+        """Discard replayed spans (nothing is recorded)."""
 
 
 #: Process-wide shared no-op tracer (safe: it holds no state).

@@ -1,0 +1,395 @@
+"""Codegen compiler: scalar AST -> Python kernels over row tuples.
+
+:meth:`~repro.relalg.expressions.Expr.compile` builds a *closure tree* —
+one Python frame per AST node per evaluated row. That is already much
+faster than :meth:`Expr.eval`, but the GMDJ hot loops (hash build, probe,
+residual checks, aggregate inputs) still pay a call per node per row.
+This module lowers an expression once per block to a single generated
+Python function whose body is straight-line statements over positional
+row arguments, e.g. ``theta = (detail.A == base.A) & (detail.X >= 10)``
+becomes roughly::
+
+    def _kernel(_row_b, _row_r):
+        _t1 = False if _row_r[0] is None or _row_b[0] is None else _row_r[0] == _row_b[0]
+        if _t1:
+            _t2 = False if _row_r[2] is None else _row_r[2] >= 10
+            _t3 = bool(_t2)
+        else:
+            _t3 = False
+        return _t3
+
+Semantics are *identical* to the interpreter (the differential-testing
+oracle, see ``tests/test_compiler.py``):
+
+- arithmetic over ``None`` yields ``None``; ``/`` and ``%`` by zero yield
+  ``None``;
+- comparisons and ``BETWEEN`` with any ``None`` operand are ``False``;
+- ``IN`` never admits ``None``;
+- ``&`` / ``|`` short-circuit **lazily** — the right operand is not
+  evaluated when the left decides, exactly like ``Expr.eval`` (so a
+  type-incompatible comparison guarded by the left side never raises in
+  either engine).
+
+Kernels are cached process-wide by (mode, expression key, parameter
+layout, schema signature); repeated rounds over the same block condition
+compile exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.errors import ExpressionError
+from repro.relalg.expressions import (
+    And,
+    Arith,
+    Between,
+    Comparison,
+    Const,
+    Expr,
+    Field,
+    InSet,
+    IsNull,
+    Neg,
+    Not,
+    Or,
+)
+
+#: Constant types safe to inline as literals in generated source.
+_INLINE_CONSTS = (bool, int, float, str)
+
+
+class _Emitter:
+    """Accumulates statements, temps, and environment bindings."""
+
+    def __init__(self, schemas: Mapping, param_of: Mapping):
+        self.schemas = schemas
+        self.param_of = param_of
+        self.lines: list = []
+        self.env: dict = {}
+        self._temps = 0
+        self._consts = 0
+        #: Atoms known to be literal constants (for static NULL analysis
+        #: and to avoid ``<literal> is None`` syntax warnings).
+        self.literal_atoms: set = set()
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def line(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def temp(self) -> str:
+        self._temps += 1
+        return f"_t{self._temps}"
+
+    def bind(self, value) -> str:
+        self._consts += 1
+        name = f"_c{self._consts}"
+        self.env[name] = value
+        return name
+
+    def null_checks(self, atoms: Sequence[str]) -> list:
+        """``X is None`` fragments for atoms that can be NULL at runtime.
+
+        Literal atoms are resolved statically: a literal ``None`` check
+        is the constant ``True``; any other literal is never NULL.
+        """
+        checks = []
+        for atom in atoms:
+            if atom in self.literal_atoms:
+                if atom == "None":
+                    checks.append("True")
+            else:
+                checks.append(f"{atom} is None")
+        return checks
+
+    # -- node emission -------------------------------------------------------
+
+    def emit(self, node: Expr, indent: int) -> str:
+        """Emit statements computing ``node``; return the result atom."""
+        if isinstance(node, Const):
+            value = node.value
+            inline = value is None or type(value) in _INLINE_CONSTS
+            if inline and isinstance(value, float) and not math.isfinite(value):
+                inline = False  # repr(nan)/repr(inf) are not literals
+            if inline:
+                atom = repr(value)
+                self.literal_atoms.add(atom)
+                return atom
+            return self.bind(value)
+
+        if isinstance(node, Field):
+            try:
+                schema = self.schemas[node.relvar]
+            except KeyError:
+                raise ExpressionError(
+                    f"no schema for relation variable {node.relvar!r} "
+                    f"(have {sorted(map(repr, self.schemas))})"
+                ) from None
+            try:
+                param = self.param_of[node.relvar]
+            except KeyError:
+                raise ExpressionError(
+                    f"no kernel parameter bound for relation variable "
+                    f"{node.relvar!r} (have {sorted(map(repr, self.param_of))})"
+                ) from None
+            return f"{param}[{schema.position(node.name)}]"
+
+        if isinstance(node, Arith):
+            left = self.emit(node.left, indent)
+            right = self.emit(node.right, indent)
+            checks = self.null_checks((left, right))
+            if node.op in ("/", "%"):
+                checks.append(f"{right} == 0")
+            out = self.temp()
+            expr = f"{left} {node.op} {right}"
+            if checks:
+                self.line(indent, f"{out} = None if {' or '.join(checks)} else {expr}")
+            else:
+                self.line(indent, f"{out} = {expr}")
+            return out
+
+        if isinstance(node, Neg):
+            operand = self.emit(node.operand, indent)
+            out = self.temp()
+            checks = self.null_checks((operand,))
+            if checks:
+                self.line(indent, f"{out} = None if {checks[0]} else -{operand}")
+            else:
+                self.line(indent, f"{out} = -{operand}")
+            return out
+
+        if isinstance(node, Comparison):
+            left = self.emit(node.left, indent)
+            right = self.emit(node.right, indent)
+            checks = self.null_checks((left, right))
+            out = self.temp()
+            expr = f"{left} {node.op} {right}"
+            if checks:
+                self.line(indent, f"{out} = False if {' or '.join(checks)} else {expr}")
+            else:
+                self.line(indent, f"{out} = {expr}")
+            return out
+
+        if isinstance(node, And):
+            left = self.emit(node.left, indent)
+            out = self.temp()
+            # Lazy right operand: only evaluated when the left is truthy,
+            # mirroring ``bool(left) and bool(right)`` in the interpreter.
+            self.line(indent, f"if {left}:")
+            right = self.emit(node.right, indent + 1)
+            self.line(indent + 1, f"{out} = bool({right})")
+            self.line(indent, "else:")
+            self.line(indent + 1, f"{out} = False")
+            return out
+
+        if isinstance(node, Or):
+            left = self.emit(node.left, indent)
+            out = self.temp()
+            self.line(indent, f"if {left}:")
+            self.line(indent + 1, f"{out} = True")
+            self.line(indent, "else:")
+            right = self.emit(node.right, indent + 1)
+            self.line(indent + 1, f"{out} = bool({right})")
+            return out
+
+        if isinstance(node, Not):
+            operand = self.emit(node.operand, indent)
+            out = self.temp()
+            self.line(indent, f"{out} = not {operand}")
+            return out
+
+        if isinstance(node, InSet):
+            operand = self.emit(node.operand, indent)
+            values = self.bind(node.values)
+            out = self.temp()
+            if operand in self.literal_atoms:
+                if operand == "None":
+                    self.line(indent, f"{out} = False")
+                else:
+                    self.line(indent, f"{out} = {operand} in {values}")
+            else:
+                self.line(
+                    indent, f"{out} = {operand} is not None and {operand} in {values}"
+                )
+            return out
+
+        if isinstance(node, Between):
+            operand = self.emit(node.operand, indent)
+            low = self.emit(node.low, indent)
+            high = self.emit(node.high, indent)
+            checks = self.null_checks((operand, low, high))
+            out = self.temp()
+            expr = f"{low} <= {operand} <= {high}"
+            if checks:
+                self.line(indent, f"{out} = False if {' or '.join(checks)} else {expr}")
+            else:
+                self.line(indent, f"{out} = {expr}")
+            return out
+
+        if isinstance(node, IsNull):
+            operand = self.emit(node.operand, indent)
+            out = self.temp()
+            if operand in self.literal_atoms:
+                self.line(indent, f"{out} = {operand == 'None'}")
+            else:
+                self.line(indent, f"{out} = {operand} is None")
+            return out
+
+        raise ExpressionError(f"cannot compile expression node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Kernel assembly + cache
+# ---------------------------------------------------------------------------
+
+_KERNEL_CACHE: dict = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def clear_kernel_cache() -> None:
+    """Drop all cached kernels (tests and memory-sensitive callers)."""
+    with _CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+
+
+def kernel_cache_size() -> int:
+    return len(_KERNEL_CACHE)
+
+
+def _param_map(params: Sequence, aliases: Optional[Mapping]) -> dict:
+    """Map relvar -> generated parameter name.
+
+    ``params`` fixes the positional signature; ``aliases`` lets extra
+    relvars share a parameter (e.g. unqualified fields reading the
+    detail row: ``aliases={None: DETAIL_VAR}``).
+    """
+    param_of = {}
+    for index, relvar in enumerate(params):
+        param_of[relvar] = f"_row{index}"
+    if aliases:
+        for alias, target in aliases.items():
+            if target not in param_of:
+                raise ExpressionError(
+                    f"alias {alias!r} targets unknown parameter relvar {target!r}"
+                )
+            param_of[alias] = param_of[target]
+    return param_of
+
+
+def _schema_signature(schemas: Mapping) -> tuple:
+    return tuple(
+        sorted(
+            (
+                (repr(relvar), tuple((a.name, a.type) for a in schema))
+                for relvar, schema in schemas.items()
+            ),
+        )
+    )
+
+
+def _cache_key(mode, expr_keys, schemas, params, aliases) -> tuple:
+    alias_sig = tuple(sorted((repr(k), repr(v)) for k, v in (aliases or {}).items()))
+    return (
+        mode,
+        expr_keys,
+        tuple(repr(relvar) for relvar in params),
+        alias_sig,
+        _schema_signature(schemas),
+    )
+
+
+def _assemble(emitter: _Emitter, params: Sequence, body_tail: Sequence[str]) -> Callable:
+    signature = ", ".join(f"_row{index}" for index in range(len(params)))
+    body = emitter.lines + list(body_tail)
+    source = f"def _kernel({signature}):\n" + "\n".join(
+        "    " + line for line in body
+    )
+    env = emitter.env
+    exec(compile(source, "<relalg-kernel>", "exec"), env)  # noqa: S102
+    kernel = env["_kernel"]
+    kernel.__kernel_source__ = source  # introspection for tests/debugging
+    return kernel
+
+
+def compile_scalar(
+    expr: Expr,
+    schemas: Mapping,
+    params: Sequence,
+    aliases: Optional[Mapping] = None,
+) -> Callable:
+    """Compile ``expr`` to ``fn(*rows) -> value``.
+
+    ``params`` is the ordered tuple of relvars defining the positional
+    row arguments; ``schemas`` maps every referenced relvar (including
+    aliases) to its :class:`~repro.relalg.schema.Schema`.
+    """
+    key = _cache_key("scalar", expr.key(), schemas, params, aliases)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        emitter = _Emitter(schemas, _param_map(params, aliases))
+        atom = emitter.emit(expr, 0)
+        kernel = _assemble(emitter, params, (f"return {atom}",))
+        with _CACHE_LOCK:
+            _KERNEL_CACHE[key] = kernel
+    return kernel
+
+
+def compile_predicate(
+    conditions,
+    schemas: Mapping,
+    params: Sequence,
+    aliases: Optional[Mapping] = None,
+) -> Callable:
+    """Compile a condition (or sequence of conjuncts) to ``fn(*rows) -> bool``.
+
+    A sequence is treated as a conjunction with early exit after each
+    conjunct — the same short-circuit order as testing the conjuncts one
+    by one with the interpreter.
+    """
+    if isinstance(conditions, Expr):
+        conditions = (conditions,)
+    else:
+        conditions = tuple(conditions)
+    key = _cache_key(
+        "predicate", tuple(c.key() for c in conditions), schemas, params, aliases
+    )
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        emitter = _Emitter(schemas, _param_map(params, aliases))
+        for condition in conditions:
+            atom = emitter.emit(condition, 0)
+            emitter.line(0, f"if not {atom}:")
+            emitter.line(1, "return False")
+        kernel = _assemble(emitter, params, ("return True",))
+        with _CACHE_LOCK:
+            _KERNEL_CACHE[key] = kernel
+    return kernel
+
+
+def compile_values(
+    exprs: Sequence[Expr],
+    schemas: Mapping,
+    params: Sequence,
+    aliases: Optional[Mapping] = None,
+) -> Callable:
+    """Compile several expressions to one ``fn(*rows) -> tuple`` kernel.
+
+    Used for hash-join key extraction: one call builds the whole key
+    tuple instead of one closure call per key component.
+    """
+    exprs = tuple(exprs)
+    key = _cache_key(
+        "values", tuple(e.key() for e in exprs), schemas, params, aliases
+    )
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        emitter = _Emitter(schemas, _param_map(params, aliases))
+        atoms = [emitter.emit(expr, 0) for expr in exprs]
+        tail = "(" + ", ".join(atoms) + ("," if len(atoms) == 1 else "") + ")"
+        kernel = _assemble(emitter, params, (f"return {tail}",))
+        with _CACHE_LOCK:
+            _KERNEL_CACHE[key] = kernel
+    return kernel

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.errors import SchemaError
+from repro.relalg import compiler
 from repro.relalg.aggregates import AggSpec
 from repro.relalg.expressions import BASE_VAR, DETAIL_VAR, Expr
 from repro.relalg.relation import Relation
@@ -61,12 +62,16 @@ def natural_join(left: Relation, right: Relation) -> Relation:
 
 def theta_join(left: Relation, right: Relation, condition: Expr) -> Relation:
     """Nested-loop join; condition fields use ``base`` (left) / ``detail`` (right)."""
-    predicate = condition.compile({BASE_VAR: left.schema, DETAIL_VAR: right.schema})
+    predicate = compiler.compile_predicate(
+        condition,
+        {BASE_VAR: left.schema, DETAIL_VAR: right.schema},
+        (BASE_VAR, DETAIL_VAR),
+    )
     schema = left.schema.concat(right.schema)
     rows = []
     for l_row in left.rows:
         for r_row in right.rows:
-            if predicate({BASE_VAR: l_row, DETAIL_VAR: r_row}):
+            if predicate(l_row, r_row):
                 rows.append(l_row + r_row)
     return Relation(schema, rows)
 

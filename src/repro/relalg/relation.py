@@ -16,6 +16,7 @@ from collections import Counter
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SchemaError
+from repro.relalg import compiler
 from repro.relalg.expressions import Expr
 from repro.relalg.schema import Attribute, Schema, infer_type
 
@@ -99,8 +100,8 @@ class Relation:
 
     def select(self, condition: Expr) -> "Relation":
         """Rows satisfying ``condition`` (fields unqualified)."""
-        predicate = condition.compile({None: self.schema})
-        return Relation(self.schema, (row for row in self.rows if predicate({None: row})))
+        predicate = compiler.compile_predicate(condition, {None: self.schema}, (None,))
+        return Relation(self.schema, (row for row in self.rows if predicate(row)))
 
     def select_fn(self, predicate: Callable) -> "Relation":
         """Rows for which ``predicate(row_tuple)`` is truthy."""
@@ -146,9 +147,9 @@ class Relation:
 
     def extend(self, name: str, type_name: str, expression: Expr) -> "Relation":
         """Append a computed column (fields of ``expression`` unqualified)."""
-        func = expression.compile({None: self.schema})
+        func = compiler.compile_scalar(expression, {None: self.schema}, (None,))
         schema = self.schema.concat(Schema([Attribute(name, type_name)]))
-        return Relation(schema, (row + (func({None: row}),) for row in self.rows))
+        return Relation(schema, (row + (func(row),) for row in self.rows))
 
     def rename(self, mapping: dict) -> "Relation":
         return Relation(self.schema.rename(mapping), self.rows)

@@ -1,0 +1,179 @@
+"""Differential tests: codegen kernels vs the AST interpreter oracle.
+
+The compiled kernels of :mod:`repro.relalg.compiler` share no evaluation
+code with :meth:`Expr.eval`; running both over the property-test
+expression corpus (random trees, random rows including NULLs) pins down
+NULL propagation, NULL comparisons, division by zero, and the lazy
+short-circuit behaviour of ``&``/``|``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from test_property_expressions import (
+    BASE_SCHEMA,
+    DETAIL_SCHEMA,
+    _rows,
+    condition_exprs,
+    numeric_exprs,
+)
+
+from repro.relalg.compiler import (
+    compile_predicate,
+    compile_scalar,
+    compile_values,
+    kernel_cache_size,
+)
+from repro.relalg.expressions import (
+    BASE_VAR,
+    Comparison,
+    Const,
+    DETAIL_VAR,
+    base,
+    col,
+    detail,
+)
+from repro.relalg.predicates import conjuncts
+from repro.relalg.schema import FLOAT, STR, Schema
+
+_SCHEMAS = {BASE_VAR: BASE_SCHEMA, DETAIL_VAR: DETAIL_SCHEMA}
+_PARAMS = (BASE_VAR, DETAIL_VAR)
+
+
+def _oracle(expression, base_row, detail_row):
+    bindings = {
+        BASE_VAR: dict(zip(("x", "y"), base_row)),
+        DETAIL_VAR: dict(zip(("u", "v"), detail_row)),
+    }
+    return expression.eval(bindings)
+
+
+@given(expression=numeric_exprs(), base_row=_rows, detail_row=_rows)
+@settings(max_examples=200, deadline=None)
+def test_scalar_kernel_matches_interpreter(expression, base_row, detail_row):
+    kernel = compile_scalar(expression, _SCHEMAS, _PARAMS)
+    interpreted = _oracle(expression, base_row, detail_row)
+    compiled = kernel(base_row, detail_row)
+    if interpreted is None or compiled is None:
+        assert interpreted is None and compiled is None
+    elif math.isinf(interpreted) or math.isnan(interpreted):
+        assert math.isinf(compiled) or math.isnan(compiled) or compiled == interpreted
+    else:
+        assert compiled == pytest.approx(interpreted, rel=1e-12, abs=1e-12)
+
+
+@given(expression=condition_exprs(), base_row=_rows, detail_row=_rows)
+@settings(max_examples=200, deadline=None)
+def test_predicate_kernel_matches_interpreter(expression, base_row, detail_row):
+    kernel = compile_predicate(expression, _SCHEMAS, _PARAMS)
+    assert kernel(base_row, detail_row) == bool(
+        _oracle(expression, base_row, detail_row)
+    )
+
+
+@given(expression=condition_exprs(), base_row=_rows, detail_row=_rows)
+@settings(max_examples=100, deadline=None)
+def test_conjunct_list_matches_whole_condition(expression, base_row, detail_row):
+    """Splitting into conjuncts then early-exiting is semantics-preserving."""
+    whole = compile_predicate(expression, _SCHEMAS, _PARAMS)
+    split = compile_predicate(conjuncts(expression), _SCHEMAS, _PARAMS)
+    assert whole(base_row, detail_row) == split(base_row, detail_row)
+
+
+@given(expression=numeric_exprs(), base_row=_rows, detail_row=_rows)
+@settings(max_examples=100, deadline=None)
+def test_values_kernel_matches_scalars(expression, base_row, detail_row):
+    pair = compile_values((expression, expression + 1.0), _SCHEMAS, _PARAMS)
+    single = compile_scalar(expression, _SCHEMAS, _PARAMS)
+    first, second = pair(base_row, detail_row)
+    assert first == single(base_row, detail_row)
+    if first is None:
+        assert second is None
+    else:
+        assert second == pytest.approx(first + 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Targeted semantics the corpus cannot reach
+# ---------------------------------------------------------------------------
+
+_MIXED = Schema.of(("name", STR), ("score", FLOAT))
+
+
+def test_and_short_circuits_lazily():
+    """The right operand must not be evaluated when the left decides.
+
+    ``name < 5`` is a type error for string names; the interpreter never
+    evaluates it when the guard is false, and neither may the kernel.
+    """
+    guarded = (col.score > 100.0) & (col.name < 5)
+    kernel = compile_predicate(guarded, {None: _MIXED}, (None,))
+    assert kernel(("alice", 1.0)) is False
+    with pytest.raises(TypeError):
+        kernel(("alice", 200.0))  # the interpreter raises here too
+    with pytest.raises(TypeError):
+        guarded.eval({None: {"name": "alice", "score": 200.0}})
+
+
+def test_or_short_circuits_lazily():
+    guarded = (col.score > 100.0) | (col.name < 5)
+    kernel = compile_predicate(guarded, {None: _MIXED}, (None,))
+    assert kernel(("bob", 200.0)) is True
+    with pytest.raises(TypeError):
+        kernel(("bob", 1.0))
+
+
+def test_division_and_modulo_by_zero_yield_null():
+    expr = (detail.u / base.x) + (detail.v % base.y)
+    kernel = compile_scalar(expr, _SCHEMAS, _PARAMS)
+    assert kernel((0.0, 1.0), (3.0, 4.0)) is None  # u / 0
+    assert kernel((2.0, 0.0), (3.0, 4.0)) is None  # v % 0
+    assert kernel((2.0, 3.0), (4.0, 5.0)) == pytest.approx(4.0)
+
+
+def test_null_comparisons_are_false_and_between_needs_all_operands():
+    condition = detail.u.between(base.x, base.y)
+    kernel = compile_predicate(condition, _SCHEMAS, _PARAMS)
+    assert kernel((1.0, 5.0), (3.0, 0.0)) is True
+    assert kernel((None, 5.0), (3.0, 0.0)) is False
+    assert kernel((1.0, 5.0), (None, 0.0)) is False
+
+
+def test_in_set_never_admits_null():
+    kernel = compile_predicate(detail.u.is_in([1.0, 2.0]), _SCHEMAS, _PARAMS)
+    assert kernel((0.0, 0.0), (1.0, 9.0)) is True
+    assert kernel((0.0, 0.0), (None, 9.0)) is False
+
+
+def test_aliases_bind_unqualified_fields_to_a_parameter():
+    expr = col.u + detail.v
+    kernel = compile_scalar(
+        expr,
+        {DETAIL_VAR: DETAIL_SCHEMA, None: DETAIL_SCHEMA},
+        (DETAIL_VAR,),
+        aliases={None: DETAIL_VAR},
+    )
+    assert kernel((2.0, 3.0)) == pytest.approx(5.0)
+
+
+def test_non_finite_constants_are_not_inlined():
+    kernel = compile_scalar(
+        Const(float("nan")) + detail.u, _SCHEMAS, _PARAMS
+    )
+    assert math.isnan(kernel((0.0, 0.0), (1.0, 1.0)))
+
+
+def test_kernel_cache_reuses_compiled_functions():
+    expression = (base.x == detail.u) & (detail.v >= 10.0)
+    first = compile_predicate(expression, _SCHEMAS, _PARAMS)
+    before = kernel_cache_size()
+    second = compile_predicate(expression, _SCHEMAS, _PARAMS)
+    assert first is second
+    assert kernel_cache_size() == before
+
+
+def test_kernel_source_is_attached_for_introspection():
+    kernel = compile_predicate(base.x > 1.0, _SCHEMAS, _PARAMS)
+    assert "def _kernel" in kernel.__kernel_source__
