@@ -38,6 +38,7 @@ from repro.distributed import (
 )
 from repro.distributed.evaluator import ExecutionConfig
 from repro.distributed.executor import EXECUTORS
+from repro.distributed.recovery import FAILURE_MODES
 from repro.queries.sql import parse_olap_statement
 
 
@@ -126,10 +127,35 @@ def _add_cluster_options(parser) -> None:
         help="site execution engine (star topology; 'threads'/'processes' "
         "fan site legs out across a worker pool)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="fault-injection spec: a rule DSL string like "
+        "'drop site=site1 round=1 dir=up; crash site=site1 rounds=1-2 times=4', "
+        "or a path to a JSON rule file",
+    )
+    parser.add_argument(
+        "--failure-mode",
+        choices=FAILURE_MODES,
+        default=None,
+        help="how the coordinator reacts to failing site legs "
+        "(default: fail_fast, or retry when --faults is given)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="leg re-runs before a site is declared failed (retry/degrade)",
+    )
 
 
 def _build_cluster(args) -> SimulatedCluster:
     cluster = SimulatedCluster.with_sites(args.sites)
+    faults = getattr(args, "faults", None)
+    if faults:
+        from repro.net.faults import FaultPlan
+
+        cluster.install_faults(FaultPlan.from_any(faults))
     if getattr(args, "data", "tpcr") == "flows":
         config = FlowConfig(
             flow_count=max(100, int(5_000_000 * args.scale)),
@@ -156,7 +182,32 @@ def _options(args) -> OptimizationOptions:
 
 
 def _config(args) -> ExecutionConfig:
-    return ExecutionConfig(executor=getattr(args, "executor", "serial"))
+    failure_mode = getattr(args, "failure_mode", None)
+    if failure_mode is None:
+        # With faults injected but no explicit mode, retrying is the only
+        # default that still answers the query correctly.
+        failure_mode = "retry" if getattr(args, "faults", None) else "fail_fast"
+    return ExecutionConfig(
+        executor=getattr(args, "executor", "serial"),
+        failure_mode=failure_mode,
+        max_retries=getattr(args, "max_retries", 2),
+    )
+
+
+def _print_recovery(stats, out) -> None:
+    """One summary line when a run saw faults, retries, or exclusions."""
+    if not (stats.faults or stats.retries or stats.degraded):
+        return
+    line = (
+        f"recovery [{stats.failure_mode}]: faults={stats.fault_count} "
+        f"retries={stats.retries}"
+    )
+    if stats.excluded_sites:
+        excluded = ", ".join(
+            f"round {index}: {site_id}" for index, site_id in stats.excluded_sites
+        )
+        line += f" EXCLUDED ({excluded}) — result is an under-approximation"
+    print(line, file=out)
 
 
 def run_demo(args, out) -> int:
@@ -184,6 +235,7 @@ def run_demo(args, out) -> int:
             f"bytes={result.stats.bytes_total}",
             file=out,
         )
+        _print_recovery(result.stats, out)
         print(result.relation.sorted_by(["NationKey"]).pretty(8), file=out)
         print(file=out)
     return 0
@@ -202,10 +254,14 @@ def run_sql(args, out) -> int:
             f"syncs={result.plan.synchronization_count} "
             f"bytes={result.stats.bytes_total} rounds={result.stats.round_count}"
         )
+        _print_recovery(result.stats, out)
         plan = result.plan
     elif args.topology.startswith("tree:"):
         if args.executor != "serial":
             print("--executor applies to the star topology only", file=sys.stderr)
+            return 2
+        if args.faults:
+            print("--faults applies to the star topology only", file=sys.stderr)
             return 2
         region_count = int(args.topology.split(":", 1)[1])
         topology = TreeTopology.balanced(cluster.site_ids, region_count)
@@ -262,6 +318,7 @@ def run_trace(args, out) -> int:
 
     mismatches = verify_against_network(result.stats, cluster.network)
     print(result.plan.describe(), file=out)
+    _print_recovery(result.stats, out)
     print(render_timeline(result.stats, WAN), file=out)
     print(
         f"trace: {len(tracer.spans)} spans, {len(registry)} metrics"

@@ -47,6 +47,10 @@ class SimulatedCluster:
             for site_id in site_ids
         }
         self.catalog = DistributionCatalog()
+        #: The active fault-injection plan (``None`` = perfect network);
+        #: installed via :meth:`install_faults` and re-applied on every
+        #: :meth:`reset_network`.
+        self.fault_plan = None
         self.network = Network(site_ids)
         #: Span tracer for per-site evaluation; the evaluator installs a
         #: live one per traced run (default: record nothing).
@@ -212,14 +216,33 @@ class SimulatedCluster:
             span.set(rows=len(result))
         return result
 
-    def reset_network(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def install_faults(self, plan) -> None:
+        """Install a :class:`~repro.net.faults.FaultPlan` (or ``None`` to
+        restore a perfect network) and rebuild the channels.
+
+        Because the plan itself is stateless and all firing state lives
+        in the fresh :class:`~repro.net.faults.FaultyChannel` objects,
+        installing (or resetting the network under) the same plan replays
+        the identical fault schedule.
+        """
+        self.fault_plan = plan
+        self.reset_network()
+
+    def reset_network(
+        self, metrics: Optional[MetricsRegistry] = None, faults=None
+    ) -> None:
         """Fresh traffic counters (e.g. between benchmark repetitions).
 
         Pass a registry to have the new channels account their bytes and
         message counts there (a traced run shares one registry between
-        the network and the evaluator).
+        the network and the evaluator). ``faults`` overrides the installed
+        fault plan for the new network (and becomes the installed plan);
+        when omitted, the currently installed plan is re-applied with
+        fresh firing state.
         """
-        self.network = Network(self.site_ids, metrics=metrics)
+        if faults is not None:
+            self.fault_plan = faults
+        self.network = Network(self.site_ids, metrics=metrics, faults=self.fault_plan)
 
     @property
     def site_count(self) -> int:

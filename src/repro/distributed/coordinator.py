@@ -95,12 +95,23 @@ class Coordinator:
         """
         return operator.SyncSession(self.x, self.key_attrs, blocks)
 
-    def commit_sync(self, session: operator.SyncSession) -> Relation:
+    def commit_sync(
+        self, session: operator.SyncSession, excluded: Sequence[str] = ()
+    ) -> Relation:
+        """Finalize a sync round.
+
+        ``excluded`` names the sites degrade mode dropped from the round
+        (their accumulator banks were already reset by the recovery
+        layer); it is recorded on the merge span so traces show which
+        merges are under-approximations.
+        """
         with self.tracer.span(
             "round.merge", kind="coordinator", phase="commit"
         ) as span:
             self._x = session.finish()
             span.set(rows=len(self._x))
+            if excluded:
+                span.set(excluded=",".join(sorted(excluded)))
         return self._x
 
     def synchronize(self, sub_results: Sequence[Relation], blocks: Sequence[MDBlock]) -> Relation:

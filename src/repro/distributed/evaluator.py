@@ -35,6 +35,13 @@ from repro.distributed.coordinator import Coordinator
 from repro.distributed.executor import EXECUTORS, SiteRequest, create_engine
 from repro.distributed.optimizer import OptimizationOptions, plan_query
 from repro.distributed.plan import Plan
+from repro.distributed.recovery import (
+    EXCLUDED,
+    FAIL_FAST,
+    FAILURE_MODES,
+    RetryPolicy,
+    guard_leg,
+)
 from repro.distributed.stats import ExecutionStats, check_theorem2
 from repro.errors import PlanError
 from repro.gmdj.expression import GMDJExpression, LiteralBase
@@ -71,6 +78,16 @@ class ExecutionConfig:
     The ``executor`` default honours the ``REPRO_EXECUTOR`` environment
     variable (used by the CI executor matrix to run the whole test suite
     under each engine); an explicit value always wins.
+
+    ``failure_mode`` selects how the coordinator reacts when a site leg
+    fails with a transport/codec error (see
+    :mod:`repro.distributed.recovery`): ``"fail_fast"`` propagates the
+    first failure, ``"retry"`` re-runs the leg with exponential backoff
+    (``retry_backoff_s`` base, doubling, capped) up to ``max_retries``
+    re-runs and at most ``leg_timeout_s`` wall-clock per leg (0 = no
+    clock budget), and ``"degrade"`` spends the same budget but then
+    completes the round *without* the site, recording the exclusion in
+    the run's :class:`~repro.distributed.stats.ExecutionStats`.
     """
 
     row_block_size: int = 0  # 0 = unlimited (one message per relation)
@@ -78,6 +95,10 @@ class ExecutionConfig:
         default_factory=lambda: os.environ.get("REPRO_EXECUTOR", "serial")
     )
     max_workers: int = 0
+    failure_mode: str = FAIL_FAST
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    leg_timeout_s: float = 0.0  # 0 = no per-leg wall-clock budget
 
     def __post_init__(self):
         if self.row_block_size is None:
@@ -96,6 +117,24 @@ class ExecutionConfig:
             )
         if self.max_workers < 0:
             raise PlanError(f"max_workers must be >= 0, got {self.max_workers}")
+        if self.failure_mode not in FAILURE_MODES:
+            raise PlanError(
+                f"unknown failure mode {self.failure_mode!r}; "
+                f"expected one of {', '.join(FAILURE_MODES)}"
+            )
+        if self.max_retries < 0:
+            raise PlanError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s < 0:
+            raise PlanError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.leg_timeout_s < 0:
+            raise PlanError(
+                f"leg_timeout_s must be >= 0, got {self.leg_timeout_s}"
+            )
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy.from_config(self)
 
     def blocks_of(self, relation: Relation):
         """Split a relation into shipping blocks per this config."""
@@ -151,16 +190,22 @@ def execute_plan(
 
 def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
     config = config or ExecutionConfig()
-    stats = ExecutionStats(executor=config.executor)
+    policy = config.retry_policy()
+    stats = ExecutionStats(executor=config.executor, failure_mode=config.failure_mode)
     coordinator = Coordinator(plan.expression.key, tracer)
     previous_tracer = cluster.tracer
+    previous_network_tracer = cluster.network.tracer
     cluster.tracer = tracer
-    engine = create_engine(config.executor, cluster.sites, tracer, config.max_workers)
+    cluster.network.tracer = tracer
+    engine = None
     try:
+        engine = create_engine(
+            config.executor, cluster.sites, tracer, config.max_workers
+        )
         with tracer.span(
             "query", kind="query", rounds=len(plan.rounds), sites=cluster.site_count
         ):
-            _evaluate_base(cluster, plan, coordinator, stats, tracer, engine)
+            _evaluate_base(cluster, plan, coordinator, stats, tracer, engine, policy)
             for round_number, md_round in enumerate(plan.rounds, start=1):
                 round_stats = stats.new_round(
                     "chain" if md_round.is_chain else "md",
@@ -185,16 +230,22 @@ def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
                         round_number,
                         round_stats,
                         round_span,
+                        policy,
                     )
                     round_span.set(
                         bytes_down=round_stats.bytes_down,
                         bytes_up=round_stats.bytes_up,
                         coordinator_compute_s=round_stats.coordinator_compute_s,
                     )
+                    if round_stats.excluded:
+                        round_span.set(excluded=",".join(round_stats.excluded))
                 round_stats.wall_s = time.perf_counter() - round_started
     finally:
         cluster.tracer = previous_tracer
-        engine.close()
+        cluster.network.tracer = previous_network_tracer
+        stats.record_faults(cluster.network.fault_events())
+        if engine is not None:
+            engine.close()
     return DistributedResult(coordinator.x, stats, plan)
 
 
@@ -209,6 +260,7 @@ def _evaluate_round(
     round_number,
     round_stats,
     round_span=None,
+    policy=None,
 ) -> None:
     """One MD/chain round: fan out, evaluate, stream sub-results back.
 
@@ -322,18 +374,35 @@ def _evaluate_round(
             round_stats.coordinator_compute_s += elapsed
         return collected
 
-    results = engine.run_legs(md_round.sites, leg, round_span)
+    if policy is None:
+        policy = RetryPolicy()
+    guarded = guard_leg(
+        leg,
+        policy=policy,
+        network=cluster.network,
+        round_index=round_number,
+        round_stats=round_stats,
+        tracer=tracer,
+        session=session,
+    )
+    results = engine.run_legs(md_round.sites, guarded, round_span)
+    results = [result for result in results if result is not EXCLUDED]
+    if round_stats.excluded and len(round_stats.excluded) == len(md_round.sites):
+        raise PlanError(
+            f"round {round_number}: every participating site was excluded "
+            f"({', '.join(round_stats.excluded)}); no sub-results to merge"
+        )
 
     started = time.perf_counter()
     if md_round.merged_base:
         coordinator.assemble_from_chain(results, blocks)
     else:
-        coordinator.commit_sync(session)
+        coordinator.commit_sync(session, excluded=tuple(round_stats.excluded))
     round_stats.coordinator_compute_s += time.perf_counter() - started
 
 
 def _evaluate_base(
-    cluster, plan, coordinator, stats, tracer=NULL_TRACER, engine=None
+    cluster, plan, coordinator, stats, tracer=NULL_TRACER, engine=None, policy=None
 ) -> None:
     base = plan.base
     if base.merged_into_chain:
@@ -396,11 +465,29 @@ def _evaluate_base(
                 round_stats.coordinator_compute_s += elapsed
             return fragment
 
-        fragments = engine.run_legs(base.sites, leg, round_span)
+        guarded = guard_leg(
+            leg,
+            policy=policy if policy is not None else RetryPolicy(),
+            network=cluster.network,
+            round_index=0,
+            round_stats=round_stats,
+            tracer=tracer,
+        )
+        fragments = engine.run_legs(base.sites, guarded, round_span)
+        fragments = [
+            fragment for fragment in fragments if fragment is not EXCLUDED
+        ]
+        if not fragments:
+            raise PlanError(
+                "base round: every participating site was excluded; "
+                "no base fragments to synchronize"
+            )
 
         started = time.perf_counter()
         coordinator.sync_base(fragments)
         round_stats.coordinator_compute_s += time.perf_counter() - started
+        if round_stats.excluded:
+            round_span.set(excluded=",".join(round_stats.excluded))
         round_span.set(
             bytes_down=round_stats.bytes_down,
             bytes_up=round_stats.bytes_up,

@@ -47,11 +47,11 @@ import multiprocessing
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
-from repro.errors import PlanError
+from repro.errors import MultiLegError, PlanError
 from repro.net import message as msg
 from repro.net import serialize
 from repro.obs.metrics import MetricsRegistry, activate, active_registry
@@ -188,6 +188,49 @@ def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> Site
 # ---------------------------------------------------------------------------
 
 
+def _raise_leg_failures(failures: dict, cancelled: Sequence[str]) -> None:
+    """Raise the collected leg failures.
+
+    A single failure with nothing cancelled re-raises the original
+    exception unchanged (callers and tests match on the concrete type);
+    anything more is a :class:`~repro.errors.MultiLegError` carrying
+    *every* failed site id and cause.
+    """
+    if len(failures) == 1 and not cancelled:
+        raise next(iter(failures.values()))
+    raise MultiLegError(failures, cancelled)
+
+
+def _collect_leg_results(site_ids: Sequence[str], futures) -> list:
+    """Gather leg futures in site order without losing any failure.
+
+    Waits for *every* future (cancelling the not-yet-started ones after
+    the first failure is observed), so one failing leg can neither
+    swallow a later leg's exception nor abandon in-flight work. Results
+    come back in site order; on any failure raises via
+    :func:`_raise_leg_failures`.
+    """
+    failures: dict = {}
+    seen_failure = False
+    results = []
+    cancelled = []
+    for site_id, future in zip(site_ids, futures):
+        if seen_failure:
+            # Legs that have not started yet are pointless once the
+            # round is doomed; running ones are awaited below.
+            future.cancel()
+        try:
+            results.append(future.result())
+        except CancelledError:
+            cancelled.append(site_id)
+        except BaseException as error:  # noqa: BLE001 - reported, not hidden
+            failures[site_id] = error
+            seen_failure = True
+    if failures:
+        _raise_leg_failures(failures, cancelled)
+    return results
+
+
 class SerialEngine:
     """Legs run inline on the calling thread — the differential baseline."""
 
@@ -198,6 +241,10 @@ class SerialEngine:
         self._tracer = tracer
 
     def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
+        # Serially a failed leg aborts the round before later legs start,
+        # so the first exception *is* the complete failure report and
+        # propagates unchanged (parallel engines, where several legs can
+        # fail concurrently, aggregate into MultiLegError instead).
         return [leg(site_id) for site_id in site_ids]
 
     def evaluate(self, request: SiteRequest) -> SiteReply:
@@ -212,8 +259,10 @@ class SerialEngine:
 class ThreadEngine:
     """Legs fan out on a thread pool; site work stays in the leg's thread.
 
-    Results come back in *site order* regardless of completion order, and
-    the first leg exception propagates to the caller.
+    Results come back in *site order* regardless of completion order.
+    Failures are collected from *every* leg — a single failed leg
+    re-raises its original exception, several raise
+    :class:`~repro.errors.MultiLegError` with all failed site ids.
     """
 
     name = "threads"
@@ -234,7 +283,7 @@ class ThreadEngine:
                 return leg(site_id)
 
         futures = [self._pool.submit(attached, site_id) for site_id in site_ids]
-        return [future.result() for future in futures]
+        return _collect_leg_results(site_ids, futures)
 
     def evaluate(self, request: SiteRequest) -> SiteReply:
         return perform_site_request(
@@ -242,7 +291,7 @@ class ThreadEngine:
         )
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 #: Sites inherited by forked workers (set by ProcessEngine before the
@@ -301,12 +350,18 @@ class ProcessEngine:
         self._pool = ProcessPoolExecutor(
             max_workers=workers, mp_context=multiprocessing.get_context("fork")
         )
-        # Force every worker to fork now: each concurrent warm-up task
-        # occupies one worker long enough that the pool spawns all of them.
-        list(self._pool.map(_fork_warmup, [0.02] * workers))
-        self._legs = ThreadPoolExecutor(
-            max_workers=max(len(sites), 1), thread_name_prefix="skalla-leg"
-        )
+        try:
+            # Force every worker to fork now: each concurrent warm-up task
+            # occupies one worker long enough that the pool spawns all of
+            # them.
+            list(self._pool.map(_fork_warmup, [0.02] * workers))
+            self._legs = ThreadPoolExecutor(
+                max_workers=max(len(sites), 1), thread_name_prefix="skalla-leg"
+            )
+        except BaseException:
+            # Partial construction must not leak forked children.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
     def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
         tracer = self._tracer
@@ -316,7 +371,7 @@ class ProcessEngine:
                 return leg(site_id)
 
         futures = [self._legs.submit(attached, site_id) for site_id in site_ids]
-        return [future.result() for future in futures]
+        return _collect_leg_results(site_ids, futures)
 
     def evaluate(self, request: SiteRequest) -> SiteReply:
         reply = self._pool.submit(_fork_perform, request).result()
@@ -329,8 +384,10 @@ class ProcessEngine:
         return reply
 
     def close(self) -> None:
-        self._legs.shutdown(wait=True)
-        self._pool.shutdown(wait=True)
+        try:
+            self._legs.shutdown(wait=True, cancel_futures=True)
+        finally:
+            self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 def create_engine(executor: str, sites, tracer, max_workers: int = 0):

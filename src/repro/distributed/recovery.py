@@ -1,0 +1,197 @@
+"""Coordinator-side leg recovery: retry policy and degradation.
+
+Alg. GMDJDistribEval's round barrier (Theorem 1 synchronization) needs an
+answer from every participating site. When a leg fails — an injected
+fault from :mod:`repro.net.faults`, or any transport/codec error — the
+coordinator has three choices, selected by ``ExecutionConfig.failure_mode``:
+
+- ``fail_fast`` — propagate the first failure (historic behaviour);
+- ``retry`` — re-run the failed leg with exponential backoff until it
+  succeeds or the budget (``max_retries`` attempts and the
+  ``leg_timeout_s`` wall clock) is spent, then raise
+  :class:`~repro.errors.RetryExhaustedError`;
+- ``degrade`` — after the same budget, *exclude* the site and let the
+  round complete without it. The result is then an under-approximation
+  (the excluded site's detail tuples are missing from the aggregates),
+  which is recorded loudly in ``ExecutionStats`` rather than hidden.
+
+Only transport-level errors (:class:`~repro.errors.NetworkError`,
+:class:`~repro.errors.SerializationError`) are retried; anything else is
+a genuine bug and propagates immediately regardless of mode.
+
+A re-run leg must be a clean slate. Between attempts the guard drains the
+site's channel queues (a half-delivered fragment must not be consumed by
+the next attempt) and discards the sync session's per-source accumulator
+bank for the site (an exact undo of any partially absorbed sub-result —
+see ``SyncSession.reset_source``). Bytes already charged by failed
+attempts stay charged in *both* bookkeepers (channel counters and
+``RoundStats``), so ``verify_against_network`` holds under retries: the
+traffic really crossed the wire.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import NetworkError, RetryExhaustedError, SerializationError
+
+FAIL_FAST = "fail_fast"
+RETRY = "retry"
+DEGRADE = "degrade"
+
+FAILURE_MODES = (FAIL_FAST, RETRY, DEGRADE)
+
+#: Error families the retry layer treats as transient. Everything else
+#: (schema errors, plan bugs, assertion failures) propagates untouched.
+TRANSIENT_ERRORS = (NetworkError, SerializationError)
+
+#: Backoff growth is capped at base * 32 so a long retry budget does not
+#: explode into multi-minute sleeps.
+_BACKOFF_CAP = 32
+
+
+class _Excluded:
+    """Sentinel a degraded leg returns instead of a result.
+
+    Distinct from ``None`` because streaming (non-merged-base) legs
+    legitimately return ``None``.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "EXCLUDED"
+
+
+EXCLUDED = _Excluded()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the coordinator reacts to a failing site leg."""
+
+    mode: str = FAIL_FAST
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    leg_timeout_s: float = 0.0  # 0 = no wall-clock budget
+
+    def __post_init__(self):
+        if self.mode not in FAILURE_MODES:
+            raise ValueError(
+                f"unknown failure mode {self.mode!r}; "
+                f"expected one of {', '.join(FAILURE_MODES)}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.leg_timeout_s < 0:
+            raise ValueError(
+                f"leg_timeout_s must be >= 0, got {self.leg_timeout_s}"
+            )
+
+    @classmethod
+    def from_config(cls, config) -> "RetryPolicy":
+        return cls(
+            mode=config.failure_mode,
+            max_retries=config.max_retries,
+            backoff_s=config.retry_backoff_s,
+            leg_timeout_s=config.leg_timeout_s,
+        )
+
+    @property
+    def attempts(self) -> int:
+        """Total leg attempts: the first try plus the retries."""
+        return 1 if self.mode == FAIL_FAST else self.max_retries + 1
+
+    def backoff_for(self, retry_number: int) -> float:
+        """Sleep before retry ``retry_number`` (0-based): exponential, capped."""
+        if self.backoff_s <= 0:
+            return 0.0
+        return self.backoff_s * min(2 ** retry_number, _BACKOFF_CAP)
+
+
+def guard_leg(
+    leg,
+    *,
+    policy: RetryPolicy,
+    network,
+    round_index: int,
+    round_stats,
+    tracer,
+    session=None,
+    sleep=time.sleep,
+):
+    """Wrap a per-site leg callable with the retry/degrade policy.
+
+    Returns a callable with the same ``leg(site_id)`` signature for the
+    execution engine. The wrapper re-runs the leg on transient errors per
+    ``policy``; in ``degrade`` mode an exhausted site yields the
+    :data:`EXCLUDED` sentinel instead of raising, and the exclusion is
+    recorded on ``round_stats``. Each attempt begins with
+    ``channel.begin_attempt`` so injected crash schedules advance
+    deterministically no matter which engine runs the leg.
+    """
+    metrics = network.metrics
+
+    def guarded(site_id):
+        channel = network.channel(site_id)
+        started = time.perf_counter()
+        retry_number = 0
+        while True:
+            channel.begin_attempt(round_index)
+            try:
+                return leg(site_id)
+            except TRANSIENT_ERRORS as error:
+                if policy.mode == FAIL_FAST:
+                    raise
+                attempts_made = retry_number + 1
+                # Clean slate for the next attempt (or for the round's
+                # merge if this site ends up excluded): no stale queued
+                # messages, no partially absorbed sub-result fragments.
+                channel.drain_pending()
+                if session is not None:
+                    session.reset_source(site_id)
+                out_of_attempts = attempts_made >= policy.attempts
+                backoff = policy.backoff_for(retry_number)
+                out_of_time = policy.leg_timeout_s > 0 and (
+                    time.perf_counter() - started + backoff > policy.leg_timeout_s
+                )
+                if out_of_attempts or out_of_time:
+                    metrics.counter(
+                        "net.retry.exhausted", site=site_id, mode=policy.mode
+                    ).inc()
+                    if policy.mode == RETRY:
+                        raise RetryExhaustedError(
+                            site_id, attempts_made, cause=error
+                        ) from error
+                    # DEGRADE: complete the round without this site.
+                    round_stats.exclude(site_id)
+                    metrics.counter("net.degrade.excluded", site=site_id).inc()
+                    with tracer.span(
+                        "leg.degrade",
+                        kind="recovery",
+                        site=site_id,
+                        round=round_index,
+                        attempts=attempts_made,
+                        cause=type(error).__name__,
+                    ):
+                        pass
+                    return EXCLUDED
+                retry_number += 1
+                round_stats.site(site_id).retries += 1
+                metrics.counter("net.retry.attempts", site=site_id).inc()
+                with tracer.span(
+                    "leg.retry",
+                    kind="recovery",
+                    site=site_id,
+                    round=round_index,
+                    attempt=retry_number,
+                    cause=type(error).__name__,
+                ):
+                    pass
+                if backoff:
+                    sleep(backoff)
+
+    return guarded

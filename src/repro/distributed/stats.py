@@ -47,6 +47,8 @@ class SiteRoundStats:
     tuples_down: int = 0
     tuples_up: int = 0
     compute_s: float = 0.0
+    #: Leg re-runs the recovery layer performed for this site this round.
+    retries: int = 0
 
 
 @dataclass
@@ -62,6 +64,14 @@ class RoundStats:
     #: Under a parallel executor this is what actually elapsed, to be
     #: compared against the modeled max-over-sites critical path.
     wall_s: float = 0.0
+    #: Sites excluded from this round by ``degrade`` mode (the round
+    #: completed *without* their sub-results — a correctness caveat).
+    excluded: list = field(default_factory=list)
+
+    def exclude(self, site_id: str) -> None:
+        """Record a degrade-mode exclusion (idempotent, thread-safe via GIL)."""
+        if site_id not in self.excluded:
+            self.excluded.append(site_id)
 
     def site(self, site_id: str) -> SiteRoundStats:
         stats = self.sites.get(site_id)
@@ -95,6 +105,10 @@ class RoundStats:
     @property
     def tuples_total(self) -> int:
         return self.tuples_down + self.tuples_up
+
+    @property
+    def retries(self) -> int:
+        return sum(stats.retries for stats in self.sites.values())
 
     def site_compute_critical_s(self) -> float:
         """Critical-path site compute: the slowest site (parallel sites)."""
@@ -130,11 +144,47 @@ class ExecutionStats:
     rounds: list = field(default_factory=list)
     #: Which site-execution engine produced these numbers.
     executor: str = "serial"
+    #: Which failure mode governed the run (``fail_fast | retry | degrade``).
+    failure_mode: str = "fail_fast"
+    #: Injected faults observed on the wire, as
+    #: :class:`~repro.net.faults.FaultEvent` entries (recorded by the
+    #: evaluator from ``Network.fault_events()`` after the run).
+    faults: list = field(default_factory=list)
 
     def new_round(self, kind: str, description: str = "") -> RoundStats:
         stats = RoundStats(index=len(self.rounds), kind=kind, description=description)
         self.rounds.append(stats)
         return stats
+
+    def record_faults(self, events) -> None:
+        """Attach the network's injected-fault log to these stats."""
+        self.faults = list(events)
+
+    # -- recovery ----------------------------------------------------------------
+
+    @property
+    def retries(self) -> int:
+        """Leg re-runs performed across all rounds."""
+        return sum(stats.retries for stats in self.rounds)
+
+    @property
+    def excluded_sites(self) -> tuple:
+        """Every (round index, site id) excluded by ``degrade`` mode."""
+        return tuple(
+            (stats.index, site_id)
+            for stats in self.rounds
+            for site_id in stats.excluded
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when any round completed without one of its sites —
+        i.e. the result is an under-approximation, not the exact answer."""
+        return any(stats.excluded for stats in self.rounds)
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
 
     # -- totals -------------------------------------------------------------------
 
@@ -243,6 +293,7 @@ class ExecutionStats:
         """
         snapshot = {
             "executor": self.executor,
+            "failure_mode": self.failure_mode,
             "rounds": [
                 {
                     "index": round_stats.index,
@@ -250,6 +301,7 @@ class ExecutionStats:
                     "description": round_stats.description,
                     "coordinator_compute_s": round_stats.coordinator_compute_s,
                     "wall_s": round_stats.wall_s,
+                    "excluded": list(round_stats.excluded),
                     "sites": {
                         site_id: {
                             "bytes_down": site.bytes_down,
@@ -257,11 +309,23 @@ class ExecutionStats:
                             "tuples_down": site.tuples_down,
                             "tuples_up": site.tuples_up,
                             "compute_s": site.compute_s,
+                            "retries": site.retries,
                         }
                         for site_id, site in round_stats.sites.items()
                     },
                 }
                 for round_stats in self.rounds
+            ],
+            "retries": self.retries,
+            "excluded_sites": [list(entry) for entry in self.excluded_sites],
+            "faults": [
+                {
+                    "kind": event.kind,
+                    "site": event.site,
+                    "round": event.round_index,
+                    "direction": event.direction,
+                }
+                for event in self.faults
             ],
             "bytes_total": self.bytes_total,
             "bytes_down": self.bytes_down,
@@ -286,13 +350,22 @@ class ExecutionStats:
             f"coordinator compute: {self.coordinator_compute_s():.4f}s",
             f"wall clock: {self.wall_time_s():.4f}s",
         ]
-        for round_stats in self.rounds:
+        if self.faults or self.retries or self.degraded:
             lines.append(
+                f"recovery [{self.failure_mode}]: faults={self.fault_count} "
+                f"retries={self.retries} "
+                f"excluded={len(self.excluded_sites)}"
+            )
+        for round_stats in self.rounds:
+            line = (
                 f"  round {round_stats.index} [{round_stats.kind}] "
                 f"{round_stats.description}: "
                 f"down={round_stats.bytes_down}B up={round_stats.bytes_up}B "
                 f"sites={len(round_stats.sites)}"
             )
+            if round_stats.excluded:
+                line += f" EXCLUDED={','.join(round_stats.excluded)}"
+            lines.append(line)
         return "\n".join(lines)
 
 

@@ -67,6 +67,55 @@ class NetworkError(ReproError):
     """A simulated network operation failed (unknown site, closed channel)."""
 
 
+class SiteUnavailableError(NetworkError):
+    """A site did not respond (injected crash or unreachable channel)."""
+
+
+class FaultSpecError(NetworkError):
+    """A fault-injection spec (rule DSL string or JSON document) is malformed."""
+
+
+class RetryExhaustedError(NetworkError):
+    """A leg kept failing after its whole retry budget in ``retry`` mode."""
+
+    def __init__(self, site_id, attempts, cause=None):
+        self.site_id = site_id
+        self.attempts = attempts
+        self.cause = cause
+        message = f"site {site_id!r} still failing after {attempts} attempt(s)"
+        if cause is not None:
+            message += f": {type(cause).__name__}: {cause}"
+        super().__init__(message)
+
+
+class MultiLegError(ReproError):
+    """One or more site legs of a round failed.
+
+    Carries *every* failed site and its cause (``failures``: site id →
+    exception) plus the legs that were cancelled before they started
+    (``cancelled``), so a multi-site failure is never reported as just
+    the first leg that happened to be collected.
+    """
+
+    def __init__(self, failures, cancelled=()):
+        self.failures = dict(failures)
+        self.cancelled = tuple(cancelled)
+        parts = [
+            f"{site_id}: {type(error).__name__}: {error}"
+            for site_id, error in sorted(self.failures.items())
+        ]
+        message = f"{len(self.failures)} site leg(s) failed — " + "; ".join(parts)
+        if self.cancelled:
+            message += (
+                f" (cancelled before start: {', '.join(sorted(self.cancelled))})"
+            )
+        super().__init__(message)
+
+    @property
+    def failed_sites(self) -> tuple:
+        return tuple(sorted(self.failures))
+
+
 class CatalogError(ReproError):
     """Distribution catalog lookup or registration failed."""
 

@@ -217,6 +217,17 @@ class SyncSession:
                             tuple(h_row[position] for position in positions)
                         )
 
+    def reset_source(self, source: str) -> None:
+        """Discard everything absorbed from one source (site).
+
+        The retry layer calls this between leg attempts: a failed leg may
+        have absorbed a partial fragment before raising, and the re-run
+        leg will absorb the full fragment again. Because each source folds
+        into its own bank, dropping the bank is an exact undo.
+        """
+        with self._lock:
+            self._banks.pop(source, None)
+
     def _merged_bank(self) -> list:
         """All source banks combined in sorted source order."""
         if len(self._banks) == 1:

@@ -21,8 +21,9 @@ from collections import deque
 from typing import Dict, Optional
 
 from repro.errors import NetworkError
-from repro.net.message import Message
+from repro.net.message import HEADER_BYTES, Message
 from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 
 DOWN = "down"  # coordinator -> site
 UP = "up"  # site -> coordinator
@@ -59,6 +60,28 @@ class DirectionStats:
         self._rounds: Dict[int, Counter] = {}
 
     def record(self, message: Message) -> None:
+        # Defensive validation: a malformed message (negative round, a
+        # size inconsistent with its payload) would silently corrupt the
+        # ``net.round.bytes`` accounting every report is built on, so the
+        # bookkeeper rejects it even though ``Message`` itself validates
+        # at construction (duck-typed or mutated objects get here too).
+        round_index = message.round_index
+        if (
+            not isinstance(round_index, int)
+            or isinstance(round_index, bool)
+            or round_index < 0
+        ):
+            raise NetworkError(
+                f"malformed message on channel {self.site_id!r}: "
+                f"round_index must be a non-negative int, got {round_index!r}"
+            )
+        payload = getattr(message, "payload", None)
+        expected = HEADER_BYTES + (len(payload) if payload else 0)
+        if message.size_bytes != expected:
+            raise NetworkError(
+                f"malformed message on channel {self.site_id!r}: size_bytes="
+                f"{message.size_bytes} inconsistent with payload ({expected})"
+            )
         self._messages.inc()
         self._bytes.inc(message.size_bytes)
         round_counter = self._rounds.get(message.round_index)
@@ -97,7 +120,18 @@ class DirectionStats:
 
 
 class Channel:
-    """A duplex queue pair between the coordinator and one site."""
+    """A duplex queue pair between the coordinator and one site.
+
+    ``begin_attempt`` and ``drain_pending`` are the recovery hooks used
+    by the evaluator's retry layer: a plain channel has no failure
+    behaviour (``begin_attempt`` is a no-op), while
+    :class:`~repro.net.faults.FaultyChannel` overrides the operations to
+    consult its :class:`~repro.net.faults.FaultPlan`.
+    """
+
+    #: Span tracer used for fault events (installed per traced run by the
+    #: evaluator via :attr:`Network.tracer`); plain channels never emit.
+    tracer = NULL_TRACER
 
     def __init__(self, site_id: str, metrics: Optional[MetricsRegistry] = None):
         self.site_id = site_id
@@ -107,19 +141,23 @@ class Channel:
         self.downstream = DirectionStats(self.metrics, site_id, DOWN)
         self.upstream = DirectionStats(self.metrics, site_id, UP)
 
-    def send_to_site(self, message: Message) -> None:
-        if message.recipient != self.site_id:
+    def _validate_outbound(self, message: Message, direction: str) -> None:
+        if direction == DOWN and message.recipient != self.site_id:
             raise NetworkError(
                 f"message addressed to {message.recipient!r} on channel to {self.site_id!r}"
             )
+        if direction == UP and message.sender != self.site_id:
+            raise NetworkError(
+                f"message from {message.sender!r} on channel of {self.site_id!r}"
+            )
+
+    def send_to_site(self, message: Message) -> None:
+        self._validate_outbound(message, DOWN)
         self.downstream.record(message)
         self._to_site.append(message)
 
     def send_to_coordinator(self, message: Message) -> None:
-        if message.sender != self.site_id:
-            raise NetworkError(
-                f"message from {message.sender!r} on channel of {self.site_id!r}"
-            )
+        self._validate_outbound(message, UP)
         self.upstream.record(message)
         self._to_coordinator.append(message)
 
@@ -135,27 +173,82 @@ class Channel:
         except IndexError:
             raise NetworkError(f"no pending message from site {self.site_id!r}") from None
 
+    # -- recovery hooks ----------------------------------------------------------
+
+    def begin_attempt(self, round_index: int) -> None:
+        """Mark the start of one leg attempt (no-op without fault injection)."""
+
+    def drain_pending(self) -> int:
+        """Discard undelivered messages in both directions.
+
+        Called by the retry layer between leg attempts so a re-run leg
+        never consumes stale messages from its failed predecessor.
+        Returns the number of queue entries discarded.
+        """
+        discarded = len(self._to_site) + len(self._to_coordinator)
+        self._to_site.clear()
+        self._to_coordinator.clear()
+        return discarded
+
     @property
     def total_bytes(self) -> int:
         return self.downstream.bytes + self.upstream.bytes
 
 
 class Network:
-    """The star topology: one channel per site, coordinator at the hub."""
+    """The star topology: one channel per site, coordinator at the hub.
 
-    def __init__(self, site_ids, metrics: Optional[MetricsRegistry] = None):
+    Construct with a :class:`~repro.net.faults.FaultPlan` to wrap every
+    channel in a :class:`~repro.net.faults.FaultyChannel` injecting the
+    plan's deterministic drop/delay/duplicate/corrupt/crash schedule.
+    """
+
+    def __init__(
+        self,
+        site_ids,
+        metrics: Optional[MetricsRegistry] = None,
+        faults=None,
+    ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._channels = {
-            site_id: Channel(site_id, self.metrics) for site_id in site_ids
-        }
+        self.faults = faults
+        if faults is not None:
+            from repro.net.faults import FaultyChannel
+
+            self._channels = {
+                site_id: FaultyChannel(site_id, self.metrics, faults)
+                for site_id in site_ids
+            }
+        else:
+            self._channels = {
+                site_id: Channel(site_id, self.metrics) for site_id in site_ids
+            }
         if not self._channels:
             raise NetworkError("a network needs at least one site")
+        self._tracer = NULL_TRACER
 
     def channel(self, site_id: str) -> Channel:
         try:
             return self._channels[site_id]
         except KeyError:
             raise NetworkError(f"unknown site {site_id!r}") from None
+
+    @property
+    def tracer(self):
+        """Span tracer for network-level (fault) events."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        for channel in self._channels.values():
+            channel.tracer = tracer
+
+    def fault_events(self) -> list:
+        """Every injected-fault event, in per-channel occurrence order."""
+        events = []
+        for channel in self._channels.values():
+            events.extend(getattr(channel, "events", ()))
+        return events
 
     @property
     def site_ids(self) -> tuple:

@@ -1,0 +1,528 @@
+"""Deterministic fault injection for the simulated network.
+
+Alg. GMDJDistribEval assumes every site answers every round; real
+distributed evaluation does not get that luxury. This module lets a run
+declare, up front and reproducibly, exactly which messages misbehave:
+
+- ``drop`` — the message leaves the sender (bytes are charged) but never
+  arrives; the receiver sees an empty queue;
+- ``delay`` — the message is held in flight: the first receive attempt
+  fails transiently, the next one delivers (``delay_s`` is the modeled
+  in-flight delay, recorded in ``net.fault.delay_s``);
+- ``duplicate`` — an extra copy crosses the wire (charged to
+  ``net.fault.bytes``); the receiving transport de-duplicates it, so
+  results never change — only traffic;
+- ``corrupt`` — the payload's magic byte is flipped so decoding fails
+  loudly (never silently wrong data);
+- ``crash`` — the site is down for whole leg attempts: every channel
+  operation raises :class:`~repro.errors.SiteUnavailableError` until the
+  rule's ``times`` budget of failed attempts is spent ("the site
+  rebooted"). ``times=0`` keeps it down for every matching round.
+
+A :class:`FaultPlan` is an immutable ordered rule list; all firing state
+lives in the :class:`FaultyChannel`, so one plan can drive many
+:class:`~repro.net.channel.Network` instances (benchmark repetitions,
+serial-vs-threads comparisons) with identical schedules. Fault rounds
+are *wire* round indices: 0 is the base round, MD/chain rounds count
+from 1 — the same numbers messages carry in ``round_index``.
+
+Every injected fault appends a :class:`FaultEvent` (surfaced through
+``Network.fault_events()`` into ``ExecutionStats``), increments
+``net.fault.*`` counters in the channel's metrics registry, and emits a
+``net.fault`` tracer span so ``repro trace`` timelines show recovery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import FaultSpecError, NetworkError, SiteUnavailableError
+from repro.net.channel import DOWN, UP, Channel
+from repro.net.message import Message
+
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+CORRUPT = "corrupt"
+CRASH = "crash"
+
+FAULT_KINDS = (DROP, DELAY, DUPLICATE, CORRUPT, CRASH)
+
+#: Wildcard for ``site`` and ``direction`` rule fields.
+ANY = "*"
+
+_MESSAGE_KINDS = (DROP, DELAY, DUPLICATE, CORRUPT)
+_DIRECTIONS = (DOWN, UP, ANY)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic injection rule.
+
+    ``rounds`` is the set of wire round indices the rule applies to (an
+    empty tuple means every round); ``times`` bounds how often it fires
+    (0 = unlimited). For message kinds a firing affects one message; for
+    ``crash`` a firing dooms one whole leg attempt, so "crash for two
+    rounds" under a policy making ``k`` attempts per round is
+    ``times = 2 * k``.
+    """
+
+    kind: str
+    site: str = ANY
+    rounds: tuple = ()
+    direction: str = ANY
+    times: int = 1
+    delay_s: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.direction not in _DIRECTIONS:
+            raise FaultSpecError(
+                f"unknown direction {self.direction!r}; expected down, up or *"
+            )
+        if not isinstance(self.times, int) or self.times < 0:
+            raise FaultSpecError(f"times must be an int >= 0, got {self.times!r}")
+        if self.delay_s < 0:
+            raise FaultSpecError(f"delay_s must be >= 0, got {self.delay_s!r}")
+        object.__setattr__(self, "rounds", tuple(self.rounds))
+        for round_index in self.rounds:
+            if not isinstance(round_index, int) or round_index < 0:
+                raise FaultSpecError(
+                    f"fault rounds must be non-negative ints, got {round_index!r}"
+                )
+
+    def matches(self, site_id: str, round_index: int, direction: str = ANY) -> bool:
+        if self.site != ANY and self.site != site_id:
+            return False
+        if self.rounds and round_index not in self.rounds:
+            return False
+        if (
+            self.kind != CRASH
+            and self.direction != ANY
+            and direction != ANY
+            and self.direction != direction
+        ):
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "rounds": list(self.rounds),
+            "direction": self.direction,
+            "times": self.times,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRule":
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise FaultSpecError(f"fault rule must be a dict with 'kind', got {payload!r}")
+        known = {"kind", "site", "rounds", "direction", "times", "delay_s"}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultSpecError(
+                f"unknown fault rule field(s) {sorted(unknown)} in {payload!r}"
+            )
+        fields = dict(payload)
+        fields["rounds"] = tuple(fields.get("rounds", ()))
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (kind, site, wire round, direction)."""
+
+    kind: str
+    site: str
+    round_index: int
+    direction: str = ANY
+
+
+def _parse_rounds(text: str) -> tuple:
+    try:
+        if "-" in text:
+            low, high = text.split("-", 1)
+            low, high = int(low), int(high)
+            if high < low:
+                raise FaultSpecError(f"empty round range {text!r}")
+            return tuple(range(low, high + 1))
+        return (int(text),)
+    except ValueError:
+        raise FaultSpecError(f"cannot parse rounds {text!r}") from None
+
+
+class FaultPlan:
+    """An immutable, ordered schedule of :class:`FaultRule` entries.
+
+    Stateless by design: per-rule firing counts live in each
+    :class:`FaultyChannel`, so the same plan replayed against a fresh
+    network reproduces the exact same fault schedule.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule] = (), description: str = ""):
+        rules = tuple(rules)
+        for rule in rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultSpecError(f"not a FaultRule: {rule!r}")
+        self.rules = rules
+        self.description = description
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def describe(self) -> str:
+        if self.description:
+            return self.description
+        return "; ".join(
+            f"{rule.kind} site={rule.site}"
+            + (f" rounds={','.join(map(str, rule.rounds))}" if rule.rounds else "")
+            + (f" dir={rule.direction}" if rule.direction != ANY else "")
+            + f" times={rule.times}"
+            for rule in self.rules
+        )
+
+    def to_dicts(self) -> list:
+        return [rule.to_dict() for rule in self.rules]
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the rule DSL (or an inline JSON list of rule dicts).
+
+        DSL: rules separated by ``;``, each ``kind key=value ...``, e.g.
+        ``"drop site=site1 round=1 dir=up; crash site=site1 rounds=1-2 times=4"``.
+        Keys: ``site``, ``round``/``rounds`` (single, or ``low-high``
+        range), ``dir``/``direction``, ``times``, ``delay``/``delay_s``.
+        """
+        text = text.strip()
+        if not text:
+            raise FaultSpecError("empty fault spec")
+        if text[0] in "[{":
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise FaultSpecError(f"invalid fault JSON: {error}") from None
+            return cls._from_json(payload, description=text)
+        rules = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            tokens = chunk.replace(",", " ").split()
+            kind, options = tokens[0], tokens[1:]
+            kwargs: dict = {}
+            for token in options:
+                if "=" not in token:
+                    raise FaultSpecError(
+                        f"fault option {token!r} is not key=value (in {chunk!r})"
+                    )
+                key, value = token.split("=", 1)
+                try:
+                    if key == "site":
+                        kwargs["site"] = value
+                    elif key in ("round", "rounds"):
+                        kwargs["rounds"] = _parse_rounds(value)
+                    elif key in ("dir", "direction"):
+                        kwargs["direction"] = value
+                    elif key == "times":
+                        kwargs["times"] = int(value)
+                    elif key in ("delay", "delay_s"):
+                        kwargs["delay_s"] = float(value)
+                    else:
+                        raise FaultSpecError(f"unknown fault option {key!r}")
+                except ValueError:
+                    raise FaultSpecError(
+                        f"cannot parse fault option {token!r}"
+                    ) from None
+            rules.append(FaultRule(kind, **kwargs))
+        if not rules:
+            raise FaultSpecError(f"fault spec {text!r} contains no rules")
+        return cls(rules, description=text)
+
+    @classmethod
+    def _from_json(cls, payload, description: str = "") -> "FaultPlan":
+        if isinstance(payload, dict):
+            payload = payload.get("rules", payload)
+        if not isinstance(payload, list):
+            raise FaultSpecError(
+                f"fault JSON must be a list of rules (or {{'rules': [...]}}), "
+                f"got {type(payload).__name__}"
+            )
+        return cls([FaultRule.from_dict(entry) for entry in payload], description)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load a JSON rule list (``[{...}]`` or ``{"rules": [...]}``)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise FaultSpecError(f"cannot load fault plan {path!r}: {error}") from None
+        return cls._from_json(payload, description=f"file:{path}")
+
+    @classmethod
+    def from_any(cls, spec: str) -> "FaultPlan":
+        """A JSON file path if one exists at ``spec``, else :meth:`parse`."""
+        if os.path.isfile(spec):
+            return cls.load(spec)
+        return cls.parse(spec)
+
+    @classmethod
+    def scatter(
+        cls,
+        site_ids: Sequence[str],
+        seed: int,
+        rounds: int = 8,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        corrupt: float = 0.0,
+    ) -> "FaultPlan":
+        """A seeded random schedule: per (site, round, direction) each
+        message-fault kind fires independently with the given rate.
+
+        The expansion is deterministic in ``seed`` and the iteration
+        order of ``site_ids``, so two runs (or two executors) given the
+        same arguments face the identical schedule.
+        """
+        rng = random.Random(seed)
+        rules = []
+        for site_id in site_ids:
+            for round_index in range(rounds):
+                for direction in (DOWN, UP):
+                    for kind, rate in (
+                        (DROP, drop),
+                        (DELAY, delay),
+                        (DUPLICATE, duplicate),
+                        (CORRUPT, corrupt),
+                    ):
+                        if rate and rng.random() < rate:
+                            rules.append(
+                                FaultRule(
+                                    kind,
+                                    site=site_id,
+                                    rounds=(round_index,),
+                                    direction=direction,
+                                )
+                            )
+        return cls(
+            rules,
+            description=(
+                f"scatter(seed={seed}, rounds={rounds}, drop={drop}, "
+                f"delay={delay}, duplicate={duplicate}, corrupt={corrupt})"
+            ),
+        )
+
+
+def corrupt_payload(payload: bytes) -> bytes:
+    """Flip the payload's first byte (the codec magic).
+
+    Decoding a corrupted payload must fail *loudly* — a SerializationError
+    the retry layer can act on — never yield silently wrong data.
+    """
+    return bytes([payload[0] ^ 0xFF]) + payload[1:]
+
+
+class _Held:
+    """Queue placeholder for a duplicated copy or a delayed message."""
+
+    __slots__ = ("message", "duplicate", "hold")
+
+    def __init__(self, message: Message, duplicate: bool = False, hold: int = 0):
+        self.message = message
+        self.duplicate = duplicate
+        self.hold = hold
+
+
+class FaultyChannel(Channel):
+    """A :class:`~repro.net.channel.Channel` that injects a FaultPlan.
+
+    All firing state (per-rule counts, the current attempt's crash flag,
+    the fired :class:`FaultEvent` log) is per-channel — sites fail
+    independently and deterministically regardless of which engine runs
+    their legs or in what order legs complete.
+    """
+
+    def __init__(
+        self,
+        site_id: str,
+        metrics=None,
+        plan: Optional[FaultPlan] = None,
+    ):
+        super().__init__(site_id, metrics)
+        self.plan = plan if plan is not None else FaultPlan()
+        self._fired = [0] * len(self.plan.rules)
+        self._doomed = False
+        self.events: list = []
+
+    # -- rule bookkeeping --------------------------------------------------------
+
+    def _consume(
+        self, kinds, round_index: int, direction: str, payload=None
+    ) -> Optional[FaultRule]:
+        """First unspent matching rule, its firing count consumed."""
+        for index, rule in enumerate(self.plan.rules):
+            if rule.kind not in kinds:
+                continue
+            if rule.kind == CORRUPT and payload is None:
+                continue  # header-only messages have nothing to corrupt
+            if not rule.matches(self.site_id, round_index, direction):
+                continue
+            if rule.times and self._fired[index] >= rule.times:
+                continue
+            self._fired[index] += 1
+            return rule
+        return None
+
+    def _record_fault(
+        self,
+        kind: str,
+        round_index: int,
+        direction: str,
+        size_bytes: int = 0,
+        delay_s: float = 0.0,
+    ) -> None:
+        self.events.append(FaultEvent(kind, self.site_id, round_index, direction))
+        self.metrics.counter(
+            "net.fault.injected", kind=kind, site=self.site_id, direction=direction
+        ).inc()
+        if size_bytes:
+            self.metrics.counter(
+                "net.fault.bytes", kind=kind, site=self.site_id
+            ).inc(size_bytes)
+        if delay_s:
+            self.metrics.gauge("net.fault.delay_s", site=self.site_id).add(delay_s)
+        with self.tracer.span(
+            "net.fault",
+            kind="fault",
+            fault=kind,
+            site=self.site_id,
+            round=round_index,
+            direction=direction,
+        ):
+            pass
+
+    def _raise_down(self, round_index: int) -> None:
+        raise SiteUnavailableError(
+            f"site {self.site_id!r} is down (injected crash, round {round_index})"
+        )
+
+    # -- recovery hooks ----------------------------------------------------------
+
+    def begin_attempt(self, round_index: int) -> None:
+        """Consult crash rules for one leg attempt; doom it if one fires."""
+        rule = self._consume((CRASH,), round_index, ANY)
+        self._doomed = rule is not None
+        self._attempt_round = round_index
+        if self._doomed:
+            self._record_fault(CRASH, round_index, ANY)
+
+    # -- sends -------------------------------------------------------------------
+
+    def send_to_site(self, message: Message) -> None:
+        self._apply_send(message, DOWN, self._to_site, self.downstream)
+
+    def send_to_coordinator(self, message: Message) -> None:
+        self._apply_send(message, UP, self._to_coordinator, self.upstream)
+
+    def _apply_send(self, message: Message, direction: str, queue, stats) -> None:
+        if self._doomed:
+            self._raise_down(message.round_index)
+        self._validate_outbound(message, direction)
+        rule = self._consume(
+            _MESSAGE_KINDS, message.round_index, direction, payload=message.payload
+        )
+        if rule is None:
+            stats.record(message)
+            queue.append(message)
+            return
+        if rule.kind == DROP:
+            # Bytes left the sender's NIC; the message is lost in flight.
+            stats.record(message)
+            self._record_fault(
+                DROP, message.round_index, direction, size_bytes=message.size_bytes
+            )
+            return
+        if rule.kind == CORRUPT:
+            corrupted = dataclasses.replace(
+                message, payload=corrupt_payload(message.payload)
+            )
+            stats.record(corrupted)
+            queue.append(corrupted)
+            self._record_fault(CORRUPT, message.round_index, direction)
+            return
+        if rule.kind == DUPLICATE:
+            stats.record(message)
+            queue.append(message)
+            # The extra copy costs wire bytes (net.fault.bytes, so the
+            # stats/network cross-check stays exact) and is later
+            # de-duplicated by the receiving transport.
+            queue.append(_Held(message, duplicate=True))
+            self._record_fault(
+                DUPLICATE,
+                message.round_index,
+                direction,
+                size_bytes=message.size_bytes,
+            )
+            return
+        # DELAY: delivered, but not before one receive attempt fails.
+        stats.record(message)
+        queue.append(_Held(message, hold=1))
+        self._record_fault(
+            DELAY, message.round_index, direction, delay_s=rule.delay_s
+        )
+
+    # -- receives ----------------------------------------------------------------
+
+    def receive_at_site(self) -> Message:
+        if self._doomed:
+            self._raise_down(getattr(self, "_attempt_round", 0))
+        return self._pop(
+            self._to_site, f"no pending message for site {self.site_id!r}"
+        )
+
+    def receive_at_coordinator(self) -> Message:
+        if self._doomed:
+            self._raise_down(getattr(self, "_attempt_round", 0))
+        return self._pop(
+            self._to_coordinator, f"no pending message from site {self.site_id!r}"
+        )
+
+    def _pop(self, queue, empty_message: str) -> Message:
+        while queue:
+            entry = queue.popleft()
+            if not isinstance(entry, _Held):
+                return entry
+            if entry.duplicate:
+                # Receiver-side de-duplication: the copy is dropped
+                # silently, exactly as a sequence-numbered transport would.
+                self.metrics.counter(
+                    "net.fault.deduplicated", site=self.site_id
+                ).inc()
+                continue
+            if entry.hold > 0:
+                entry.hold -= 1
+                queue.appendleft(entry)
+                raise NetworkError(
+                    f"message for channel {self.site_id!r} is delayed in flight"
+                )
+            return entry.message
+        raise NetworkError(empty_message)

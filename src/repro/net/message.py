@@ -50,6 +50,23 @@ class Message:
     def __post_init__(self):
         if self.kind not in KINDS:
             raise SerializationError(f"unknown message kind {self.kind!r}")
+        if (
+            not isinstance(self.round_index, int)
+            or isinstance(self.round_index, bool)
+            or self.round_index < 0
+        ):
+            raise SerializationError(
+                f"round_index must be a non-negative int, got {self.round_index!r}"
+            )
+        if self.payload is not None and not isinstance(self.payload, (bytes, bytearray)):
+            raise SerializationError(
+                f"payload must be bytes or None, got {type(self.payload).__name__}"
+            )
+        if not self.sender or not self.recipient:
+            raise SerializationError(
+                f"sender and recipient must be non-empty, got "
+                f"{self.sender!r} -> {self.recipient!r}"
+            )
 
     @classmethod
     def with_relation(
