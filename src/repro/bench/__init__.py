@@ -35,6 +35,7 @@ from repro.bench.harness import (
     run_arm,
     run_arms,
     scaleup_cluster,
+    service_cache_report,
     speedup_cluster,
     speedup_cluster_range,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "run_arm",
     "run_arms",
     "scaleup_cluster",
+    "service_cache_report",
     "speedup_cluster",
     "speedup_cluster_range",
 ]

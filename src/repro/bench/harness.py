@@ -400,6 +400,131 @@ def fault_recovery_report(
 
 
 # ---------------------------------------------------------------------------
+# Query-service cache sweep
+# ---------------------------------------------------------------------------
+
+
+def service_cache_report(
+    sites: int = 3,
+    flow_count: int = 600,
+    waves: int = 4,
+    append_every: int = 2,
+    executor: str = "serial",
+    seed: int = 11,
+) -> dict:
+    """Cache-hit-ratio sweep of the query service, self-checking.
+
+    A fixed set of distinct queries is submitted in ``waves`` rounds
+    through one :class:`~repro.service.QueryService`; every
+    ``append_every``-th wave is preceded by an append, so the workload
+    exercises all three serving paths — fresh evaluation, pure cache
+    hit, and sub-aggregate refresh upgrade. The report tabulates the
+    per-wave serving sources, the cumulative hit ratio, and the mean
+    wall-clock per path (the hit/fresh gap is the cache's payoff).
+
+    Self-check: after the final wave, every query's served answer is
+    compared against a cold evaluation on an identically grown cluster;
+    a mismatch raises :class:`ShapeCheckError`.
+    """
+    from repro.data.flows import FlowConfig, generate_flows, router_partitioner
+    from repro.service import FRESH, HIT, REFRESH, QueryService
+
+    if waves < 1:
+        raise ShapeCheckError(f"waves must be >= 1, got {waves}")
+    queries = (
+        "SELECT SourceAS, COUNT(*) AS cnt, SUM(NumPackets) AS packets "
+        "FROM Flow GROUP BY SourceAS",
+        "SELECT DestAS, COUNT(*) AS cnt, MAX(NumPackets) AS biggest "
+        "FROM Flow GROUP BY DestAS",
+        "SELECT RouterId, COUNT(*) AS flows, MIN(StartTime) AS first_seen "
+        "FROM Flow GROUP BY RouterId",
+    )
+
+    def _cluster() -> SimulatedCluster:
+        config = FlowConfig(flow_count=flow_count, router_count=sites, seed=seed)
+        built = SimulatedCluster.with_sites(sites)
+        built.load_partitioned(
+            "Flow", generate_flows(config), router_partitioner(config)
+        )
+        return built
+
+    cluster = _cluster()
+    deltas_applied = []
+    wave_rows = []
+    wall_by_source: dict = {}
+    with QueryService(cluster, ExecutionConfig(executor=executor)) as service:
+        for wave in range(1, waves + 1):
+            if append_every and wave > 1 and (wave - 1) % append_every == 0:
+                delta_config = FlowConfig(
+                    flow_count=max(20, flow_count // 10),
+                    router_count=sites,
+                    seed=seed + wave,
+                )
+                delta = generate_flows(delta_config)
+                per_site = dict(
+                    zip(
+                        cluster.site_ids,
+                        router_partitioner(delta_config).split(delta),
+                    )
+                )
+                service.append("Flow", per_site)
+                deltas_applied.append(per_site)
+            sources = []
+            for sql in queries:
+                result = service.submit(sql)
+                sources.append(result.source)
+                wall_by_source.setdefault(result.source, []).append(result.wall_s)
+            wave_rows.append({"wave": wave, "sources": sources})
+
+        # Self-check: the served state must equal a cold, equally-grown run.
+        reference_cluster = _cluster()
+        for per_site in deltas_applied:
+            for site_id, delta in per_site.items():
+                reference_cluster.site(site_id).warehouse.append("Flow", delta)
+        with QueryService(
+            reference_cluster, ExecutionConfig(executor="serial")
+        ) as reference_service:
+            for sql in queries:
+                expected = reference_service.submit(sql).relation
+                served = service.submit(sql).relation
+                if served.rows != expected.rows:
+                    raise ShapeCheckError(
+                        f"service answer diverged from cold evaluation for: {sql}"
+                    )
+
+        metrics = service.metrics
+        total = metrics.value_of("service.queries")
+        hits = metrics.value_of("service.cache.hit")
+        misses = metrics.value_of("service.cache.miss")
+        refreshes = metrics.value_of("service.cache.refresh")
+
+    def _mean_ms(source: str) -> float:
+        walls = wall_by_source.get(source, [])
+        return (sum(walls) / len(walls) * 1000.0) if walls else 0.0
+
+    return {
+        "sites": sites,
+        "flow_count": flow_count,
+        "waves": waves,
+        "append_every": append_every,
+        "executor": executor,
+        "queries": len(queries),
+        "wave_sources": wave_rows,
+        "totals": {
+            "queries": int(total),
+            "hits": int(hits),
+            "misses": int(misses),
+            "refreshes": int(refreshes),
+        },
+        "hit_ratio": (hits + refreshes) / total if total else 0.0,
+        "mean_wall_ms": {
+            source: _mean_ms(source) for source in (FRESH, HIT, REFRESH)
+        },
+        "verified": True,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Codec microbenchmark
 # ---------------------------------------------------------------------------
 
@@ -660,9 +785,28 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "--seed", type=int, default=0, help="victim-site seed for --fault-report"
     )
     parser.add_argument(
+        "--service-report",
+        metavar="PATH",
+        help="run the query-service cache-hit-ratio sweep only (every served "
+        "answer checked against a cold evaluation) and write its JSON to PATH",
+    )
+    parser.add_argument(
         "--output", metavar="PATH", help="write the benchmark JSON to PATH"
     )
     args = parser.parse_args(argv)
+    if args.service_report:
+        sweep = service_cache_report(sites=args.sites, executor=args.executor)
+        with open(args.service_report, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+        totals = sweep["totals"]
+        print(
+            f"service cache [{args.executor}]: {totals['queries']} queries, "
+            f"hit ratio {sweep['hit_ratio']:.0%} "
+            f"({totals['hits']} hits / {totals['misses']} misses / "
+            f"{totals['refreshes']} refreshes), answers verified",
+            file=sys.stderr,
+        )
+        return 0
     if args.fault_report:
         fault = fault_recovery_report(
             sites=args.sites,

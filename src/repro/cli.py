@@ -95,6 +95,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSONL trace to PATH",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="start the concurrent query service (REPL over stdin, or "
+        "--self-test for the concurrency smoke test)",
+    )
+    _add_cluster_options(serve)
+    serve.add_argument(
+        "--data",
+        choices=("tpcr", "flows"),
+        default="flows",
+        help="which synthetic warehouse to build (table name TPCR or Flow)",
+    )
+    serve.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in concurrency smoke test and exit",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent client threads for --self-test",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=4, help="concurrent query limit"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16, help="admission queue capacity"
+    )
+    serve.add_argument("--max-rows", type=int, default=20, help="rows to print")
+
+    query = commands.add_parser(
+        "query",
+        help="run one query through the caching query service "
+        "(--repeat to demonstrate cache hits)",
+    )
+    query.add_argument("query", help="query text (same dialect as 'sql')")
+    _add_cluster_options(query)
+    query.add_argument(
+        "--data",
+        choices=("tpcr", "flows"),
+        default="tpcr",
+        help="which synthetic warehouse to build (table name TPCR or Flow)",
+    )
+    query.add_argument(
+        "--repeat", type=int, default=2, help="submissions of the same query"
+    )
+    query.add_argument("--max-rows", type=int, default=20, help="rows to print")
+
     figures = commands.add_parser("figures", help="regenerate paper experiments")
     figures.add_argument(
         "name",
@@ -330,6 +379,85 @@ def run_trace(args, out) -> int:
     return 1 if mismatches else 0
 
 
+def _service_metrics_line(service) -> str:
+    metrics = service.metrics
+    return (
+        f"cache: hits={int(metrics.value_of('service.cache.hit'))} "
+        f"misses={int(metrics.value_of('service.cache.miss'))} "
+        f"refreshes={int(metrics.value_of('service.cache.refresh'))} "
+        f"rejected={int(metrics.value_of('service.admission.rejected'))}"
+    )
+
+
+def run_serve(args, out) -> int:
+    from repro.service import QueryService
+    from repro.service.selftest import run_self_test
+
+    if args.self_test:
+        return run_self_test(
+            out,
+            sites=args.sites,
+            executor=args.executor,
+            clients=args.clients,
+        )
+
+    cluster = _build_cluster(args)
+    table = "Flow" if args.data == "flows" else "TPCR"
+    service = QueryService(
+        cluster,
+        _config(args),
+        _options(args),
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+    )
+    print(
+        f"serving {table} over {args.sites} sites [{args.executor}] — "
+        "enter SQL (blank line or 'exit' to quit, '\\metrics' for counters)",
+        file=out,
+    )
+    with service:
+        for line in sys.stdin:
+            statement_text = line.strip()
+            if not statement_text or statement_text.lower() in ("exit", "quit"):
+                break
+            if statement_text == "\\metrics":
+                print(_service_metrics_line(service), file=out)
+                continue
+            try:
+                result = service.submit(statement_text)
+            except Exception as error:  # noqa: BLE001 - REPL keeps serving
+                print(f"error: {type(error).__name__}: {error}", file=out)
+                continue
+            print(
+                f"[{result.source}] query {result.query_id} "
+                f"({result.wall_s * 1000:.1f} ms)",
+                file=out,
+            )
+            print(result.relation.pretty(args.max_rows), file=out)
+        print(_service_metrics_line(service), file=out)
+    return 0
+
+
+def run_query(args, out) -> int:
+    from repro.service import QueryService
+
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
+    cluster = _build_cluster(args)
+    with QueryService(cluster, _config(args), _options(args)) as service:
+        results = [service.submit(args.query) for _ in range(args.repeat)]
+        for result in results:
+            print(
+                f"[{result.source}] query {result.query_id} "
+                f"({result.wall_s * 1000:.1f} ms)",
+                file=out,
+            )
+        print(_service_metrics_line(service), file=out)
+        print(results[-1].relation.pretty(args.max_rows), file=out)
+    return 0
+
+
 def run_figures(args, out) -> int:
     from repro.bench import figure2, figure2_aware, figure3, figure4, figure5
 
@@ -372,6 +500,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return run_sql(args, out)
     if args.command == "trace":
         return run_trace(args, out)
+    if args.command == "serve":
+        return run_serve(args, out)
+    if args.command == "query":
+        return run_query(args, out)
     if args.command == "figures":
         return run_figures(args, out)
     if args.command == "report":

@@ -216,6 +216,32 @@ class SimulatedCluster:
             span.set(rows=len(result))
         return result
 
+    def data_versions(self, table_names: Sequence[str]) -> tuple:
+        """Per-site data versions of the named tables, as a hashable tuple.
+
+        ``((table, site, version), ...)`` sorted, covering every site
+        (version 0 = site does not hold the table). Equal tuples imply
+        the named tables' distributed contents are unchanged — the data
+        component of the query service's cached plan signature.
+        """
+        return tuple(
+            (table_name, site_id, self.sites[site_id].warehouse.version(table_name))
+            for table_name in sorted(set(table_names))
+            for site_id in self.site_ids
+        )
+
+    def fresh_network(self, metrics: Optional[MetricsRegistry] = None) -> Network:
+        """A new, independent channel set over this cluster's sites.
+
+        Unlike :meth:`reset_network` this does **not** replace
+        ``self.network`` — concurrent queries each get their own channel
+        queues (two queries interleaving sends on one channel would
+        consume each other's fragments) while sharing the site
+        warehouses. The installed fault plan is applied with fresh firing
+        state, same as a reset.
+        """
+        return Network(self.site_ids, metrics=metrics, faults=self.fault_plan)
+
     def install_faults(self, plan) -> None:
         """Install a :class:`~repro.net.faults.FaultPlan` (or ``None`` to
         restore a perfect network) and rebuild the channels.

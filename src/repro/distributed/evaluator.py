@@ -172,6 +172,8 @@ def execute_plan(
     config: Optional[ExecutionConfig] = None,
     tracer=None,
     metrics: Optional[MetricsRegistry] = None,
+    engine=None,
+    network=None,
 ) -> DistributedResult:
     """Run a plan over the cluster and return result + statistics.
 
@@ -179,33 +181,50 @@ def execute_plan(
     tree; ``metrics`` (optional) becomes the active registry for the
     duration, so operator counters land next to the run's channel
     counters.
+
+    ``engine``/``network`` support concurrent callers (the query
+    service): an externally supplied engine is shared across calls and
+    *not* closed here, and a supplied network replaces ``cluster.network``
+    for this run only — its channels carry this run's fragments, its
+    fault events feed this run's stats, and the cluster's own
+    tracer/network state is left untouched (two runs mutating
+    ``cluster.tracer`` concurrently would cross their span trees).
     """
     if tracer is None:
         tracer = NULL_TRACER
     if metrics is not None:
         with activate(metrics):
-            return _execute_plan_traced(cluster, plan, config, tracer)
-    return _execute_plan_traced(cluster, plan, config, tracer)
+            return _execute_plan_traced(cluster, plan, config, tracer, engine, network)
+    return _execute_plan_traced(cluster, plan, config, tracer, engine, network)
 
 
-def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
+def _execute_plan_traced(
+    cluster, plan, config, tracer, external_engine=None, network=None
+) -> DistributedResult:
     config = config or ExecutionConfig()
     policy = config.retry_policy()
     stats = ExecutionStats(executor=config.executor, failure_mode=config.failure_mode)
     coordinator = Coordinator(plan.expression.key, tracer)
-    previous_tracer = cluster.tracer
-    previous_network_tracer = cluster.network.tracer
-    cluster.tracer = tracer
-    cluster.network.tracer = tracer
-    engine = None
+    owns_cluster_state = network is None
+    if network is None:
+        network = cluster.network
+    if owns_cluster_state:
+        previous_tracer = cluster.tracer
+        previous_network_tracer = network.tracer
+        cluster.tracer = tracer
+    network.tracer = tracer
+    engine = external_engine
     try:
-        engine = create_engine(
-            config.executor, cluster.sites, tracer, config.max_workers
-        )
+        if engine is None:
+            engine = create_engine(
+                config.executor, cluster.sites, tracer, config.max_workers
+            )
         with tracer.span(
             "query", kind="query", rounds=len(plan.rounds), sites=cluster.site_count
         ):
-            _evaluate_base(cluster, plan, coordinator, stats, tracer, engine, policy)
+            _evaluate_base(
+                cluster, plan, coordinator, stats, tracer, engine, policy, network
+            )
             for round_number, md_round in enumerate(plan.rounds, start=1):
                 round_stats = stats.new_round(
                     "chain" if md_round.is_chain else "md",
@@ -231,6 +250,7 @@ def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
                         round_stats,
                         round_span,
                         policy,
+                        network,
                     )
                     round_span.set(
                         bytes_down=round_stats.bytes_down,
@@ -241,10 +261,11 @@ def _execute_plan_traced(cluster, plan, config, tracer) -> DistributedResult:
                         round_span.set(excluded=",".join(round_stats.excluded))
                 round_stats.wall_s = time.perf_counter() - round_started
     finally:
-        cluster.tracer = previous_tracer
-        cluster.network.tracer = previous_network_tracer
-        stats.record_faults(cluster.network.fault_events())
-        if engine is not None:
+        if owns_cluster_state:
+            cluster.tracer = previous_tracer
+            network.tracer = previous_network_tracer
+        stats.record_faults(network.fault_events())
+        if engine is not None and engine is not external_engine:
             engine.close()
     return DistributedResult(coordinator.x, stats, plan)
 
@@ -261,6 +282,7 @@ def _evaluate_round(
     round_stats,
     round_span=None,
     policy=None,
+    network=None,
 ) -> None:
     """One MD/chain round: fan out, evaluate, stream sub-results back.
 
@@ -273,6 +295,8 @@ def _evaluate_round(
     rounds must see all fragments to discover the base, so they collect
     (reassembled in site order for determinism).
     """
+    if network is None:
+        network = cluster.network
     blocks = md_round.all_blocks()
     session = None if md_round.merged_base else coordinator.begin_sync(blocks)
     coordinator_lock = threading.Lock()
@@ -282,7 +306,7 @@ def _evaluate_round(
         round_stats.site(site_id)
 
     def leg(site_id):
-        channel = cluster.network.channel(site_id)
+        channel = network.channel(site_id)
         site_stats = round_stats.site(site_id)
 
         if md_round.merged_base:
@@ -379,7 +403,7 @@ def _evaluate_round(
     guarded = guard_leg(
         leg,
         policy=policy,
-        network=cluster.network,
+        network=network,
         round_index=round_number,
         round_stats=round_stats,
         tracer=tracer,
@@ -402,8 +426,17 @@ def _evaluate_round(
 
 
 def _evaluate_base(
-    cluster, plan, coordinator, stats, tracer=NULL_TRACER, engine=None, policy=None
+    cluster,
+    plan,
+    coordinator,
+    stats,
+    tracer=NULL_TRACER,
+    engine=None,
+    policy=None,
+    network=None,
 ) -> None:
+    if network is None:
+        network = cluster.network
     base = plan.base
     if base.merged_into_chain:
         return
@@ -432,7 +465,7 @@ def _evaluate_base(
             round_stats.site(site_id)
 
         def leg(site_id):
-            channel = cluster.network.channel(site_id)
+            channel = network.channel(site_id)
             site_stats = round_stats.site(site_id)
 
             request_message = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
@@ -468,7 +501,7 @@ def _evaluate_base(
         guarded = guard_leg(
             leg,
             policy=policy if policy is not None else RetryPolicy(),
-            network=cluster.network,
+            network=network,
             round_index=0,
             round_stats=round_stats,
             tracer=tracer,
@@ -503,7 +536,12 @@ def execute_query(
     config: Optional[ExecutionConfig] = None,
     tracer=None,
     metrics: Optional[MetricsRegistry] = None,
+    engine=None,
+    network=None,
 ) -> DistributedResult:
     """Plan and execute a GMDJ expression in one call."""
     plan = plan_query(expression, cluster.catalog, options)
-    return execute_plan(cluster, plan, config, tracer=tracer, metrics=metrics)
+    return execute_plan(
+        cluster, plan, config, tracer=tracer, metrics=metrics,
+        engine=engine, network=network,
+    )

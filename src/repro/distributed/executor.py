@@ -231,7 +231,26 @@ def _collect_leg_results(site_ids: Sequence[str], futures) -> list:
     return results
 
 
-class SerialEngine:
+class _EngineLifecycle:
+    """Shared close-once semantics.
+
+    Engines used to live for exactly one ``execute_plan`` call; the query
+    service keeps one engine alive across many concurrent queries, which
+    makes use-after-close a real hazard (a pool shutdown mid-round hangs
+    or drops legs silently). Every engine now fails fast instead.
+    """
+
+    _closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PlanError(f"{self.name} engine used after close()")
+
+    def _mark_closed(self) -> None:
+        self._closed = True
+
+
+class SerialEngine(_EngineLifecycle):
     """Legs run inline on the calling thread — the differential baseline."""
 
     name = "serial"
@@ -245,18 +264,20 @@ class SerialEngine:
         # so the first exception *is* the complete failure report and
         # propagates unchanged (parallel engines, where several legs can
         # fail concurrently, aggregate into MultiLegError instead).
+        self._check_open()
         return [leg(site_id) for site_id in site_ids]
 
     def evaluate(self, request: SiteRequest) -> SiteReply:
+        self._check_open()
         return perform_site_request(
             self._sites[request.site_id], request, self._tracer
         )
 
     def close(self) -> None:
-        pass
+        self._mark_closed()
 
 
-class ThreadEngine:
+class ThreadEngine(_EngineLifecycle):
     """Legs fan out on a thread pool; site work stays in the leg's thread.
 
     Results come back in *site order* regardless of completion order.
@@ -276,6 +297,7 @@ class ThreadEngine:
         )
 
     def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
+        self._check_open()
         tracer = self._tracer
 
         def attached(site_id):
@@ -286,11 +308,13 @@ class ThreadEngine:
         return _collect_leg_results(site_ids, futures)
 
     def evaluate(self, request: SiteRequest) -> SiteReply:
+        self._check_open()
         return perform_site_request(
             self._sites[request.site_id], request, self._tracer
         )
 
     def close(self) -> None:
+        self._mark_closed()
         self._pool.shutdown(wait=True, cancel_futures=True)
 
 
@@ -325,7 +349,7 @@ def _fork_perform(request: SiteRequest) -> SiteReply:
     return reply
 
 
-class ProcessEngine:
+class ProcessEngine(_EngineLifecycle):
     """Legs run on threads; site work is dispatched to forked workers.
 
     Fork (not spawn) so workers inherit the simulated warehouses without
@@ -364,6 +388,7 @@ class ProcessEngine:
             raise
 
     def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
+        self._check_open()
         tracer = self._tracer
 
         def attached(site_id):
@@ -374,6 +399,7 @@ class ProcessEngine:
         return _collect_leg_results(site_ids, futures)
 
     def evaluate(self, request: SiteRequest) -> SiteReply:
+        self._check_open()
         reply = self._pool.submit(_fork_perform, request).result()
         if reply.spans:
             self._tracer.replay(reply.spans)
@@ -384,6 +410,7 @@ class ProcessEngine:
         return reply
 
     def close(self) -> None:
+        self._mark_closed()
         try:
             self._legs.shutdown(wait=True, cancel_futures=True)
         finally:

@@ -56,9 +56,32 @@ class RefreshResult:
 
 
 class IncrementalView:
-    """A standing single-GMDJ distributed query result."""
+    """A standing single-GMDJ distributed query result.
 
-    def __init__(self, cluster: SimulatedCluster, expression: GMDJExpression):
+    ``source_stats`` — when the view's base state comes from a prior
+    distributed run (the query service caches sub-aggregates this way),
+    pass that run's :class:`ExecutionStats`. A run that ended in
+    ``degrade`` mode *excluded* sites: their detail tuples were never
+    captured in the state, so refreshing would silently merge deltas
+    onto an under-approximation and present it as exact. Such stats are
+    rejected loudly here instead.
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        expression: GMDJExpression,
+        source_stats: ExecutionStats = None,
+    ):
+        if source_stats is not None and source_stats.degraded:
+            excluded = sorted({site for _round, site in source_stats.excluded_sites})
+            raise PlanError(
+                "cannot build an incremental view from a degraded run: "
+                f"site(s) {', '.join(excluded)} were excluded, so their "
+                "detail tuples are missing from the base state; re-run the "
+                "query without degradation (or re-seed from the warehouses) "
+                "before refreshing"
+            )
         if len(expression.steps) != 1:
             raise PlanError(
                 "incremental refresh supports single-GMDJ queries only: a "
@@ -116,13 +139,27 @@ class IncrementalView:
 
     # -- maintenance -----------------------------------------------------------------
 
-    def refresh(self, deltas: Mapping[str, Relation]) -> RefreshResult:
+    def refresh(
+        self,
+        deltas: Mapping[str, Relation],
+        *,
+        apply_appends: bool = True,
+        network=None,
+    ) -> RefreshResult:
         """Absorb per-site appended rows and return the refreshed result.
 
-        Updates the site warehouses too, keeping the cluster consistent
-        for later full queries.
+        By default the deltas are also appended to the site warehouses,
+        keeping the cluster consistent for later full queries. Pass
+        ``apply_appends=False`` when the caller already applied them (the
+        query service appends once, then upgrades every affected cached
+        view) — the warehouses must then hold the post-append partitions
+        before this call. ``network`` substitutes a private channel set
+        (per-query isolation under the concurrent service); default is
+        the cluster's shared network.
         """
         detail_name = self.step.detail
+        if network is None:
+            network = self.cluster.network
         stats = ExecutionStats()
         round_stats = stats.new_round("md", "incremental refresh")
 
@@ -138,7 +175,7 @@ class IncrementalView:
                     f"delta for {site_id!r} has schema {delta.schema!r}, "
                     f"table has {site_schema!r}"
                 )
-            channel = self.cluster.network.channel(site_id)
+            channel = network.channel(site_id)
             site_stats = round_stats.site(site_id)
 
             shipment = msg.Message.with_relation(
@@ -150,7 +187,8 @@ class IncrementalView:
             received_base = channel.receive_at_site().relation()
 
             started = time.perf_counter()
-            site.warehouse.append(detail_name, delta)
+            if apply_appends:
+                site.warehouse.append(detail_name, delta)
             h_delta, touched = operator.evaluate_sub(
                 received_base, delta, self.step.blocks
             )
@@ -175,7 +213,7 @@ class IncrementalView:
                 site = self.cluster.site(site_id)
                 if not site.warehouse.has_table(detail_name):
                     continue
-                channel = self.cluster.network.channel(site_id)
+                channel = network.channel(site_id)
                 site_stats = round_stats.site(site_id)
                 shipment = msg.Message.with_relation(
                     msg.SHIP_BASE, "coordinator", site_id, 1, new_base

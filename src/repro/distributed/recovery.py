@@ -122,6 +122,7 @@ def guard_leg(
     tracer,
     session=None,
     sleep=time.sleep,
+    clock=time.perf_counter,
 ):
     """Wrap a per-site leg callable with the retry/degrade policy.
 
@@ -132,12 +133,21 @@ def guard_leg(
     recorded on ``round_stats``. Each attempt begins with
     ``channel.begin_attempt`` so injected crash schedules advance
     deterministically no matter which engine runs the leg.
+
+    Budget discipline: the exhaustion decision (attempts *and* wall
+    clock) is made before any backoff sleep, so a leg never sleeps after
+    its final attempt's failure; and each sleep is capped by the leg's
+    remaining ``leg_timeout_s`` budget, so the total slept time can never
+    push the leg past its configured timeout — the remaining slice is
+    still spent on one last (shorter-backoff) attempt rather than
+    forfeited. ``sleep``/``clock`` are injectable so tests can drive the
+    schedule deterministically; both must tell the same time story.
     """
     metrics = network.metrics
 
     def guarded(site_id):
         channel = network.channel(site_id)
-        started = time.perf_counter()
+        started = clock()
         retry_number = 0
         while True:
             channel.begin_attempt(round_index)
@@ -153,12 +163,16 @@ def guard_leg(
                 channel.drain_pending()
                 if session is not None:
                     session.reset_source(site_id)
-                out_of_attempts = attempts_made >= policy.attempts
-                backoff = policy.backoff_for(retry_number)
-                out_of_time = policy.leg_timeout_s > 0 and (
-                    time.perf_counter() - started + backoff > policy.leg_timeout_s
+                if policy.leg_timeout_s > 0:
+                    remaining = policy.leg_timeout_s - (clock() - started)
+                else:
+                    remaining = None
+                exhausted = attempts_made >= policy.attempts or (
+                    remaining is not None and remaining <= 0
                 )
-                if out_of_attempts or out_of_time:
+                if exhausted:
+                    # No trailing sleep: nothing runs after this point,
+                    # so backing off would only delay the raise/exclude.
                     metrics.counter(
                         "net.retry.exhausted", site=site_id, mode=policy.mode
                     ).inc()
@@ -179,6 +193,11 @@ def guard_leg(
                     ):
                         pass
                     return EXCLUDED
+                backoff = policy.backoff_for(retry_number)
+                if remaining is not None:
+                    # Cap by the remaining wall-clock budget: the leg may
+                    # retry once more inside its timeout, never beyond it.
+                    backoff = min(backoff, remaining)
                 retry_number += 1
                 round_stats.site(site_id).retries += 1
                 metrics.counter("net.retry.attempts", site=site_id).inc()
@@ -191,7 +210,7 @@ def guard_leg(
                     cause=type(error).__name__,
                 ):
                     pass
-                if backoff:
+                if backoff > 0:
                     sleep(backoff)
 
     return guarded

@@ -124,6 +124,34 @@ class WarehouseError(ReproError):
     """A local warehouse operation failed (unknown table, bad partition)."""
 
 
+class ServiceError(ReproError):
+    """A query-service operation failed (bad request, closed service)."""
+
+
+class AdmissionError(ServiceError):
+    """The service's wait queue is full; the query was rejected outright."""
+
+    def __init__(self, queued, max_queue):
+        self.queued = queued
+        self.max_queue = max_queue
+        super().__init__(
+            f"admission queue full ({queued} waiting, limit {max_queue}); "
+            "query rejected"
+        )
+
+
+class QueryTimeoutError(ServiceError):
+    """A queued query waited longer than its admission timeout."""
+
+    def __init__(self, waited_s, timeout_s):
+        self.waited_s = waited_s
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"query timed out after waiting {waited_s:.3f}s for an execution "
+            f"slot (timeout {timeout_s:.3f}s)"
+        )
+
+
 class ObservabilityError(ReproError):
     """A tracing/metrics operation failed (bad metric, malformed trace)."""
 

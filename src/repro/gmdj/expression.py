@@ -18,6 +18,7 @@ and the optimizer's entailment checks.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -26,6 +27,51 @@ from repro.gmdj import operator
 from repro.gmdj.blocks import MDBlock, result_schema
 from repro.relalg.relation import Relation
 from repro.relalg.schema import Schema
+
+# -- canonical identity --------------------------------------------------------
+#
+# The query service caches results keyed by a *normalized* expression
+# hash: two expressions that provably compute the same relation (same
+# chain, conditions equal up to commutativity of AND/OR and comparison
+# orientation) share a signature. Normalization is deliberately shallow —
+# only rewrites that cannot change the result relation, including its row
+# order, are applied, because cached results are served bit-identical.
+
+_FLIPPED_COMPARISONS = {">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def _canonical_expr_key(key):
+    """Normalize an :meth:`Expr.key` tuple commutatively.
+
+    AND/OR chains are flattened and sorted; symmetric comparisons sort
+    their operands and ``>``/``>=`` flip to ``<``/``<=`` with swapped
+    sides. Everything else is canonicalized recursively in place.
+    """
+    if not isinstance(key, tuple) or not key or not isinstance(key[0], str):
+        return key
+    tag = key[0]
+    if tag in ("and", "or"):
+        operands = []
+        for operand in key[1:]:
+            canonical = _canonical_expr_key(operand)
+            if isinstance(canonical, tuple) and canonical[:1] == (tag,):
+                operands.extend(canonical[1:])
+            else:
+                operands.append(canonical)
+        return (tag, *sorted(operands, key=repr))
+    if tag == "cmp":
+        op, left, right = key[1], _canonical_expr_key(key[2]), _canonical_expr_key(key[3])
+        if op in (">", ">="):
+            op, left, right = _FLIPPED_COMPARISONS[op], right, left
+        elif op in ("==", "!=") and repr(right) < repr(left):
+            left, right = right, left
+        return ("cmp", op, left, right)
+    return (tag, *(_canonical_expr_key(part) for part in key[1:]))
+
+
+def canonical_condition_key(condition) -> tuple:
+    """The commutatively-normalized structural key of a condition."""
+    return _canonical_expr_key(condition.key())
 
 
 class BaseSource:
@@ -176,6 +222,61 @@ class GMDJExpression:
     @property
     def has_holistic(self) -> bool:
         return any(step.has_holistic for step in self.steps)
+
+    def canonical_key(self) -> tuple:
+        """Normalized structural identity of the whole expression.
+
+        Two expressions with equal canonical keys compute the same result
+        relation, rows in the same order: conditions are normalized
+        commutatively (see :func:`canonical_condition_key`) but step
+        order, block order, aggregate order and literal row order are all
+        preserved — each affects the result's column or row layout.
+        """
+        if isinstance(self.base_source, DistinctBase):
+            base_key = ("distinct", self.base_source.table, self.base_source.attrs)
+        elif isinstance(self.base_source, LiteralBase):
+            relation = self.base_source.relation
+            base_key = (
+                "literal",
+                self.base_source.key,
+                tuple(
+                    (attr.name, attr.type)
+                    for attr in relation.schema.attributes
+                ),
+                tuple(relation.rows),
+            )
+        else:  # pragma: no cover - no other sources exist today
+            base_key = ("source", repr(self.base_source))
+        step_keys = tuple(
+            (
+                "md",
+                step.detail,
+                tuple(
+                    (
+                        "block",
+                        canonical_condition_key(block.condition),
+                        tuple(
+                            (
+                                spec.func,
+                                spec.input_expr.key()
+                                if spec.input_expr is not None
+                                else None,
+                                spec.output,
+                            )
+                            for spec in block.aggregates
+                        ),
+                    )
+                    for block in step.blocks
+                ),
+            )
+            for step in self.steps
+        )
+        return (base_key, step_keys)
+
+    def fingerprint(self) -> str:
+        """sha256 of :meth:`canonical_key` — the expression component of
+        the query service's cached plan signature."""
+        return hashlib.sha256(repr(self.canonical_key()).encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         lines = [f"B0 <- {self.base_source!r}"]

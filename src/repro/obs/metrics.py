@@ -64,11 +64,20 @@ class Counter:
             self.value += amount
 
     def snapshot(self) -> dict:
-        return {"type": self.kind, "value": self.value}
+        with self._lock:
+            return {"type": self.kind, "value": self.value}
 
 
 class Gauge:
-    """Last-written value metric (set/add); adds are atomic."""
+    """Last-written value metric (set/add); writes and reads are atomic.
+
+    ``set``, ``add`` and ``snapshot`` all take the same per-metric lock:
+    a ``set`` racing an ``add``'s read-modify-write would otherwise be
+    silently lost (the ``add`` writes back a value computed from the
+    pre-``set`` read), and a snapshot taken mid-update could observe the
+    torn intermediate. This matters once many concurrent queries share
+    one registry (the query service's queue-depth gauge).
+    """
 
     kind = "gauge"
     __slots__ = ("name", "value", "_lock")
@@ -79,14 +88,16 @@ class Gauge:
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, delta: float) -> None:
         with self._lock:
             self.value += delta
 
     def snapshot(self) -> dict:
-        return {"type": self.kind, "value": self.value}
+        with self._lock:
+            return {"type": self.kind, "value": self.value}
 
 
 class Histogram:
@@ -126,13 +137,14 @@ class Histogram:
             self.counts[-1] += 1
 
     def snapshot(self) -> dict:
-        return {
-            "type": self.kind,
-            "boundaries": list(self.boundaries),
-            "counts": list(self.counts),
-            "count": self.count,
-            "sum": self.sum,
-        }
+        with self._lock:
+            return {
+                "type": self.kind,
+                "boundaries": list(self.boundaries),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.sum,
+            }
 
 
 def _metric_key(name: str, labels: dict) -> str:

@@ -1,0 +1,30 @@
+"""Concurrent query service with sub-aggregate result caching.
+
+See :mod:`repro.service.service` for the front door
+(:class:`QueryService`), :mod:`repro.service.signature` for the cache
+key space, and :mod:`repro.service.cache` for the LRU + refresh-upgrade
+machinery. DESIGN.md §6 documents the invalidation/upgrade rules.
+"""
+
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.service import (
+    FRESH,
+    HIT,
+    REFRESH,
+    QueryResult,
+    QueryService,
+    canonical_order,
+)
+from repro.service.signature import PlanSignature
+
+__all__ = [
+    "CacheEntry",
+    "FRESH",
+    "HIT",
+    "PlanSignature",
+    "QueryResult",
+    "QueryService",
+    "REFRESH",
+    "ResultCache",
+    "canonical_order",
+]

@@ -1,0 +1,414 @@
+"""Concurrent query service over a simulated Skalla cluster.
+
+:class:`QueryService` is the front door a warehouse deployment would
+expose: many clients submit GMDJ expressions (or OLAP SQL text)
+concurrently, and the service
+
+- **admits** them through a bounded gate — at most ``max_in_flight``
+  queries execute at once, at most ``max_queue`` wait in FIFO order, and
+  a waiter that outlives its admission timeout is failed with
+  :class:`~repro.errors.QueryTimeoutError` rather than left hanging;
+- **caches** finalized results keyed by canonical
+  :class:`~repro.service.signature.PlanSignature`, retaining each
+  refreshable query's sub-aggregate state so an append-only data change
+  *upgrades* the entry through
+  :meth:`~repro.distributed.incremental.IncrementalView.refresh` instead
+  of discarding it;
+- **shares** one :class:`ExecutionConfig`-selected engine (serial /
+  threads / processes) across all queries, while giving every executing
+  query its own private channel set
+  (:meth:`~repro.distributed.cluster.SimulatedCluster.fresh_network`) —
+  channels are plain queues, so two queries interleaving on one channel
+  would consume each other's fragments.
+
+Appends go through :meth:`QueryService.append`, which is
+writer-exclusive (it waits for in-flight queries to drain, so a query
+never sees a torn multi-site append) and logs every per-site delta by
+the warehouse version it produced; those logs are what make cache
+upgrades possible.
+
+Determinism contract: all served relations are in **canonical row
+order** (sorted by the expression's key attributes, ``repr``-wise). A
+cache hit returns the stored relation verbatim, and a refresh-upgraded
+result is value-identical to evaluating fresh against the grown data —
+both are checked bit-for-bit in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.evaluator import ExecutionConfig, execute_query
+from repro.distributed.executor import create_engine
+from repro.distributed.incremental import IncrementalView
+from repro.distributed.optimizer import OptimizationOptions
+from repro.errors import (
+    AdmissionError,
+    PlanError,
+    QueryTimeoutError,
+    ServiceError,
+)
+from repro.gmdj.expression import GMDJExpression
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.queries.sql import parse_olap_statement
+from repro.relalg.relation import Relation
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.signature import PlanSignature
+
+#: ``QueryResult.source`` values.
+FRESH = "fresh"
+HIT = "hit"
+REFRESH = "refresh"
+
+
+def canonical_order(relation: Relation, key_attrs) -> Relation:
+    """Rows sorted by the key attributes (``repr``-wise, total order).
+
+    The service serves every result in this order so that a fresh
+    evaluation, a cache hit, and a refresh-upgraded result of the same
+    query are comparable row-for-row — distributed evaluation and
+    incremental refresh build their output rows in different (both
+    correct) orders.
+    """
+    positions = relation.schema.positions(list(key_attrs))
+    return Relation(
+        relation.schema,
+        sorted(
+            relation.rows,
+            key=lambda row: tuple(repr(row[position]) for position in positions),
+        ),
+    )
+
+
+@dataclass
+class QueryResult:
+    """What one submitted query got back."""
+
+    query_id: int
+    relation: Relation
+    #: ``"fresh"`` (evaluated), ``"hit"`` (served from cache verbatim),
+    #: or ``"refresh"`` (cache entry upgraded via its sub-aggregate state).
+    source: str
+    signature: PlanSignature
+    #: ExecutionStats of the run that produced/upgraded the relation;
+    #: a pure hit carries the stats of the original evaluation.
+    stats: object
+    wall_s: float
+
+    @property
+    def from_cache(self) -> bool:
+        return self.source != FRESH
+
+
+@dataclass
+class _Served:
+    relation: Relation
+    source: str
+    stats: object
+
+
+class QueryService:
+    """Admission-controlled, cache-fronted concurrent query endpoint."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: Optional[ExecutionConfig] = None,
+        options: Optional[OptimizationOptions] = None,
+        *,
+        max_in_flight: int = 4,
+        max_queue: int = 16,
+        admission_timeout_s: float = 30.0,
+        cache_capacity: int = 64,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if max_in_flight < 1:
+            raise ServiceError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if max_queue < 0:
+            raise ServiceError(f"max_queue must be >= 0, got {max_queue}")
+        if admission_timeout_s <= 0:
+            raise ServiceError(
+                f"admission_timeout_s must be > 0, got {admission_timeout_s}"
+            )
+        self.cluster = cluster
+        self.config = config or ExecutionConfig()
+        self.options = options
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.admission_timeout_s = admission_timeout_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = ResultCache(cache_capacity)
+        #: (table, site) -> {version: delta relation} — every append this
+        #: service applied, addressable by the version it produced.
+        self._delta_log: dict = {}
+        self._gate = threading.Condition()
+        self._queue: deque = deque()  # waiting tickets, FIFO
+        self._in_flight = 0
+        self._writer_active = False
+        self._closed = False
+        self._query_ids = itertools.count(1)
+        self._engine = create_engine(
+            self.config.executor, cluster.sites, self.tracer, self.config.max_workers
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new work, fail waiters, release the engine. Idempotent."""
+        with self._gate:
+            if self._closed:
+                return
+            self._closed = True
+            self._gate.notify_all()
+        self._engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- admission ---------------------------------------------------------------
+
+    def _update_gate_gauges(self) -> None:
+        # Caller holds self._gate.
+        self.metrics.gauge("service.queue.depth").set(len(self._queue))
+        self.metrics.gauge("service.in_flight").set(self._in_flight)
+
+    def _admittable(self, ticket) -> bool:
+        # Caller holds self._gate.
+        return (
+            self._queue
+            and self._queue[0] is ticket
+            and self._in_flight < self.max_in_flight
+            and not self._writer_active
+        )
+
+    def _acquire_slot(self, timeout_s: float) -> None:
+        entered = time.monotonic()
+        deadline = entered + timeout_s
+        with self._gate:
+            if self._closed:
+                raise ServiceError("query service is closed")
+            if (
+                not self._queue
+                and self._in_flight < self.max_in_flight
+                and not self._writer_active
+            ):
+                # Fast path: nobody waiting, a slot is free — skip the queue.
+                self._in_flight += 1
+                self._update_gate_gauges()
+                return
+            if len(self._queue) >= self.max_queue:
+                self.metrics.counter("service.admission.rejected").inc()
+                raise AdmissionError(len(self._queue), self.max_queue)
+            ticket = object()
+            self._queue.append(ticket)
+            self._update_gate_gauges()
+            try:
+                while not self._admittable(ticket):
+                    if self._closed:
+                        raise ServiceError("query service is closed")
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.metrics.counter("service.admission.timeout").inc()
+                        raise QueryTimeoutError(
+                            time.monotonic() - entered, timeout_s
+                        )
+                    self._gate.wait(remaining)
+                self._queue.popleft()
+                self._in_flight += 1
+                self._update_gate_gauges()
+                # The next waiter may also be admittable (slots > 1).
+                self._gate.notify_all()
+            except BaseException:
+                if ticket in self._queue:
+                    self._queue.remove(ticket)
+                    self._update_gate_gauges()
+                self._gate.notify_all()
+                raise
+
+    def _release_slot(self) -> None:
+        with self._gate:
+            self._in_flight -= 1
+            self._update_gate_gauges()
+            self._gate.notify_all()
+
+    # -- queries ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: Union[str, GMDJExpression],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> QueryResult:
+        """Run one query (GMDJ expression or OLAP SQL text), blocking.
+
+        Thread-safe: any number of client threads may call this
+        concurrently; the admission gate bounds actual parallelism.
+        """
+        if isinstance(query, str):
+            statement = parse_olap_statement(query)
+            expression = statement.expression
+            post = statement.apply_post
+        elif isinstance(query, GMDJExpression):
+            expression = query
+            post = None
+        else:
+            raise ServiceError(
+                f"expected SQL text or GMDJExpression, got {type(query).__name__}"
+            )
+        started = time.perf_counter()
+        self._acquire_slot(timeout_s if timeout_s is not None else self.admission_timeout_s)
+        try:
+            query_id = next(self._query_ids)
+            self.metrics.counter("service.queries").inc()
+            with self.tracer.span(
+                "service.query", kind="service", query_id=query_id
+            ) as span:
+                served = self._serve(expression, span)
+                span.set(outcome=served.source)
+            relation = served.relation if post is None else post(served.relation)
+            return QueryResult(
+                query_id=query_id,
+                relation=relation,
+                source=served.source,
+                signature=PlanSignature.compute(self.cluster, expression),
+                stats=served.stats,
+                wall_s=time.perf_counter() - started,
+            )
+        finally:
+            self._release_slot()
+
+    def _serve(self, expression: GMDJExpression, span) -> _Served:
+        signature = PlanSignature.compute(self.cluster, expression)
+        entry = self.cache.get(signature)
+        if entry is not None:
+            self.metrics.counter("service.cache.hit").inc()
+            return _Served(entry.relation, HIT, entry.stats)
+        candidate = self.cache.upgrade_candidate(signature)
+        if candidate is not None and candidate.refreshable:
+            served = self._try_upgrade(candidate, signature, span)
+            if served is not None:
+                return served
+        self.metrics.counter("service.cache.miss").inc()
+        result = execute_query(
+            self.cluster,
+            expression,
+            self.options,
+            self.config,
+            tracer=self.tracer,
+            engine=self._engine,
+            network=self.cluster.fresh_network(self.metrics),
+        )
+        relation = canonical_order(result.relation, expression.key)
+        self._maybe_cache(expression, signature, relation, result.stats)
+        return _Served(relation, FRESH, result.stats)
+
+    def _try_upgrade(
+        self, entry: CacheEntry, signature: PlanSignature, span
+    ) -> Optional[_Served]:
+        with entry.lock:
+            if entry.signature == signature:
+                # Lost the race: another query upgraded the entry first.
+                self.metrics.counter("service.cache.hit").inc()
+                return _Served(entry.relation, HIT, entry.stats)
+            gaps = entry.signature.version_gaps(signature)
+            if not gaps:
+                return None
+            deltas = self._coverable_deltas(entry, gaps)
+            if deltas is None:
+                return None
+            old_signature = entry.signature
+            refreshed = entry.view.refresh(
+                deltas,
+                apply_appends=False,
+                network=self.cluster.fresh_network(self.metrics),
+            )
+            relation = canonical_order(refreshed.relation, entry.expression.key)
+            entry.upgrade(signature, relation)
+            self.cache.reindex(old_signature, entry)
+        self.metrics.counter("service.cache.refresh").inc()
+        span.set(new_groups=refreshed.new_groups)
+        return _Served(relation, REFRESH, refreshed.stats)
+
+    def _coverable_deltas(self, entry: CacheEntry, gaps) -> Optional[dict]:
+        """Per-site combined deltas spanning the gaps, or None if uncovered.
+
+        Coverage is strict: every version in every gap must be in the
+        delta log (a register/drop, or an append that bypassed the
+        service, leaves a hole → plain miss), and only the view's detail
+        table can move (a changed base table is not refreshable).
+        """
+        detail = entry.view.step.detail
+        per_site = {}
+        for table, site_id, old_version, new_version in gaps:
+            if table != detail:
+                return None
+            log = self._delta_log.get((table, site_id))
+            if log is None:
+                return None
+            combined = None
+            for version in range(old_version + 1, new_version + 1):
+                delta = log.get(version)
+                if delta is None:
+                    return None
+                combined = delta if combined is None else combined.union_all(delta)
+            per_site[site_id] = combined
+        return per_site
+
+    def _maybe_cache(self, expression, signature, relation, stats) -> None:
+        if stats.degraded:
+            # An under-approximation must never be served as an answer to
+            # a later identical query, and Incremental refusal aside, its
+            # sub-aggregates are missing the excluded sites' tuples.
+            self.metrics.counter("service.cache.uncacheable").inc()
+            return
+        try:
+            view = IncrementalView(self.cluster, expression, source_stats=stats)
+        except PlanError:
+            view = None  # chain / holistic / unsupported base: hit-only entry
+        self.cache.put(CacheEntry(signature, relation, stats, view, expression))
+
+    # -- appends -----------------------------------------------------------------
+
+    def append(self, table_name: str, deltas: Mapping[str, Relation]) -> dict:
+        """Apply per-site appends writer-exclusively and log the deltas.
+
+        Waits until no query is in flight (a query must never observe
+        site A post-append and site B pre-append), applies every delta,
+        and records each under the warehouse version it produced so
+        cached entries can be refresh-upgraded later. Returns
+        ``{site_id: new_version}``.
+        """
+        with self._gate:
+            if self._closed:
+                raise ServiceError("query service is closed")
+            while self._writer_active or self._in_flight > 0:
+                self._gate.wait()
+                if self._closed:
+                    raise ServiceError("query service is closed")
+            self._writer_active = True
+        try:
+            versions = {}
+            for site_id, delta in deltas.items():
+                warehouse = self.cluster.site(site_id).warehouse
+                warehouse.append(table_name, delta)
+                version = warehouse.version(table_name)
+                self._delta_log.setdefault((table_name, site_id), {})[version] = delta
+                versions[site_id] = version
+            self.metrics.counter("service.appends").inc()
+            return versions
+        finally:
+            with self._gate:
+                self._writer_active = False
+                self._gate.notify_all()

@@ -112,6 +112,37 @@ class DistributionCatalog:
     def is_registered(self, table_name: str) -> bool:
         return table_name in self._tables
 
+    def fingerprint(self) -> str:
+        """Stable digest of everything planning-relevant in the catalog.
+
+        Two catalogs with the same fingerprint plan any query
+        identically: registered tables with their site lists, site
+        predicates φᵢ (by repr — expression reprs are deterministic),
+        partition attributes, replication flags, and functional
+        dependencies all participate. The query service includes this in
+        every cached plan signature so any catalog change — a new FD,
+        harvested value predicates, a re-registered table — invalidates
+        exactly the results whose plans could now differ.
+        """
+        import hashlib
+
+        pieces = []
+        for table_name in sorted(self._tables):
+            distribution = self._tables[table_name]
+            phis = ",".join(
+                f"{site_id}:{distribution.phi_by_site[site_id]!r}"
+                for site_id in sorted(distribution.phi_by_site)
+            )
+            pieces.append(
+                f"table={table_name};sites={','.join(distribution.site_ids)};"
+                f"attrs={','.join(distribution.partition_attrs)};"
+                f"replicated={distribution.replicated};phi=[{phis}]"
+            )
+        for determinant in sorted(self._fds):
+            determined = ",".join(sorted(self._fds[determinant]))
+            pieces.append(f"fd={determinant}->{determined}")
+        return hashlib.sha256("\n".join(pieces).encode("utf-8")).hexdigest()
+
     def _distribution(self, table_name: str) -> TableDistribution:
         try:
             return self._tables[table_name]

@@ -22,6 +22,11 @@ class LocalWarehouse:
     def __init__(self, name: str = "warehouse", tables: Optional[Mapping[str, Relation]] = None):
         self.name = name
         self._tables: dict = {}
+        #: Monotonic per-table data version, bumped by every mutation
+        #: (register/append/drop). Never reset — a dropped-and-reloaded
+        #: table keeps counting, so stale cached plans can never collide
+        #: with a same-numbered later state.
+        self._versions: dict = {}
         if tables:
             for table_name, relation in tables.items():
                 self.register(table_name, relation)
@@ -31,17 +36,30 @@ class LocalWarehouse:
         if not isinstance(relation, Relation):
             raise WarehouseError(f"expected Relation for {table_name!r}, got {relation!r}")
         self._tables[table_name] = relation
+        self._versions[table_name] = self._versions.get(table_name, 0) + 1
 
     def append(self, table_name: str, relation: Relation) -> None:
         """Append rows to an existing table (same schema required)."""
         existing = self.table(table_name)
         self._tables[table_name] = existing.union_all(relation)
+        self._versions[table_name] = self._versions.get(table_name, 0) + 1
 
     def drop(self, table_name: str) -> None:
         try:
             del self._tables[table_name]
         except KeyError:
             raise WarehouseError(f"{self.name}: unknown table {table_name!r}") from None
+        self._versions[table_name] = self._versions.get(table_name, 0) + 1
+
+    def version(self, table_name: str) -> int:
+        """The table's data version (0 = never held).
+
+        Every mutation — :meth:`register`, :meth:`append`, :meth:`drop` —
+        increments it, so equal versions imply identical table contents
+        within one process. The query service keys its result cache on
+        these (per site) to decide hit / refresh-upgrade / miss.
+        """
+        return self._versions.get(table_name, 0)
 
     def table(self, table_name: str) -> Relation:
         try:

@@ -318,11 +318,23 @@ def test_guard_leg_sleeps_backoff_and_heals():
     assert network.metrics.counter("net.retry.attempts", site="s0").value == 2
 
 
-def test_guard_leg_timeout_budget_cuts_retries_short():
+def test_guard_leg_caps_backoff_by_remaining_budget():
+    """A backoff larger than the remaining wall-clock budget is capped,
+    not treated as exhaustion: the leg spends its whole timeout retrying.
+
+    Regression test for the early-give-up defect where
+    ``0 < remaining < backoff`` abandoned the leg with budget left.
+    """
     network = Network(
         ("s0",), faults=FaultPlan.parse("crash site=s0 times=0")  # down forever
     )
     round_stats = RoundStats(0, "md")
+    now = [0.0]
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        now[0] += seconds
 
     def leg(site_id):
         network.channel(site_id).send_to_site(_down())
@@ -330,19 +342,50 @@ def test_guard_leg_timeout_budget_cuts_retries_short():
     guarded = guard_leg(
         leg,
         policy=RetryPolicy(
-            mode="retry", max_retries=10_000, backoff_s=1.0, leg_timeout_s=0.5
+            mode="retry", max_retries=10_000, backoff_s=0.4, leg_timeout_s=1.0
         ),
         network=network,
         round_index=0,
         round_stats=round_stats,
         tracer=NULL_TRACER,
-        sleep=lambda _s: None,
+        sleep=fake_sleep,
+        clock=lambda: now[0],
     )
     with pytest.raises(RetryExhaustedError) as excinfo:
         guarded("s0")
-    # The 1s backoff would blow the 0.5s budget: no retry is attempted.
-    assert excinfo.value.attempts == 1
+    # Backoffs 0.4 then 0.8-capped-to-0.6 fill the 1.0s budget exactly;
+    # the third attempt runs at t=1.0 and only then is the leg exhausted.
+    assert sleeps == [pytest.approx(0.4), pytest.approx(0.6)]
+    assert excinfo.value.attempts == 3
     assert isinstance(excinfo.value.cause, SiteUnavailableError)
+
+
+def test_guard_leg_never_sleeps_after_final_attempt():
+    """Once the attempt budget is spent the leg raises immediately — a
+    trailing backoff sleep would only delay the failure."""
+    network = Network(
+        ("s0",), faults=FaultPlan.parse("crash site=s0 times=0")
+    )
+    round_stats = RoundStats(0, "md")
+    sleeps = []
+
+    def leg(site_id):
+        network.channel(site_id).send_to_site(_down())
+
+    guarded = guard_leg(
+        leg,
+        policy=RetryPolicy(mode="retry", max_retries=1, backoff_s=0.25),
+        network=network,
+        round_index=0,
+        round_stats=round_stats,
+        tracer=NULL_TRACER,
+        sleep=sleeps.append,
+    )
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        guarded("s0")
+    assert excinfo.value.attempts == 2
+    # One sleep between the two attempts, none after the final failure.
+    assert sleeps == [pytest.approx(0.25)]
 
 
 def test_guard_leg_does_not_retry_programming_errors():

@@ -7,6 +7,7 @@ import pytest
 from conftest import assert_relations_equal, make_flows, FLOW_TEST_SCHEMA
 from repro.distributed import OptimizationOptions, SimulatedCluster
 from repro.distributed.incremental import IncrementalView
+from repro.distributed.stats import ExecutionStats
 from repro.errors import PlanError, SchemaError
 from repro.gmdj.blocks import MDBlock
 from repro.gmdj.expression import DistinctBase, GMDJExpression, LiteralBase, MDStep
@@ -77,6 +78,25 @@ class TestValidation:
         expression = GMDJExpression(DistinctBase("Flow", ["SourceAS"]), [step])
         with pytest.raises(PlanError):
             IncrementalView(cluster, expression)
+
+    def test_rejects_degraded_base_state(self):
+        """A degrade-mode run excluded sites, so its state is an
+        under-approximation: building a view on it must fail loudly and
+        name the missing sites, not silently refresh a wrong base.
+
+        Regression test: degraded ``ExecutionStats`` used to be accepted.
+        """
+        cluster = build_cluster()
+        expression = single_step_expression()
+        stats = ExecutionStats(failure_mode="degrade")
+        stats.new_round("md").exclude("site2")
+        with pytest.raises(PlanError) as excinfo:
+            IncrementalView(cluster, expression, source_stats=stats)
+        assert "site2" in str(excinfo.value)
+        # A clean (non-degraded) run's stats are accepted.
+        clean = ExecutionStats()
+        clean.new_round("md")
+        IncrementalView(cluster, expression, source_stats=clean)
 
     def test_rejects_schema_mismatch(self):
         cluster = build_cluster()

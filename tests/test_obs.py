@@ -139,6 +139,35 @@ class TestMetrics:
         gauge.add(-1.0)
         assert gauge.value == 1.5
 
+    def test_gauge_set_and_snapshot_take_the_metric_lock(self):
+        """``set``/``snapshot`` must use the same lock as ``add``'s
+        read-modify-write — an unlocked ``set`` racing an ``add`` is
+        silently lost, an unlocked ``snapshot`` can observe a torn write.
+
+        Regression test: ``set`` (and ``snapshot``) used to write/read
+        ``value`` without acquiring ``_lock``.
+        """
+
+        class RecordingLock:
+            def __init__(self):
+                self.acquisitions = 0
+
+            def __enter__(self):
+                self.acquisitions += 1
+
+            def __exit__(self, *exc):
+                return False
+
+        gauge = Gauge("g")
+        lock = RecordingLock()
+        gauge._lock = lock
+        gauge.set(5.0)
+        assert lock.acquisitions == 1, "Gauge.set must hold the metric lock"
+        gauge.add(2.0)
+        assert lock.acquisitions == 2
+        assert gauge.snapshot() == {"type": "gauge", "value": 7.0}
+        assert lock.acquisitions == 3, "Gauge.snapshot must hold the metric lock"
+
     def test_histogram_buckets(self):
         histogram = Histogram("h", boundaries=(1.0, 10.0))
         for value in (0.5, 5.0, 100.0):

@@ -1,0 +1,363 @@
+"""Tests for the concurrent query service and its result cache.
+
+The service's determinism contract is checked the strict way everywhere:
+``.rows ==`` (bit-identical tuples, not multiset-with-tolerance),
+because hits are served verbatim and refresh-upgraded answers must be
+value-identical to a fresh evaluation over the grown data.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.data.flows import FlowConfig, generate_flows, router_partitioner
+from repro.distributed import SimulatedCluster
+from repro.distributed.evaluator import ExecutionConfig
+from repro.distributed.executor import EXECUTORS
+from repro.errors import AdmissionError, QueryTimeoutError, ServiceError
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.obs import Tracer
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.service import FRESH, HIT, REFRESH, PlanSignature, QueryService
+
+SITES = 3
+FLOWS = 300
+
+COUNT_BY_SOURCE = (
+    "SELECT SourceAS, COUNT(*) AS cnt, SUM(NumPackets) AS packets "
+    "FROM Flow GROUP BY SourceAS"
+)
+MAX_BY_DEST = (
+    "SELECT DestAS, COUNT(*) AS cnt, MAX(NumPackets) AS biggest "
+    "FROM Flow GROUP BY DestAS"
+)
+
+
+def build_cluster(sites: int = SITES, flow_count: int = FLOWS) -> SimulatedCluster:
+    config = FlowConfig(flow_count=flow_count, router_count=sites)
+    cluster = SimulatedCluster.with_sites(sites)
+    cluster.load_partitioned(
+        "Flow", generate_flows(config), router_partitioner(config)
+    )
+    return cluster
+
+
+def make_delta(cluster, sites: int = SITES, count: int = 40, seed: int = 99):
+    """Per-site delta rows split with the loading partitioner, so the
+    appended rows respect the catalog's site predicates."""
+    config = FlowConfig(flow_count=count, router_count=sites, seed=seed)
+    rows = generate_flows(config)
+    return dict(zip(cluster.site_ids, router_partitioner(config).split(rows)))
+
+
+def grown_reference(sql, per_site, sites: int = SITES, flow_count: int = FLOWS):
+    """Fresh serial evaluation on an identically loaded + grown cluster."""
+    cluster = build_cluster(sites, flow_count)
+    for site_id, delta in per_site.items():
+        cluster.site(site_id).warehouse.append("Flow", delta)
+    with QueryService(cluster, ExecutionConfig(executor="serial")) as service:
+        return service.submit(sql).relation
+
+
+# ---------------------------------------------------------------------------
+# Cache correctness
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_hit_is_bit_identical_to_fresh_evaluation(self):
+        with QueryService(build_cluster()) as service:
+            first = service.submit(COUNT_BY_SOURCE)
+            second = service.submit(COUNT_BY_SOURCE)
+        assert first.source == FRESH
+        assert second.source == HIT
+        assert second.from_cache
+        assert second.relation.rows == first.relation.rows
+        assert second.relation.schema.names == first.relation.schema.names
+
+    def test_distinct_queries_get_distinct_slots(self):
+        with QueryService(build_cluster()) as service:
+            assert service.submit(COUNT_BY_SOURCE).source == FRESH
+            assert service.submit(MAX_BY_DEST).source == FRESH
+            assert service.submit(COUNT_BY_SOURCE).source == HIT
+            assert service.submit(MAX_BY_DEST).source == HIT
+
+    def test_commutatively_equal_expressions_share_one_slot(self):
+        """AND order and comparison orientation are normalized away by
+        the canonical fingerprint: the rewritten query is a cache hit."""
+        key = base.SourceAS == detail.SourceAS
+        extra = detail.NumPackets > 5
+        aggs = [count_star("cnt"), AggSpec("sum", detail.NumPackets, "packets")]
+        original = GMDJExpression(
+            DistinctBase("Flow", ["SourceAS"]),
+            [MDStep("Flow", [MDBlock(aggs, key & extra)])],
+        )
+        flipped = GMDJExpression(
+            DistinctBase("Flow", ["SourceAS"]),
+            [MDStep("Flow", [MDBlock(aggs, (5 < detail.NumPackets) & key)])],
+        )
+        assert original.fingerprint() == flipped.fingerprint()
+        with QueryService(build_cluster()) as service:
+            first = service.submit(original)
+            second = service.submit(flipped)
+        assert first.source == FRESH
+        assert second.source == HIT
+        assert second.relation.rows == first.relation.rows
+
+    def test_append_upgrades_entry_via_refresh(self):
+        cluster = build_cluster()
+        with QueryService(cluster) as service:
+            before = service.submit(COUNT_BY_SOURCE)
+            per_site = make_delta(cluster)
+            versions = service.append("Flow", per_site)
+            assert set(versions) == set(cluster.site_ids)
+            upgraded = service.submit(COUNT_BY_SOURCE)
+            again = service.submit(COUNT_BY_SOURCE)
+        assert upgraded.source == REFRESH
+        assert upgraded.relation.rows != before.relation.rows
+        assert upgraded.relation.rows == grown_reference(
+            COUNT_BY_SOURCE, per_site
+        ).rows
+        # The upgraded entry is a plain hit afterwards.
+        assert again.source == HIT
+        assert again.relation.rows == upgraded.relation.rows
+
+    def test_append_bypassing_the_service_is_a_miss_not_a_wrong_hit(self):
+        cluster = build_cluster()
+        with QueryService(cluster) as service:
+            service.submit(COUNT_BY_SOURCE)
+            per_site = make_delta(cluster)
+            # Straight to the warehouses: no delta log entry exists, so
+            # the entry cannot be upgraded — but it must also never be
+            # served stale.
+            for site_id, delta in per_site.items():
+                cluster.site(site_id).warehouse.append("Flow", delta)
+            result = service.submit(COUNT_BY_SOURCE)
+        assert result.source == FRESH
+        assert result.relation.rows == grown_reference(
+            COUNT_BY_SOURCE, per_site
+        ).rows
+
+    def test_catalog_change_invalidates(self):
+        cluster = build_cluster()
+        with QueryService(cluster) as service:
+            first = service.submit(COUNT_BY_SOURCE)
+            cluster.catalog.add_functional_dependency("SourceAS", "DestAS")
+            second = service.submit(COUNT_BY_SOURCE)
+            assert second.source == FRESH  # plan could differ: no hit
+            assert first.signature.plan_key != second.signature.plan_key
+            # The new catalog's slot works normally from here on.
+            assert service.submit(COUNT_BY_SOURCE).source == HIT
+
+    def test_signature_version_gaps(self):
+        cluster = build_cluster()
+        expression = GMDJExpression(
+            DistinctBase("Flow", ["SourceAS"]),
+            [MDStep("Flow", [MDBlock([count_star("cnt")], base.SourceAS == detail.SourceAS)])],
+        )
+        old = PlanSignature.compute(cluster, expression)
+        assert old.version_gaps(old) == ()
+        per_site = make_delta(cluster)
+        for site_id, delta in per_site.items():
+            cluster.site(site_id).warehouse.append("Flow", delta)
+        new = PlanSignature.compute(cluster, expression)
+        gaps = old.version_gaps(new)
+        assert gaps is not None and len(gaps) == SITES
+        assert all(table == "Flow" and newer > older for table, _site, older, newer in gaps)
+        # Backwards (a drop/re-register) is never upgrade-comparable.
+        assert new.version_gaps(old) is None
+        # Neither is a different catalog.
+        cluster.catalog.add_functional_dependency("SourceAS", "DestAS")
+        assert new.version_gaps(PlanSignature.compute(cluster, expression)) is None
+
+
+# ---------------------------------------------------------------------------
+# Concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_concurrent_mixed_workload_equals_serial(self, executor):
+        reference_cluster = build_cluster()
+        reference = {}
+        with QueryService(
+            reference_cluster, ExecutionConfig(executor="serial")
+        ) as reference_service:
+            for sql in (COUNT_BY_SOURCE, MAX_BY_DEST):
+                reference[sql] = reference_service.submit(sql).relation
+
+        clients = 8
+        batch = [
+            (COUNT_BY_SOURCE, MAX_BY_DEST)[index % 2] for index in range(clients)
+        ]
+        with QueryService(
+            build_cluster(), ExecutionConfig(executor=executor), max_in_flight=4
+        ) as service:
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                results = list(pool.map(service.submit, batch))
+            metrics = service.metrics
+            hits = metrics.value_of("service.cache.hit")
+            misses = metrics.value_of("service.cache.miss")
+            refreshes = metrics.value_of("service.cache.refresh")
+            queries = metrics.value_of("service.queries")
+
+        for sql, result in zip(batch, results):
+            assert result.relation.rows == reference[sql].rows, sql
+        # Accounting reconciles: every query was served exactly one way,
+        # and the misses are exactly the evaluations actually run.
+        assert hits + misses + refreshes == queries == clients
+        assert refreshes == 0
+        fresh_count = sum(1 for result in results if result.source == FRESH)
+        assert fresh_count == misses >= 2  # both distinct queries evaluated
+
+    def test_span_parent_integrity_under_concurrency(self):
+        tracer = Tracer()
+        clients = 6
+        batch = [
+            (COUNT_BY_SOURCE, MAX_BY_DEST)[index % 2] for index in range(clients)
+        ]
+        with QueryService(
+            build_cluster(),
+            ExecutionConfig(executor="threads"),
+            tracer=tracer,
+            max_in_flight=3,
+        ) as service:
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                results = list(pool.map(service.submit, batch))
+
+        service_spans = tracer.spans_named("service.query")
+        assert len(service_spans) == clients
+        # service.query spans are roots and carry the serving outcome.
+        by_id = {span.span_id: span for span in tracer.spans}
+        outcomes = sorted(span.attributes["outcome"] for span in service_spans)
+        assert outcomes == sorted(result.source for result in results)
+        # Every evaluation ("query") span parents back to exactly one
+        # service.query span, and misses line up one-to-one.
+        query_spans = tracer.spans_named("query")
+        fresh_count = sum(1 for result in results if result.source == FRESH)
+        assert len(query_spans) == fresh_count
+        for span in query_spans:
+            parent = by_id[span.parent_id]
+            assert parent.name == "service.query"
+            assert parent.attributes["outcome"] == FRESH
+        # No span lost its parent (concurrent interleaving on the shared
+        # tracer must not cross-wire the thread-local stacks).
+        for span in tracer.spans:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id
+
+    def test_append_is_writer_exclusive_and_upgrade_survives_races(self):
+        cluster = build_cluster()
+        with QueryService(
+            cluster, ExecutionConfig(executor="threads"), max_in_flight=4
+        ) as service:
+            service.submit(COUNT_BY_SOURCE)
+            per_site = make_delta(cluster)
+            service.append("Flow", per_site)
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                results = list(
+                    pool.map(service.submit, [COUNT_BY_SOURCE] * 6)
+                )
+        expected = grown_reference(COUNT_BY_SOURCE, per_site).rows
+        for result in results:
+            assert result.relation.rows == expected
+        # Exactly one thread performed the upgrade; the rest hit.
+        sources = sorted(result.source for result in results)
+        assert sources.count(REFRESH) == 1
+        assert sources.count(HIT) == 5
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_queue_full_rejects(self):
+        with QueryService(
+            build_cluster(), max_in_flight=1, max_queue=0
+        ) as service:
+            service._acquire_slot(1.0)  # occupy the only slot
+            try:
+                with pytest.raises(AdmissionError):
+                    service.submit(COUNT_BY_SOURCE)
+            finally:
+                service._release_slot()
+            # Slot free again: the same query is served normally.
+            assert service.submit(COUNT_BY_SOURCE).source == FRESH
+            assert service.metrics.value_of("service.admission.rejected") == 1
+
+    def test_waiter_times_out(self):
+        with QueryService(
+            build_cluster(), max_in_flight=1, max_queue=4
+        ) as service:
+            service._acquire_slot(1.0)
+            try:
+                with pytest.raises(QueryTimeoutError) as excinfo:
+                    service.submit(COUNT_BY_SOURCE, timeout_s=0.05)
+            finally:
+                service._release_slot()
+            assert excinfo.value.waited_s >= 0.05
+            assert service.metrics.value_of("service.admission.timeout") == 1
+
+    def test_fifo_admission_order(self):
+        order = []
+        lock = threading.Lock()
+        with QueryService(
+            build_cluster(), max_in_flight=1, max_queue=8
+        ) as service:
+            service._acquire_slot(1.0)  # force all clients to queue
+            started = threading.Barrier(4)
+
+            def client(tag):
+                started.wait()
+                # Stagger enqueueing deterministically: each client waits
+                # for its predecessor to be in the queue.
+                while len(service._queue) < tag:
+                    pass
+                result = service.submit(COUNT_BY_SOURCE)
+                with lock:
+                    order.append((tag, result.query_id))
+
+            threads = [
+                threading.Thread(target=client, args=(tag,)) for tag in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            while len(service._queue) < 4:
+                pass
+            service._release_slot()
+            for thread in threads:
+                thread.join()
+        # Queue positions were 0..3; admission (and thus query id
+        # assignment) must follow that FIFO order.
+        assert [tag for tag, _query_id in sorted(order, key=lambda item: item[1])] == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_closed_service_refuses_new_work(self):
+        service = QueryService(build_cluster())
+        assert service.submit(COUNT_BY_SOURCE).source == FRESH
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(ServiceError):
+            service.submit(COUNT_BY_SOURCE)
+
+    def test_validation(self):
+        cluster = build_cluster()
+        with pytest.raises(ServiceError):
+            QueryService(cluster, max_in_flight=0)
+        with pytest.raises(ServiceError):
+            QueryService(cluster, max_queue=-1)
+        with pytest.raises(ServiceError):
+            QueryService(cluster, admission_timeout_s=0)
+        with QueryService(cluster) as service:
+            with pytest.raises(ServiceError):
+                service.submit(42)
