@@ -31,6 +31,7 @@ from repro.errors import ReproError
 from repro.gmdj.expression import GMDJExpression
 from repro.net.costmodel import CostModel, WAN
 from repro.obs import MetricsRegistry, Tracer, build_trace
+from repro.obs.top import QUANTILES
 from repro.relalg.relation import Relation
 
 
@@ -497,6 +498,14 @@ def service_cache_report(
         hits = metrics.value_of("service.cache.hit")
         misses = metrics.value_of("service.cache.miss")
         refreshes = metrics.value_of("service.cache.refresh")
+        latency = metrics.get("service.latency_s")
+        latency_ms = {
+            label: latency.quantile(q) * 1000.0 for q, label in QUANTILES
+        }
+        latency_ms["mean"] = (
+            (latency.sum / latency.count * 1000.0) if latency.count else 0.0
+        )
+        latency_ms["count"] = latency.count
 
     def _mean_ms(source: str) -> float:
         walls = wall_by_source.get(source, [])
@@ -520,6 +529,7 @@ def service_cache_report(
         "mean_wall_ms": {
             source: _mean_ms(source) for source in (FRESH, HIT, REFRESH)
         },
+        "latency_ms": latency_ms,
         "verified": True,
     }
 
@@ -746,6 +756,199 @@ def benchmark_report(
     return report
 
 
+def profile_benchmark_report(
+    sites: int = 4,
+    scale: float = 0.001,
+    repetitions: int = 3,
+    executor: str = "serial",
+) -> dict:
+    """EXPLAIN ANALYZE acceptance numbers as a JSON-serializable report.
+
+    Runs the Section-5 correlated query fully traced (min of
+    ``repetitions``, same practice as :func:`measure_tracing_overhead`),
+    builds the per-query profile behind ``repro explain --analyze``, and
+    reports the profiler's own cost next to the run it profiles plus the
+    coverage/impact numbers the acceptance criteria pin:
+
+    - ``profiler.overhead_frac`` — profile build time over the traced
+      run it profiles (budget: < 5%);
+    - ``profiler.time_coverage`` — fraction of traced query wall time
+      attributed to plan nodes (bar: >= 95%);
+    - ``profiler.bytes_coverage`` — fraction of shipped bytes attributed
+      (exact by construction: 100%);
+    - ``service.latency_ms`` — the query-service latency quantiles from
+      :func:`service_cache_report`.
+
+    ``BENCH_profile.json`` pins one run of this; ``repro bench --check``
+    re-measures and compares via :func:`check_profile_baseline`.
+    """
+    from repro.distributed.costing import (
+        StatisticsStore,
+        estimate_optimization_impacts,
+    )
+    from repro.obs.profile import build_profile
+    from repro.queries.olap import QueryBuilder
+    from repro.relalg.aggregates import AggSpec, count_star
+    from repro.relalg.expressions import base, detail
+
+    if repetitions < 1:
+        raise ShapeCheckError(f"repetitions must be >= 1, got {repetitions}")
+    cluster = scaleup_cluster(TPCRConfig(scale=scale), sites=sites)
+    expression = (
+        QueryBuilder("TPCR", keys=["NationKey"])
+        .stage([count_star("cnt"), AggSpec("avg", detail.Price, "avg_price")])
+        .stage([count_star("above")], extra=detail.Price >= base.avg_price)
+        .build()
+    )
+    options = OptimizationOptions.all()
+    config = ExecutionConfig(executor=executor)
+
+    def _traced_run() -> tuple:
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        cluster.reset_network(metrics=registry)
+        started = time.perf_counter()
+        result = execute_query(
+            cluster, expression, options, config=config,
+            tracer=tracer, metrics=registry, query_id=1,
+        )
+        return time.perf_counter() - started, tracer, result
+
+    best = None
+    for _ in range(repetitions):
+        run = _traced_run()
+        if best is None or run[0] < best[0]:
+            best = run
+    traced_s, tracer, result = best
+
+    statistics = StatisticsStore.from_cluster(cluster)
+    impacts = estimate_optimization_impacts(
+        expression,
+        cluster.catalog,
+        statistics,
+        options=options,
+        measured_stats=result.stats,
+        plan=result.plan,
+    )
+    build_started = time.perf_counter()
+    profile = build_profile(
+        tracer.finished(),
+        result.stats,
+        impacts=impacts,
+        plan_description=result.plan.describe(),
+        notes=result.plan.notes,
+        query_id=1,
+    )
+    profile_build_s = time.perf_counter() - build_started
+
+    service = service_cache_report(executor=executor)
+    return {
+        "sites": sites,
+        "scale": scale,
+        "executor": executor,
+        "repetitions": repetitions,
+        "profiler": {
+            "traced_run_s": traced_s,
+            "profile_build_s": profile_build_s,
+            "overhead_frac": (
+                (profile_build_s / traced_s) if traced_s > 0 else 0.0
+            ),
+            "time_coverage": profile.time_coverage(),
+            "bytes_coverage": profile.bytes_coverage(),
+            "rounds": len(profile.rounds),
+            "optimizations_reported": len(profile.impacts),
+            "optimizations_applied": len(result.plan.applied_optimizations()),
+        },
+        "service": {
+            "hit_ratio": service["hit_ratio"],
+            "latency_ms": service["latency_ms"],
+            "queries": service["totals"]["queries"],
+        },
+    }
+
+
+#: Hard acceptance bars (independent of any baseline file).
+TIME_COVERAGE_FLOOR = 0.95
+BYTES_COVERAGE_FLOOR = 0.999
+PROFILER_OVERHEAD_CEILING = 0.05
+
+
+def check_profile_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.2
+) -> list:
+    """Compare a fresh profile report against a pinned baseline.
+
+    Returns a list of human-readable problem strings (empty = pass).
+    Coverage and the profiler-overhead budget are *hard* bars from the
+    acceptance criteria; timing comparisons get ``tolerance`` headroom
+    plus small absolute slack so CI-machine jitter does not fail builds.
+    """
+    problems = []
+    profiler = current.get("profiler", {})
+    base_profiler = baseline.get("profiler", {})
+
+    time_coverage = profiler.get("time_coverage", 0.0)
+    if time_coverage < TIME_COVERAGE_FLOOR:
+        problems.append(
+            f"time_coverage {time_coverage:.3f} below the "
+            f"{TIME_COVERAGE_FLOOR:.0%} acceptance floor"
+        )
+    bytes_coverage = profiler.get("bytes_coverage", 0.0)
+    if bytes_coverage < BYTES_COVERAGE_FLOOR:
+        problems.append(
+            f"bytes_coverage {bytes_coverage:.4f} below the "
+            f"{BYTES_COVERAGE_FLOOR} acceptance floor"
+        )
+    overhead = profiler.get("overhead_frac", 0.0)
+    if overhead > PROFILER_OVERHEAD_CEILING:
+        problems.append(
+            f"profiler overhead_frac {overhead:.3f} above the "
+            f"{PROFILER_OVERHEAD_CEILING:.0%} budget"
+        )
+    baseline_overhead = base_profiler.get("overhead_frac")
+    if baseline_overhead is not None:
+        allowed = baseline_overhead + max(tolerance * baseline_overhead, 0.02)
+        if overhead > allowed:
+            problems.append(
+                f"profiler overhead_frac {overhead:.3f} regressed "
+                f">{tolerance:.0%} over baseline {baseline_overhead:.3f}"
+            )
+
+    reported = profiler.get("optimizations_reported", 0)
+    applied = profiler.get("optimizations_applied", 0)
+    if reported < applied:
+        problems.append(
+            f"only {reported} of {applied} applied optimizations carry a "
+            "measured-vs-estimated saving"
+        )
+
+    service = current.get("service", {})
+    base_service = baseline.get("service", {})
+    hit_ratio = service.get("hit_ratio", 0.0)
+    baseline_hit_ratio = base_service.get("hit_ratio")
+    if baseline_hit_ratio is not None and hit_ratio < baseline_hit_ratio * (
+        1.0 - tolerance
+    ):
+        problems.append(
+            f"service hit_ratio {hit_ratio:.3f} regressed >{tolerance:.0%} "
+            f"under baseline {baseline_hit_ratio:.3f}"
+        )
+    latency = service.get("latency_ms", {})
+    baseline_latency = base_service.get("latency_ms", {})
+    for label in ("p50", "p90", "p99", "mean"):
+        now_ms = latency.get(label)
+        then_ms = baseline_latency.get(label)
+        if now_ms is None or then_ms is None:
+            continue
+        allowed_ms = then_ms * (1.0 + tolerance) + 5.0
+        if now_ms > allowed_ms:
+            problems.append(
+                f"service latency {label} {now_ms:.1f}ms regressed "
+                f">{tolerance:.0%} over baseline {then_ms:.1f}ms"
+            )
+    return problems
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """``python -m repro.bench.harness``: one benchmark run as JSON."""
     import argparse
@@ -791,9 +994,32 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "answer checked against a cold evaluation) and write its JSON to PATH",
     )
     parser.add_argument(
+        "--profile-report",
+        metavar="PATH",
+        help="run the EXPLAIN ANALYZE profiler benchmark only (coverage, "
+        "profiler overhead, service latency quantiles) and write its JSON "
+        "to PATH",
+    )
+    parser.add_argument(
         "--output", metavar="PATH", help="write the benchmark JSON to PATH"
     )
     args = parser.parse_args(argv)
+    if args.profile_report:
+        report = profile_benchmark_report(
+            sites=args.sites, scale=args.scale, executor=args.executor
+        )
+        with open(args.profile_report, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        profiler = report["profiler"]
+        print(
+            f"profiler [{args.executor}]: overhead "
+            f"{profiler['overhead_frac']:.1%}, time coverage "
+            f"{profiler['time_coverage']:.1%}, bytes coverage "
+            f"{profiler['bytes_coverage']:.1%}, "
+            f"{profiler['optimizations_reported']} optimization(s) measured",
+            file=sys.stderr,
+        )
+        return 0
     if args.service_report:
         sweep = service_cache_report(sites=args.sites, executor=args.executor)
         with open(args.service_report, "w", encoding="utf-8") as handle:

@@ -12,6 +12,21 @@ Subcommands:
   ``down_xfer + compute + up_xfer`` plus the coordinator merge — whose
   totals footer agrees with ``ExecutionStats``; ``--json`` emits the raw
   JSONL trace instead, ``--emit-trace PATH`` writes it alongside;
+- ``explain QUERY`` — print the optimized GMDJ plan with every applied
+  optimization priced by ablation against the cost model;
+  ``--analyze`` additionally *runs* the query traced and renders an
+  EXPLAIN ANALYZE tree attributing measured time/rows/bytes to rounds,
+  sites and operators, with measured-vs-estimated savings per
+  optimization;
+- ``serve`` — the concurrent query service REPL; ``--metrics-port``
+  additionally exposes the service registry as Prometheus text at
+  ``http://127.0.0.1:PORT/metrics``;
+- ``top`` — poll a ``/metrics`` endpoint and render a terminal
+  dashboard (in-flight/queued, cache hit ratio, latency quantiles,
+  per-site bytes);
+- ``bench`` — run the EXPLAIN ANALYZE profiler benchmark;
+  ``--check`` compares against the pinned ``BENCH_profile.json``
+  baseline and fails on >20% regressions;
 - ``figures [NAME]`` — regenerate the paper's experiments and print
   their reports (fig2, fig2x, fig3, fig4, fig5, or all).
 """
@@ -95,6 +110,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSONL trace to PATH",
     )
 
+    explain = commands.add_parser(
+        "explain",
+        help="print the optimized plan with per-optimization savings; "
+        "--analyze runs it traced and renders EXPLAIN ANALYZE",
+    )
+    explain.add_argument("query", help="query text (same dialect as 'sql')")
+    _add_cluster_options(explain)
+    explain.add_argument(
+        "--data",
+        choices=("tpcr", "flows"),
+        default="tpcr",
+        help="which synthetic warehouse to build (table name TPCR or Flow)",
+    )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query traced and attribute measured "
+        "time/rows/bytes to plan nodes",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan/profile as JSON instead of the ASCII tree",
+    )
+    explain.add_argument(
+        "--emit-trace",
+        metavar="PATH",
+        help="with --analyze: also write the run's JSONL trace to PATH",
+    )
+
     serve = commands.add_parser(
         "serve",
         help="start the concurrent query service (REPL over stdin, or "
@@ -125,6 +170,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue", type=int, default=16, help="admission queue capacity"
     )
     serve.add_argument("--max-rows", type=int, default=20, help="rows to print")
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose the service metrics registry as Prometheus text at "
+        "http://127.0.0.1:PORT/metrics (0 picks a free port)",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="poll a /metrics endpoint and render a terminal dashboard",
+    )
+    top.add_argument(
+        "--url",
+        default=None,
+        help="full exposition URL (default: built from --host/--port)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=9108)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between frames"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render before exiting (0 = until interrupted)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the EXPLAIN ANALYZE profiler benchmark "
+        "(--check compares against the pinned baseline)",
+    )
+    bench.add_argument("--sites", type=int, default=4)
+    bench.add_argument("--scale", type=float, default=0.001)
+    bench.add_argument(
+        "--executor", choices=EXECUTORS, default="serial",
+        help="site execution engine",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare the fresh numbers against --baseline and exit "
+        "non-zero on regression",
+    )
+    bench.add_argument(
+        "--baseline",
+        default="BENCH_profile.json",
+        metavar="PATH",
+        help="pinned baseline JSON for --check",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative regression vs the baseline",
+    )
+    bench.add_argument(
+        "--output", metavar="PATH", help="write the fresh report JSON to PATH"
+    )
 
     query = commands.add_parser(
         "query",
@@ -379,6 +486,154 @@ def run_trace(args, out) -> int:
     return 1 if mismatches else 0
 
 
+def run_explain(args, out) -> int:
+    import json
+
+    from repro.distributed.costing import (
+        StatisticsStore,
+        estimate_optimization_impacts,
+    )
+    from repro.distributed.optimizer import plan_query
+
+    statement = parse_olap_statement(args.query)
+    cluster = _build_cluster(args)
+    options = _options(args)
+    statistics = StatisticsStore.from_cluster(cluster)
+
+    if not args.analyze:
+        plan = plan_query(statement.expression, cluster.catalog, options)
+        impacts = estimate_optimization_impacts(
+            statement.expression, cluster.catalog, statistics,
+            options=options, plan=plan,
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "plan": plan.describe(),
+                        "notes": list(plan.notes),
+                        "optimizations": [
+                            impact.to_dict() for impact in impacts
+                        ],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                ),
+                file=out,
+            )
+            return 0
+        print(plan.describe(), file=out)
+        if impacts:
+            print("optimizations (estimated by ablation):", file=out)
+            for impact in impacts:
+                print(
+                    f"  - {impact.name}: {impact.description}; "
+                    f"estimated {impact.estimated_without_tuples:.0f} tuples "
+                    f"without, {impact.estimated_with_tuples:.0f} with "
+                    f"({impact.saving_fraction:.1%} saved)",
+                    file=out,
+                )
+        for note in plan.notes:
+            print(f"  note: {note}", file=out)
+        return 0
+
+    from repro.distributed.evaluator import execute_plan
+    from repro.net.costmodel import WAN
+    from repro.obs import MetricsRegistry, Tracer, build_trace
+    from repro.obs.profile import build_profile, render_profile
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    cluster.reset_network(metrics=registry)
+    plan = plan_query(statement.expression, cluster.catalog, options)
+    result = execute_plan(
+        cluster, plan, _config(args),
+        tracer=tracer, metrics=registry, query_id=1,
+    )
+    impacts = estimate_optimization_impacts(
+        statement.expression, cluster.catalog, statistics,
+        options=options, measured_stats=result.stats, plan=result.plan,
+    )
+    profile = build_profile(
+        tracer.finished(),
+        result.stats,
+        impacts=impacts,
+        plan_description=result.plan.describe(),
+        notes=result.plan.notes,
+        query_id=1,
+    )
+    if args.emit_trace:
+        log = build_trace(
+            tracer, registry, result.stats,
+            model=WAN, plan=result.plan, query_id=1,
+        )
+        log.dump(args.emit_trace)
+    if args.json:
+        print(
+            json.dumps(profile.to_dict(), indent=2, sort_keys=True, default=str),
+            file=out,
+        )
+    else:
+        print(render_profile(profile), file=out)
+    _print_recovery(result.stats, out)
+    ok = profile.time_coverage() >= 0.95 and profile.bytes_coverage() >= 0.999
+    if not ok:  # pragma: no cover - attribution invariant
+        print(
+            f"WARNING: attribution below acceptance bars — time "
+            f"{profile.time_coverage():.1%} (need >= 95%), bytes "
+            f"{profile.bytes_coverage():.1%} (need 100%)",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+def run_top(args, out) -> int:
+    from repro.obs.top import top_loop
+
+    url = args.url or f"http://{args.host}:{args.port}/metrics"
+    return top_loop(
+        url, interval_s=args.interval, iterations=args.iterations, out=out
+    )
+
+
+def run_bench(args, out) -> int:
+    import json
+
+    from repro.bench.harness import (
+        check_profile_baseline,
+        profile_benchmark_report,
+    )
+
+    report = profile_benchmark_report(
+        sites=args.sites, scale=args.scale, executor=args.executor
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text, file=out)
+    if not args.check:
+        return 0
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError as error:
+        print(f"cannot read baseline {args.baseline!r}: {error}", file=sys.stderr)
+        return 2
+    problems = check_profile_baseline(report, baseline, tolerance=args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"bench --check: no regression vs {args.baseline} "
+        f"(tolerance {args.tolerance:.0%})",
+        file=out,
+    )
+    return 0
+
+
 def _service_metrics_line(service) -> str:
     metrics = service.metrics
     return (
@@ -415,26 +670,38 @@ def run_serve(args, out) -> int:
         "enter SQL (blank line or 'exit' to quit, '\\metrics' for counters)",
         file=out,
     )
-    with service:
-        for line in sys.stdin:
-            statement_text = line.strip()
-            if not statement_text or statement_text.lower() in ("exit", "quit"):
-                break
-            if statement_text == "\\metrics":
-                print(_service_metrics_line(service), file=out)
-                continue
-            try:
-                result = service.submit(statement_text)
-            except Exception as error:  # noqa: BLE001 - REPL keeps serving
-                print(f"error: {type(error).__name__}: {error}", file=out)
-                continue
-            print(
-                f"[{result.source}] query {result.query_id} "
-                f"({result.wall_s * 1000:.1f} ms)",
-                file=out,
-            )
-            print(result.relation.pretty(args.max_rows), file=out)
-        print(_service_metrics_line(service), file=out)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.export import start_metrics_server
+
+        metrics_server = start_metrics_server(
+            service.metrics, port=args.metrics_port
+        )
+        print(f"metrics: {metrics_server.url}", file=out)
+    try:
+        with service:
+            for line in sys.stdin:
+                statement_text = line.strip()
+                if not statement_text or statement_text.lower() in ("exit", "quit"):
+                    break
+                if statement_text == "\\metrics":
+                    print(_service_metrics_line(service), file=out)
+                    continue
+                try:
+                    result = service.submit(statement_text)
+                except Exception as error:  # noqa: BLE001 - REPL keeps serving
+                    print(f"error: {type(error).__name__}: {error}", file=out)
+                    continue
+                print(
+                    f"[{result.source}] query {result.query_id} "
+                    f"({result.wall_s * 1000:.1f} ms)",
+                    file=out,
+                )
+                print(result.relation.pretty(args.max_rows), file=out)
+            print(_service_metrics_line(service), file=out)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     return 0
 
 
@@ -500,8 +767,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return run_sql(args, out)
     if args.command == "trace":
         return run_trace(args, out)
+    if args.command == "explain":
+        return run_explain(args, out)
     if args.command == "serve":
         return run_serve(args, out)
+    if args.command == "top":
+        return run_top(args, out)
+    if args.command == "bench":
+        return run_bench(args, out)
     if args.command == "query":
         return run_query(args, out)
     if args.command == "figures":

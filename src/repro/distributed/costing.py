@@ -31,7 +31,7 @@ estimator deliberately shares no code with the execution-time counters.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional
 
 from repro.distributed.plan import Plan
@@ -240,3 +240,121 @@ def compare_plans(
     ]
     ranked.sort(key=lambda pair: pair[1].tuples_total)
     return ranked
+
+
+# ---------------------------------------------------------------------------
+# Per-optimization impact (EXPLAIN ANALYZE annotations)
+# ---------------------------------------------------------------------------
+
+#: Which :class:`~repro.distributed.optimizer.OptimizationOptions` fields
+#: to switch off to ablate each optimization a plan reports via
+#: :meth:`~repro.distributed.plan.Plan.applied_optimizations`. Proposition
+#: 2 (merged base) has no toggle of its own — it is a consequence of
+#: synchronization reduction.
+OPTIMIZATION_TOGGLES: Mapping[str, tuple] = {
+    "coalescing": ("coalescing",),
+    "sync_reduction": ("sync_reduction",),
+    "merged_base": ("sync_reduction",),
+    "aware_group_reduction": ("aware_group_reduction",),
+    "independent_group_reduction": ("independent_group_reduction",),
+}
+
+
+@dataclass(frozen=True)
+class OptimizationImpact:
+    """One applied optimization, priced by ablation.
+
+    ``estimated_without_tuples`` is the predicted traffic of the plan
+    re-planned with this optimization switched off;
+    ``estimated_with_tuples`` prices the plan as actually optimized.
+    ``measured_tuples`` is the optimized run's *observed* traffic when
+    the impact annotates a finished execution (None for pure EXPLAIN).
+    """
+
+    name: str
+    description: str
+    estimated_with_tuples: float
+    estimated_without_tuples: float
+    measured_tuples: Optional[float] = None
+
+    @property
+    def estimated_saving_tuples(self) -> float:
+        return self.estimated_without_tuples - self.estimated_with_tuples
+
+    @property
+    def measured_saving_tuples(self) -> Optional[float]:
+        """Observed traffic vs the unoptimized *estimate* (None untraced)."""
+        if self.measured_tuples is None:
+            return None
+        return self.estimated_without_tuples - self.measured_tuples
+
+    @property
+    def saving_fraction(self) -> float:
+        """Fraction of the unoptimized estimate saved (measured if known)."""
+        if self.estimated_without_tuples <= 0:
+            return 0.0
+        optimized = (
+            self.measured_tuples
+            if self.measured_tuples is not None
+            else self.estimated_with_tuples
+        )
+        return max(0.0, 1.0 - optimized / self.estimated_without_tuples)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "estimated_with_tuples": self.estimated_with_tuples,
+            "estimated_without_tuples": self.estimated_without_tuples,
+            "measured_tuples": self.measured_tuples,
+            "estimated_saving_tuples": self.estimated_saving_tuples,
+            "measured_saving_tuples": self.measured_saving_tuples,
+            "saving_fraction": self.saving_fraction,
+        }
+
+
+def estimate_optimization_impacts(
+    expression,
+    catalog,
+    statistics: StatisticsStore,
+    options=None,
+    measured_stats=None,
+    plan: Optional[Plan] = None,
+) -> tuple:
+    """Price every optimization the planner applied, by single ablation.
+
+    For each ``(name, description)`` in ``plan.applied_optimizations()``
+    the expression is re-planned with that optimization's toggles off and
+    both variants priced with :func:`estimate_plan`; the measured traffic
+    of the optimized run (``measured_stats.tuples_total``) annotates each
+    impact when given. Returns :class:`OptimizationImpact` per applied
+    optimization, in plan order.
+    """
+    from repro.distributed.optimizer import OptimizationOptions, plan_query
+
+    if options is None:
+        options = OptimizationOptions.all()
+    if plan is None:
+        plan = plan_query(expression, catalog, options)
+    optimized_estimate = estimate_plan(plan, statistics, catalog).tuples_total
+    measured = (
+        float(measured_stats.tuples_total) if measured_stats is not None else None
+    )
+    impacts = []
+    for name, description in plan.applied_optimizations():
+        toggles = OPTIMIZATION_TOGGLES.get(name)
+        if not toggles:
+            continue
+        ablated_options = replace(options, **{toggle: False for toggle in toggles})
+        ablated_plan = plan_query(expression, catalog, ablated_options)
+        ablated_estimate = estimate_plan(ablated_plan, statistics, catalog).tuples_total
+        impacts.append(
+            OptimizationImpact(
+                name=name,
+                description=description,
+                estimated_with_tuples=optimized_estimate,
+                estimated_without_tuples=ablated_estimate,
+                measured_tuples=measured,
+            )
+        )
+    return tuple(impacts)

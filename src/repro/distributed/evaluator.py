@@ -174,6 +174,7 @@ def execute_plan(
     metrics: Optional[MetricsRegistry] = None,
     engine=None,
     network=None,
+    query_id=None,
 ) -> DistributedResult:
     """Run a plan over the cluster and return result + statistics.
 
@@ -189,21 +190,31 @@ def execute_plan(
     fault events feed this run's stats, and the cluster's own
     tracer/network state is left untouched (two runs mutating
     ``cluster.tracer`` concurrently would cross their span trees).
+
+    ``query_id`` (optional) tags the run for per-query trace filtering:
+    it lands on the root ``query`` span, on every site-worker span, and
+    on the returned :class:`~repro.distributed.stats.ExecutionStats`.
     """
     if tracer is None:
         tracer = NULL_TRACER
     if metrics is not None:
         with activate(metrics):
-            return _execute_plan_traced(cluster, plan, config, tracer, engine, network)
-    return _execute_plan_traced(cluster, plan, config, tracer, engine, network)
+            return _execute_plan_traced(
+                cluster, plan, config, tracer, engine, network, query_id
+            )
+    return _execute_plan_traced(cluster, plan, config, tracer, engine, network, query_id)
 
 
 def _execute_plan_traced(
-    cluster, plan, config, tracer, external_engine=None, network=None
+    cluster, plan, config, tracer, external_engine=None, network=None, query_id=None
 ) -> DistributedResult:
     config = config or ExecutionConfig()
     policy = config.retry_policy()
-    stats = ExecutionStats(executor=config.executor, failure_mode=config.failure_mode)
+    stats = ExecutionStats(
+        executor=config.executor,
+        failure_mode=config.failure_mode,
+        query_id=query_id,
+    )
     coordinator = Coordinator(plan.expression.key, tracer)
     owns_cluster_state = network is None
     if network is None:
@@ -219,11 +230,13 @@ def _execute_plan_traced(
             engine = create_engine(
                 config.executor, cluster.sites, tracer, config.max_workers
             )
-        with tracer.span(
-            "query", kind="query", rounds=len(plan.rounds), sites=cluster.site_count
-        ):
+        query_attrs = {"rounds": len(plan.rounds), "sites": cluster.site_count}
+        if query_id is not None:
+            query_attrs["query_id"] = query_id
+        with tracer.span("query", kind="query", **query_attrs):
             _evaluate_base(
-                cluster, plan, coordinator, stats, tracer, engine, policy, network
+                cluster, plan, coordinator, stats, tracer, engine, policy, network,
+                query_id,
             )
             for round_number, md_round in enumerate(plan.rounds, start=1):
                 round_stats = stats.new_round(
@@ -251,6 +264,7 @@ def _execute_plan_traced(
                         round_span,
                         policy,
                         network,
+                        query_id,
                     )
                     round_span.set(
                         bytes_down=round_stats.bytes_down,
@@ -283,6 +297,7 @@ def _evaluate_round(
     round_span=None,
     policy=None,
     network=None,
+    query_id=None,
 ) -> None:
     """One MD/chain round: fan out, evaluate, stream sub-results back.
 
@@ -326,6 +341,7 @@ def _evaluate_round(
                 source=plan.base.source,
                 row_block_size=config.row_block_size,
                 traced=tracer.enabled,
+                query_id=query_id,
             )
         else:
             started = time.perf_counter()
@@ -366,6 +382,7 @@ def _evaluate_round(
                 row_block_size=config.row_block_size,
                 down_payloads=down_payloads,
                 traced=tracer.enabled,
+                query_id=query_id,
             )
 
         reply = engine.evaluate(request)
@@ -434,6 +451,7 @@ def _evaluate_base(
     engine=None,
     policy=None,
     network=None,
+    query_id=None,
 ) -> None:
     if network is None:
         network = cluster.network
@@ -480,6 +498,7 @@ def _evaluate_base(
                     round_number=0,
                     source=base.source,
                     traced=tracer.enabled,
+                    query_id=query_id,
                 )
             )
             site_stats.compute_s += reply.compute_s
@@ -538,10 +557,11 @@ def execute_query(
     metrics: Optional[MetricsRegistry] = None,
     engine=None,
     network=None,
+    query_id=None,
 ) -> DistributedResult:
     """Plan and execute a GMDJ expression in one call."""
     plan = plan_query(expression, cluster.catalog, options)
     return execute_plan(
         cluster, plan, config, tracer=tracer, metrics=metrics,
-        engine=engine, network=network,
+        engine=engine, network=network, query_id=query_id,
     )

@@ -81,6 +81,9 @@ class SiteRequest:
     row_block_size: int = 0
     down_payloads: tuple = ()
     traced: bool = False
+    #: Service-assigned query identity; stamped on the site spans so a
+    #: shared trace file can be filtered per query (schema v2).
+    query_id: object = None
 
 
 @dataclass
@@ -123,14 +126,15 @@ def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> Site
     """
     started = time.perf_counter()
     site_id = request.site_id
+    ids = {} if request.query_id is None else {"query_id": request.query_id}
 
     if request.kind == "base":
         with tracer.span(
-            "round.evaluate", kind="site", site=site_id, phase="base"
+            "round.evaluate", kind="site", site=site_id, phase="base", **ids
         ) as span:
             result = site.compute_base(request.source)
             span.set(rows=len(result))
-        with tracer.span("round.encode", kind="site", site=site_id):
+        with tracer.span("round.encode", kind="site", site=site_id, **ids):
             payloads = (serialize.encode_relation(result),)
         return SiteReply(
             payloads=payloads,
@@ -140,14 +144,14 @@ def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> Site
 
     if request.kind == "merged":
         with tracer.span(
-            "round.evaluate", kind="site", site=site_id, merged_base=True
+            "round.evaluate", kind="site", site=site_id, merged_base=True, **ids
         ) as span:
             h_i = site.evaluate_merged_round(
                 request.source, request.steps, request.key_attrs
             )
             span.set(rows=len(h_i))
     elif request.kind == "round":
-        with tracer.span("round.decode", kind="site", site=site_id):
+        with tracer.span("round.decode", kind="site", site=site_id, **ids):
             fragment = serialize.decode_relation(request.down_payloads[0])
             for extra in request.down_payloads[1:]:
                 fragment = fragment.union_all(serialize.decode_relation(extra))
@@ -157,6 +161,7 @@ def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> Site
             site=site_id,
             steps=len(request.steps),
             fragment_rows=len(fragment),
+            **ids,
         ) as span:
             h_i = site.evaluate_round(
                 fragment,
@@ -168,7 +173,7 @@ def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> Site
     else:
         raise PlanError(f"unknown site request kind {request.kind!r}")
 
-    with tracer.span("round.encode", kind="site", site=site_id) as encode_span:
+    with tracer.span("round.encode", kind="site", site=site_id, **ids) as encode_span:
         payloads = tuple(
             serialize.encode_relation(block)
             for block in _blocks_of(h_i, request.row_block_size)

@@ -116,6 +116,8 @@ def plan_query(
             notes.append(f"coalescing merged {saved + len(coalesced.steps)} steps "
                          f"into {len(coalesced.steps)} (saved {saved} rounds)")
             expression = coalesced
+        else:
+            notes.append("coalescing skipped: no adjacent mergeable steps")
 
     rounds = _group_into_rounds(expression, catalog, options, notes)
     base_round = _plan_base(expression, catalog, options, rounds, notes)
@@ -124,6 +126,15 @@ def plan_query(
 
     if options.aware_group_reduction:
         rounds = [_attach_ship_filters(md_round, catalog, notes) for md_round in rounds]
+        if not any(
+            ship_filter is not None
+            for md_round in rounds
+            for ship_filter in md_round.ship_filters.values()
+        ):
+            notes.append(
+                "aware group reduction skipped: no ship filter derivable "
+                "from the registered site predicates"
+            )
     if options.independent_group_reduction:
         rounds = [replace(md_round, independent_reduction=True) for md_round in rounds]
         notes.append("independent group reduction enabled on all rounds")
@@ -178,6 +189,11 @@ def _group_into_rounds(expression, catalog, options, notes) -> list:
         notes.append(
             f"synchronization reduction chained steps in {chained} round(s) "
             f"(Corollary 1)"
+        )
+    elif options.sync_reduction and len(expression.steps) > 1:
+        notes.append(
+            "synchronization reduction skipped: no adjacent steps share an "
+            "entailed partition attribute"
         )
     return rounds
 

@@ -141,6 +141,49 @@ class Plan:
         )
         return base_sites, [len(md_round.sites) for md_round in self.rounds]
 
+    def applied_optimizations(self) -> tuple:
+        """``(name, description)`` pairs for every optimization this plan uses.
+
+        Derived from the plan *shape* (not the notes, which are prose):
+        the names match :class:`~repro.distributed.optimizer.\
+OptimizationOptions` fields so cost ablation can toggle each one off —
+        ``merged_base`` is the exception, riding on ``sync_reduction``.
+        """
+        applied = []
+        coalescing_notes = [
+            note for note in self.notes if note.startswith("coalescing merged")
+        ]
+        if coalescing_notes:
+            applied.append(("coalescing", "; ".join(coalescing_notes)))
+        chained = sum(1 for md_round in self.rounds if md_round.is_chain)
+        if chained:
+            applied.append((
+                "sync_reduction",
+                f"local chains in {chained} round(s) (Theorem 5 / Corollary 1)",
+            ))
+        if self.base.merged_into_chain:
+            applied.append((
+                "merged_base",
+                "base synchronization merged into round 1 (Proposition 2)",
+            ))
+        filtered_legs = sum(
+            1
+            for md_round in self.rounds
+            for site in md_round.sites
+            if md_round.ship_filters.get(site) is not None
+        )
+        if filtered_legs:
+            applied.append((
+                "aware_group_reduction",
+                f"ship filters on {filtered_legs} site leg(s) (Theorem 4)",
+            ))
+        if any(md_round.independent_reduction for md_round in self.rounds):
+            applied.append((
+                "independent_group_reduction",
+                "sites drop |RNG|=0 groups from H_i (Proposition 1)",
+            ))
+        return tuple(applied)
+
     def describe(self) -> str:
         lines = []
         if self.base.merged_into_chain:

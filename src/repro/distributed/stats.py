@@ -150,6 +150,10 @@ class ExecutionStats:
     #: :class:`~repro.net.faults.FaultEvent` entries (recorded by the
     #: evaluator from ``Network.fault_events()`` after the run).
     faults: list = field(default_factory=list)
+    #: Service-assigned query identity (threaded from
+    #: :meth:`~repro.service.service.QueryService.submit`); None for
+    #: standalone runs.
+    query_id: object = None
 
     def new_round(self, kind: str, description: str = "") -> RoundStats:
         stats = RoundStats(index=len(self.rounds), kind=kind, description=description)
@@ -336,6 +340,8 @@ class ExecutionStats:
             "coordinator_compute_s": self.coordinator_compute_s(),
             "wall_s": self.wall_time_s(),
         }
+        if self.query_id is not None:
+            snapshot["query_id"] = self.query_id
         if model is not None:
             snapshot["breakdown"] = self.breakdown(model)
         return snapshot

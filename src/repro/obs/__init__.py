@@ -1,18 +1,38 @@
 """Observability for the Skalla reproduction: spans, metrics, JSONL traces.
 
-Four pieces, all zero-dependency and import-free of the execution layers
+Seven pieces, all zero-dependency and import-free of the execution layers
 (so any module may instrument itself without cycles):
 
 - :mod:`repro.obs.tracer` — span tracing with a no-op default
   (:data:`NULL_TRACER`) so untraced runs pay nothing;
 - :mod:`repro.obs.metrics` — process-local counters/gauges/histograms;
 - :mod:`repro.obs.events` — schema-versioned JSONL trace export with a
-  lossless ``dump``/``load`` round trip;
+  lossless ``dump``/``load`` round trip (v2 adds per-record
+  ``query_id`` and plan records);
 - :mod:`repro.obs.timeline` — the ASCII per-round timeline behind the
-  ``repro trace`` CLI subcommand.
+  ``repro trace`` CLI subcommand;
+- :mod:`repro.obs.profile` — EXPLAIN ANALYZE: per-query profiles
+  attributing time/rows/bytes to plan nodes, sites and operators
+  (``repro explain --analyze``);
+- :mod:`repro.obs.export` — Prometheus text exposition plus the stdlib
+  HTTP endpoint behind ``repro serve --metrics-port``;
+- :mod:`repro.obs.top` — the polling terminal dashboard behind
+  ``repro top``.
 """
 
-from repro.obs.events import SCHEMA_VERSION, EventLog, build_trace
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    EventLog,
+    build_trace,
+)
+from repro.obs.export import (
+    MetricsServer,
+    parse_prometheus_text,
+    prometheus_text,
+    scrape,
+    start_metrics_server,
+)
 from repro.obs.metrics import (
     BYTES_BUCKETS,
     GLOBAL_REGISTRY,
@@ -23,9 +43,20 @@ from repro.obs.metrics import (
     MetricsRegistry,
     activate,
     active_registry,
+    histogram_quantile,
     set_active_registry,
 )
+from repro.obs.profile import (
+    OperatorProfile,
+    QueryProfile,
+    RoundProfile,
+    SiteProfile,
+    build_profile,
+    profile_from_trace,
+    render_profile,
+)
 from repro.obs.timeline import render_timeline, timeline_totals
+from repro.obs.top import render_top, summarize, top_loop
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -36,16 +67,33 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
+    "OperatorProfile",
+    "QueryProfile",
+    "RoundProfile",
     "SCHEMA_VERSION",
     "SECONDS_BUCKETS",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "SiteProfile",
     "Span",
     "Tracer",
     "activate",
     "active_registry",
+    "build_profile",
     "build_trace",
+    "histogram_quantile",
+    "parse_prometheus_text",
+    "profile_from_trace",
+    "prometheus_text",
+    "render_profile",
     "render_timeline",
+    "render_top",
+    "scrape",
     "set_active_registry",
+    "start_metrics_server",
+    "summarize",
     "timeline_totals",
+    "top_loop",
 ]

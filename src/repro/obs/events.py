@@ -2,7 +2,7 @@
 
 One trace file is a sequence of JSON objects, one per line:
 
-- line 1 is the **header**: ``{"record": "header", "schema_version": 1,
+- line 1 is the **header**: ``{"record": "header", "schema_version": 2,
   "generator": "repro.obs"}``;
 - every following line is a record with a ``"record"`` type tag:
 
@@ -12,13 +12,21 @@ One trace file is a sequence of JSON objects, one per line:
     value or histogram buckets) from a
     :class:`~repro.obs.metrics.MetricsRegistry`;
   - ``"stats"`` — the run's :class:`~repro.distributed.stats.ExecutionStats`
-    snapshot (``to_dict``), the same numbers the benchmarks report.
+    snapshot (``to_dict``), the same numbers the benchmarks report;
+  - ``"plan"`` (v2) — the optimized plan's description and optimizer
+    notes, so a profile can be rebuilt from the file alone.
+
+Schema v2 additionally allows a ``"query_id"`` field on any record, so
+one file holding several service queries can be filtered per query with
+:meth:`EventLog.for_query`. v1 files (no query_id, no plan records)
+still load; a file whose records disagree on the schema version — e.g.
+two concatenated traces — is rejected with the offending line number.
 
 The round trip is redaction-free and lossless: ``load(dump(path))``
 returns exactly the records written. Unknown record types are preserved
 (they validate as long as they carry a ``"record"`` tag), so older
 readers skip rather than crash on newer producers *within* a schema
-version; a different ``schema_version`` is rejected loudly.
+version; an unsupported ``schema_version`` is rejected loudly.
 """
 
 from __future__ import annotations
@@ -31,7 +39,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
 #: Version of the JSONL record layout. Bump on any breaking change.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions this reader can load. v1 lacks query_id/plan records.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 GENERATOR = "repro.obs"
 
@@ -70,6 +81,49 @@ class EventLog:
     def spans(self) -> List[Span]:
         return [Span.from_dict(record) for record in self.records_of("span")]
 
+    def query_ids(self) -> List:
+        """Distinct query_id values present, sorted (v2 traces)."""
+        seen = set()
+        for record in self.records:
+            query_id = record.get("query_id")
+            if query_id is None and record.get("record") == "span":
+                query_id = record.get("attributes", {}).get("query_id")
+            if query_id is not None:
+                seen.add(query_id)
+        return sorted(seen, key=repr)
+
+    def for_query(self, query_id) -> "EventLog":
+        """A new log holding only records belonging to ``query_id``.
+
+        A span belongs if it carries the id (record field or span
+        attribute) or descends from a span that does — site/coordinator
+        operator spans only carry it at the root of their subtree when
+        the producer predates per-record stamping.
+        """
+        span_records = self.records_of("span")
+        member_ids = set()
+        for record in span_records:
+            attr_id = record.get("attributes", {}).get("query_id")
+            if record.get("query_id") == query_id or attr_id == query_id:
+                member_ids.add(record["span_id"])
+        grew = True
+        while grew:
+            grew = False
+            for record in span_records:
+                if record["span_id"] in member_ids:
+                    continue
+                if record.get("parent_id") in member_ids:
+                    member_ids.add(record["span_id"])
+                    grew = True
+        kept = []
+        for record in self.records:
+            if record.get("record") == "span":
+                if record["span_id"] in member_ids:
+                    kept.append(record)
+            elif record.get("query_id") == query_id:
+                kept.append(record)
+        return EventLog(kept, schema_version=self.schema_version)
+
     def header(self) -> dict:
         return {
             "record": "header",
@@ -81,13 +135,13 @@ class EventLog:
 
     def validate(self) -> None:
         """Check every record against the schema; raise TraceSchemaError."""
-        if self.schema_version != SCHEMA_VERSION:
+        if self.schema_version not in SUPPORTED_SCHEMA_VERSIONS:
             raise TraceSchemaError(
                 f"unsupported trace schema version {self.schema_version!r} "
-                f"(this reader understands {SCHEMA_VERSION})"
+                f"(this reader understands {SUPPORTED_SCHEMA_VERSIONS})"
             )
         for line_number, record in enumerate(self.records, start=2):
-            _validate_record(record, line_number)
+            _validate_record(record, line_number, self.schema_version)
 
     # -- serialization -----------------------------------------------------------
 
@@ -123,10 +177,24 @@ class EventLog:
         if header["record"] != "header":
             raise TraceSchemaError("line 1: first record must be the header")
         version = header.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise TraceSchemaError(
                 f"unsupported trace schema version {version!r} "
-                f"(this reader understands {SCHEMA_VERSION})"
+                f"(this reader understands {SUPPORTED_SCHEMA_VERSIONS})"
+            )
+        for line_number, record in enumerate(records[1:], start=2):
+            if record.get("record") != "header":
+                continue
+            other = record.get("schema_version")
+            if other != version:
+                raise TraceSchemaError(
+                    f"line {line_number}: mixed trace schema versions — header "
+                    f"declares {other!r} but the file opened as version "
+                    f"{version!r}; concatenated traces cannot be loaded"
+                )
+            raise TraceSchemaError(
+                f"line {line_number}: unexpected second header record; "
+                f"one trace file holds exactly one header on line 1"
             )
         log = cls(records[1:], schema_version=version)
         log.validate()
@@ -148,10 +216,28 @@ class EventLog:
         return len(self.records)
 
 
-def _validate_record(record: dict, line_number: int) -> None:
+def _validate_record(
+    record: dict, line_number: int, schema_version: int = SCHEMA_VERSION
+) -> None:
     record_type = record.get("record")
     if not isinstance(record_type, str):
         raise TraceSchemaError(f"line {line_number}: 'record' tag must be a string")
+    if "query_id" in record:
+        if schema_version < 2:
+            raise TraceSchemaError(
+                f"line {line_number}: 'query_id' requires schema version >= 2 "
+                f"(file is version {schema_version})"
+            )
+        if not isinstance(record["query_id"], (int, str)):
+            raise TraceSchemaError(
+                f"line {line_number}: 'query_id' must be an integer or string"
+            )
+    if record_type == "plan":
+        if "describe" not in record:
+            raise TraceSchemaError(
+                f"line {line_number}: plan record missing 'describe'"
+            )
+        return
     if record_type == "span":
         for field_name in _SPAN_REQUIRED:
             if field_name not in record:
@@ -194,12 +280,17 @@ def build_trace(
     metrics: Optional[MetricsRegistry] = None,
     stats=None,
     model=None,
+    plan=None,
+    query_id=None,
 ) -> EventLog:
     """Assemble one run's trace: spans, metrics snapshot, stats snapshot.
 
     ``stats`` is an :class:`~repro.distributed.stats.ExecutionStats` (kept
     untyped here so ``repro.obs`` stays import-free of the distributed
     layer); ``model`` optionally prices its communication breakdown.
+    ``plan`` (any object with ``describe()`` and ``notes``) adds a v2
+    "plan" record; ``query_id`` stamps every emitted record so several
+    runs can share one file and be pulled apart with ``for_query``.
     """
     log = EventLog()
     if tracer is not None and getattr(tracer, "enabled", False):
@@ -209,4 +300,9 @@ def build_trace(
         log.add_metrics(metrics)
     if stats is not None:
         log.append("stats", **stats.to_dict(model))
+    if plan is not None:
+        log.append("plan", describe=plan.describe(), notes=list(plan.notes))
+    if query_id is not None:
+        for record in log.records:
+            record.setdefault("query_id", query_id)
     return log

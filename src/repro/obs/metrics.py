@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 
@@ -101,11 +101,15 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-boundary histogram with cumulative-style bucket counts.
+    """Fixed-boundary histogram with *per-bucket* counts.
 
-    ``boundaries`` are upper bounds of the non-overflow buckets;
-    observations greater than the last boundary land in the implicit
-    overflow bucket. ``counts`` has ``len(boundaries) + 1`` entries.
+    ``boundaries`` are **inclusive** upper bounds of the non-overflow
+    buckets (Prometheus ``le`` semantics: a value exactly equal to a
+    boundary lands in that bucket); observations greater than the last
+    boundary land in the implicit overflow bucket. ``counts`` has
+    ``len(boundaries) + 1`` entries and each entry counts only its own
+    bucket — use :meth:`cumulative_counts` for the cumulative
+    (``le``-style) view that Prometheus exposition expects.
     """
 
     kind = "histogram"
@@ -136,6 +140,24 @@ class Histogram:
                     return
             self.counts[-1] += 1
 
+    def cumulative_counts(self) -> List[int]:
+        """Counts of observations ``<=`` each boundary, plus the total.
+
+        This is the cumulative view Prometheus ``_bucket{le=...}`` series
+        carry; the last entry (the ``+Inf`` bucket) equals ``count``.
+        """
+        with self._lock:
+            totals: List[int] = []
+            running = 0
+            for bucket_count in self.counts:
+                running += bucket_count
+                totals.append(running)
+            return totals
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (linear within buckets)."""
+        return histogram_quantile(self.boundaries, self.cumulative_counts(), q)
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -145,6 +167,38 @@ class Histogram:
                 "count": self.count,
                 "sum": self.sum,
             }
+
+
+def histogram_quantile(
+    boundaries: Sequence[float], cumulative: Sequence[int], q: float
+) -> float:
+    """Quantile estimate from cumulative bucket counts (Prometheus style).
+
+    ``cumulative[i]`` is the number of observations ``<= boundaries[i]``;
+    the trailing entry is the total including the overflow bucket. The
+    estimate interpolates linearly inside the bucket the quantile falls
+    in (lower edge 0.0 for the first bucket); a quantile landing in the
+    overflow bucket clamps to the last finite boundary, mirroring
+    ``histogram_quantile()`` in PromQL.
+    """
+    if not cumulative:
+        return 0.0
+    total = cumulative[-1]
+    if total <= 0:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    rank = q * total
+    previous_bound = 0.0
+    previous_cum = 0
+    for bound, cum in zip(boundaries, cumulative):
+        if cum >= rank:
+            in_bucket = cum - previous_cum
+            if in_bucket <= 0:
+                return bound
+            fraction = (rank - previous_cum) / in_bucket
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cum = bound, cum
+    return float(boundaries[-1])
 
 
 def _metric_key(name: str, labels: dict) -> str:

@@ -1,0 +1,182 @@
+"""`repro top`: a terminal dashboard over the /metrics endpoint.
+
+Polls a Prometheus exposition produced by
+:class:`~repro.obs.export.MetricsServer` (normally ``repro serve
+--metrics-port``) and renders the query service's operational state:
+in-flight and queued queries, cache hit ratio, admission
+rejections/timeouts, per-site wire bytes, and latency histogram
+quantiles (p50/p90/p99 reconstructed from the cumulative ``le``
+buckets). Pure consumer: everything here works from the parsed samples
+alone, so it can watch any process exposing the same metric names.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.export import scrape
+from repro.obs.metrics import histogram_quantile
+from repro.obs.timeline import _fmt_bytes
+
+#: Quantiles the dashboard (and the bench baseline) report.
+QUANTILES: Tuple[Tuple[float, str], ...] = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+
+Samples = Dict[str, List[Tuple[dict, float]]]
+
+
+def _total(samples: Samples, name: str, **match) -> float:
+    total = 0.0
+    for labels, value in samples.get(name, ()):
+        if all(labels.get(key) == str(wanted) for key, wanted in match.items()):
+            total += value
+    return total
+
+
+def _histogram_series(samples: Samples, family: str):
+    """Rebuild (boundaries, cumulative, count, sum) from bucket samples."""
+    buckets = []
+    for labels, value in samples.get(f"{family}_bucket", ()):
+        le = labels.get("le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        buckets.append((bound, value))
+    if not buckets:
+        return None
+    buckets.sort(key=lambda pair: pair[0])
+    boundaries = [bound for bound, _ in buckets if bound != float("inf")]
+    cumulative = [int(value) for bound, value in buckets if bound != float("inf")]
+    count = int(_total(samples, f"{family}_count"))
+    cumulative.append(count)
+    return boundaries, cumulative, count, _total(samples, f"{family}_sum")
+
+
+def latency_quantiles_ms(samples: Samples, family: str = "service_latency_s") -> dict:
+    """p50/p90/p99 (+mean, count) in milliseconds from the exposition."""
+    series = _histogram_series(samples, family)
+    if series is None:
+        return {}
+    boundaries, cumulative, count, total_s = series
+    quantiles = {
+        label: histogram_quantile(boundaries, cumulative, q) * 1000.0
+        for q, label in QUANTILES
+    }
+    quantiles["mean"] = (total_s / count) * 1000.0 if count else 0.0
+    quantiles["count"] = count
+    return quantiles
+
+
+def site_bytes(samples: Samples) -> dict:
+    """``{site: {"down": bytes, "up": bytes}}`` from net_bytes_total."""
+    per_site: dict = {}
+    for labels, value in samples.get("net_bytes_total", ()):
+        site = labels.get("site")
+        direction = labels.get("direction")
+        if site is None or direction not in ("down", "up"):
+            continue
+        entry = per_site.setdefault(site, {"down": 0, "up": 0})
+        entry[direction] += int(value)
+    return per_site
+
+
+def summarize(samples: Samples) -> dict:
+    """One dashboard frame's numbers, from one scrape."""
+    hits = _total(samples, "service_cache_hit_total")
+    misses = _total(samples, "service_cache_miss_total")
+    lookups = hits + misses
+    return {
+        "in_flight": _total(samples, "service_in_flight"),
+        "queue_depth": _total(samples, "service_queue_depth"),
+        "queries": _total(samples, "service_queries_total"),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_refreshes": _total(samples, "service_cache_refresh_total"),
+        "hit_ratio": (hits / lookups) if lookups else 0.0,
+        "rejected": _total(samples, "service_admission_rejected_total"),
+        "timeouts": _total(samples, "service_admission_timeout_total"),
+        "appends": _total(samples, "service_appends_total"),
+        "latency_ms": latency_quantiles_ms(samples),
+        "site_bytes": site_bytes(samples),
+    }
+
+
+def render_top(summary: dict, url: str = "", iteration: Optional[int] = None) -> str:
+    """Render one frame of the dashboard as plain text."""
+    title = "repro top"
+    if url:
+        title += f" — {url}"
+    if iteration is not None:
+        title += f" (frame {iteration})"
+    lines = [title]
+    lines.append(
+        f"service: in_flight={summary['in_flight']:.0f} "
+        f"queued={summary['queue_depth']:.0f} | "
+        f"queries={summary['queries']:.0f} "
+        f"cache_hit={summary['hit_ratio'] * 100:.1f}% "
+        f"({summary['cache_hits']:.0f}/{summary['cache_hits'] + summary['cache_misses']:.0f}) "
+        f"refreshes={summary['cache_refreshes']:.0f} | "
+        f"rejected={summary['rejected']:.0f} "
+        f"timeouts={summary['timeouts']:.0f} "
+        f"appends={summary['appends']:.0f}"
+    )
+    latency = summary["latency_ms"]
+    if latency:
+        lines.append(
+            f"latency: p50={latency['p50']:.1f}ms p90={latency['p90']:.1f}ms "
+            f"p99={latency['p99']:.1f}ms mean={latency['mean']:.1f}ms "
+            f"n={latency['count']}"
+        )
+    else:
+        lines.append("latency: (no service.latency_s samples yet)")
+    per_site = summary["site_bytes"]
+    if per_site:
+        lines.append("site bytes:")
+        label_width = max(len(site) for site in per_site)
+        for site in sorted(per_site):
+            entry = per_site[site]
+            lines.append(
+                f"  {site.ljust(label_width)}  "
+                f"down={_fmt_bytes(entry['down'])} up={_fmt_bytes(entry['up'])} "
+                f"total={_fmt_bytes(entry['down'] + entry['up'])}"
+            )
+    else:
+        lines.append("site bytes: (no net.bytes samples yet)")
+    return "\n".join(lines)
+
+
+def top_loop(
+    url: str,
+    interval_s: float = 2.0,
+    iterations: int = 0,
+    out=None,
+    sleep=time.sleep,
+) -> int:
+    """Poll + render until ``iterations`` frames (0 = until interrupted).
+
+    Returns 0 when at least one scrape succeeded, 1 when the endpoint
+    never answered. An unreachable endpoint mid-run prints a notice and
+    keeps polling (the service may still be starting).
+    """
+    import sys
+
+    if out is None:
+        out = sys.stdout
+    frame = 0
+    succeeded = False
+    try:
+        while True:
+            frame += 1
+            try:
+                samples = scrape(url)
+            except OSError as error:
+                print(f"repro top — {url} unreachable: {error}", file=out)
+            else:
+                succeeded = True
+                print(render_top(summarize(samples), url, frame), file=out)
+            if iterations and frame >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0 if succeeded else 1

@@ -156,6 +156,22 @@ class QueryService:
         self._writer_active = False
         self._closed = False
         self._query_ids = itertools.count(1)
+        # Pre-register the service's metric families so a /metrics scrape
+        # (repro serve --metrics-port) exposes zeros before any traffic.
+        self.metrics.gauge("service.queue.depth")
+        self.metrics.gauge("service.in_flight")
+        for counter_name in (
+            "service.queries",
+            "service.cache.hit",
+            "service.cache.miss",
+            "service.cache.refresh",
+            "service.cache.uncacheable",
+            "service.admission.rejected",
+            "service.admission.timeout",
+            "service.appends",
+        ):
+            self.metrics.counter(counter_name)
+        self.metrics.histogram("service.latency_s")
         self._engine = create_engine(
             self.config.executor, cluster.sites, self.tracer, self.config.max_workers
         )
@@ -275,21 +291,23 @@ class QueryService:
             with self.tracer.span(
                 "service.query", kind="service", query_id=query_id
             ) as span:
-                served = self._serve(expression, span)
+                served = self._serve(expression, span, query_id)
                 span.set(outcome=served.source)
             relation = served.relation if post is None else post(served.relation)
+            wall_s = time.perf_counter() - started
+            self.metrics.histogram("service.latency_s").observe(wall_s)
             return QueryResult(
                 query_id=query_id,
                 relation=relation,
                 source=served.source,
                 signature=PlanSignature.compute(self.cluster, expression),
                 stats=served.stats,
-                wall_s=time.perf_counter() - started,
+                wall_s=wall_s,
             )
         finally:
             self._release_slot()
 
-    def _serve(self, expression: GMDJExpression, span) -> _Served:
+    def _serve(self, expression: GMDJExpression, span, query_id=None) -> _Served:
         signature = PlanSignature.compute(self.cluster, expression)
         entry = self.cache.get(signature)
         if entry is not None:
@@ -309,6 +327,7 @@ class QueryService:
             tracer=self.tracer,
             engine=self._engine,
             network=self.cluster.fresh_network(self.metrics),
+            query_id=query_id,
         )
         relation = canonical_order(result.relation, expression.key)
         self._maybe_cache(expression, signature, relation, result.stats)

@@ -199,3 +199,162 @@ class TestFigures:
         code, output = run_cli(["figures", "fig5", "--scale", "0.0002"])
         assert code == 0
         assert "scale-up" in output
+
+
+class TestExplain:
+    QUERY = (
+        "SELECT NationKey, COUNT(*) AS cnt, AVG(Price) AS avg_price "
+        "FROM TPCR GROUP BY NationKey "
+        "THEN SELECT COUNT(*) AS above WHERE Price >= avg_price"
+    )
+
+    def test_estimate_only(self):
+        code, output = run_cli(
+            ["explain", self.QUERY, "--sites", "2", "--scale", "0.0003"]
+        )
+        assert code == 0
+        assert "round 1" in output
+        assert "optimizations (estimated by ablation)" in output
+        assert "EXPLAIN ANALYZE" not in output  # estimate-only does not run
+
+    def test_analyze_renders_tree_and_meets_bars(self):
+        code, output = run_cli(
+            ["explain", self.QUERY, "--sites", "2", "--scale", "0.0003",
+             "--analyze"]
+        )
+        assert code == 0, output
+        assert "EXPLAIN ANALYZE" in output
+        assert "attributed to plan nodes" in output
+        assert "optimizations (measured vs unoptimized estimate)" in output
+        assert "+- site0" in output
+        assert "+- merge" in output
+
+    def test_analyze_json_profile(self):
+        import json
+
+        code, output = run_cli(
+            ["explain", self.QUERY, "--sites", "2", "--scale", "0.0003",
+             "--analyze", "--json"]
+        )
+        assert code == 0
+        profile = json.loads(output)
+        assert profile["time_coverage"] >= 0.95
+        assert profile["bytes_coverage"] == 1.0
+        assert profile["optimizations"], "applied optimizations must be priced"
+        for entry in profile["optimizations"]:
+            assert entry["measured_tuples"] is not None
+
+    def test_analyze_emit_trace_is_profilable(self, tmp_path):
+        from repro.obs import EventLog
+        from repro.obs.profile import profile_from_trace
+
+        path = tmp_path / "explain.jsonl"
+        code, _output = run_cli(
+            ["explain", self.QUERY, "--sites", "2", "--scale", "0.0003",
+             "--analyze", "--emit-trace", str(path)]
+        )
+        assert code == 0
+        rebuilt = profile_from_trace(EventLog.load(path), query_id=1)
+        assert rebuilt.time_coverage() >= 0.95
+
+    def test_estimate_json(self):
+        import json
+
+        code, output = run_cli(
+            ["explain", self.QUERY, "--sites", "2", "--scale", "0.0003",
+             "--json"]
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert "plan" in document
+        assert document["optimizations"]
+
+
+class TestTop:
+    def test_one_frame_from_live_endpoint(self):
+        from repro.obs import MetricsRegistry, start_metrics_server
+
+        registry = MetricsRegistry()
+        registry.counter("service.queries").inc(4)
+        with start_metrics_server(registry, port=0) as server:
+            code, output = run_cli(
+                ["top", "--url", server.url, "--iterations", "1",
+                 "--interval", "0"]
+            )
+        assert code == 0
+        assert "repro top" in output
+        assert "queries=4" in output
+
+    def test_unreachable_endpoint_exits_nonzero(self):
+        code, output = run_cli(
+            ["top", "--url", "http://127.0.0.1:1/metrics",
+             "--iterations", "1", "--interval", "0"]
+        )
+        assert code == 1
+        assert "unreachable" in output
+
+
+class TestBench:
+    def test_bench_report_and_check(self, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        code, output = run_cli(
+            ["bench", "--sites", "2", "--scale", "0.0003",
+             "--output", str(baseline)]
+        )
+        assert code == 0
+        report = json.loads(baseline.read_text())
+        assert report["profiler"]["time_coverage"] >= 0.95
+        assert report["profiler"]["bytes_coverage"] == 1.0
+        assert report["profiler"]["overhead_frac"] < 0.05
+
+        # Checking a fresh run against its own numbers passes.
+        code, output = run_cli(
+            ["bench", "--sites", "2", "--scale", "0.0003", "--check",
+             "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "no regression" in output
+
+    def test_check_fails_on_regression(self, tmp_path):
+        import json
+
+        from repro.bench.harness import check_profile_baseline
+
+        good = {
+            "profiler": {
+                "time_coverage": 0.99,
+                "bytes_coverage": 1.0,
+                "overhead_frac": 0.01,
+                "optimizations_reported": 4,
+                "optimizations_applied": 4,
+            },
+            "service": {
+                "hit_ratio": 0.8,
+                "latency_ms": {"p50": 1.0, "p90": 5.0, "p99": 9.0,
+                               "mean": 2.0},
+            },
+        }
+        bad = json.loads(json.dumps(good))
+        bad["profiler"]["time_coverage"] = 0.5
+        bad["profiler"]["overhead_frac"] = 0.2
+        bad["profiler"]["optimizations_reported"] = 2
+        bad["service"]["hit_ratio"] = 0.1
+        bad["service"]["latency_ms"]["p99"] = 100.0
+        problems = check_profile_baseline(bad, good)
+        text = "\n".join(problems)
+        assert "time_coverage" in text
+        assert "overhead_frac" in text
+        assert "hit_ratio" in text
+        assert "p99" in text
+        assert "applied optimizations" in text
+        assert check_profile_baseline(good, good) == []
+
+    def test_check_missing_baseline_is_an_error(self, tmp_path):
+        code, _output = run_cli(
+            ["bench", "--sites", "2", "--scale", "0.0003", "--check",
+             "--baseline", str(tmp_path / "missing.json"),
+             "--output", str(tmp_path / "fresh.json")]
+        )
+        assert code == 2

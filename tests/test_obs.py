@@ -176,6 +176,46 @@ class TestMetrics:
         assert histogram.count == 3
         assert histogram.sum == pytest.approx(105.5)
 
+    def test_histogram_boundary_is_inclusive_le(self):
+        # Prometheus `le` semantics: a value exactly equal to a boundary
+        # belongs in that bucket, not the next one.
+        histogram = Histogram("h", boundaries=(1.0, 10.0))
+        histogram.observe(1.0)
+        histogram.observe(10.0)
+        assert histogram.counts == [1, 1, 0]
+        histogram.observe(10.000001)
+        assert histogram.counts == [1, 1, 1]
+
+    def test_histogram_cumulative_counts(self):
+        histogram = Histogram("h", boundaries=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        # Per-bucket counts stay per-bucket; the cumulative view is what
+        # Prometheus _bucket{le=...} series carry, ending at the total.
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.cumulative_counts() == [2, 3, 4, 5]
+        assert histogram.cumulative_counts()[-1] == histogram.count
+
+    def test_histogram_quantile_interpolates(self):
+        from repro.obs import histogram_quantile
+
+        boundaries = (1.0, 2.0, 4.0)
+        cumulative = [0, 10, 10]  # all 10 observations in (1, 2]
+        assert histogram_quantile(boundaries, cumulative, 0.5) == pytest.approx(1.5)
+        assert histogram_quantile(boundaries, cumulative, 1.0) == pytest.approx(2.0)
+        # Empty series and q clamping stay defined.
+        assert histogram_quantile(boundaries, [0, 0, 0], 0.9) == 0.0
+        assert histogram_quantile((), [], 0.9) == 0.0
+
+    def test_histogram_quantile_overflow_clamps(self):
+        from repro.obs import histogram_quantile
+
+        # Observations past the last boundary cannot be located better
+        # than "at the last finite boundary".
+        boundaries = (1.0, 2.0)
+        cumulative = [0, 0, 5]  # trailing entry = total incl. overflow
+        assert histogram_quantile(boundaries, cumulative, 0.99) == 2.0
+
     def test_histogram_validation(self):
         with pytest.raises(ObservabilityError):
             Histogram("h", boundaries=())

@@ -361,3 +361,67 @@ class TestAdmission:
         with QueryService(cluster) as service:
             with pytest.raises(ServiceError):
                 service.submit(42)
+
+
+# ---------------------------------------------------------------------------
+# Service observability: pre-registered families, latency histogram, query ids
+# ---------------------------------------------------------------------------
+
+
+class TestServiceObservability:
+    def test_metric_families_exist_before_any_traffic(self):
+        # A /metrics scrape right after startup must show the service
+        # families at zero instead of a missing series.
+        with QueryService(build_cluster()) as service:
+            metrics = service.metrics
+            assert metrics.get("service.in_flight") is not None
+            assert metrics.get("service.queue.depth") is not None
+            assert metrics.get("service.queries") is not None
+            assert metrics.get("service.cache.hit") is not None
+            assert metrics.get("service.admission.rejected") is not None
+            latency = metrics.get("service.latency_s")
+            assert latency is not None and latency.count == 0
+
+    def test_latency_histogram_observes_every_submission(self):
+        with QueryService(build_cluster()) as service:
+            service.submit(COUNT_BY_SOURCE)
+            service.submit(COUNT_BY_SOURCE)  # cache hit still has a latency
+            service.submit(MAX_BY_DEST)
+            latency = service.metrics.get("service.latency_s")
+            assert latency.count == 3
+            assert latency.sum > 0.0
+            assert latency.quantile(0.5) >= 0.0
+
+    def test_prometheus_exposition_of_a_live_service(self):
+        from repro.obs import parse_prometheus_text, prometheus_text
+
+        with QueryService(build_cluster()) as service:
+            service.submit(COUNT_BY_SOURCE)
+            samples = parse_prometheus_text(prometheus_text(service.metrics))
+        assert samples["service_queries_total"] == [({}, 1.0)]
+        assert "service_latency_s_bucket" in samples
+        assert "service_in_flight" in samples
+
+    def test_query_id_threads_into_stats_and_spans(self):
+        tracer = Tracer()
+        with QueryService(build_cluster(), tracer=tracer) as service:
+            first = service.submit(COUNT_BY_SOURCE)
+            second = service.submit(MAX_BY_DEST)
+        assert first.query_id == 1
+        assert second.query_id == 2
+        # Fresh evaluations stamp the service query id into the run's stats.
+        assert first.stats.query_id == first.query_id
+        assert second.stats.query_id == second.query_id
+        # Each evaluator root span carries the id it served.
+        query_spans = tracer.spans_named("query")
+        tagged = {span.attributes.get("query_id") for span in query_spans}
+        assert {first.query_id, second.query_id} <= tagged
+
+    def test_cache_hit_keeps_original_stats_query_id(self):
+        with QueryService(build_cluster()) as service:
+            fresh = service.submit(COUNT_BY_SOURCE)
+            hit = service.submit(COUNT_BY_SOURCE)
+        assert hit.source == HIT
+        assert hit.query_id == 2
+        # A pure hit reuses the original evaluation's stats wholesale.
+        assert hit.stats.query_id == fresh.query_id

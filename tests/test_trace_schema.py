@@ -1,0 +1,150 @@
+"""Trace schema v2: query_id stamping, v1 compatibility, mixed-version rejection."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceSchemaError
+from repro.obs import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    build_trace,
+)
+
+
+class FakeClock:
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class FakePlan:
+    notes = ("coalescing skipped: no adjacent mergeable steps",)
+
+    def describe(self) -> str:
+        return "round 1: 1 step(s) on 2 site(s)"
+
+
+def traced_query(query_id=None) -> EventLog:
+    tracer = Tracer(clock=FakeClock())
+    attrs = {} if query_id is None else {"query_id": query_id}
+    with tracer.span("query", kind="query", **attrs):
+        with tracer.span("round", kind="round", index=0):
+            with tracer.span("round.evaluate", kind="site", site="site0"):
+                pass
+    registry = MetricsRegistry()
+    registry.counter("gmdj.tuples_emitted").inc(5)
+    return build_trace(tracer, registry, plan=FakePlan(), query_id=query_id)
+
+
+def v1_text() -> str:
+    """A handwritten v1 trace: no query_id, no plan records."""
+    lines = [
+        {"record": "header", "schema_version": 1, "generator": "repro.obs"},
+        {
+            "record": "span",
+            "name": "query",
+            "kind": "query",
+            "span_id": 1,
+            "parent_id": None,
+            "start_s": 0.0,
+            "end_s": 1.0,
+            "attributes": {},
+        },
+        {"record": "metric", "name": "gmdj.tuples_emitted", "type": "counter",
+         "value": 5},
+    ]
+    return "\n".join(json.dumps(line, sort_keys=True) for line in lines) + "\n"
+
+
+class TestSchemaVersions:
+    def test_current_version_is_two(self):
+        assert SCHEMA_VERSION == 2
+        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2)
+
+    def test_v1_trace_loads_without_query_id(self):
+        log = EventLog.loads(v1_text())
+        assert log.schema_version == 1
+        assert log.query_ids() == []
+        assert len(log.records_of("span")) == 1
+        # And v1 round-trips losslessly through the v1 header.
+        assert EventLog.loads(log.dumps()) == log
+
+    def test_v2_round_trip_is_lossless(self):
+        log = traced_query(query_id=7)
+        loaded = EventLog.loads(log.dumps())
+        assert loaded == log
+        assert loaded.schema_version == 2
+        assert loaded.query_ids() == [7]
+        assert loaded.records_of("plan")[0]["describe"].startswith("round 1")
+
+    def test_query_id_stamped_on_every_record(self):
+        log = traced_query(query_id="q-42")
+        assert all(record.get("query_id") == "q-42" for record in log.records)
+
+    def test_query_id_rejected_in_v1(self):
+        text = v1_text().replace(
+            '"record": "metric"', '"query_id": 9, "record": "metric"'
+        )
+        with pytest.raises(TraceSchemaError, match="line 3.*schema version >= 2"):
+            EventLog.loads(text)
+
+    def test_query_id_must_be_int_or_str(self):
+        log = traced_query(query_id=1)
+        log.records[0]["query_id"] = [1, 2]
+        with pytest.raises(TraceSchemaError, match="integer or string"):
+            log.validate()
+
+    def test_mixed_versions_rejected_with_line_number(self):
+        concatenated = traced_query(query_id=1).dumps() + v1_text()
+        with pytest.raises(TraceSchemaError) as excinfo:
+            EventLog.loads(concatenated)
+        message = str(excinfo.value)
+        assert "mixed trace schema versions" in message
+        # The offending header is the first line of the second trace.
+        expected_line = len(traced_query(query_id=1).dumps().splitlines()) + 1
+        assert f"line {expected_line}" in message
+
+    def test_duplicate_same_version_header_rejected(self):
+        text = traced_query(query_id=1).dumps()
+        doubled = text + text
+        with pytest.raises(TraceSchemaError, match="second header"):
+            EventLog.loads(doubled)
+
+    def test_unsupported_version_rejected(self):
+        text = v1_text().replace('"schema_version": 1', '"schema_version": 99')
+        with pytest.raises(TraceSchemaError, match="unsupported"):
+            EventLog.loads(text)
+
+
+class TestForQuery:
+    def test_for_query_filters_spans_and_records(self):
+        first = traced_query(query_id=1)
+        second = traced_query(query_id=2)
+        # Renumber the second run's span ids so a shared file stays unambiguous.
+        offset = 100
+        for record in second.records:
+            if record["record"] == "span":
+                record["span_id"] += offset
+                if record["parent_id"] is not None:
+                    record["parent_id"] += offset
+        shared = EventLog(first.records + second.records)
+        assert shared.query_ids() == [1, 2]
+
+        only_first = shared.for_query(1)
+        assert only_first.query_ids() == [1]
+        # Descendant spans (round, site) follow their root via parent_id
+        # even though only the root span carries the attribute.
+        assert len(only_first.records_of("span")) == 3
+        assert len(only_first.records_of("plan")) == 1
+
+    def test_for_query_keeps_schema_version(self):
+        log = traced_query(query_id=1)
+        assert log.for_query(1).schema_version == log.schema_version
