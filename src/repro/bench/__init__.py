@@ -3,8 +3,11 @@
 :mod:`~repro.bench.harness` builds the paper's experimental setups and
 runs optimization "arms" with full verification;
 :mod:`~repro.bench.figures` parameterizes the four experiments of
-Section 5 (Figures 2-5). The ``benchmarks/`` directory at the repository
-root wraps these in pytest-benchmark targets and printable reports.
+Section 5 (Figures 2-5); :mod:`~repro.bench.loadgen` drives the query
+service with seeded closed/open-loop mixes and emits the per-stage SLO
+report behind ``repro loadgen``. The ``benchmarks/`` directory at the
+repository root wraps these in pytest-benchmark targets and printable
+reports.
 """
 
 from repro.bench.figures import (
@@ -39,6 +42,14 @@ from repro.bench.harness import (
     speedup_cluster,
     speedup_cluster_range,
 )
+from repro.bench.loadgen import (
+    LoadgenConfig,
+    build_query_pool,
+    check_slo_baseline,
+    render_slo_table,
+    run_loadgen,
+    strip_timings,
+)
 
 __all__ = [
     "ALL_OPTS",
@@ -49,9 +60,12 @@ __all__ = [
     "GROUP_REDUCTION_ONLY",
     "HIGH_CARDINALITY_KEY",
     "LOW_CARDINALITY_KEY",
+    "LoadgenConfig",
     "NO_OPTS",
     "SYNC_REDUCED",
     "TrafficFormulaPoint",
+    "build_query_pool",
+    "check_slo_baseline",
     "coalescable_query",
     "combined_query",
     "correlated_query",
@@ -63,10 +77,13 @@ __all__ = [
     "figure5",
     "format_table",
     "growth_exponent",
+    "render_slo_table",
     "run_arm",
     "run_arms",
+    "run_loadgen",
     "scaleup_cluster",
     "service_cache_report",
     "speedup_cluster",
     "speedup_cluster_range",
+    "strip_timings",
 ]

@@ -779,6 +779,10 @@ def profile_benchmark_report(
     - ``service.latency_ms`` — the query-service latency quantiles from
       :func:`service_cache_report`.
 
+    The full query profile is embedded under ``"profile"`` so
+    ``repro diff`` (and the ``--check`` failure report) can attribute a
+    regression to the specific round/site/operator that slowed down.
+
     ``BENCH_profile.json`` pins one run of this; ``repro bench --check``
     re-measures and compares via :func:`check_profile_baseline`.
     """
@@ -864,6 +868,10 @@ def profile_benchmark_report(
             "latency_ms": service["latency_ms"],
             "queries": service["totals"]["queries"],
         },
+        # Full per-round/site/operator breakdown so `repro diff` (and
+        # the bench gate's failure report) can attribute a timing
+        # regression to the operator that caused it.
+        "profile": profile.to_dict(),
     }
 
 

@@ -1,0 +1,641 @@
+"""Closed- and open-loop load generator for the query service.
+
+The ROADMAP's "heavy traffic" claim becomes a measured one here: a
+seeded, deterministic mix of the paper's query families — cube lattice
+group-bys, correlated multi-feature cascades at varying selectivities,
+and unpivot marginals — is driven through one
+:class:`~repro.service.QueryService` per offered-load step, and every
+submission's lifecycle stages (admission → lookup → plan → execute →
+merge, measured by the service itself) are aggregated into an SLO
+report:
+
+- **closed loop** (``mode="closed"``): each step runs N worker threads
+  that submit back-to-back; offered load is the worker count, so the
+  sweep traces the latency-vs-concurrency curve up to the admission
+  gate's ``max_in_flight``;
+- **open loop** (``mode="open"``): workers submit on a fixed
+  offered-QPS arrival schedule (arrival *i* at ``i/qps`` seconds);
+  when the service cannot keep up, admission rejections and timeouts
+  are counted instead of silently stretching the schedule.
+
+Determinism contract: the query *sequence* is a pure function of
+``(mix, seed)`` — one ``random.Random(seed)`` drawing from the prebuilt
+pool across all steps — so two runs with the same config submit
+identical queries in identical order (thread interleaving may vary, the
+schedule may not). :func:`strip_timings` removes the timing-derived
+fields, and the remainder of two same-seed reports must be identical —
+the regression test pins this.
+
+``BENCH_slo.json`` pins one run; ``repro loadgen --check`` (and the
+extended ``repro bench --check``) re-measures and compares via
+:func:`check_slo_baseline`, which delegates the thresholded verdicts to
+:mod:`repro.obs.diff`. ``repro loadgen --self-test`` additionally
+verifies the acceptance bars: >= 3 steps with per-stage p50/p99, stage
+sums covering >= 95% of end-to-end latency, and an injected operator
+slowdown correctly named by the trace diff.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.flows import FlowConfig, generate_flows, router_partitioner
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.evaluator import ExecutionConfig
+from repro.errors import AdmissionError, QueryTimeoutError, ReproError
+from repro.queries.cube import cube_lattice_queries
+from repro.queries.multifeature import Feature, multifeature_query
+from repro.queries.unpivot import marginal_queries
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.service.service import (
+    DEGRADED,
+    FRESH,
+    HIT,
+    REFRESH,
+    REJECTED,
+    STAGES,
+    TIMEOUT,
+    QueryService,
+)
+
+SLO_VERSION = 1
+
+MIXES = ("cube", "multifeature", "unpivot", "mixed")
+
+#: Outcomes that returned an answer (everything but rejected/timeout).
+SERVED_OUTCOMES = (HIT, FRESH, REFRESH, DEGRADED)
+
+#: The selectivity knobs of the multi-feature mix: the second feature
+#: counts detail tuples with NumBytes >= factor * mean, so larger
+#: factors qualify fewer tuples.
+SELECTIVITY_FACTORS = (0.5, 1.0, 2.0)
+
+
+class LoadgenError(ReproError):
+    """Bad load-generator configuration or a failed SLO self-check."""
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One sweep: a mode, a query mix, and the offered-load steps."""
+
+    mode: str = "closed"  #: ``"closed"`` | ``"open"``
+    mix: str = "mixed"
+    seed: int = 17
+    sites: int = 3
+    flow_count: int = 400
+    executor: str = "serial"
+    #: Worker counts (closed) or offered QPS values (open), one per step.
+    steps: Tuple[float, ...] = (1, 2, 4)
+    queries_per_step: int = 24
+    #: Open-loop client threads (closed loop uses the step value).
+    workers: int = 4
+    timeout_s: float = 30.0
+    max_in_flight: int = 4
+    max_queue: int = 32
+
+    def __post_init__(self):
+        if self.mode not in ("closed", "open"):
+            raise LoadgenError(f"mode must be closed|open, got {self.mode!r}")
+        if self.mix not in MIXES:
+            raise LoadgenError(f"mix must be one of {MIXES}, got {self.mix!r}")
+        if not self.steps:
+            raise LoadgenError("need at least one offered-load step")
+        if self.queries_per_step < 1:
+            raise LoadgenError(
+                f"queries_per_step must be >= 1, got {self.queries_per_step}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "mix": self.mix,
+            "seed": self.seed,
+            "sites": self.sites,
+            "flow_count": self.flow_count,
+            "executor": self.executor,
+            "steps": list(self.steps),
+            "queries_per_step": self.queries_per_step,
+            "workers": self.workers,
+            "timeout_s": self.timeout_s,
+            "max_in_flight": self.max_in_flight,
+            "max_queue": self.max_queue,
+        }
+
+
+def config_from_report(report: dict) -> LoadgenConfig:
+    """Rebuild the config a pinned ``BENCH_slo.json`` was produced with,
+    so ``--check`` re-measures apples-to-apples."""
+    recorded = report.get("config")
+    if not recorded:
+        raise LoadgenError("report carries no config to re-measure with")
+    return LoadgenConfig(
+        mode=recorded["mode"],
+        mix=recorded["mix"],
+        seed=recorded["seed"],
+        sites=recorded["sites"],
+        flow_count=recorded["flow_count"],
+        executor=recorded["executor"],
+        steps=tuple(recorded["steps"]),
+        queries_per_step=recorded["queries_per_step"],
+        workers=recorded["workers"],
+        timeout_s=recorded["timeout_s"],
+        max_in_flight=recorded["max_in_flight"],
+        max_queue=recorded["max_queue"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Query pool & deterministic schedule
+# ---------------------------------------------------------------------------
+
+
+def build_query_pool(mix: str = "mixed") -> List[tuple]:
+    """``[(name, GMDJExpression), ...]`` for one mix over the Flow table.
+
+    The pool is a pure function of ``mix`` — no randomness — so the
+    seeded schedule over its indices fully determines the workload.
+    """
+    if mix not in MIXES:
+        raise LoadgenError(f"mix must be one of {MIXES}, got {mix!r}")
+    pool: List[tuple] = []
+    if mix in ("cube", "mixed"):
+        aggs = [count_star("cnt"), AggSpec("sum", detail.NumBytes, "bytes")]
+        for subset, expression in cube_lattice_queries(
+            "Flow", ["SourceAS", "DestAS"], aggs
+        ):
+            pool.append((f"cube:{'+'.join(subset)}", expression))
+    if mix in ("multifeature", "mixed"):
+        for factor in SELECTIVITY_FACTORS:
+            expression = multifeature_query(
+                "Flow",
+                ["SourceAS"],
+                [
+                    Feature(
+                        [
+                            count_star("cnt"),
+                            AggSpec("avg", detail.NumBytes, "avg_bytes"),
+                        ]
+                    ),
+                    Feature(
+                        [count_star("heavy")],
+                        when=detail.NumBytes >= base.avg_bytes * factor,
+                    ),
+                ],
+            )
+            pool.append((f"multifeature:x{factor:g}", expression))
+    if mix in ("unpivot", "mixed"):
+        aggs = [count_star("cnt"), AggSpec("max", detail.NumPackets, "peak")]
+        for attribute, expression in marginal_queries(
+            "Flow", ["SourceAS", "DestAS", "RouterId"], aggs
+        ):
+            pool.append((f"unpivot:{attribute}", expression))
+    return pool
+
+
+def schedule_queries(pool_size: int, count: int, rng: random.Random) -> List[int]:
+    """The next ``count`` pool indices from the sweep's one seeded stream."""
+    return [rng.randrange(pool_size) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Step execution
+# ---------------------------------------------------------------------------
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _quantiles_ms(values_s: Sequence[float]) -> dict:
+    ordered = sorted(values_s)
+    return {
+        "p50": _percentile(ordered, 0.50) * 1000.0,
+        "p90": _percentile(ordered, 0.90) * 1000.0,
+        "p99": _percentile(ordered, 0.99) * 1000.0,
+        "mean": (sum(ordered) / len(ordered) * 1000.0) if ordered else 0.0,
+        "count": len(ordered),
+    }
+
+
+def _run_step(
+    service: QueryService,
+    pool: List[tuple],
+    indices: Sequence[int],
+    *,
+    workers: int,
+    offered_qps: Optional[float],
+    timeout_s: float,
+) -> tuple:
+    """Fire one step's schedule; returns ``(records, elapsed_s)``.
+
+    Workers pull the next schedule position under a lock, so the
+    submission order matches the seeded schedule regardless of thread
+    interleaving. A record is ``(position, name, outcome, wall_s,
+    stages)``.
+    """
+    lock = threading.Lock()
+    cursor = [0]
+    records: List[tuple] = []
+    started = time.perf_counter()
+
+    def _client() -> None:
+        while True:
+            with lock:
+                position = cursor[0]
+                if position >= len(indices):
+                    return
+                cursor[0] += 1
+            if offered_qps:
+                delay = (started + position / offered_qps) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            name, expression = pool[indices[position]]
+            begin = time.perf_counter()
+            try:
+                result = service.submit(expression, timeout_s=timeout_s)
+            except AdmissionError:
+                record = (position, name, REJECTED,
+                          time.perf_counter() - begin, {})
+            except QueryTimeoutError:
+                record = (position, name, TIMEOUT,
+                          time.perf_counter() - begin, {})
+            else:
+                record = (position, name, result.outcome, result.wall_s,
+                          result.stages)
+            with lock:
+                records.append(record)
+
+    threads = [
+        threading.Thread(target=_client, name=f"loadgen-{index}", daemon=True)
+        for index in range(max(1, workers))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    records.sort(key=lambda record: record[0])
+    return records, elapsed
+
+
+def _summarize_step(
+    label: str,
+    offered: float,
+    schedule_names: Sequence[str],
+    records: Sequence[tuple],
+    elapsed_s: float,
+) -> dict:
+    outcomes = {outcome: 0 for outcome in (*SERVED_OUTCOMES, REJECTED, TIMEOUT)}
+    walls: List[float] = []
+    stage_values: Dict[str, List[float]] = {stage: [] for stage in STAGES}
+    stage_total_s = 0.0
+    wall_total_s = 0.0
+    for _position, _name, outcome, wall_s, stages in records:
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        if outcome in SERVED_OUTCOMES:
+            walls.append(wall_s)
+            wall_total_s += wall_s
+            stage_total_s += sum(stages.values())
+            for stage, seconds in stages.items():
+                stage_values.setdefault(stage, []).append(seconds)
+    served = len(walls)
+    lookups = outcomes[HIT] + outcomes[FRESH] + outcomes[REFRESH]
+    return {
+        "label": label,
+        "offered": offered,
+        "queries": len(records),
+        "schedule": list(schedule_names),
+        "duration_s": elapsed_s,
+        "achieved_qps": (served / elapsed_s) if elapsed_s > 0 else 0.0,
+        "outcomes": outcomes,
+        "hit_ratio": (
+            (outcomes[HIT] + outcomes[REFRESH]) / lookups if lookups else 0.0
+        ),
+        "latency_ms": _quantiles_ms(walls),
+        "stages_ms": {
+            stage: _quantiles_ms(values)
+            for stage, values in stage_values.items()
+            if values
+        },
+        #: Time-weighted: Σ stage seconds / Σ end-to-end seconds over the
+        #: served submissions. The acceptance bar is >= 0.95.
+        "stage_sum_frac": (
+            (stage_total_s / wall_total_s) if wall_total_s > 0 else 0.0
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+
+def _build_cluster(config: LoadgenConfig) -> SimulatedCluster:
+    flow_config = FlowConfig(
+        flow_count=config.flow_count,
+        router_count=config.sites,
+        seed=config.seed,
+    )
+    cluster = SimulatedCluster.with_sites(config.sites)
+    cluster.load_partitioned(
+        "Flow", generate_flows(flow_config), router_partitioner(flow_config)
+    )
+    return cluster
+
+
+def run_loadgen(config: LoadgenConfig) -> dict:
+    """Run the full sweep and return the SLO report (``BENCH_slo.json``).
+
+    Each step gets a fresh :class:`QueryService` (same cluster, cold
+    cache), so every step measures the same workload — a deterministic
+    blend of cache misses and hits — at its own offered load.
+    """
+    pool = build_query_pool(config.mix)
+    rng = random.Random(config.seed)
+    cluster = _build_cluster(config)
+    steps = []
+    for step_value in config.steps:
+        indices = schedule_queries(len(pool), config.queries_per_step, rng)
+        if config.mode == "closed":
+            label = f"closed-{int(step_value)}w"
+            workers, offered_qps = int(step_value), None
+        else:
+            label = f"open-{step_value:g}qps"
+            workers, offered_qps = config.workers, float(step_value)
+        with QueryService(
+            cluster,
+            ExecutionConfig(executor=config.executor),
+            max_in_flight=config.max_in_flight,
+            max_queue=config.max_queue,
+        ) as service:
+            records, elapsed = _run_step(
+                service,
+                pool,
+                indices,
+                workers=workers,
+                offered_qps=offered_qps,
+                timeout_s=config.timeout_s,
+            )
+        steps.append(
+            _summarize_step(
+                label,
+                float(step_value),
+                [pool[index][0] for index in indices],
+                records,
+                elapsed,
+            )
+        )
+    return {
+        "slo_version": SLO_VERSION,
+        "mode": config.mode,
+        "mix": config.mix,
+        "seed": config.seed,
+        "pool": [name for name, _expression in pool],
+        "config": config.to_dict(),
+        "steps": steps,
+    }
+
+
+def strip_timings(report: dict) -> dict:
+    """The deterministic remainder of an SLO report.
+
+    Removes every wall-clock-derived field: quantiles, achieved QPS,
+    durations, stage fractions — and the outcome counts/hit ratio, which
+    are also race-dependent under concurrency (two in-flight submissions
+    of the same signature may both evaluate fresh, or the later one may
+    score a hit, depending on interleaving). What is left — the seeded
+    schedule, pool, labels and config — must be identical across
+    same-seed runs, which the determinism test asserts.
+    """
+    timing_keys = (
+        "duration_s", "achieved_qps", "latency_ms", "stages_ms",
+        "stage_sum_frac", "outcomes", "hit_ratio",
+    )
+    stripped = {
+        key: value for key, value in report.items() if key != "steps"
+    }
+    stripped["steps"] = [
+        {key: value for key, value in step.items() if key not in timing_keys}
+        for step in report.get("steps", ())
+    ]
+    return stripped
+
+
+def render_slo_table(report: dict) -> str:
+    """The ASCII latency-vs-offered-load table."""
+    from repro.bench.harness import format_table
+
+    headers = [
+        "step", "offered", "qps", "p50ms", "p90ms", "p99ms",
+        "hit%", "rej", "t/o", "stage%",
+    ]
+    rows = []
+    for step in report.get("steps", ()):
+        latency = step.get("latency_ms", {})
+        outcomes = step.get("outcomes", {})
+        rows.append(
+            [
+                step.get("label", "?"),
+                f"{step.get('offered', 0):g}",
+                f"{step.get('achieved_qps', 0.0):.1f}",
+                f"{latency.get('p50', 0.0):.1f}",
+                f"{latency.get('p90', 0.0):.1f}",
+                f"{latency.get('p99', 0.0):.1f}",
+                f"{step.get('hit_ratio', 0.0) * 100:.0f}",
+                str(outcomes.get(REJECTED, 0)),
+                str(outcomes.get(TIMEOUT, 0)),
+                f"{step.get('stage_sum_frac', 0.0) * 100:.1f}",
+            ]
+        )
+    title = (
+        f"repro loadgen [{report.get('mode', '?')}/{report.get('mix', '?')}] "
+        f"seed={report.get('seed')} — offered load vs latency"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# Baseline gate
+# ---------------------------------------------------------------------------
+
+
+def check_slo_baseline(
+    current: dict, baseline: dict, threshold: float = 0.5
+):
+    """Diff a fresh report against the pinned one.
+
+    Returns ``(problems, diff)`` — ``problems`` is a list of
+    human-readable regression strings (empty = pass) and ``diff`` the
+    full :class:`~repro.obs.diff.TraceDiff` for the root-cause table.
+    The default threshold is deliberately loose (50% + the per-unit
+    slack) because SLO numbers carry CI-machine noise; the schedule and
+    outcome fields are compared exactly.
+    """
+    from repro.obs.diff import diff_slo
+
+    problems = []
+    if strip_timings(baseline) != strip_timings(current):
+        problems.append(
+            "deterministic fields diverged from the baseline (schedule, "
+            "outcomes or config) — regenerate BENCH_slo.json if the "
+            "workload changed intentionally"
+        )
+    diff = diff_slo(
+        baseline, current, threshold=threshold,
+        before_label="baseline", after_label="current",
+    )
+    for entry in diff.regressions():
+        problems.append(
+            f"SLO regression: {entry.dimension} {entry.key} {entry.metric} "
+            f"{entry.before:.3f} -> {entry.after:.3f}"
+        )
+    return problems, diff
+
+
+# ---------------------------------------------------------------------------
+# Self-test (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+
+def _traced_profile(cluster, expression):
+    """One traced, unoptimized run of ``expression`` -> profile dict.
+
+    Unoptimized so the plan keeps its synchronization rounds — the
+    coordinator's ``round.merge`` operator is the self-test's slowdown
+    victim and must be on the hot path.
+    """
+    from repro.distributed import OptimizationOptions, execute_query
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs.profile import build_profile
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    cluster.reset_network(metrics=registry)
+    result = execute_query(
+        cluster,
+        expression,
+        OptimizationOptions.none(),
+        tracer=tracer,
+        metrics=registry,
+        query_id=1,
+    )
+    return build_profile(tracer.finished(), result.stats, query_id=1).to_dict()
+
+
+def run_self_test(
+    out=None, *, output: str = "BENCH_slo.json", slowdown_s: float = 0.08
+) -> int:
+    """``repro loadgen --self-test``: the PR's acceptance scenario.
+
+    1. A closed-loop sweep at >= 3 offered-load steps writes ``output``
+       and must report per-stage p50/p99 at every step;
+    2. stage durations must sum to >= 95% of measured end-to-end
+       latency (time-weighted, per step);
+    3. a synthetic ``slowdown_s`` sleep injected into the coordinator's
+       sync-merge operator must be named by the trace diff as the top
+       attributed regression (dimension ``operator``, key
+       ``round.merge``).
+    """
+    import sys
+
+    from repro.gmdj import operator as gmdj_operator
+    from repro.obs.diff import diff_profiles
+
+    out = out or sys.stdout
+    failures = []
+
+    config = LoadgenConfig(steps=(1, 2, 4), queries_per_step=18)
+    report = run_loadgen(config)
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(render_slo_table(report), file=out)
+    print(f"SLO report written to {output}", file=out)
+
+    if len(report["steps"]) < 3:
+        failures.append(
+            f"need >= 3 offered-load steps, got {len(report['steps'])}"
+        )
+    for step in report["steps"]:
+        for stage, quantiles in step["stages_ms"].items():
+            if "p50" not in quantiles or "p99" not in quantiles:
+                failures.append(
+                    f"{step['label']}: stage {stage} lacks p50/p99"
+                )
+        missing = [
+            stage for stage in STAGES if stage not in step["stages_ms"]
+        ]
+        # Hit-only paths never run plan/execute; admission and lookup
+        # must always be present.
+        if "admission" in missing or "lookup" in missing:
+            failures.append(
+                f"{step['label']}: stages {missing} unobserved"
+            )
+        frac = step["stage_sum_frac"]
+        if not 0.95 <= frac <= 1.05:
+            failures.append(
+                f"{step['label']}: stage sum covers {frac:.1%} of "
+                "end-to-end latency (bar: within 5%)"
+            )
+        else:
+            print(
+                f"{step['label']}: stage sum covers {frac:.1%} of "
+                "end-to-end latency",
+                file=out,
+            )
+
+    # -- operator-slowdown attribution --------------------------------------
+    pool = dict(build_query_pool("multifeature"))
+    victim_query = pool[f"multifeature:x{SELECTIVITY_FACTORS[0]:g}"]
+    cluster = _build_cluster(config)
+    before = _traced_profile(cluster, victim_query)
+    original_finish = gmdj_operator.SyncSession.finish
+
+    def _slowed_finish(self, *args, **kwargs):
+        time.sleep(slowdown_s)
+        return original_finish(self, *args, **kwargs)
+
+    gmdj_operator.SyncSession.finish = _slowed_finish
+    try:
+        after = _traced_profile(cluster, victim_query)
+    finally:
+        gmdj_operator.SyncSession.finish = original_finish
+    diff = diff_profiles(
+        before, after, before_label="healthy", after_label="slowed"
+    )
+    top = diff.top_regression()
+    if top is None:
+        failures.append(
+            f"injected {slowdown_s * 1000:.0f}ms operator slowdown produced "
+            "no attributed regression"
+        )
+    elif top.dimension != "operator" or "round.merge" not in top.key:
+        failures.append(
+            f"top attributed regression is {top.dimension} {top.key} "
+            f"{top.metric}, expected operator round.merge"
+        )
+    else:
+        print(
+            f"injected {slowdown_s * 1000:.0f}ms sync-merge slowdown "
+            f"attributed to: {top.dimension} {top.key} "
+            f"(+{(top.after - top.before) * 1000:.1f}ms)",
+            file=out,
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=out)
+        return 1
+    print("loadgen self-test passed", file=out)
+    return 0

@@ -26,7 +26,20 @@ Subcommands:
   per-site bytes);
 - ``bench`` — run the EXPLAIN ANALYZE profiler benchmark;
   ``--check`` compares against the pinned ``BENCH_profile.json``
-  baseline and fails on >20% regressions;
+  baseline (and, when present, the ``BENCH_slo.json`` SLO baseline),
+  fails on regressions, and prints the trace-diff root-cause table for
+  any failure;
+- ``loadgen`` — the closed/open-loop load generator: seeded
+  deterministic query mixes against the query service, an SLO report
+  (``BENCH_slo.json``) with achieved QPS and per-stage latency
+  quantiles per offered-load step, and an ASCII latency-vs-load table;
+  ``--check`` gates against the pinned baseline, ``--self-test`` runs
+  the acceptance scenario;
+- ``diff BEFORE AFTER`` — compare two observability artifacts (JSONL
+  traces, ``explain --analyze --json`` profiles, ``loadgen`` SLO
+  reports, or ``bench`` reports) and attribute wall-time/byte deltas to
+  rounds, sites, operators, stages and optimizations with thresholded
+  verdicts; exits 1 when anything regressed;
 - ``figures [NAME]`` — regenerate the paper's experiments and print
   their reports (fig2, fig2x, fig3, fig4, fig5, or all).
 """
@@ -231,6 +244,112 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output", metavar="PATH", help="write the fresh report JSON to PATH"
+    )
+    bench.add_argument(
+        "--slo-baseline",
+        default="BENCH_slo.json",
+        metavar="PATH",
+        help="with --check: also re-run the pinned SLO sweep and gate "
+        "against this baseline (skipped when the file does not exist)",
+    )
+    bench.add_argument(
+        "--slo-threshold",
+        type=float,
+        default=0.5,
+        help="allowed relative SLO regression vs the baseline",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive the query service with a seeded deterministic query "
+        "mix and emit an SLO report (latency vs offered load)",
+    )
+    loadgen.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed loop (steps = worker counts) or open loop "
+        "(steps = offered QPS)",
+    )
+    loadgen.add_argument(
+        "--mix",
+        choices=("cube", "multifeature", "unpivot", "mixed"),
+        default="mixed",
+        help="query family blend",
+    )
+    loadgen.add_argument("--seed", type=int, default=17)
+    loadgen.add_argument("--sites", type=int, default=3)
+    loadgen.add_argument("--flow-count", type=int, default=400)
+    loadgen.add_argument(
+        "--executor", choices=EXECUTORS, default="serial",
+        help="site execution engine",
+    )
+    loadgen.add_argument(
+        "--steps",
+        default=None,
+        help="comma-separated offered loads: worker counts (closed) or "
+        "QPS values (open); default 1,2,4",
+    )
+    loadgen.add_argument(
+        "--queries", type=int, default=24, help="submissions per step"
+    )
+    loadgen.add_argument(
+        "--workers", type=int, default=4, help="open-loop client threads"
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=30.0, help="per-query timeout (s)"
+    )
+    loadgen.add_argument(
+        "--output", metavar="PATH", help="write the SLO report JSON to PATH"
+    )
+    loadgen.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit non-zero on regression",
+    )
+    loadgen.add_argument(
+        "--baseline",
+        default="BENCH_slo.json",
+        metavar="PATH",
+        help="pinned SLO baseline for --check",
+    )
+    loadgen.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="allowed relative regression vs the baseline",
+    )
+    loadgen.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the acceptance scenario: >=3 steps with per-stage "
+        "p50/p99, stage sums within 5% of end-to-end latency, and an "
+        "injected operator slowdown attributed by the trace diff",
+    )
+
+    diff = commands.add_parser(
+        "diff",
+        help="attribute wall-time/byte deltas between two observability "
+        "artifacts (traces, profiles, SLO or bench reports)",
+    )
+    diff.add_argument("before", help="baseline artifact path")
+    diff.add_argument("after", help="fresh artifact path")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="relative movement a series needs to earn a verdict",
+    )
+    diff.add_argument(
+        "--query-id",
+        type=int,
+        default=None,
+        help="when diffing traces: restrict to one query's records",
+    )
+    diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the diff as JSON instead of the root-cause table",
     )
 
     query = commands.add_parser(
@@ -598,11 +717,13 @@ def run_top(args, out) -> int:
 
 def run_bench(args, out) -> int:
     import json
+    import os
 
     from repro.bench.harness import (
         check_profile_baseline,
         profile_benchmark_report,
     )
+    from repro.obs.diff import diff_bench, render_diff
 
     report = profile_benchmark_report(
         sites=args.sites, scale=args.scale, executor=args.executor
@@ -621,10 +742,50 @@ def run_bench(args, out) -> int:
     except OSError as error:
         print(f"cannot read baseline {args.baseline!r}: {error}", file=sys.stderr)
         return 2
+    failed = False
     problems = check_profile_baseline(report, baseline, tolerance=args.tolerance)
     if problems:
+        failed = True
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
+        # Root-cause attribution: which metric/stage/operator moved.
+        print(
+            render_diff(
+                diff_bench(
+                    baseline,
+                    report,
+                    threshold=args.tolerance,
+                    before_label=args.baseline,
+                    after_label="fresh run",
+                )
+            ),
+            file=sys.stderr,
+        )
+    if os.path.exists(args.slo_baseline):
+        from repro.bench.loadgen import (
+            check_slo_baseline,
+            config_from_report,
+            run_loadgen as run_slo_sweep,
+        )
+
+        with open(args.slo_baseline, "r", encoding="utf-8") as handle:
+            slo_baseline = json.load(handle)
+        slo_report = run_slo_sweep(config_from_report(slo_baseline))
+        slo_problems, slo_diff = check_slo_baseline(
+            slo_report, slo_baseline, threshold=args.slo_threshold
+        )
+        if slo_problems:
+            failed = True
+            for problem in slo_problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            print(render_diff(slo_diff), file=sys.stderr)
+        else:
+            print(
+                f"bench --check: SLO bars hold vs {args.slo_baseline} "
+                f"(threshold {args.slo_threshold:.0%})",
+                file=out,
+            )
+    if failed:
         return 1
     print(
         f"bench --check: no regression vs {args.baseline} "
@@ -632,6 +793,95 @@ def run_bench(args, out) -> int:
         file=out,
     )
     return 0
+
+
+def run_loadgen(args, out) -> int:
+    import json
+
+    from repro.bench.loadgen import (
+        LoadgenConfig,
+        LoadgenError,
+        check_slo_baseline,
+        render_slo_table,
+        run_loadgen as run_sweep,
+        run_self_test,
+    )
+    from repro.obs.diff import render_diff
+
+    if args.self_test:
+        return run_self_test(out, output=args.output or "BENCH_slo.json")
+    try:
+        steps = (
+            tuple(float(step) for step in args.steps.split(","))
+            if args.steps
+            else (1, 2, 4)
+        )
+        config = LoadgenConfig(
+            mode=args.mode,
+            mix=args.mix,
+            seed=args.seed,
+            sites=args.sites,
+            flow_count=args.flow_count,
+            executor=args.executor,
+            steps=steps,
+            queries_per_step=args.queries,
+            workers=args.workers,
+            timeout_s=args.timeout,
+        )
+    except (LoadgenError, ValueError) as error:
+        print(f"repro loadgen: {error}", file=sys.stderr)
+        return 2
+    report = run_sweep(config)
+    print(render_slo_table(report), file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"SLO report written to {args.output}", file=out)
+    if not args.check:
+        return 0
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError as error:
+        print(f"cannot read baseline {args.baseline!r}: {error}", file=sys.stderr)
+        return 2
+    problems, diff = check_slo_baseline(
+        report, baseline, threshold=args.threshold
+    )
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        print(render_diff(diff), file=sys.stderr)
+        return 1
+    print(
+        f"loadgen --check: SLO bars hold vs {args.baseline} "
+        f"(threshold {args.threshold:.0%})",
+        file=out,
+    )
+    return 0
+
+
+def run_diff(args, out) -> int:
+    import json
+
+    from repro.errors import ObservabilityError
+    from repro.obs.diff import diff_artifacts, render_diff
+
+    try:
+        diff = diff_artifacts(
+            args.before,
+            args.after,
+            threshold=args.threshold,
+            query_id=args.query_id,
+        )
+    except (OSError, ObservabilityError) as error:
+        print(f"repro diff: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(render_diff(diff), file=out)
+    return 1 if diff.regressions() else 0
 
 
 def _service_metrics_line(service) -> str:
@@ -775,6 +1025,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return run_top(args, out)
     if args.command == "bench":
         return run_bench(args, out)
+    if args.command == "loadgen":
+        return run_loadgen(args, out)
+    if args.command == "diff":
+        return run_diff(args, out)
     if args.command == "query":
         return run_query(args, out)
     if args.command == "figures":

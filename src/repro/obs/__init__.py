@@ -17,9 +17,21 @@ Seven pieces, all zero-dependency and import-free of the execution layers
 - :mod:`repro.obs.export` — Prometheus text exposition plus the stdlib
   HTTP endpoint behind ``repro serve --metrics-port``;
 - :mod:`repro.obs.top` — the polling terminal dashboard behind
-  ``repro top``.
+  ``repro top``;
+- :mod:`repro.obs.diff` — trace/profile/SLO comparison with
+  per-dimension regression attribution (``repro diff``).
 """
 
+from repro.obs.diff import (
+    DiffEntry,
+    TraceDiff,
+    diff_artifacts,
+    diff_bench,
+    diff_profiles,
+    diff_slo,
+    load_artifact,
+    render_diff,
+)
 from repro.obs.events import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
@@ -52,8 +64,11 @@ from repro.obs.profile import (
     RoundProfile,
     SiteProfile,
     build_profile,
+    operator_totals,
     profile_from_trace,
     render_profile,
+    round_totals,
+    site_totals,
 )
 from repro.obs.timeline import render_timeline, timeline_totals
 from repro.obs.top import render_top, summarize, top_loop
@@ -62,6 +77,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 __all__ = [
     "BYTES_BUCKETS",
     "Counter",
+    "DiffEntry",
     "EventLog",
     "GLOBAL_REGISTRY",
     "Gauge",
@@ -78,20 +94,30 @@ __all__ = [
     "SUPPORTED_SCHEMA_VERSIONS",
     "SiteProfile",
     "Span",
+    "TraceDiff",
     "Tracer",
     "activate",
     "active_registry",
     "build_profile",
     "build_trace",
+    "diff_artifacts",
+    "diff_bench",
+    "diff_profiles",
+    "diff_slo",
     "histogram_quantile",
+    "load_artifact",
+    "operator_totals",
     "parse_prometheus_text",
     "profile_from_trace",
     "prometheus_text",
+    "render_diff",
     "render_profile",
     "render_timeline",
     "render_top",
+    "round_totals",
     "scrape",
     "set_active_registry",
+    "site_totals",
     "start_metrics_server",
     "summarize",
     "timeline_totals",

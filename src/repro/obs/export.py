@@ -8,8 +8,10 @@ Three pieces, all stdlib-only:
   including the ``+Inf`` bucket) plus ``_sum``/``_count``, and internal
   dotted names/labels (``net.bytes{direction=down,site=site0}``) are
   sanitized to the exposition charset;
-- :class:`MetricsServer` serves ``GET /metrics`` (and ``/healthz``) from
-  an ``http.server.ThreadingHTTPServer`` on a daemon thread — this is
+- :class:`MetricsServer` serves ``GET /metrics`` (and ``/healthz``,
+  which answers a JSON liveness document: status, server uptime, the
+  trace schema version, and the registry's metric count) from an
+  ``http.server.ThreadingHTTPServer`` on a daemon thread — this is
   what ``repro serve --metrics-port`` starts;
 - :func:`parse_prometheus_text` / :func:`scrape` read an exposition back
   into ``{family: [(labels, value), ...]}`` — the consumer side used by
@@ -22,13 +24,16 @@ each metric's lock, so a scrape observes a consistent value per metric
 
 from __future__ import annotations
 
+import json
 import re
 import threading
+import time
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Tuple
 
 from repro.errors import ObservabilityError
+from repro.obs.events import SCHEMA_VERSION
 from repro.obs.metrics import MetricsRegistry
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -196,9 +201,15 @@ class _MetricsHandler(BaseHTTPRequestHandler):
             self.send_response(200)
             self.send_header("Content-Type", CONTENT_TYPE)
         elif path == "/healthz":
-            body = b"ok\n"
+            health = {
+                "status": "ok",
+                "uptime_s": time.monotonic() - self.server.started_monotonic,
+                "trace_schema_version": SCHEMA_VERSION,
+                "metric_count": len(self.server.registry),
+            }
+            body = (json.dumps(health, sort_keys=True) + "\n").encode("utf-8")
             self.send_response(200)
-            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Type", "application/json; charset=utf-8")
         else:
             body = b"not found; try /metrics\n"
             self.send_response(404)
@@ -219,6 +230,7 @@ class MetricsServer:
         self._http = ThreadingHTTPServer((host, port), _MetricsHandler)
         self._http.daemon_threads = True
         self._http.registry = registry
+        self._http.started_monotonic = time.monotonic()
         self.host = host
         self.port = self._http.server_address[1]
         self.url = f"http://{host}:{self.port}/metrics"

@@ -373,6 +373,81 @@ def profile_from_trace(log, query_id=None) -> QueryProfile:
 
 
 # ---------------------------------------------------------------------------
+# Aggregation over profile dicts (used by ``repro diff``)
+# ---------------------------------------------------------------------------
+
+
+def _profile_dict(profile) -> dict:
+    """Accept a :class:`QueryProfile` or its ``to_dict()`` form."""
+    if hasattr(profile, "to_dict"):
+        profile = profile.to_dict()
+    if not isinstance(profile, dict) or "rounds" not in profile:
+        raise ObservabilityError(
+            "expected a QueryProfile or its to_dict() snapshot"
+        )
+    return profile
+
+
+def round_totals(profile) -> dict:
+    """``{"round 0 [base]": {"wall_s", "bytes", "tuples"}, ...}``."""
+    totals: dict = {}
+    for round_record in _profile_dict(profile)["rounds"]:
+        key = f"round {round_record['index']} [{round_record['kind']}]"
+        sites = round_record.get("sites", ())
+        totals[key] = {
+            "wall_s": round_record.get("wall_s", 0.0),
+            "bytes": round_record.get("bytes_down", 0)
+            + round_record.get("bytes_up", 0),
+            "tuples": sum(
+                site.get("tuples_down", 0) + site.get("tuples_up", 0)
+                for site in sites
+            ),
+        }
+    return totals
+
+
+def site_totals(profile) -> dict:
+    """Per-site compute/bytes/tuples summed across all rounds."""
+    totals: dict = {}
+    for round_record in _profile_dict(profile)["rounds"]:
+        for site in round_record.get("sites", ()):
+            entry = totals.setdefault(
+                site["site_id"],
+                {"compute_s": 0.0, "bytes": 0, "tuples": 0, "retries": 0},
+            )
+            entry["compute_s"] += site.get("compute_s", 0.0)
+            entry["bytes"] += site.get("bytes_down", 0) + site.get("bytes_up", 0)
+            entry["tuples"] += site.get("tuples_down", 0) + site.get(
+                "tuples_up", 0
+            )
+            entry["retries"] += site.get("retries", 0)
+    return totals
+
+
+def operator_totals(profile) -> dict:
+    """Span-name aggregates across all rounds, keyed ``"name [kind]"``."""
+    totals: dict = {}
+
+    def _absorb(operator_record: dict) -> None:
+        key = f"{operator_record['name']} [{operator_record['kind']}]"
+        entry = totals.setdefault(
+            key, {"seconds": 0.0, "calls": 0, "rows": 0, "bytes": 0}
+        )
+        entry["seconds"] += operator_record.get("seconds", 0.0)
+        entry["calls"] += operator_record.get("calls", 0)
+        entry["rows"] += operator_record.get("rows", 0)
+        entry["bytes"] += operator_record.get("bytes", 0)
+
+    for round_record in _profile_dict(profile)["rounds"]:
+        for operator_record in round_record.get("coordinator_operators", ()):
+            _absorb(operator_record)
+        for site in round_record.get("sites", ()):
+            for operator_record in site.get("operators", ()):
+                _absorb(operator_record)
+    return totals
+
+
+# ---------------------------------------------------------------------------
 # Rendering
 # ---------------------------------------------------------------------------
 

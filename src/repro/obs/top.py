@@ -4,10 +4,13 @@ Polls a Prometheus exposition produced by
 :class:`~repro.obs.export.MetricsServer` (normally ``repro serve
 --metrics-port``) and renders the query service's operational state:
 in-flight and queued queries, cache hit ratio, admission
-rejections/timeouts, per-site wire bytes, and latency histogram
-quantiles (p50/p90/p99 reconstructed from the cumulative ``le``
-buckets). Pure consumer: everything here works from the parsed samples
-alone, so it can watch any process exposing the same metric names.
+rejections/timeouts, per-site wire bytes, latency histogram quantiles
+(p50/p90/p99 reconstructed from the cumulative ``le`` buckets), and a
+query-lifecycle panel: per-stage (admission/lookup/plan/execute/merge)
+quantiles from ``service.stage_s{stage=...}`` plus per-outcome
+submission counts from ``service.latency_by_outcome_s{outcome=...}``.
+Pure consumer: everything here works from the parsed samples alone, so
+it can watch any process exposing the same metric names.
 """
 
 from __future__ import annotations
@@ -33,28 +36,38 @@ def _total(samples: Samples, name: str, **match) -> float:
     return total
 
 
-def _histogram_series(samples: Samples, family: str):
-    """Rebuild (boundaries, cumulative, count, sum) from bucket samples."""
-    buckets = []
+def _histogram_series(samples: Samples, family: str, **match):
+    """Rebuild (boundaries, cumulative, count, sum) from bucket samples.
+
+    With ``match`` keywords only bucket/count/sum samples carrying those
+    exact label values contribute — that is how one ``stage=`` series is
+    pulled out of the multi-series ``service_stage_s`` family. Without
+    ``match`` every series in the family is summed (label-blind), which
+    is what the single-series ``service_latency_s`` panel relies on.
+    """
+    buckets: Dict[float, float] = {}
     for labels, value in samples.get(f"{family}_bucket", ()):
         le = labels.get("le")
         if le is None:
             continue
+        if not all(labels.get(key) == str(want) for key, want in match.items()):
+            continue
         bound = float("inf") if le == "+Inf" else float(le)
-        buckets.append((bound, value))
+        buckets[bound] = buckets.get(bound, 0.0) + value
     if not buckets:
         return None
-    buckets.sort(key=lambda pair: pair[0])
-    boundaries = [bound for bound, _ in buckets if bound != float("inf")]
-    cumulative = [int(value) for bound, value in buckets if bound != float("inf")]
-    count = int(_total(samples, f"{family}_count"))
+    boundaries = sorted(bound for bound in buckets if bound != float("inf"))
+    cumulative = [int(buckets[bound]) for bound in boundaries]
+    count = int(_total(samples, f"{family}_count", **match))
     cumulative.append(count)
-    return boundaries, cumulative, count, _total(samples, f"{family}_sum")
+    return boundaries, cumulative, count, _total(samples, f"{family}_sum", **match)
 
 
-def latency_quantiles_ms(samples: Samples, family: str = "service_latency_s") -> dict:
+def latency_quantiles_ms(
+    samples: Samples, family: str = "service_latency_s", **match
+) -> dict:
     """p50/p90/p99 (+mean, count) in milliseconds from the exposition."""
-    series = _histogram_series(samples, family)
+    series = _histogram_series(samples, family, **match)
     if series is None:
         return {}
     boundaries, cumulative, count, total_s = series
@@ -65,6 +78,45 @@ def latency_quantiles_ms(samples: Samples, family: str = "service_latency_s") ->
     quantiles["mean"] = (total_s / count) * 1000.0 if count else 0.0
     quantiles["count"] = count
     return quantiles
+
+
+def _label_values(samples: Samples, name: str, label: str) -> List[str]:
+    values = {
+        labels[label]
+        for labels, _value in samples.get(name, ())
+        if label in labels
+    }
+    return sorted(values)
+
+
+def stage_quantiles_ms(samples: Samples) -> dict:
+    """Per-lifecycle-stage quantiles from ``service.stage_s{stage=...}``.
+
+    Returns ``{stage: {p50, p90, p99, mean, count}}`` (milliseconds) for
+    every stage label observed in the exposition, in the service's
+    canonical admission→merge order with unknown stages appended.
+    """
+    observed = _label_values(samples, "service_stage_s_count", "stage")
+    canonical = ("admission", "lookup", "plan", "execute", "merge")
+    ordered = [stage for stage in canonical if stage in observed]
+    ordered += [stage for stage in observed if stage not in canonical]
+    per_stage = {}
+    for stage in ordered:
+        quantiles = latency_quantiles_ms(samples, "service_stage_s", stage=stage)
+        if quantiles:
+            per_stage[stage] = quantiles
+    return per_stage
+
+
+def outcome_counts(samples: Samples) -> dict:
+    """``{outcome: submissions}`` from ``service.latency_by_outcome_s``."""
+    per_outcome = {}
+    for labels, value in samples.get("service_latency_by_outcome_s_count", ()):
+        outcome = labels.get("outcome")
+        if outcome is None:
+            continue
+        per_outcome[outcome] = per_outcome.get(outcome, 0) + int(value)
+    return per_outcome
 
 
 def site_bytes(samples: Samples) -> dict:
@@ -97,6 +149,8 @@ def summarize(samples: Samples) -> dict:
         "timeouts": _total(samples, "service_admission_timeout_total"),
         "appends": _total(samples, "service_appends_total"),
         "latency_ms": latency_quantiles_ms(samples),
+        "stages_ms": stage_quantiles_ms(samples),
+        "outcomes": outcome_counts(samples),
         "site_bytes": site_bytes(samples),
     }
 
@@ -129,6 +183,26 @@ def render_top(summary: dict, url: str = "", iteration: Optional[int] = None) ->
         )
     else:
         lines.append("latency: (no service.latency_s samples yet)")
+    stages = summary.get("stages_ms", {})
+    if stages:
+        lines.append("stages:")
+        label_width = max(len(stage) for stage in stages)
+        for stage, quantiles in stages.items():
+            lines.append(
+                f"  {stage.ljust(label_width)}  "
+                f"p50={quantiles['p50']:.1f}ms p90={quantiles['p90']:.1f}ms "
+                f"p99={quantiles['p99']:.1f}ms n={quantiles['count']}"
+            )
+    else:
+        lines.append("stages: (no service.stage_s samples yet)")
+    outcomes = summary.get("outcomes", {})
+    if outcomes:
+        lines.append(
+            "outcomes: "
+            + " ".join(
+                f"{outcome}={count}" for outcome, count in sorted(outcomes.items())
+            )
+        )
     per_site = summary["site_bytes"]
     if per_site:
         lines.append("site bytes:")

@@ -32,6 +32,18 @@ order** (sorted by the expression's key attributes, ``repr``-wise). A
 cache hit returns the stored relation verbatim, and a refresh-upgraded
 result is value-identical to evaluating fresh against the grown data —
 both are checked bit-for-bit in the test suite.
+
+Query-lifecycle observability: every submission is decomposed into the
+stage sequence ``admission → lookup → plan → execute → merge``, each
+stage recorded as a ``service.<stage>`` span under the ``service.query``
+root and observed into the ``service.stage_s{stage=...}`` histogram
+family. Stage durations are measured on one monotonic clock
+(``time.perf_counter``, the same clock the tracer uses) so they are
+*additive*: their sum accounts for the submission's end-to-end
+``wall_s`` up to constant-time glue (the load harness asserts >= 95%).
+End-to-end latency is additionally observed per outcome
+(``service.latency_by_outcome_s{outcome=hit|fresh|refresh|degraded|
+rejected|timeout}``) so SLOs can be stated per serving path.
 """
 
 from __future__ import annotations
@@ -40,14 +52,15 @@ import itertools
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Mapping, Optional, Union
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
 
 from repro.distributed.cluster import SimulatedCluster
-from repro.distributed.evaluator import ExecutionConfig, execute_query
+from repro.distributed.evaluator import ExecutionConfig, execute_plan
 from repro.distributed.executor import create_engine
 from repro.distributed.incremental import IncrementalView
-from repro.distributed.optimizer import OptimizationOptions
+from repro.distributed.optimizer import OptimizationOptions, plan_query
 from repro.errors import (
     AdmissionError,
     PlanError,
@@ -66,6 +79,18 @@ from repro.service.signature import PlanSignature
 FRESH = "fresh"
 HIT = "hit"
 REFRESH = "refresh"
+
+#: Additional ``QueryResult.outcome`` values (a fresh evaluation is the
+#: cache-miss path, so ``"fresh"`` doubles as the miss outcome).
+DEGRADED = "degraded"
+REJECTED = "rejected"
+TIMEOUT = "timeout"
+
+#: Query-lifecycle stages, in submission order.
+STAGES = ("admission", "lookup", "plan", "execute", "merge")
+
+#: Every outcome a submission can end with.
+OUTCOMES = (HIT, FRESH, REFRESH, DEGRADED, REJECTED, TIMEOUT)
 
 
 def canonical_order(relation: Relation, key_attrs) -> Relation:
@@ -101,10 +126,20 @@ class QueryResult:
     #: a pure hit carries the stats of the original evaluation.
     stats: object
     wall_s: float
+    #: The SLO outcome: ``source``, or ``"degraded"`` when a fresh
+    #: evaluation excluded sites (rejected/timeout submissions raise).
+    outcome: str = FRESH
+    #: Per-stage seconds (admission/lookup/plan/execute/merge); the sum
+    #: accounts for ``wall_s`` up to constant-time glue.
+    stages: Dict[str, float] = field(default_factory=dict)
 
     @property
     def from_cache(self) -> bool:
         return self.source != FRESH
+
+    @property
+    def stage_total_s(self) -> float:
+        return sum(self.stages.values())
 
 
 @dataclass
@@ -112,6 +147,7 @@ class _Served:
     relation: Relation
     source: str
     stats: object
+    signature: PlanSignature
 
 
 class QueryService:
@@ -172,6 +208,10 @@ class QueryService:
         ):
             self.metrics.counter(counter_name)
         self.metrics.histogram("service.latency_s")
+        for stage in STAGES:
+            self.metrics.histogram("service.stage_s", stage=stage)
+        for outcome in OUTCOMES:
+            self.metrics.histogram("service.latency_by_outcome_s", outcome=outcome)
         self._engine = create_engine(
             self.config.executor, cluster.sites, self.tracer, self.config.max_workers
         )
@@ -210,7 +250,10 @@ class QueryService:
         )
 
     def _acquire_slot(self, timeout_s: float) -> None:
-        entered = time.monotonic()
+        # One monotonic clock (perf_counter) for the whole query
+        # lifecycle, so the admission stage is additive with the
+        # execution stages measured by submit() and the tracer.
+        entered = time.perf_counter()
         deadline = entered + timeout_s
         with self._gate:
             if self._closed:
@@ -234,11 +277,11 @@ class QueryService:
                 while not self._admittable(ticket):
                     if self._closed:
                         raise ServiceError("query service is closed")
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - time.perf_counter()
                     if remaining <= 0:
                         self.metrics.counter("service.admission.timeout").inc()
                         raise QueryTimeoutError(
-                            time.monotonic() - entered, timeout_s
+                            time.perf_counter() - entered, timeout_s
                         )
                     self._gate.wait(remaining)
                 self._queue.popleft()
@@ -260,6 +303,29 @@ class QueryService:
             self._gate.notify_all()
 
     # -- queries ------------------------------------------------------------------
+
+    @contextmanager
+    def _stage(self, name: str, stages: Dict[str, float]):
+        """Time one lifecycle stage: span + histogram + ``stages`` entry.
+
+        Re-entering the same stage name accumulates (the merge stage runs
+        once in ``_serve`` and again for post clauses in ``submit``).
+        """
+        with self.tracer.span(f"service.{name}", kind="service", stage=name):
+            started = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - started
+                stages[name] = stages.get(name, 0.0) + elapsed
+                self.metrics.histogram("service.stage_s", stage=name).observe(
+                    elapsed
+                )
+
+    def _observe_outcome(self, outcome: str, wall_s: float) -> None:
+        self.metrics.histogram(
+            "service.latency_by_outcome_s", outcome=outcome
+        ).observe(wall_s)
 
     def submit(
         self,
@@ -283,64 +349,96 @@ class QueryService:
             raise ServiceError(
                 f"expected SQL text or GMDJExpression, got {type(query).__name__}"
             )
+        query_id = next(self._query_ids)
         started = time.perf_counter()
-        self._acquire_slot(timeout_s if timeout_s is not None else self.admission_timeout_s)
-        try:
-            query_id = next(self._query_ids)
-            self.metrics.counter("service.queries").inc()
-            with self.tracer.span(
-                "service.query", kind="service", query_id=query_id
-            ) as span:
-                served = self._serve(expression, span, query_id)
-                span.set(outcome=served.source)
-            relation = served.relation if post is None else post(served.relation)
-            wall_s = time.perf_counter() - started
-            self.metrics.histogram("service.latency_s").observe(wall_s)
-            return QueryResult(
-                query_id=query_id,
-                relation=relation,
-                source=served.source,
-                signature=PlanSignature.compute(self.cluster, expression),
-                stats=served.stats,
-                wall_s=wall_s,
-            )
-        finally:
-            self._release_slot()
+        stages: Dict[str, float] = {}
+        with self.tracer.span(
+            "service.query", kind="service", query_id=query_id
+        ) as span:
+            try:
+                with self._stage("admission", stages):
+                    self._acquire_slot(
+                        timeout_s if timeout_s is not None
+                        else self.admission_timeout_s
+                    )
+            except (AdmissionError, QueryTimeoutError) as error:
+                outcome = (
+                    REJECTED if isinstance(error, AdmissionError) else TIMEOUT
+                )
+                span.set(outcome=outcome)
+                self._observe_outcome(outcome, time.perf_counter() - started)
+                raise
+            try:
+                self.metrics.counter("service.queries").inc()
+                served = self._serve(expression, span, query_id, stages)
+                if post is None:
+                    relation = served.relation
+                else:
+                    with self._stage("merge", stages):
+                        relation = post(served.relation)
+                outcome = served.source
+                if outcome == FRESH and getattr(served.stats, "degraded", False):
+                    outcome = DEGRADED
+                span.set(outcome=outcome)
+                wall_s = time.perf_counter() - started
+                self.metrics.histogram("service.latency_s").observe(wall_s)
+                self._observe_outcome(outcome, wall_s)
+                return QueryResult(
+                    query_id=query_id,
+                    relation=relation,
+                    source=served.source,
+                    signature=served.signature,
+                    stats=served.stats,
+                    wall_s=wall_s,
+                    outcome=outcome,
+                    stages=dict(stages),
+                )
+            finally:
+                self._release_slot()
 
-    def _serve(self, expression: GMDJExpression, span, query_id=None) -> _Served:
-        signature = PlanSignature.compute(self.cluster, expression)
-        entry = self.cache.get(signature)
+    def _serve(
+        self, expression: GMDJExpression, span, query_id=None, stages=None
+    ) -> _Served:
+        stages = {} if stages is None else stages
+        with self._stage("lookup", stages):
+            signature = PlanSignature.compute(self.cluster, expression)
+            entry = self.cache.get(signature)
+            candidate = None
+            if entry is None:
+                candidate = self.cache.upgrade_candidate(signature)
         if entry is not None:
             self.metrics.counter("service.cache.hit").inc()
-            return _Served(entry.relation, HIT, entry.stats)
-        candidate = self.cache.upgrade_candidate(signature)
+            return _Served(entry.relation, HIT, entry.stats, signature)
         if candidate is not None and candidate.refreshable:
-            served = self._try_upgrade(candidate, signature, span)
+            served = self._try_upgrade(candidate, signature, span, stages)
             if served is not None:
                 return served
         self.metrics.counter("service.cache.miss").inc()
-        result = execute_query(
-            self.cluster,
-            expression,
-            self.options,
-            self.config,
-            tracer=self.tracer,
-            engine=self._engine,
-            network=self.cluster.fresh_network(self.metrics),
-            query_id=query_id,
-        )
-        relation = canonical_order(result.relation, expression.key)
-        self._maybe_cache(expression, signature, relation, result.stats)
-        return _Served(relation, FRESH, result.stats)
+        with self._stage("plan", stages):
+            plan = plan_query(expression, self.cluster.catalog, self.options)
+        with self._stage("execute", stages):
+            result = execute_plan(
+                self.cluster,
+                plan,
+                self.config,
+                tracer=self.tracer,
+                engine=self._engine,
+                network=self.cluster.fresh_network(self.metrics),
+                query_id=query_id,
+            )
+        with self._stage("merge", stages):
+            relation = canonical_order(result.relation, expression.key)
+            self._maybe_cache(expression, signature, relation, result.stats)
+        return _Served(relation, FRESH, result.stats, signature)
 
     def _try_upgrade(
-        self, entry: CacheEntry, signature: PlanSignature, span
+        self, entry: CacheEntry, signature: PlanSignature, span, stages
     ) -> Optional[_Served]:
         with entry.lock:
             if entry.signature == signature:
                 # Lost the race: another query upgraded the entry first.
                 self.metrics.counter("service.cache.hit").inc()
-                return _Served(entry.relation, HIT, entry.stats)
+                return _Served(entry.relation, HIT, entry.stats, signature)
             gaps = entry.signature.version_gaps(signature)
             if not gaps:
                 return None
@@ -348,17 +446,21 @@ class QueryService:
             if deltas is None:
                 return None
             old_signature = entry.signature
-            refreshed = entry.view.refresh(
-                deltas,
-                apply_appends=False,
-                network=self.cluster.fresh_network(self.metrics),
-            )
-            relation = canonical_order(refreshed.relation, entry.expression.key)
-            entry.upgrade(signature, relation)
-            self.cache.reindex(old_signature, entry)
+            with self._stage("execute", stages):
+                refreshed = entry.view.refresh(
+                    deltas,
+                    apply_appends=False,
+                    network=self.cluster.fresh_network(self.metrics),
+                )
+            with self._stage("merge", stages):
+                relation = canonical_order(
+                    refreshed.relation, entry.expression.key
+                )
+                entry.upgrade(signature, relation)
+                self.cache.reindex(old_signature, entry)
         self.metrics.counter("service.cache.refresh").inc()
         span.set(new_groups=refreshed.new_groups)
-        return _Served(relation, REFRESH, refreshed.stats)
+        return _Served(relation, REFRESH, refreshed.stats, signature)
 
     def _coverable_deltas(self, entry: CacheEntry, gaps) -> Optional[dict]:
         """Per-site combined deltas spanning the gaps, or None if uncovered.

@@ -309,10 +309,13 @@ class TestBench:
         assert report["profiler"]["bytes_coverage"] == 1.0
         assert report["profiler"]["overhead_frac"] < 0.05
 
-        # Checking a fresh run against its own numbers passes.
+        # Checking a fresh run against its own numbers passes. The SLO
+        # gate is pointed at a missing file so this test does not re-run
+        # the committed BENCH_slo.json sweep (repro loadgen has its own).
         code, output = run_cli(
             ["bench", "--sites", "2", "--scale", "0.0003", "--check",
-             "--baseline", str(baseline)]
+             "--baseline", str(baseline),
+             "--slo-baseline", str(tmp_path / "no-slo.json")]
         )
         assert code == 0
         assert "no regression" in output
@@ -358,3 +361,122 @@ class TestBench:
              "--output", str(tmp_path / "fresh.json")]
         )
         assert code == 2
+
+
+SMALL_LOADGEN = [
+    "loadgen", "--mix", "cube", "--sites", "2", "--flow-count", "120",
+    "--steps", "1,2", "--queries", "4",
+]
+
+
+class TestLoadgen:
+    def test_sweep_writes_report_and_checks_itself(self, tmp_path):
+        import json
+
+        output = tmp_path / "slo.json"
+        code, text = run_cli(SMALL_LOADGEN + ["--output", str(output)])
+        assert code == 0
+        assert "closed-1w" in text and "closed-2w" in text
+        report = json.loads(output.read_text())
+        assert report["slo_version"] == 1
+        assert len(report["steps"]) == 2
+        for step in report["steps"]:
+            assert "p99" in step["latency_ms"]
+            assert 0.95 <= step["stage_sum_frac"] <= 1.05
+
+        # --check re-measures with the baseline's own config; a generous
+        # threshold soaks up small-sample quantile noise.
+        code, text = run_cli(
+            SMALL_LOADGEN
+            + ["--check", "--baseline", str(output), "--threshold", "4.0"]
+        )
+        assert code == 0
+        assert "SLO bars hold" in text
+
+    def test_unparseable_steps_exit_2(self):
+        code, _text = run_cli(["loadgen", "--steps", "one,two"])
+        assert code == 2
+
+    def test_check_missing_baseline_is_an_error(self, tmp_path):
+        code, _text = run_cli(
+            SMALL_LOADGEN
+            + ["--steps", "1", "--queries", "2", "--check",
+               "--baseline", str(tmp_path / "missing.json")]
+        )
+        assert code == 2
+
+
+class TestDiffCommand:
+    def slo_payload(self, p50=10.0):
+        return {
+            "slo_version": 1,
+            "steps": [
+                {
+                    "label": "closed-1w",
+                    "achieved_qps": 2.0,
+                    "hit_ratio": 0.5,
+                    "outcomes": {"rejected": 0, "timeout": 0},
+                    "latency_ms": {"p50": p50, "p90": p50 * 2, "p99": p50 * 4},
+                    "stages_ms": {"execute": {"p50": p50, "p99": p50 * 3}},
+                }
+            ],
+        }
+
+    def write(self, path, payload):
+        import json
+
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_identical_artifacts_exit_0(self, tmp_path):
+        before = self.write(tmp_path / "a.json", self.slo_payload())
+        after = self.write(tmp_path / "b.json", self.slo_payload())
+        code, text = run_cli(["diff", before, after])
+        assert code == 0
+        assert "no attributed regressions" in text
+
+    def test_regression_exits_1_and_names_the_cause(self, tmp_path):
+        before = self.write(tmp_path / "a.json", self.slo_payload())
+        after = self.write(tmp_path / "b.json", self.slo_payload(p50=80.0))
+        code, text = run_cli(["diff", before, after])
+        assert code == 1
+        assert "REGRESSED" in text
+        assert "top regression:" in text
+        assert "closed-1w" in text
+
+    def test_json_output_round_trips(self, tmp_path):
+        import json
+
+        before = self.write(tmp_path / "a.json", self.slo_payload())
+        after = self.write(tmp_path / "b.json", self.slo_payload(p50=80.0))
+        code, text = run_cli(["diff", before, after, "--json"])
+        assert code == 1
+        payload = json.loads(text)
+        assert payload["kind"] == "slo"
+        assert payload["regressions"] >= 1
+        assert payload["entries"]
+
+    def test_missing_file_exit_2(self, tmp_path):
+        before = self.write(tmp_path / "a.json", self.slo_payload())
+        code, _text = run_cli(["diff", before, str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_kind_mismatch_exit_2(self, tmp_path):
+        slo = self.write(tmp_path / "a.json", self.slo_payload())
+        bench = self.write(tmp_path / "b.json", {"profiler": {}})
+        code, _text = run_cli(["diff", slo, bench])
+        assert code == 2
+
+    def test_trace_diffed_against_itself_via_cli(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, _text = run_cli(
+            ["trace",
+             "SELECT NationKey, COUNT(*) AS cnt FROM TPCR GROUP BY NationKey",
+             "--sites", "2", "--scale", "0.0002",
+             "--emit-trace", str(trace)]
+        )
+        assert code == 0
+        code, text = run_cli(["diff", str(trace), str(trace)])
+        assert code == 0
+        assert "repro diff [profile]" in text
+        assert "no attributed regressions" in text

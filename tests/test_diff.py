@@ -1,0 +1,302 @@
+"""Trace-diff regression attribution (`repro diff` / repro.obs.diff).
+
+The two contracts the PR pins: an artifact diffed against itself
+reports zero attributed delta and no verdicts, and a genuine slowdown
+is attributed to the dimension that caused it (the loadgen self-test
+covers the injected-operator case end to end).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.loadgen import build_query_pool
+from repro.data.flows import FlowConfig, generate_flows, router_partitioner
+from repro.distributed import (
+    OptimizationOptions,
+    SimulatedCluster,
+    execute_query,
+)
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, Tracer, build_profile, build_trace
+from repro.obs.diff import (
+    IMPROVED,
+    REGRESSED,
+    UNCHANGED,
+    DiffEntry,
+    diff_artifacts,
+    diff_bench,
+    diff_profiles,
+    diff_slo,
+    load_artifact,
+    render_diff,
+)
+
+
+def build_cluster(sites: int = 2, flow_count: int = 120) -> SimulatedCluster:
+    config = FlowConfig(flow_count=flow_count, router_count=sites)
+    cluster = SimulatedCluster.with_sites(sites)
+    cluster.load_partitioned(
+        "Flow", generate_flows(config), router_partitioner(config)
+    )
+    return cluster
+
+
+def traced_run(cluster, expression):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    cluster.reset_network(metrics=registry)
+    result = execute_query(
+        cluster,
+        expression,
+        OptimizationOptions.none(),
+        tracer=tracer,
+        metrics=registry,
+        query_id=1,
+    )
+    return tracer, registry, result
+
+
+@pytest.fixture(scope="module")
+def profile_dict():
+    cluster = build_cluster()
+    _name, expression = build_query_pool("cube")[0]
+    tracer, _registry, result = traced_run(cluster, expression)
+    return build_profile(tracer.finished(), result.stats, query_id=1).to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Verdict math
+# ---------------------------------------------------------------------------
+
+
+class TestDiffEntry:
+    def test_jitter_below_slack_is_unchanged(self):
+        entry = DiffEntry("total", "query", "wall_s", 1.0, 1.004)
+        assert entry.verdict() == UNCHANGED
+
+    def test_large_relative_move_regresses(self):
+        # +100% on 0.1s clears 10% * 0.1 + 5ms slack.
+        entry = DiffEntry("total", "query", "wall_s", 0.1, 0.2)
+        assert entry.verdict() == REGRESSED
+        assert entry.worse_by() == pytest.approx(0.1)
+
+    def test_symmetric_improvement(self):
+        entry = DiffEntry("total", "query", "wall_s", 0.2, 0.1)
+        assert entry.verdict() == IMPROVED
+
+    def test_small_absolute_move_on_tiny_base_is_noise(self):
+        # 4ms of jitter on a 1ms operator is not a 400% regression.
+        entry = DiffEntry("operator", "x", "seconds", 0.001, 0.005)
+        assert entry.verdict() == UNCHANGED
+
+    def test_higher_is_better_metrics_invert_direction(self):
+        dropped = DiffEntry(
+            "total", "s1", "hit_ratio", 0.5, 0.2,
+            unit="hit_ratio", higher_is_worse=False,
+        )
+        assert dropped.verdict() == REGRESSED
+        # A few flipped outcomes per step stay inside the 0.15 slack.
+        racy = DiffEntry(
+            "total", "s1", "hit_ratio", 0.5, 0.4,
+            unit="hit_ratio", higher_is_worse=False,
+        )
+        assert racy.verdict() == UNCHANGED
+
+    def test_severity_ranks_relative_movement(self):
+        small_base = DiffEntry("operator", "merge", "seconds", 0.02, 0.1)
+        large_base = DiffEntry("total", "query", "wall_s", 1.0, 1.08)
+        assert small_base.severity() > large_base.severity()
+
+    def test_to_dict_carries_verdict(self):
+        entry = DiffEntry("total", "query", "wall_s", 0.1, 0.2)
+        as_dict = entry.to_dict()
+        assert as_dict["verdict"] == REGRESSED
+        assert as_dict["delta"] == pytest.approx(0.1)
+
+
+# ---------------------------------------------------------------------------
+# Profile diffs
+# ---------------------------------------------------------------------------
+
+
+class TestProfileDiff:
+    def test_self_diff_reports_zero(self, profile_dict):
+        diff = diff_profiles(profile_dict, profile_dict)
+        assert diff.kind == "profile"
+        assert diff.attributed_delta_s == 0.0
+        assert diff.regressions() == []
+        assert diff.improvements() == []
+        assert diff.top_regression() is None
+        assert all(
+            entry.verdict(diff.threshold) == UNCHANGED
+            for entry in diff.entries
+        )
+
+    def test_profile_entries_cover_the_attribution_dimensions(
+        self, profile_dict
+    ):
+        diff = diff_profiles(profile_dict, profile_dict)
+        dimensions = {entry.dimension for entry in diff.entries}
+        assert {"total", "round", "site", "operator"} <= dimensions
+
+    def test_total_slowdown_is_attributed(self, profile_dict):
+        slowed = json.loads(json.dumps(profile_dict))
+        slowed["wall_s"] = profile_dict["wall_s"] * 3.0 + 1.0
+        diff = diff_profiles(profile_dict, slowed)
+        top = diff.top_regression()
+        assert top is not None
+        assert (top.dimension, top.key, top.metric) == (
+            "total", "query", "wall_s",
+        )
+        assert diff.attributed_delta_s > 0.0
+
+
+# ---------------------------------------------------------------------------
+# SLO / bench diffs
+# ---------------------------------------------------------------------------
+
+
+def slo_step(label, p50=10.0, p99=20.0, hit=0.5, qps=2.0, rejected=0):
+    return {
+        "label": label,
+        "achieved_qps": qps,
+        "hit_ratio": hit,
+        "outcomes": {"rejected": rejected, "timeout": 0},
+        "latency_ms": {"p50": p50, "p90": (p50 + p99) / 2, "p99": p99},
+        "stages_ms": {"execute": {"p50": p50 * 0.8, "p99": p99 * 0.8}},
+    }
+
+
+class TestSloDiff:
+    def test_self_diff_reports_zero(self):
+        report = {"steps": [slo_step("s1"), slo_step("s2")]}
+        diff = diff_slo(report, report)
+        assert diff.kind == "slo"
+        assert diff.regressions() == []
+        assert diff.attributed_delta_s == 0.0
+
+    def test_latency_regression_is_attributed_to_its_step(self):
+        before = {"steps": [slo_step("s1"), slo_step("s2")]}
+        after = {"steps": [slo_step("s1"), slo_step("s2", p50=40.0, p99=80.0)]}
+        diff = diff_slo(before, after)
+        assert all(entry.key.startswith("s2") for entry in diff.regressions())
+        assert any(
+            entry.metric == "latency_p50" for entry in diff.regressions()
+        )
+
+    def test_admission_rejections_count_as_regressions(self):
+        before = {"steps": [slo_step("s1")]}
+        after = {"steps": [slo_step("s1", rejected=4)]}
+        diff = diff_slo(before, after)
+        assert any(entry.metric == "rejected" for entry in diff.regressions())
+
+    def test_steps_are_matched_by_label_with_zero_fill(self):
+        before = {"steps": [slo_step("s1")]}
+        after = {"steps": [slo_step("s1"), slo_step("s3")]}
+        diff = diff_slo(before, after)
+        keys = {entry.key for entry in diff.entries}
+        assert "s1" in keys and "s3" in keys
+
+
+class TestBenchDiff:
+    def report(self, overhead=0.01, p50=5.0, profile=None):
+        report = {
+            "profiler": {
+                "overhead_frac": overhead,
+                "time_coverage": 0.99,
+                "bytes_coverage": 1.0,
+            },
+            "service": {
+                "hit_ratio": 0.5,
+                "latency_ms": {
+                    "p50": p50, "p90": p50 * 2, "p99": p50 * 4,
+                    "mean": p50,
+                },
+            },
+        }
+        if profile is not None:
+            report["profile"] = profile
+        return report
+
+    def test_self_diff_reports_zero(self):
+        report = self.report()
+        diff = diff_bench(report, report)
+        assert diff.kind == "bench"
+        assert diff.regressions() == []
+
+    def test_recurses_into_embedded_profile(self, profile_dict):
+        diff = diff_bench(
+            self.report(profile=profile_dict),
+            self.report(profile=profile_dict),
+        )
+        assert any(entry.dimension == "operator" for entry in diff.entries)
+
+    def test_service_latency_regression(self):
+        diff = diff_bench(self.report(), self.report(p50=50.0))
+        assert any(
+            entry.metric == "latency_p50" for entry in diff.regressions()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Artifact loading + the file-level entry point
+# ---------------------------------------------------------------------------
+
+
+class TestArtifacts:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_classification(self, tmp_path):
+        slo = self.write(tmp_path, "slo.json", {"slo_version": 1, "steps": []})
+        bench = self.write(tmp_path, "bench.json", {"profiler": {}})
+        profile = self.write(tmp_path, "profile.json", {"rounds": []})
+        assert load_artifact(slo)[0] == "slo"
+        assert load_artifact(bench)[0] == "bench"
+        assert load_artifact(profile)[0] == "profile"
+
+    def test_garbage_is_rejected(self, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_text("not json at all {", encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="neither"):
+            load_artifact(str(path))
+        unclassifiable = self.write(tmp_path, "what.json", {"foo": 1})
+        with pytest.raises(ObservabilityError, match="classify"):
+            load_artifact(unclassifiable)
+        not_object = self.write(tmp_path, "list.json", [1, 2])
+        with pytest.raises(ObservabilityError, match="JSON object"):
+            load_artifact(not_object)
+
+    def test_kind_mismatch_is_rejected(self, tmp_path):
+        slo = self.write(tmp_path, "slo.json", {"slo_version": 1, "steps": []})
+        bench = self.write(tmp_path, "bench.json", {"profiler": {}})
+        with pytest.raises(ObservabilityError, match="cannot diff"):
+            diff_artifacts(slo, bench)
+
+    def test_trace_diffed_against_itself_is_zero(self, tmp_path):
+        cluster = build_cluster()
+        _name, expression = build_query_pool("cube")[0]
+        tracer, registry, result = traced_run(cluster, expression)
+        log = build_trace(tracer, registry, result.stats, query_id=1)
+        before = tmp_path / "before.jsonl"
+        after = tmp_path / "after.jsonl"
+        log.dump(before)
+        log.dump(after)
+        diff = diff_artifacts(str(before), str(after), query_id=1)
+        assert diff.kind == "profile"
+        assert diff.attributed_delta_s == 0.0
+        assert diff.regressions() == []
+        assert "no attributed regressions" in render_diff(diff)
+
+
+class TestRendering:
+    def test_render_names_the_top_regression(self, profile_dict):
+        slowed = json.loads(json.dumps(profile_dict))
+        slowed["wall_s"] = profile_dict["wall_s"] * 3.0 + 1.0
+        rendered = render_diff(diff_profiles(profile_dict, slowed))
+        assert "series compared" in rendered
+        assert "REGRESSED" in rendered
+        assert "top regression: total query wall_s" in rendered

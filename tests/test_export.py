@@ -11,7 +11,14 @@ from repro.obs import (
     start_metrics_server,
 )
 from repro.obs.export import sanitize_name, split_key
-from repro.obs.top import latency_quantiles_ms, render_top, site_bytes, summarize
+from repro.obs.top import (
+    latency_quantiles_ms,
+    outcome_counts,
+    render_top,
+    site_bytes,
+    stage_quantiles_ms,
+    summarize,
+)
 
 
 def populated_registry() -> MetricsRegistry:
@@ -96,13 +103,24 @@ class TestMetricsServer:
             # Live writers show up on the next scrape.
             registry.counter("service.queries").inc()
             assert scrape(server.url)["service_queries_total"] == [({}, 4.0)]
-            # /healthz answers; unknown paths 404 without killing the server.
+            # /healthz answers a JSON liveness document; unknown paths
+            # 404 without killing the server.
+            import json
             import urllib.error
             import urllib.request
 
+            from repro.obs.events import SCHEMA_VERSION
+
             health = server.url.replace("/metrics", "/healthz")
             with urllib.request.urlopen(health, timeout=5) as response:
-                assert response.read() == b"ok\n"
+                assert response.headers["Content-Type"].startswith(
+                    "application/json"
+                )
+                body = json.loads(response.read())
+            assert body["status"] == "ok"
+            assert body["uptime_s"] >= 0.0
+            assert body["trace_schema_version"] == SCHEMA_VERSION
+            assert body["metric_count"] == len(registry)
             with pytest.raises(urllib.error.HTTPError):
                 urllib.request.urlopen(
                     server.url.replace("/metrics", "/nope"), timeout=5
@@ -128,6 +146,44 @@ class TestTopConsumer:
 
     def test_latency_quantiles_empty_without_histogram(self):
         assert latency_quantiles_ms({}) == {}
+
+    def test_stage_panel_separates_labelled_series(self):
+        registry = MetricsRegistry()
+        lookup = registry.histogram(
+            "service.stage_s", boundaries=(0.1, 1.0), stage="lookup"
+        )
+        for value in (0.05, 0.05):
+            lookup.observe(value)
+        registry.histogram(
+            "service.stage_s", boundaries=(0.1, 1.0), stage="execute"
+        ).observe(0.5)
+        registry.histogram(
+            "service.latency_by_outcome_s", boundaries=(0.1,), outcome="hit"
+        ).observe(0.01)
+        registry.histogram(
+            "service.latency_by_outcome_s", boundaries=(0.1,), outcome="fresh"
+        ).observe(0.5)
+        samples = parse_prometheus_text(prometheus_text(registry))
+
+        stages = stage_quantiles_ms(samples)
+        # Canonical lifecycle order, and each stage sees only its own
+        # label's observations (the label-blind sum would report 3).
+        assert list(stages) == ["lookup", "execute"]
+        assert stages["lookup"]["count"] == 2
+        assert stages["execute"]["count"] == 1
+        assert stages["lookup"]["p50"] <= stages["execute"]["p50"]
+        assert outcome_counts(samples) == {"hit": 1, "fresh": 1}
+
+        summary = summarize(samples)
+        assert summary["stages_ms"] == stages
+        frame = render_top(summary)
+        assert "stages:" in frame
+        assert "lookup" in frame and "execute" in frame
+        assert "outcomes: fresh=1 hit=1" in frame
+
+    def test_stage_panel_placeholder_before_traffic(self):
+        frame = render_top(summarize({}))
+        assert "no service.stage_s samples yet" in frame
 
     def test_render_top_frame(self):
         samples = parse_prometheus_text(prometheus_text(populated_registry()))

@@ -1,0 +1,221 @@
+"""Load generator determinism and SLO reporting (`repro loadgen`).
+
+The determinism contract is the load-bearing test: two runs with the
+same (mix, seed) must submit identical queries in identical order, and
+their reports must be identical once :func:`strip_timings` removes the
+wall-clock-derived (and outcome-race-dependent) fields.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.bench.loadgen import (
+    MIXES,
+    SELECTIVITY_FACTORS,
+    LoadgenConfig,
+    LoadgenError,
+    _percentile,
+    _summarize_step,
+    build_query_pool,
+    check_slo_baseline,
+    config_from_report,
+    render_slo_table,
+    run_loadgen,
+    schedule_queries,
+    strip_timings,
+)
+from repro.service.service import FRESH, HIT, REJECTED, TIMEOUT
+
+
+def small_config(**overrides) -> LoadgenConfig:
+    """A sweep small enough for CI: 2 sites, 2 steps, 6 queries each."""
+    settings = dict(
+        mix="cube", sites=2, flow_count=120, steps=(1, 2),
+        queries_per_step=6, timeout_s=10.0,
+    )
+    settings.update(overrides)
+    return LoadgenConfig(**settings)
+
+
+# ---------------------------------------------------------------------------
+# Pool & schedule
+# ---------------------------------------------------------------------------
+
+
+class TestQueryPool:
+    def test_pool_is_a_pure_function_of_mix(self):
+        for mix in MIXES:
+            first = [name for name, _ in build_query_pool(mix)]
+            second = [name for name, _ in build_query_pool(mix)]
+            assert first == second
+            assert first  # never empty
+
+    def test_mixed_blends_all_families(self):
+        names = [name for name, _ in build_query_pool("mixed")]
+        families = {name.split(":", 1)[0] for name in names}
+        assert families == {"cube", "multifeature", "unpivot"}
+        # One multifeature entry per selectivity factor.
+        assert sum(1 for name in names if name.startswith("multifeature")) == (
+            len(SELECTIVITY_FACTORS)
+        )
+
+    def test_unknown_mix_is_rejected(self):
+        with pytest.raises(LoadgenError, match="mix"):
+            build_query_pool("everything")
+
+    def test_schedule_is_seed_deterministic(self):
+        first = schedule_queries(7, 50, random.Random(17))
+        second = schedule_queries(7, 50, random.Random(17))
+        other_seed = schedule_queries(7, 50, random.Random(18))
+        assert first == second
+        assert first != other_seed
+        assert all(0 <= index < 7 for index in first)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(LoadgenError, match="mode"):
+            LoadgenConfig(mode="half-open")
+        with pytest.raises(LoadgenError, match="mix"):
+            LoadgenConfig(mix="everything")
+        with pytest.raises(LoadgenError, match="step"):
+            LoadgenConfig(steps=())
+        with pytest.raises(LoadgenError, match="queries_per_step"):
+            LoadgenConfig(queries_per_step=0)
+
+    def test_round_trips_through_a_report(self):
+        config = small_config()
+        report = {"config": config.to_dict()}
+        assert config_from_report(report) == config
+
+    def test_report_without_config_is_rejected(self):
+        with pytest.raises(LoadgenError, match="no config"):
+            config_from_report({"steps": []})
+
+
+# ---------------------------------------------------------------------------
+# Step summaries (synthetic records: cheap and outcome-exact)
+# ---------------------------------------------------------------------------
+
+
+class TestSummarizeStep:
+    def test_outcomes_and_hit_ratio(self):
+        records = [
+            (0, "q0", FRESH, 0.10, {"admission": 0.01, "execute": 0.09}),
+            (1, "q0", HIT, 0.02, {"admission": 0.01, "lookup": 0.01}),
+            (2, "q1", REJECTED, 0.001, {}),
+            (3, "q1", TIMEOUT, 0.05, {}),
+        ]
+        step = _summarize_step("s", 2.0, ["q0", "q0", "q1", "q1"], records, 1.0)
+        assert step["queries"] == 4
+        assert step["outcomes"][FRESH] == 1
+        assert step["outcomes"][HIT] == 1
+        assert step["outcomes"][REJECTED] == 1
+        assert step["outcomes"][TIMEOUT] == 1
+        # Rejected/timed-out submissions never enter the latency sample.
+        assert step["latency_ms"]["count"] == 2
+        assert step["hit_ratio"] == pytest.approx(0.5)
+        # Served queries at 2 per wall second.
+        assert step["achieved_qps"] == pytest.approx(2.0)
+        # Time-weighted: (0.10 + 0.02 stage seconds) / 0.12 wall seconds.
+        assert step["stage_sum_frac"] == pytest.approx(1.0)
+        # Only observed stages appear.
+        assert set(step["stages_ms"]) == {"admission", "lookup", "execute"}
+
+    def test_nearest_rank_percentile(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.99) == 4.0
+        assert _percentile([5.0], 0.01) == 5.0
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_loadgen(small_config())
+
+
+class TestRunLoadgen:
+    def test_report_shape_and_stage_coverage(self, report):
+        assert report["slo_version"] == 1
+        assert [step["label"] for step in report["steps"]] == [
+            "closed-1w", "closed-2w",
+        ]
+        for step in report["steps"]:
+            assert step["queries"] == 6
+            assert len(step["schedule"]) == 6
+            assert set(step["schedule"]) <= set(report["pool"])
+            assert sum(step["outcomes"].values()) == 6
+            assert step["latency_ms"]["count"] >= 1
+            for quantiles in step["stages_ms"].values():
+                assert {"p50", "p90", "p99"} <= set(quantiles)
+            # The acceptance bar: stage sums explain end-to-end latency.
+            assert 0.95 <= step["stage_sum_frac"] <= 1.05
+
+    def test_same_seed_reports_are_identical_modulo_timings(self, report):
+        again = run_loadgen(small_config())
+        assert strip_timings(report) == strip_timings(again)
+        # And the schedule really is part of what is compared.
+        assert strip_timings(report)["steps"][0]["schedule"] == (
+            report["steps"][0]["schedule"]
+        )
+
+    def test_different_seed_changes_the_schedule(self, report):
+        other = run_loadgen(small_config(seed=18, steps=(1,)))
+        assert (
+            other["steps"][0]["schedule"] != report["steps"][0]["schedule"]
+        )
+
+    def test_strip_timings_removes_every_wall_clock_field(self, report):
+        stripped = strip_timings(report)
+        for step in stripped["steps"]:
+            for key in (
+                "duration_s", "achieved_qps", "latency_ms", "stages_ms",
+                "stage_sum_frac", "outcomes", "hit_ratio",
+            ):
+                assert key not in step
+        # Round-trips through JSON (what the baseline file comparison sees).
+        assert json.loads(json.dumps(stripped)) == stripped
+
+    def test_open_loop_labels_and_offered_rate(self):
+        report = run_loadgen(
+            small_config(mode="open", steps=(16,), queries_per_step=4)
+        )
+        step = report["steps"][0]
+        assert step["label"] == "open-16qps"
+        assert step["offered"] == 16.0
+
+    def test_render_table_lists_every_step(self, report):
+        table = render_slo_table(report)
+        assert "closed-1w" in table and "closed-2w" in table
+        assert "p99ms" in table and "stage%" in table
+
+
+class TestBaselineGate:
+    def test_report_passes_against_itself(self, report):
+        problems, diff = check_slo_baseline(report, report)
+        assert problems == []
+        assert diff.regressions() == []
+
+    def test_schedule_drift_is_flagged(self, report):
+        tampered = json.loads(json.dumps(report))
+        tampered["steps"][0]["schedule"][0] = "cube:bogus"
+        problems, _diff = check_slo_baseline(tampered, report)
+        assert any("deterministic fields" in problem for problem in problems)
+
+    def test_latency_blowup_is_flagged_with_attribution(self, report):
+        slowed = json.loads(json.dumps(report))
+        for step in slowed["steps"]:
+            for label in ("p50", "p90", "p99"):
+                step["latency_ms"][label] = (
+                    step["latency_ms"][label] * 10.0 + 50.0
+                )
+        problems, diff = check_slo_baseline(slowed, report)
+        assert any("SLO regression" in problem for problem in problems)
+        assert diff.top_regression() is not None

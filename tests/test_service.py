@@ -235,15 +235,18 @@ class TestConcurrency:
         by_id = {span.span_id: span for span in tracer.spans}
         outcomes = sorted(span.attributes["outcome"] for span in service_spans)
         assert outcomes == sorted(result.source for result in results)
-        # Every evaluation ("query") span parents back to exactly one
-        # service.query span, and misses line up one-to-one.
+        # Every evaluation ("query") span parents back through its
+        # service.execute stage span to exactly one service.query span,
+        # and misses line up one-to-one.
         query_spans = tracer.spans_named("query")
         fresh_count = sum(1 for result in results if result.source == FRESH)
         assert len(query_spans) == fresh_count
         for span in query_spans:
             parent = by_id[span.parent_id]
-            assert parent.name == "service.query"
-            assert parent.attributes["outcome"] == FRESH
+            assert parent.name == "service.execute"
+            root = by_id[parent.parent_id]
+            assert root.name == "service.query"
+            assert root.attributes["outcome"] == FRESH
         # No span lost its parent (concurrent interleaving on the shared
         # tracer must not cross-wire the thread-local stacks).
         for span in tracer.spans:
@@ -425,3 +428,108 @@ class TestServiceObservability:
         assert hit.query_id == 2
         # A pure hit reuses the original evaluation's stats wholesale.
         assert hit.stats.query_id == fresh.query_id
+
+
+# ---------------------------------------------------------------------------
+# Query-lifecycle stages: per-submission breakdown + per-stage/outcome metrics
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycleStages:
+    def test_fresh_submission_records_every_stage(self):
+        from repro.service.service import STAGES
+
+        with QueryService(build_cluster()) as service:
+            result = service.submit(COUNT_BY_SOURCE)
+        assert result.outcome == FRESH
+        assert set(result.stages) == set(STAGES)
+        assert all(seconds >= 0.0 for seconds in result.stages.values())
+
+    def test_hit_skips_plan_and_execute(self):
+        with QueryService(build_cluster()) as service:
+            service.submit(COUNT_BY_SOURCE)
+            hit = service.submit(COUNT_BY_SOURCE)
+        assert hit.outcome == HIT
+        assert "admission" in hit.stages and "lookup" in hit.stages
+        assert "plan" not in hit.stages and "execute" not in hit.stages
+
+    def test_stages_sum_to_end_to_end_latency(self):
+        # The acceptance bar: the stage breakdown explains >= 95% of the
+        # measured wall time (the remainder is inter-stage glue).
+        with QueryService(build_cluster()) as service:
+            result = service.submit(COUNT_BY_SOURCE)
+        assert result.stage_total_s == pytest.approx(
+            sum(result.stages.values())
+        )
+        assert result.stage_total_s >= 0.95 * result.wall_s
+        assert result.stage_total_s <= result.wall_s
+
+    def test_per_stage_histograms_observe_each_submission(self):
+        with QueryService(build_cluster()) as service:
+            service.submit(COUNT_BY_SOURCE)
+            service.submit(COUNT_BY_SOURCE)  # hit
+            metrics = service.metrics
+        # merge is observed per entry, not per submission: the fresh run
+        # merges twice (canonical order + SQL post clauses), the hit once
+        # (post clauses over the cached relation).
+        for stage, expected in (
+            ("admission", 2), ("lookup", 2), ("plan", 1),
+            ("execute", 1), ("merge", 3),
+        ):
+            histogram = metrics.get("service.stage_s", stage=stage)
+            assert histogram is not None
+            assert histogram.count == expected, stage
+
+    def test_per_outcome_latency_histograms(self):
+        with QueryService(build_cluster()) as service:
+            service.submit(COUNT_BY_SOURCE)
+            service.submit(COUNT_BY_SOURCE)
+            metrics = service.metrics
+        fresh = metrics.get("service.latency_by_outcome_s", outcome=FRESH)
+        hit = metrics.get("service.latency_by_outcome_s", outcome=HIT)
+        assert fresh.count == 1 and hit.count == 1
+        # The undifferentiated family still sees every submission.
+        assert metrics.get("service.latency_s").count == 2
+
+    def test_rejection_lands_in_the_rejected_outcome_series(self):
+        from repro.service.service import REJECTED
+
+        with QueryService(
+            build_cluster(), max_in_flight=1, max_queue=0
+        ) as service:
+            service._acquire_slot(1.0)
+            try:
+                with pytest.raises(AdmissionError):
+                    service.submit(COUNT_BY_SOURCE)
+            finally:
+                service._release_slot()
+            rejected = service.metrics.get(
+                "service.latency_by_outcome_s", outcome=REJECTED
+            )
+            assert rejected.count == 1
+
+    def test_stage_families_exist_before_any_traffic(self):
+        from repro.service.service import OUTCOMES, STAGES
+
+        with QueryService(build_cluster()) as service:
+            metrics = service.metrics
+            for stage in STAGES:
+                assert metrics.get("service.stage_s", stage=stage) is not None
+            for outcome in OUTCOMES:
+                assert (
+                    metrics.get("service.latency_by_outcome_s", outcome=outcome)
+                    is not None
+                )
+
+    def test_stage_spans_nest_under_the_service_query_root(self):
+        tracer = Tracer()
+        with QueryService(build_cluster(), tracer=tracer) as service:
+            service.submit(COUNT_BY_SOURCE)
+        by_id = {span.span_id: span for span in tracer.spans}
+        stage_spans = [
+            span for span in tracer.spans if span.name.startswith("service.")
+            and span.name != "service.query"
+        ]
+        assert stage_spans
+        for span in stage_spans:
+            assert by_id[span.parent_id].name == "service.query"
