@@ -33,6 +33,9 @@ from repro.bench.figures import (
 from repro.bench.harness import (
     ArmMeasurement,
     FigureSeries,
+    check_micro_baseline,
+    codec_microbenchmark,
+    columnar_sweep,
     format_table,
     growth_exponent,
     run_arm,
@@ -65,8 +68,11 @@ __all__ = [
     "SYNC_REDUCED",
     "TrafficFormulaPoint",
     "build_query_pool",
+    "check_micro_baseline",
     "check_slo_baseline",
     "coalescable_query",
+    "codec_microbenchmark",
+    "columnar_sweep",
     "combined_query",
     "correlated_query",
     "executor_sweep",

@@ -547,6 +547,10 @@ def codec_microbenchmark(scale: float = 0.005, repetitions: int = 5) -> dict:
     reference codec, taking the fastest of ``repetitions`` runs per arm.
     The two must be byte-identical (asserted here — this doubles as a
     differential check), so the ratio is pure overhead removed.
+
+    The ``column`` section measures the column-block codec on the same
+    relation — encode/decode time, wire bytes and the byte saving versus
+    the row codec — after asserting the round trip is value-identical.
     """
     if repetitions < 1:
         raise ShapeCheckError(f"repetitions must be >= 1, got {repetitions}")
@@ -578,11 +582,33 @@ def codec_microbenchmark(scale: float = 0.005, repetitions: int = 5) -> dict:
     def _rate(seconds: float) -> float:
         return rows / seconds if seconds > 0 else 0.0
 
+    column_payload = serialize.encode_relation(relation, "column")
+    decoded = serialize.decode_relation(column_payload)
+    if decoded.schema != relation.schema or decoded.rows != relation.rows:
+        raise ShapeCheckError("column codec round trip is not value-identical")
+    column_encode_s = _best(serialize.encode_relation, relation, "column")
+    column_decode_s = _best(serialize.decode_relation, column_payload)
+
     return {
         "rows": rows,
         "bytes": len(fast_payload),
         "scale": scale,
         "repetitions": repetitions,
+        "column": {
+            "bytes": len(column_payload),
+            "row_bytes": len(fast_payload),
+            "saved_bytes": len(fast_payload) - len(column_payload),
+            "saving_fraction": (
+                (len(fast_payload) - len(column_payload)) / len(fast_payload)
+                if fast_payload
+                else 0.0
+            ),
+            "encode_s": column_encode_s,
+            "decode_s": column_decode_s,
+            "encode_rows_per_s": _rate(column_encode_s),
+            "decode_rows_per_s": _rate(column_decode_s),
+            "roundtrip_identical": True,
+        },
         "encode": {
             "fast_s": encode_fast_s,
             "reference_s": encode_reference_s,
@@ -602,6 +628,168 @@ def codec_microbenchmark(scale: float = 0.005, repetitions: int = 5) -> dict:
             ),
         },
     }
+
+
+# ---------------------------------------------------------------------------
+# Columnar-engine sweep
+# ---------------------------------------------------------------------------
+
+
+def _columnar_workloads(detail_rows: int):
+    """Deterministic (base, detail, blocks) triples for the engine sweep.
+
+    Two shapes matching the paper's query families: a cube-style
+    single-block grouping (hash path) and a multifeature-style pair of
+    blocks whose second block carries a residual base-vs-detail
+    comparison (hash path plus residual filter).
+    """
+    import random as _random
+
+    from repro.gmdj.blocks import MDBlock
+    from repro.relalg.aggregates import AggSpec, count_star
+    from repro.relalg.expressions import Const, base, detail
+    from repro.relalg.schema import FLOAT, INT, Schema
+
+    rng = _random.Random(7)
+    schema = Schema.of(("k1", INT), ("k2", INT), ("v", FLOAT))
+    rows = [
+        (
+            rng.randrange(32),
+            rng.randrange(8),
+            float(rng.randrange(1, 5000)),
+        )
+        for _ in range(detail_rows)
+    ]
+    detail_relation = Relation(schema, rows)
+
+    cube_base = detail_relation.distinct_project(["k1", "k2"])
+    cube_blocks = [
+        MDBlock(
+            [
+                count_star("cnt"),
+                AggSpec("sum", detail.v, "total"),
+                AggSpec("avg", detail.v, "mean"),
+                AggSpec("min", detail.v, "lo"),
+                AggSpec("max", detail.v, "hi"),
+            ],
+            (base.k1 == detail.k1) & (base.k2 == detail.k2),
+        )
+    ]
+
+    multifeature_base = detail_relation.distinct_project(["k1"])
+    multifeature_blocks = [
+        MDBlock(
+            [AggSpec("min", detail.v, "lo"), count_star("cnt")],
+            base.k1 == detail.k1,
+        ),
+        MDBlock(
+            [AggSpec("sum", detail.v, "hi_total"), AggSpec("count", detail.v, "hi_cnt")],
+            (base.k1 == detail.k1) & (detail.v > Const(2500.0)),
+        ),
+    ]
+
+    return {
+        "cube": (cube_base, detail_relation, cube_blocks),
+        "multifeature": (multifeature_base, detail_relation, multifeature_blocks),
+    }
+
+
+def columnar_sweep(detail_rows: int = 60_000, repetitions: int = 3) -> dict:
+    """Row vs columnar GMDJ kernel timings on the cube/multifeature shapes.
+
+    Runs :func:`repro.gmdj.operator.evaluate` under both engines (fastest
+    of ``repetitions`` per arm), asserts the results are bit-identical
+    (the differential-oracle contract), and reports per-workload
+    speedups. The pinned numbers live in ``BENCH_micro.json`` under
+    ``columnar`` and are gated by ``repro bench --check``.
+    """
+    if repetitions < 1:
+        raise ShapeCheckError(f"repetitions must be >= 1, got {repetitions}")
+    from repro.gmdj import operator
+    from repro.relalg.engine import use_engine
+
+    workloads = _columnar_workloads(detail_rows)
+    report = {"detail_rows": detail_rows, "repetitions": repetitions}
+    for name, (base_relation, detail_relation, blocks) in workloads.items():
+        timings = {}
+        results = {}
+        for engine_name in ("row", "columnar"):
+            best = None
+            with use_engine(engine_name):
+                for _ in range(repetitions):
+                    started = time.perf_counter()
+                    result = operator.evaluate(base_relation, detail_relation, blocks)
+                    elapsed = time.perf_counter() - started
+                    best = elapsed if best is None else min(best, elapsed)
+            timings[engine_name] = best
+            results[engine_name] = result
+        if results["row"].rows != results["columnar"].rows or (
+            results["row"].schema != results["columnar"].schema
+        ):
+            raise ShapeCheckError(
+                f"columnar engine diverged from row oracle on {name!r}"
+            )
+        report[name] = {
+            "base_rows": len(base_relation),
+            "row_s": timings["row"],
+            "columnar_s": timings["columnar"],
+            "speedup": (
+                timings["row"] / timings["columnar"]
+                if timings["columnar"] > 0
+                else 0.0
+            ),
+            "identical": True,
+        }
+    return report
+
+
+def check_micro_baseline(
+    micro: dict, baseline: dict, min_speedup: float = 1.3
+) -> list:
+    """Gate a fresh micro report against the pinned ``BENCH_micro.json``.
+
+    Checks structural invariants that hold regardless of machine (codec
+    round trips verified, column codec actually saves bytes, columnar
+    results identical to the row oracle) plus a noise-tolerant floor on
+    the columnar kernel speedups — well under the pinned ~4x so loaded
+    CI machines don't flap, but failing when vectorization is lost.
+    Returns a list of problem strings (empty = pass).
+    """
+    problems = []
+    column = micro.get("column", {})
+    if not column.get("roundtrip_identical"):
+        problems.append("column codec round trip not verified")
+    if column.get("saved_bytes", 0) <= 0:
+        problems.append(
+            f"column codec saves no bytes "
+            f"({column.get('bytes')}B vs row {column.get('row_bytes')}B)"
+        )
+    baseline_column = baseline.get("column", {})
+    if baseline_column:
+        fresh_saving = column.get("saving_fraction", 0.0)
+        pinned_saving = baseline_column.get("saving_fraction", 0.0)
+        # Byte savings are deterministic for a fixed seed/scale; allow a
+        # small slack for schema evolution of the generator.
+        if fresh_saving < pinned_saving - 0.10:
+            problems.append(
+                f"column codec saving fraction {fresh_saving:.1%} fell more "
+                f"than 10pp under pinned {pinned_saving:.1%}"
+            )
+    columnar = micro.get("columnar", {})
+    for workload in ("cube", "multifeature"):
+        entry = columnar.get(workload)
+        if entry is None:
+            problems.append(f"columnar sweep missing workload {workload!r}")
+            continue
+        if not entry.get("identical"):
+            problems.append(f"columnar {workload} result not verified identical")
+        speedup = entry.get("speedup", 0.0)
+        if speedup < min_speedup:
+            problems.append(
+                f"columnar {workload} kernel speedup {speedup:.2f}x "
+                f"under the {min_speedup:.1f}x floor"
+            )
+    return problems
 
 
 # ---------------------------------------------------------------------------
@@ -1059,12 +1247,16 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
     if args.micro:
         micro = codec_microbenchmark()
+        micro["columnar"] = columnar_sweep()
         with open(args.micro, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(micro, indent=2, sort_keys=True) + "\n")
         print(
             f"codec: encode {micro['encode']['speedup']:.2f}x, "
             f"decode {micro['decode']['speedup']:.2f}x over reference "
-            f"({micro['rows']} rows)",
+            f"({micro['rows']} rows); column codec saves "
+            f"{micro['column']['saving_fraction']:.1%}; columnar kernels "
+            f"cube {micro['columnar']['cube']['speedup']:.2f}x, "
+            f"multifeature {micro['columnar']['multifeature']['speedup']:.2f}x",
             file=sys.stderr,
         )
         return 0

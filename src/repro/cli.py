@@ -67,7 +67,9 @@ from repro.distributed import (
 from repro.distributed.evaluator import ExecutionConfig
 from repro.distributed.executor import EXECUTORS
 from repro.distributed.recovery import FAILURE_MODES
+from repro.net import serialize
 from repro.queries.sql import parse_olap_statement
+from repro.relalg.engine import ENGINES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -258,6 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="allowed relative SLO regression vs the baseline",
     )
+    bench.add_argument(
+        "--micro-baseline",
+        default="BENCH_micro.json",
+        metavar="PATH",
+        help="with --check: re-run the codec microbenchmark and columnar "
+        "kernel sweep and gate against this baseline (skipped when the "
+        "file does not exist)",
+    )
+    bench.add_argument(
+        "--min-columnar-speedup",
+        type=float,
+        default=1.3,
+        help="floor on the columnar kernel speedup for the micro gate "
+        "(the pinned numbers are ~4x; the floor absorbs CI timing noise)",
+    )
 
     loadgen = commands.add_parser(
         "loadgen",
@@ -422,6 +439,20 @@ def _add_cluster_options(parser) -> None:
         default=2,
         help="leg re-runs before a site is declared failed (retry/degrade)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="relational execution engine: 'row' (tuple-at-a-time oracle) or "
+        "'columnar' (vectorized batch kernels); default $REPRO_ENGINE or row",
+    )
+    parser.add_argument(
+        "--wire-codec",
+        choices=serialize.CODECS,
+        default=None,
+        help="relation wire encoding: 'row' (per-value) or 'column' "
+        "(dictionary+delta column blocks); default $REPRO_CODEC or row",
+    )
 
 
 def _build_cluster(args) -> SimulatedCluster:
@@ -462,10 +493,16 @@ def _config(args) -> ExecutionConfig:
         # With faults injected but no explicit mode, retrying is the only
         # default that still answers the query correctly.
         failure_mode = "retry" if getattr(args, "faults", None) else "fail_fast"
+    overrides = {}
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
+    if getattr(args, "wire_codec", None) is not None:
+        overrides["wire_codec"] = args.wire_codec
     return ExecutionConfig(
         executor=getattr(args, "executor", "serial"),
         failure_mode=failure_mode,
         max_retries=getattr(args, "max_retries", 2),
+        **overrides,
     )
 
 
@@ -665,14 +702,22 @@ def run_explain(args, out) -> int:
     registry = MetricsRegistry()
     cluster.reset_network(metrics=registry)
     plan = plan_query(statement.expression, cluster.catalog, options)
+    config = _config(args)
     result = execute_plan(
-        cluster, plan, _config(args),
+        cluster, plan, config,
         tracer=tracer, metrics=registry, query_id=1,
     )
     impacts = estimate_optimization_impacts(
         statement.expression, cluster.catalog, statistics,
         options=options, measured_stats=result.stats, plan=result.plan,
     )
+    codec_estimated = None
+    if config.wire_codec != "row":
+        from repro.distributed.costing import estimate_column_codec_saving
+
+        # Price the codec on the schema the rounds actually ship: the
+        # sub-aggregate relation (== the query's result schema).
+        codec_estimated = estimate_column_codec_saving(result.relation.schema)
     profile = build_profile(
         tracer.finished(),
         result.stats,
@@ -680,6 +725,7 @@ def run_explain(args, out) -> int:
         plan_description=result.plan.describe(),
         notes=result.plan.notes,
         query_id=1,
+        codec_estimated_saving=codec_estimated,
     )
     if args.emit_trace:
         log = build_trace(
@@ -761,6 +807,33 @@ def run_bench(args, out) -> int:
             ),
             file=sys.stderr,
         )
+    if os.path.exists(args.micro_baseline):
+        from repro.bench.harness import (
+            check_micro_baseline,
+            codec_microbenchmark,
+            columnar_sweep,
+        )
+
+        with open(args.micro_baseline, "r", encoding="utf-8") as handle:
+            micro_baseline = json.load(handle)
+        micro = codec_microbenchmark(repetitions=3)
+        micro["columnar"] = columnar_sweep(detail_rows=30_000, repetitions=2)
+        micro_problems = check_micro_baseline(
+            micro, micro_baseline, min_speedup=args.min_columnar_speedup
+        )
+        if micro_problems:
+            failed = True
+            for problem in micro_problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+        else:
+            print(
+                f"bench --check: codec + columnar kernel bars hold vs "
+                f"{args.micro_baseline} (columnar cube "
+                f"{micro['columnar']['cube']['speedup']:.2f}x, multifeature "
+                f"{micro['columnar']['multifeature']['speedup']:.2f}x, column "
+                f"codec saves {micro['column']['saving_fraction']:.0%})",
+                file=out,
+            )
     if os.path.exists(args.slo_baseline):
         from repro.bench.loadgen import (
             check_slo_baseline,

@@ -358,3 +358,47 @@ def estimate_optimization_impacts(
             )
         )
     return tuple(impacts)
+
+
+# ---------------------------------------------------------------------------
+# Column-block codec saving estimate
+# ---------------------------------------------------------------------------
+
+#: Expected fraction of row-codec bytes *saved* per attribute type when a
+#: relation is shipped with the column-block codec instead of the per-value
+#: row codec. Calibrated against the codec microbenchmark on mixed OLAP
+#: schemas (delta varints compress monotone-ish integer keys well, the
+#: string dictionary pays off on low-cardinality dimension labels, packed
+#: doubles only drop the per-value tag byte).
+COLUMN_CODEC_TYPE_SAVINGS: Mapping[str, float] = {
+    "int": 0.55,
+    "date": 0.55,
+    "float": 0.10,
+    "str": 0.60,
+    "bool": 0.85,
+}
+
+
+def estimate_column_codec_saving(schema) -> float:
+    """Predicted fractional byte saving of the column codec for ``schema``.
+
+    Returns the expected ``saved_bytes / row_codec_bytes`` fraction in
+    ``[0, 1)``, as the unweighted mean of per-attribute type savings (the
+    row codec spends roughly comparable bytes per attribute, so the
+    unweighted mean is a serviceable first-order model). Empty schemas
+    (pure header traffic) save nothing.
+
+    The execution path never uses this number: measured savings in
+    :class:`repro.distributed.stats.ExecutionStats` come from actually
+    row-encoding every shipped block. This estimate exists so that
+    ``repro explain --analyze`` can show predicted-vs-measured codec
+    savings side by side, the same honesty contract as the traffic
+    estimator above.
+    """
+    attributes = tuple(schema)
+    if not attributes:
+        return 0.0
+    total = 0.0
+    for attribute in attributes:
+        total += COLUMN_CODEC_TYPE_SAVINGS.get(attribute.type, 0.10)
+    return total / len(attributes)

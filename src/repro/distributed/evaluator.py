@@ -46,9 +46,11 @@ from repro.distributed.stats import ExecutionStats, check_theorem2
 from repro.errors import PlanError
 from repro.gmdj.expression import GMDJExpression, LiteralBase
 from repro.net import message as msg
+from repro.net import serialize
 from repro.net.costmodel import CostModel, WAN
 from repro.obs.metrics import MetricsRegistry, activate
 from repro.obs.tracer import NULL_TRACER
+from repro.relalg.engine import ENGINES, use_engine
 from repro.relalg.relation import Relation
 
 
@@ -99,6 +101,20 @@ class ExecutionConfig:
     max_retries: int = 2
     retry_backoff_s: float = 0.05
     leg_timeout_s: float = 0.0  # 0 = no per-leg wall-clock budget
+    #: Evaluation engine (``row | columnar``): ``columnar`` runs GMDJ and
+    #: relational kernels batch-at-a-time over column vectors, with the
+    #: row engine as differential oracle (bit-identical results). Honours
+    #: ``REPRO_ENGINE`` like ``executor`` honours ``REPRO_EXECUTOR``.
+    engine: str = field(
+        default_factory=lambda: os.environ.get("REPRO_ENGINE", "row")
+    )
+    #: Wire codec for shipped relations (``row | column``): ``column``
+    #: ships dictionary/delta column blocks (smaller), and byte stats
+    #: then carry the measured saving vs. the row codec. Honours
+    #: ``REPRO_CODEC``.
+    wire_codec: str = field(
+        default_factory=lambda: os.environ.get("REPRO_CODEC", "row")
+    )
 
     def __post_init__(self):
         if self.row_block_size is None:
@@ -131,6 +147,16 @@ class ExecutionConfig:
         if self.leg_timeout_s < 0:
             raise PlanError(
                 f"leg_timeout_s must be >= 0, got {self.leg_timeout_s}"
+            )
+        if self.engine not in ENGINES:
+            raise PlanError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {', '.join(ENGINES)}"
+            )
+        if self.wire_codec not in serialize.CODECS:
+            raise PlanError(
+                f"unknown wire codec {self.wire_codec!r}; "
+                f"expected one of {', '.join(serialize.CODECS)}"
             )
 
     def retry_policy(self) -> RetryPolicy:
@@ -214,6 +240,7 @@ def _execute_plan_traced(
         executor=config.executor,
         failure_mode=config.failure_mode,
         query_id=query_id,
+        wire_codec=config.wire_codec,
     )
     coordinator = Coordinator(plan.expression.key, tracer)
     owns_cluster_state = network is None
@@ -233,10 +260,16 @@ def _execute_plan_traced(
         query_attrs = {"rounds": len(plan.rounds), "sites": cluster.site_count}
         if query_id is not None:
             query_attrs["query_id"] = query_id
-        with tracer.span("query", kind="query", **query_attrs):
+        # Coordinator-side relational work (fragment slicing, streaming
+        # merges) honours the configured engine; sites receive the engine
+        # name on their requests because context vars do not cross thread
+        # pools or forked workers.
+        with use_engine(config.engine), tracer.span(
+            "query", kind="query", **query_attrs
+        ):
             _evaluate_base(
-                cluster, plan, coordinator, stats, tracer, engine, policy, network,
-                query_id,
+                cluster, plan, coordinator, stats, config, tracer, engine,
+                policy, network, query_id,
             )
             for round_number, md_round in enumerate(plan.rounds, start=1):
                 round_stats = stats.new_round(
@@ -331,6 +364,7 @@ def _evaluate_round(
             )
             channel.send_to_site(request_message)
             site_stats.bytes_down += request_message.size_bytes
+            site_stats.row_equiv_bytes_down += request_message.size_bytes
             channel.receive_at_site()
             request = SiteRequest(
                 kind="merged",
@@ -342,6 +376,8 @@ def _evaluate_round(
                 row_block_size=config.row_block_size,
                 traced=tracer.enabled,
                 query_id=query_id,
+                engine=config.engine,
+                wire_codec=config.wire_codec,
             )
         else:
             started = time.perf_counter()
@@ -351,12 +387,26 @@ def _evaluate_round(
                 fragment = coordinator.fragment_for_site(
                     md_round.ship_filter(site_id)
                 )
+                fragment_blocks = list(config.blocks_of(fragment))
                 down_blocks = [
                     msg.Message.with_relation(
-                        msg.SHIP_BASE, "coordinator", site_id, round_number, block
+                        msg.SHIP_BASE, "coordinator", site_id, round_number,
+                        block, codec=config.wire_codec,
                     )
-                    for block in config.blocks_of(fragment)
+                    for block in fragment_blocks
                 ]
+                if config.wire_codec == "row":
+                    row_equiv_down = sum(
+                        shipment.size_bytes for shipment in down_blocks
+                    )
+                else:
+                    # Measure (not estimate) what the row codec would have
+                    # shipped for the same blocks, so codec savings in the
+                    # stats are grounded in actual encodings.
+                    row_equiv_down = sum(
+                        serialize.wire_size(block) + msg.HEADER_BYTES
+                        for block in fragment_blocks
+                    )
                 encode_span.set(
                     rows=len(fragment),
                     messages=len(down_blocks),
@@ -368,6 +418,7 @@ def _evaluate_round(
             for shipment in down_blocks:
                 channel.send_to_site(shipment)
                 site_stats.bytes_down += shipment.size_bytes
+            site_stats.row_equiv_bytes_down += row_equiv_down
             site_stats.tuples_down += len(fragment)
             down_payloads = tuple(
                 channel.receive_at_site().payload for _ in down_blocks
@@ -383,6 +434,8 @@ def _evaluate_round(
                 down_payloads=down_payloads,
                 traced=tracer.enabled,
                 query_id=query_id,
+                engine=config.engine,
+                wire_codec=config.wire_codec,
             )
 
         reply = engine.evaluate(request)
@@ -394,6 +447,9 @@ def _evaluate_round(
         for reply_message in up_blocks:
             channel.send_to_coordinator(reply_message)
             site_stats.bytes_up += reply_message.size_bytes
+        site_stats.row_equiv_bytes_up += (
+            reply.row_codec_payload_bytes + msg.HEADER_BYTES * len(reply.payloads)
+        )
         site_stats.tuples_up += reply.rows
 
         started = time.perf_counter()
@@ -447,12 +503,15 @@ def _evaluate_base(
     plan,
     coordinator,
     stats,
+    config=None,
     tracer=NULL_TRACER,
     engine=None,
     policy=None,
     network=None,
     query_id=None,
 ) -> None:
+    if config is None:
+        config = ExecutionConfig()
     if network is None:
         network = cluster.network
     base = plan.base
@@ -489,6 +548,7 @@ def _evaluate_base(
             request_message = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
             channel.send_to_site(request_message)
             site_stats.bytes_down += request_message.size_bytes
+            site_stats.row_equiv_bytes_down += request_message.size_bytes
             channel.receive_at_site()
 
             reply = engine.evaluate(
@@ -499,6 +559,8 @@ def _evaluate_base(
                     source=base.source,
                     traced=tracer.enabled,
                     query_id=query_id,
+                    engine=config.engine,
+                    wire_codec=config.wire_codec,
                 )
             )
             site_stats.compute_s += reply.compute_s
@@ -507,6 +569,9 @@ def _evaluate_base(
             )
             channel.send_to_coordinator(reply_message)
             site_stats.bytes_up += reply_message.size_bytes
+            site_stats.row_equiv_bytes_up += (
+                reply.row_codec_payload_bytes + msg.HEADER_BYTES
+            )
             site_stats.tuples_up += reply.rows
 
             started = time.perf_counter()

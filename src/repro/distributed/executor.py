@@ -56,6 +56,7 @@ from repro.net import message as msg
 from repro.net import serialize
 from repro.obs.metrics import MetricsRegistry, activate, active_registry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.relalg.engine import use_engine
 
 EXECUTORS = ("serial", "threads", "processes")
 
@@ -84,6 +85,12 @@ class SiteRequest:
     #: Service-assigned query identity; stamped on the site spans so a
     #: shared trace file can be filtered per query (schema v2).
     query_id: object = None
+    #: Execution engine for the site-side evaluation (``row | columnar``).
+    #: Carried on the request because context variables do not cross pool
+    #: threads or forked workers.
+    engine: str = "row"
+    #: Wire codec for the encoded reply payloads (``row | column``).
+    wire_codec: str = "row"
 
 
 @dataclass
@@ -102,6 +109,10 @@ class SiteReply:
     compute_s: float
     spans: tuple = ()
     counters: dict = field(default_factory=dict)
+    #: What the same payloads would occupy under the row codec (equal to
+    #: ``sum(len(p) for p in payloads)`` when the row codec is active) —
+    #: the measured baseline for the column-block codec's byte saving.
+    row_codec_payload_bytes: int = 0
 
 
 def _blocks_of(relation, size: int):
@@ -126,65 +137,86 @@ def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> Site
     """
     started = time.perf_counter()
     site_id = request.site_id
+    codec = request.wire_codec
     ids = {} if request.query_id is None else {"query_id": request.query_id}
 
     if request.kind == "base":
-        with tracer.span(
-            "round.evaluate", kind="site", site=site_id, phase="base", **ids
-        ) as span:
-            result = site.compute_base(request.source)
-            span.set(rows=len(result))
-        with tracer.span("round.encode", kind="site", site=site_id, **ids):
-            payloads = (serialize.encode_relation(result),)
+        with use_engine(request.engine):
+            with tracer.span(
+                "round.evaluate", kind="site", site=site_id, phase="base", **ids
+            ) as span:
+                result = site.compute_base(request.source)
+                span.set(rows=len(result))
+            with tracer.span("round.encode", kind="site", site=site_id, **ids):
+                payloads = (serialize.encode_relation(result, codec),)
+                row_codec_bytes = (
+                    len(payloads[0])
+                    if codec == "row"
+                    else serialize.wire_size(result)
+                )
         return SiteReply(
             payloads=payloads,
             rows=len(result),
             compute_s=time.perf_counter() - started,
+            row_codec_payload_bytes=row_codec_bytes,
         )
 
-    if request.kind == "merged":
-        with tracer.span(
-            "round.evaluate", kind="site", site=site_id, merged_base=True, **ids
-        ) as span:
-            h_i = site.evaluate_merged_round(
-                request.source, request.steps, request.key_attrs
-            )
-            span.set(rows=len(h_i))
-    elif request.kind == "round":
-        with tracer.span("round.decode", kind="site", site=site_id, **ids):
-            fragment = serialize.decode_relation(request.down_payloads[0])
-            for extra in request.down_payloads[1:]:
-                fragment = fragment.union_all(serialize.decode_relation(extra))
-        with tracer.span(
-            "round.evaluate",
-            kind="site",
-            site=site_id,
-            steps=len(request.steps),
-            fragment_rows=len(fragment),
-            **ids,
-        ) as span:
-            h_i = site.evaluate_round(
-                fragment,
-                request.steps,
-                request.key_attrs,
-                request.independent_reduction,
-            )
-            span.set(rows=len(h_i))
-    else:
-        raise PlanError(f"unknown site request kind {request.kind!r}")
+    with use_engine(request.engine):
+        if request.kind == "merged":
+            with tracer.span(
+                "round.evaluate", kind="site", site=site_id, merged_base=True, **ids
+            ) as span:
+                h_i = site.evaluate_merged_round(
+                    request.source, request.steps, request.key_attrs
+                )
+                span.set(rows=len(h_i))
+        elif request.kind == "round":
+            with tracer.span("round.decode", kind="site", site=site_id, **ids):
+                fragment = serialize.decode_relation(request.down_payloads[0])
+                for extra in request.down_payloads[1:]:
+                    fragment = fragment.union_all(serialize.decode_relation(extra))
+            with tracer.span(
+                "round.evaluate",
+                kind="site",
+                site=site_id,
+                steps=len(request.steps),
+                fragment_rows=len(fragment),
+                **ids,
+            ) as span:
+                h_i = site.evaluate_round(
+                    fragment,
+                    request.steps,
+                    request.key_attrs,
+                    request.independent_reduction,
+                )
+                span.set(rows=len(h_i))
+        else:
+            raise PlanError(f"unknown site request kind {request.kind!r}")
 
-    with tracer.span("round.encode", kind="site", site=site_id, **ids) as encode_span:
-        payloads = tuple(
-            serialize.encode_relation(block)
-            for block in _blocks_of(h_i, request.row_block_size)
-        )
-        encode_span.set(
-            rows=len(h_i),
-            messages=len(payloads),
-            bytes=sum(len(payload) + msg.HEADER_BYTES for payload in payloads),
-        )
+        with tracer.span(
+            "round.encode", kind="site", site=site_id, **ids
+        ) as encode_span:
+            blocks = _blocks_of(h_i, request.row_block_size)
+            payloads = tuple(
+                serialize.encode_relation(block, codec) for block in blocks
+            )
+            if codec == "row":
+                row_codec_bytes = sum(len(payload) for payload in payloads)
+            else:
+                # Measured (not estimated) baseline: what the same blocks
+                # cost under the row codec. Only charged when the column
+                # codec is active, so the default path stays untouched.
+                row_codec_bytes = sum(serialize.wire_size(block) for block in blocks)
+            encode_span.set(
+                rows=len(h_i),
+                messages=len(payloads),
+                bytes=sum(len(payload) + msg.HEADER_BYTES for payload in payloads),
+            )
     return SiteReply(
-        payloads=payloads, rows=len(h_i), compute_s=time.perf_counter() - started
+        payloads=payloads,
+        rows=len(h_i),
+        compute_s=time.perf_counter() - started,
+        row_codec_payload_bytes=row_codec_bytes,
     )
 
 

@@ -206,12 +206,23 @@ def execute_plan_hierarchical(
     cluster: SimulatedCluster,
     topology: TreeTopology,
     plan: Plan,
+    wire_codec: Optional[str] = None,
 ) -> HierarchicalResult:
     """Run a plan over a two-level coordinator tree.
 
     ``cluster`` supplies the sites and catalog (its flat star network is
     not used); the topology must cover every site any plan round needs.
+    ``wire_codec`` selects the relation encoding on every tree link
+    (default ``$REPRO_CODEC`` or the row codec, matching the star
+    evaluator so cross-topology byte comparisons stay apples-to-apples).
     """
+    import os
+
+    from repro.net import serialize
+
+    if wire_codec is None:
+        wire_codec = os.environ.get("REPRO_CODEC", "row")
+    serialize.validate_codec(wire_codec)
     covered = set(topology.all_sites)
     for md_round in plan.rounds:
         missing = set(md_round.sites) - covered
@@ -225,7 +236,10 @@ def execute_plan_hierarchical(
     stats = TreeStats()
     coordinator = Coordinator(plan.expression.key)
 
-    _tree_base(cluster, plan, coordinator, regions, root_network, stats, topology)
+    _tree_base(
+        cluster, plan, coordinator, regions, root_network, stats, topology,
+        wire_codec,
+    )
 
     for round_number, md_round in enumerate(plan.rounds, start=1):
         round_stats = stats.new_round("chain" if md_round.is_chain else "md")
@@ -251,7 +265,8 @@ def execute_plan_hierarchical(
                 started = time.perf_counter()
                 region_fragment = _region_fragment(coordinator, md_round, region_sites)
                 shipment = msg.Message.with_relation(
-                    msg.SHIP_BASE, "root", region_name, round_number, region_fragment
+                    msg.SHIP_BASE, "root", region_name, round_number, region_fragment,
+                    codec=wire_codec,
                 )
                 round_stats.root_compute_s += time.perf_counter() - started
                 root_channel.send_to_site(shipment)
@@ -278,7 +293,8 @@ def execute_plan_hierarchical(
                         plan.base.source, md_round.steps, plan.expression.key
                     )
                     reply = msg.Message.with_relation(
-                        msg.SUB_RESULT, site_id, region_name, round_number, h_i
+                        msg.SUB_RESULT, site_id, region_name, round_number, h_i,
+                        codec=wire_codec,
                     )
                     link.compute_s += time.perf_counter() - started
                 else:
@@ -294,7 +310,8 @@ def execute_plan_hierarchical(
                             lambda row, _predicate=predicate: _predicate({BASE_VAR: row})
                         )
                     shipment = msg.Message.with_relation(
-                        msg.SHIP_BASE, region_name, site_id, round_number, fragment
+                        msg.SHIP_BASE, region_name, site_id, round_number, fragment,
+                        codec=wire_codec,
                     )
                     region_link.compute_s += time.perf_counter() - started
                     channel.send_to_site(shipment)
@@ -310,7 +327,8 @@ def execute_plan_hierarchical(
                         md_round.independent_reduction,
                     )
                     reply = msg.Message.with_relation(
-                        msg.SUB_RESULT, site_id, region_name, round_number, h_i
+                        msg.SUB_RESULT, site_id, region_name, round_number, h_i,
+                        codec=wire_codec,
                     )
                     link.compute_s += time.perf_counter() - started
 
@@ -328,7 +346,8 @@ def execute_plan_hierarchical(
                 combined = combined.union_all(fragment)
             merged = merge_sub_results(combined, plan.expression.key, blocks)
             reply = msg.Message.with_relation(
-                msg.SUB_RESULT, region_name, "root", round_number, merged
+                msg.SUB_RESULT, region_name, "root", round_number, merged,
+                codec=wire_codec,
             )
             region_link.compute_s += time.perf_counter() - started
             root_channel.send_to_coordinator(reply)
@@ -363,7 +382,10 @@ def _region_fragment(coordinator, md_round, region_sites) -> Relation:
     )
 
 
-def _tree_base(cluster, plan, coordinator, regions, root_network, stats, topology):
+def _tree_base(
+    cluster, plan, coordinator, regions, root_network, stats, topology,
+    wire_codec="row",
+):
     base = plan.base
     if base.merged_into_chain:
         return
@@ -404,7 +426,8 @@ def _tree_base(cluster, plan, coordinator, regions, root_network, stats, topolog
             started = time.perf_counter()
             b_i = site.compute_base(base.source)
             reply = msg.Message.with_relation(
-                msg.BASE_RESULT, site_id, region_name, 0, b_i
+                msg.BASE_RESULT, site_id, region_name, 0, b_i,
+                codec=wire_codec,
             )
             link.compute_s += time.perf_counter() - started
             channel.send_to_coordinator(reply)
@@ -421,7 +444,8 @@ def _tree_base(cluster, plan, coordinator, regions, root_network, stats, topolog
             combined = combined.union_all(piece)
         combined = combined.distinct()
         reply = msg.Message.with_relation(
-            msg.BASE_RESULT, region_name, "root", 0, combined
+            msg.BASE_RESULT, region_name, "root", 0, combined,
+            codec=wire_codec,
         )
         region_link.compute_s += time.perf_counter() - started
         root_channel.send_to_coordinator(reply)
@@ -442,9 +466,10 @@ def execute_query_hierarchical(
     topology: TreeTopology,
     expression,
     options=None,
+    wire_codec: Optional[str] = None,
 ) -> HierarchicalResult:
     """Plan with Egil, then execute over the coordinator tree."""
     from repro.distributed.optimizer import plan_query
 
     plan = plan_query(expression, cluster.catalog, options)
-    return execute_plan_hierarchical(cluster, topology, plan)
+    return execute_plan_hierarchical(cluster, topology, plan, wire_codec)

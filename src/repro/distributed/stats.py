@@ -49,6 +49,12 @@ class SiteRoundStats:
     compute_s: float = 0.0
     #: Leg re-runs the recovery layer performed for this site this round.
     retries: int = 0
+    #: What the same shipments would have cost under the row wire codec
+    #: (measured by actually row-encoding each block). Equal to
+    #: ``bytes_down``/``bytes_up`` when the row codec is active; the gap
+    #: is the column-block codec's measured byte saving.
+    row_equiv_bytes_down: int = 0
+    row_equiv_bytes_up: int = 0
 
 
 @dataclass
@@ -110,6 +116,18 @@ class RoundStats:
     def retries(self) -> int:
         return sum(stats.retries for stats in self.sites.values())
 
+    @property
+    def row_equiv_bytes_total(self) -> int:
+        return sum(
+            stats.row_equiv_bytes_down + stats.row_equiv_bytes_up
+            for stats in self.sites.values()
+        )
+
+    @property
+    def codec_saved_bytes(self) -> int:
+        """Measured bytes the active wire codec saved vs. the row codec."""
+        return self.row_equiv_bytes_total - self.bytes_total
+
     def site_compute_critical_s(self) -> float:
         """Critical-path site compute: the slowest site (parallel sites)."""
         if not self.sites:
@@ -154,6 +172,8 @@ class ExecutionStats:
     #: :meth:`~repro.service.service.QueryService.submit`); None for
     #: standalone runs.
     query_id: object = None
+    #: Which wire codec encoded the shipped relations (``row | column``).
+    wire_codec: str = "row"
 
     def new_round(self, kind: str, description: str = "") -> RoundStats:
         stats = RoundStats(index=len(self.rounds), kind=kind, description=description)
@@ -219,6 +239,15 @@ class ExecutionStats:
     @property
     def tuples_up(self) -> int:
         return sum(stats.tuples_up for stats in self.rounds)
+
+    @property
+    def row_equiv_bytes_total(self) -> int:
+        return sum(stats.row_equiv_bytes_total for stats in self.rounds)
+
+    @property
+    def codec_saved_bytes(self) -> int:
+        """Measured byte saving of the active wire codec vs. the row codec."""
+        return sum(stats.codec_saved_bytes for stats in self.rounds)
 
     def tuples_up_md(self) -> int:
         """Up-shipped tuples in MD/chain rounds only (base round excluded)."""
@@ -298,6 +327,7 @@ class ExecutionStats:
         snapshot = {
             "executor": self.executor,
             "failure_mode": self.failure_mode,
+            "wire_codec": self.wire_codec,
             "rounds": [
                 {
                     "index": round_stats.index,
@@ -306,6 +336,24 @@ class ExecutionStats:
                     "coordinator_compute_s": round_stats.coordinator_compute_s,
                     "wall_s": round_stats.wall_s,
                     "excluded": list(round_stats.excluded),
+                    **(
+                        {
+                            "codec": {
+                                "wire_codec": self.wire_codec,
+                                "bytes": round_stats.bytes_total,
+                                "row_equiv_bytes": round_stats.row_equiv_bytes_total,
+                                "saved_bytes": round_stats.codec_saved_bytes,
+                                "saving_fraction": (
+                                    round_stats.codec_saved_bytes
+                                    / round_stats.row_equiv_bytes_total
+                                    if round_stats.row_equiv_bytes_total
+                                    else 0.0
+                                ),
+                            }
+                        }
+                        if self.wire_codec != "row"
+                        else {}
+                    ),
                     "sites": {
                         site_id: {
                             "bytes_down": site.bytes_down,
@@ -340,6 +388,9 @@ class ExecutionStats:
             "coordinator_compute_s": self.coordinator_compute_s(),
             "wall_s": self.wall_time_s(),
         }
+        if self.wire_codec != "row":
+            snapshot["row_equiv_bytes_total"] = self.row_equiv_bytes_total
+            snapshot["codec_saved_bytes"] = self.codec_saved_bytes
         if self.query_id is not None:
             snapshot["query_id"] = self.query_id
         if model is not None:
@@ -350,6 +401,15 @@ class ExecutionStats:
         lines = [
             f"rounds: {self.round_count} (executor: {self.executor})",
             f"bytes: total={self.bytes_total} down={self.bytes_down} up={self.bytes_up}",
+        ]
+        if self.wire_codec != "row":
+            row_equiv = self.row_equiv_bytes_total
+            fraction = self.codec_saved_bytes / row_equiv if row_equiv else 0.0
+            lines.append(
+                f"wire codec [{self.wire_codec}]: saved {self.codec_saved_bytes}B "
+                f"vs row codec ({fraction:.1%} of {row_equiv}B)"
+            )
+        lines += [
             f"tuples shipped: {self.tuples_total}",
             f"site compute (critical path): {self.site_compute_s():.4f}s",
             f"site compute (all sites): {self.site_compute_total_s():.4f}s",

@@ -30,6 +30,8 @@ from repro.errors import HolisticAggregateError
 from repro.gmdj.blocks import MDBlock, result_schema, sub_result_schema
 from repro.obs.metrics import active_registry
 from repro.relalg import compiler
+from repro.relalg.aggregates import ComponentAccumulator
+from repro.relalg.engine import active_engine
 from repro.relalg.expressions import BASE_VAR, DETAIL_VAR
 from repro.relalg.predicates import split_condition
 from repro.relalg.relation import Relation
@@ -356,6 +358,11 @@ def _accumulate(base, detail, blocks, track_touch):
     interpreter path (:meth:`Expr.compile`) remains the differential
     oracle — see ``tests/test_compiler.py``.
     """
+    if active_engine() == "columnar":
+        columnar_result = _accumulate_columnar(base, detail, blocks, track_touch)
+        if columnar_result is not None:
+            return columnar_result
+
     base_schemas = {BASE_VAR: base.schema}
     detail_schemas = {DETAIL_VAR: detail.schema, None: detail.schema}
     both_schemas = {BASE_VAR: base.schema, **detail_schemas}
@@ -472,6 +479,135 @@ def _accumulate(base, detail, blocks, track_touch):
                         block_accumulators[base_index], input_values
                     ):
                         accumulator.update(value)
+
+    _hot_counters()[0].inc(tuples_examined)
+    return accumulators, touched
+
+
+def _vectorizable(blocks) -> bool:
+    """Whether every aggregate's components have inlinable update rules.
+
+    Holistic accumulators and custom components registered via
+    :func:`repro.relalg.aggregates.register_aggregate` with kinds outside
+    :data:`repro.relalg.compiler.VECTORIZED_COMPONENT_KINDS` fall back to
+    the row engine — correctness over speed for extensions.
+    """
+    for block in blocks:
+        for spec in block.aggregates:
+            if spec.is_holistic:
+                return False
+            for _suffix, component in spec.function.components():
+                if component.kind not in compiler.VECTORIZED_COMPONENT_KINDS:
+                    return False
+    return True
+
+
+def _accumulate_columnar(base, detail, blocks, track_touch):
+    """Vectorized MD-join scan over the detail relation's columns.
+
+    Same algorithm as the row path below — base-only prefilter, hash
+    build over equality atoms, detail scan with residual checks — but the
+    per-detail-row work (selection mask, NULL-key check, probe, aggregate
+    input evaluation, component updates) runs inside one fused generated
+    kernel (:func:`repro.relalg.compiler.compile_grouped_accumulate`)
+    over hoisted column vectors, accumulating into flat per-component
+    lists. Returns ``None`` when a block cannot be vectorized (holistic
+    or unknown custom components), which sends the caller down the row
+    path. Results are bit-identical to the row engine: kernels replicate
+    ``Component.update`` statement-for-statement and scan detail rows in
+    the same order.
+    """
+    if not _vectorizable(blocks):
+        return None
+    base_schemas = {BASE_VAR: base.schema}
+    detail_schemas = {DETAIL_VAR: detail.schema, None: detail.schema}
+    both_schemas = {BASE_VAR: base.schema, **detail_schemas}
+    detail_aliases = {None: DETAIL_VAR}
+    columns = detail.to_columnar().value_lists()
+    detail_count = len(detail.rows)
+    base_rows = base.rows
+    base_count = len(base_rows)
+    touched = [False] * base_count if track_touch else None
+    accumulators = []
+    tuples_examined = 0
+
+    for block in blocks:
+        split = split_condition(block.condition, BASE_VAR, DETAIL_VAR)
+
+        if split.base_only:
+            base_admits = compiler.compile_predicate(
+                split.base_only, base_schemas, (BASE_VAR,)
+            )
+            candidate_base = [
+                index for index, row in enumerate(base_rows) if base_admits(row)
+            ]
+        else:
+            candidate_base = list(range(base_count))
+
+        if split.detail_only:
+            mask = compiler.compile_mask(
+                split.detail_only,
+                detail_schemas,
+                (DETAIL_VAR,),
+                DETAIL_VAR,
+                aliases=detail_aliases,
+            )
+            indices = mask(detail_count, columns)
+        else:
+            indices = range(detail_count)
+        tuples_examined += len(indices)
+
+        if split.hashable:
+            base_key = compiler.compile_values(
+                [atom.base_expr for atom in split.atoms], base_schemas, (BASE_VAR,)
+            )
+            table: dict = {}
+            for base_index in candidate_base:
+                key = base_key(base_rows[base_index])
+                if None in key:
+                    continue
+                table.setdefault(key, []).append(base_index)
+            probe = table.get
+            key_exprs = [atom.detail_expr for atom in split.atoms]
+        else:
+            probe = candidate_base
+            key_exprs = None
+
+        component_kinds = tuple(
+            tuple(component.kind for _suffix, component in spec.function.components())
+            for spec in block.aggregates
+        )
+        kernel = compiler.compile_grouped_accumulate(
+            key_exprs,
+            tuple(spec.input_expr for spec in block.aggregates),
+            component_kinds,
+            split.residual,
+            both_schemas,
+            DETAIL_VAR,
+            BASE_VAR,
+            track_touch,
+            aliases=detail_aliases,
+        )
+        layout = []  # per aggregate: (function, flat offset, component count)
+        flat: list = []
+        for spec in block.aggregates:
+            components = spec.function.components()
+            layout.append((spec.function, len(flat), len(components)))
+            for _suffix, component in components:
+                flat.append([component.initial()] * base_count)
+        kernel(indices, columns, base_rows, probe, flat, touched)
+
+        block_accumulators = [
+            [
+                ComponentAccumulator.from_values(
+                    function,
+                    [flat[offset + position][base_index] for position in range(count)],
+                )
+                for function, offset, count in layout
+            ]
+            for base_index in range(base_count)
+        ]
+        accumulators.append(block_accumulators)
 
     _hot_counters()[0].inc(tuples_examined)
     return accumulators, touched

@@ -77,8 +77,9 @@ class Message:
         round_index: int,
         relation: Relation,
         info: Optional[dict] = None,
+        codec: str = "row",
     ) -> "Message":
-        payload = serialize.encode_relation(relation)
+        payload = serialize.encode_relation(relation, codec)
         return cls(kind, sender, recipient, round_index, payload, info or {})
 
     @property

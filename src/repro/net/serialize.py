@@ -47,11 +47,23 @@ from repro.relalg.schema import BOOL, DATE, FLOAT, INT, STR, Attribute, Schema
 
 _MAGIC = b"SKRL"
 _VERSION = 1
+_COLUMN_VERSION = 2
+
+#: Wire codec names: ``row`` is format v1 (tag byte per value), ``column``
+#: is format v2 (column blocks: presence bitmap + dictionary/delta per
+#: column). Both decode transparently — the version byte dispatches.
+CODECS = ("row", "column")
 
 _TYPE_CODES = {INT: 0, FLOAT: 1, STR: 2, BOOL: 3, DATE: 4}
 _CODE_TYPES = {code: name for name, code in _TYPE_CODES.items()}
 
 _DOUBLE = struct.Struct("<d")
+
+
+def validate_codec(name: str) -> str:
+    if name not in CODECS:
+        raise SerializationError(f"unknown wire codec {name!r}; expected one of {CODECS}")
+    return name
 
 
 def _write_varint(buffer: bytearray, value: int) -> None:
@@ -388,8 +400,178 @@ def _decode_schema(pairs: tuple) -> Tuple[Schema, object]:
     return interned
 
 
-def encode_relation(relation: Relation) -> bytes:
-    """Serialize a relation to bytes (wire-identical to the reference)."""
+# ---------------------------------------------------------------------------
+# Column-block codec (format v2)
+# ---------------------------------------------------------------------------
+#
+# Same magic and schema header as v1 but the body is one block per column:
+#
+# - presence bitmap: ceil(rows/8) bytes, bit ``i`` (LSB-first) set when row
+#   ``i`` is non-NULL; the blocks below cover *present* values only;
+# - INT/DATE: zig-zag *delta* varints (first value is a delta from 0) —
+#   sorted or clustered key columns collapse to 1-byte deltas;
+# - FLOAT: packed IEEE doubles;
+# - STR: dictionary — varint unique count, the uniques in first-appearance
+#   order (varint-length UTF-8), then one varint dictionary code per value;
+# - BOOL: bit-packed, ceil(present/8) bytes.
+
+
+def _encode_relation_column(relation: Relation) -> bytes:
+    buffer = bytearray()
+    buffer += _MAGIC
+    buffer.append(_COLUMN_VERSION)
+    schema = relation.schema
+    _write_varint(buffer, len(schema))
+    for attribute in schema:
+        name_bytes = attribute.name.encode("utf-8")
+        _write_varint(buffer, len(name_bytes))
+        buffer += name_bytes
+        buffer.append(_TYPE_CODES[attribute.type])
+    row_count = len(relation.rows)
+    _write_varint(buffer, row_count)
+    write_varint = _write_varint
+    for column in relation.to_columnar().columns:
+        values = column.values
+        bitmap = bytearray((row_count + 7) // 8)
+        present = []
+        for index, value in enumerate(values):
+            if value is not None:
+                bitmap[index >> 3] |= 1 << (index & 7)
+                present.append(value)
+        buffer += bitmap
+        code = _TYPE_CODES[column.type]
+        try:
+            if code == 0 or code == 4:  # int / date: zig-zag delta varints
+                previous = 0
+                for value in present:
+                    current = int(value) if code == 0 else value.toordinal()
+                    write_varint(buffer, _zigzag(current - previous))
+                    previous = current
+            elif code == 1:  # float
+                for value in present:
+                    buffer += _DOUBLE.pack(float(value))
+            elif code == 2:  # str: first-appearance dictionary
+                uniques: list = []
+                dictionary: dict = {}
+                codes: list = []
+                for value in present:
+                    code_id = dictionary.get(value)
+                    if code_id is None:
+                        code_id = len(uniques)
+                        dictionary[value] = code_id
+                        uniques.append(value)
+                    codes.append(code_id)
+                write_varint(buffer, len(uniques))
+                for unique in uniques:
+                    encoded = unique.encode("utf-8")
+                    write_varint(buffer, len(encoded))
+                    buffer += encoded
+                for code_id in codes:
+                    write_varint(buffer, code_id)
+            else:  # bool: bit-packed
+                packed = bytearray((len(present) + 7) // 8)
+                for index, value in enumerate(present):
+                    if value:
+                        packed[index >> 3] |= 1 << (index & 7)
+                buffer += packed
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"cannot encode {column.name!r} as a {column.type} column block: {exc}"
+            ) from exc
+    return bytes(buffer)
+
+
+def _decode_relation_column(data: bytes, offset: int) -> Relation:
+    """Decode a v2 body; ``offset`` points just past the version byte."""
+    from repro.relalg.columnar import Column, ColumnarRelation
+
+    read_varint = _read_varint
+    data_length = len(data)
+    attr_count, offset = read_varint(data, offset)
+    attributes = []
+    for _index in range(attr_count):
+        name_length, offset = read_varint(data, offset)
+        name = data[offset : offset + name_length].decode("utf-8")
+        offset += name_length
+        if offset >= data_length:
+            raise SerializationError("truncated column header")
+        code = data[offset]
+        offset += 1
+        if code not in _CODE_TYPES:
+            raise SerializationError(f"unknown type code {code}")
+        attributes.append(Attribute(name, _CODE_TYPES[code]))
+    schema = Schema(attributes)
+    row_count, offset = read_varint(data, offset)
+    bitmap_size = (row_count + 7) // 8
+    columns = []
+    for attribute in schema:
+        if offset + bitmap_size > data_length:
+            raise SerializationError("truncated presence bitmap")
+        bitmap = data[offset : offset + bitmap_size]
+        offset += bitmap_size
+        present_flags = [
+            bool(bitmap[index >> 3] & (1 << (index & 7))) for index in range(row_count)
+        ]
+        present_count = sum(present_flags)
+        code = _TYPE_CODES[attribute.type]
+        present: list = []
+        if code == 0 or code == 4:
+            previous = 0
+            for _value_index in range(present_count):
+                raw, offset = read_varint(data, offset)
+                previous += _unzigzag(raw)
+                present.append(
+                    previous if code == 0 else datetime.date.fromordinal(previous)
+                )
+        elif code == 1:
+            end = offset + present_count * _DOUBLE.size
+            if end > data_length:
+                raise SerializationError("truncated float column block")
+            present = [
+                _DOUBLE.unpack_from(data, position)[0]
+                for position in range(offset, end, _DOUBLE.size)
+            ]
+            offset = end
+        elif code == 2:
+            unique_count, offset = read_varint(data, offset)
+            uniques = []
+            for _unique_index in range(unique_count):
+                length, offset = read_varint(data, offset)
+                uniques.append(data[offset : offset + length].decode("utf-8"))
+                offset += length
+            for _value_index in range(present_count):
+                code_id, offset = read_varint(data, offset)
+                if code_id >= unique_count:
+                    raise SerializationError(f"dictionary code {code_id} out of range")
+                present.append(uniques[code_id])
+        else:
+            packed_size = (present_count + 7) // 8
+            if offset + packed_size > data_length:
+                raise SerializationError("truncated bool column block")
+            packed = data[offset : offset + packed_size]
+            offset += packed_size
+            present = [
+                bool(packed[index >> 3] & (1 << (index & 7)))
+                for index in range(present_count)
+            ]
+        iterator = iter(present)
+        values = [next(iterator) if flag else None for flag in present_flags]
+        columns.append(Column(attribute.name, attribute.type, values))
+    if offset != data_length:
+        raise SerializationError(f"{data_length - offset} trailing bytes after relation")
+    return Relation.from_columnar(ColumnarRelation(schema, columns))
+
+
+def encode_relation(relation: Relation, codec: str = "row") -> bytes:
+    """Serialize a relation to bytes under the named wire codec.
+
+    ``row`` (format v1) is wire-identical to the reference encoder;
+    ``column`` (format v2) produces column blocks. Either output decodes
+    with :func:`decode_relation`.
+    """
+    if codec == "column":
+        return _encode_relation_column(relation)
+    validate_codec(codec)
     header, write_rows = _encode_plan(relation.schema)
     buffer = bytearray(header)
     rows = relation.rows
@@ -404,13 +586,15 @@ def encode_relation(relation: Relation) -> bytes:
 
 
 def decode_relation(data: bytes) -> Relation:
-    """Deserialize bytes produced by :func:`encode_relation`."""
+    """Deserialize bytes produced by :func:`encode_relation` (any codec)."""
     if data[: len(_MAGIC)] != _MAGIC:
         raise SerializationError("bad magic; not a serialized relation")
     offset = len(_MAGIC)
     data_length = len(data)
-    if offset >= data_length or data[offset] != _VERSION:
+    if offset >= data_length or data[offset] not in (_VERSION, _COLUMN_VERSION):
         raise SerializationError("unsupported codec version")
+    if data[offset] == _COLUMN_VERSION:
+        return _decode_relation_column(data, offset + 1)
     offset += 1
     read_varint = _read_varint
     attr_count, offset = read_varint(data, offset)
@@ -430,6 +614,6 @@ def decode_relation(data: bytes) -> Relation:
     return Relation(schema, rows)
 
 
-def wire_size(relation: Relation) -> int:
-    """Exact wire size of a relation under this codec."""
-    return len(encode_relation(relation))
+def wire_size(relation: Relation, codec: str = "row") -> int:
+    """Exact wire size of a relation under the named codec."""
+    return len(encode_relation(relation, codec))

@@ -110,6 +110,10 @@ class RoundProfile:
     excluded: List[str] = field(default_factory=list)
     sites: List[SiteProfile] = field(default_factory=list)
     coordinator_operators: List[OperatorProfile] = field(default_factory=list)
+    #: Wire-codec accounting for this round (the stats round record's
+    #: ``codec`` dict: measured bytes, row-codec-equivalent bytes, saving)
+    #: — only present when a non-row codec was active.
+    codec: Optional[dict] = None
 
     @property
     def bytes_down(self) -> int:
@@ -128,7 +132,7 @@ class RoundProfile:
         return sum(site.tuples_down + site.tuples_up for site in self.sites)
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "index": self.index,
             "kind": self.kind,
             "description": self.description,
@@ -142,6 +146,9 @@ class RoundProfile:
                 operator.to_dict() for operator in self.coordinator_operators
             ],
         }
+        if self.codec is not None:
+            record["codec"] = dict(self.codec)
+        return record
 
 
 @dataclass
@@ -160,6 +167,12 @@ class QueryProfile:
     notes: tuple = ()
     #: Ground-truth byte total from the stats snapshot.
     stats_bytes_total: int = 0
+    #: Wire codec the run shipped relations with ("row" or "column").
+    wire_codec: str = "row"
+    #: Estimated fractional saving of the column codec for this query's
+    #: shipped schema (:func:`repro.distributed.costing.estimate_column_codec_saving`);
+    #: ``None`` when the caller did not price it.
+    codec_estimated_saving: Optional[float] = None
 
     # -- attribution & coverage -------------------------------------------------
 
@@ -174,6 +187,30 @@ class QueryProfile:
     @property
     def tuples_total(self) -> int:
         return sum(round_profile.tuples_total for round_profile in self.rounds)
+
+    @property
+    def row_equiv_bytes_total(self) -> int:
+        """What the row codec would have shipped, summed over rounds."""
+        return sum(
+            int(round_profile.codec.get("row_equiv_bytes", 0))
+            for round_profile in self.rounds
+            if round_profile.codec is not None
+        )
+
+    @property
+    def codec_saved_bytes(self) -> int:
+        return sum(
+            int(round_profile.codec.get("saved_bytes", 0))
+            for round_profile in self.rounds
+            if round_profile.codec is not None
+        )
+
+    def codec_measured_saving(self) -> float:
+        """Measured fractional saving vs the row codec (0.0 for row runs)."""
+        row_equiv = self.row_equiv_bytes_total
+        if row_equiv <= 0:
+            return 0.0
+        return self.codec_saved_bytes / row_equiv
 
     def time_coverage(self) -> float:
         """Fraction of traced query wall time attributed to plan nodes."""
@@ -203,6 +240,17 @@ class QueryProfile:
             "optimizations": [impact.to_dict() for impact in self.impacts],
             "plan_description": self.plan_description,
             "notes": list(self.notes),
+            "wire_codec": self.wire_codec,
+            **(
+                {
+                    "row_equiv_bytes_total": self.row_equiv_bytes_total,
+                    "codec_saved_bytes": self.codec_saved_bytes,
+                    "codec_measured_saving": self.codec_measured_saving(),
+                    "codec_estimated_saving": self.codec_estimated_saving,
+                }
+                if self.wire_codec != "row"
+                else {}
+            ),
         }
 
 
@@ -240,6 +288,7 @@ def build_profile(
     plan_description: str = "",
     notes=(),
     query_id=None,
+    codec_estimated_saving=None,
 ) -> QueryProfile:
     """Assemble a :class:`QueryProfile` from spans plus an execution-stats
     snapshot (an ``ExecutionStats`` or its ``to_dict()`` form).
@@ -279,6 +328,8 @@ def build_profile(
         plan_description=plan_description,
         notes=tuple(notes),
         stats_bytes_total=int(stats.get("bytes_total", 0)),
+        wire_codec=stats.get("wire_codec", "row"),
+        codec_estimated_saving=codec_estimated_saving,
     )
 
     for round_record in stats["rounds"]:
@@ -289,6 +340,7 @@ def build_profile(
             wall_s=round_record.get("wall_s", 0.0),
             coordinator_compute_s=round_record.get("coordinator_compute_s", 0.0),
             excluded=list(round_record.get("excluded", ())),
+            codec=round_record.get("codec"),
         )
         site_profiles = {}
         for site_id, site_record in round_record.get("sites", {}).items():
@@ -485,6 +537,18 @@ def render_profile(profile: QueryProfile, width: int = 48) -> str:
         f"{_fmt_bytes(profile.stats_bytes_total)} "
         f"({profile.bytes_coverage() * 100:.1f}%)"
     )
+    if profile.wire_codec != "row":
+        codec_line = (
+            f"wire codec [{profile.wire_codec}]: measured saving "
+            f"{_fmt_bytes(profile.codec_saved_bytes)} of "
+            f"{_fmt_bytes(profile.row_equiv_bytes_total)} row-codec bytes "
+            f"({profile.codec_measured_saving() * 100:.1f}%)"
+        )
+        if profile.codec_estimated_saving is not None:
+            codec_line += (
+                f"; estimated {profile.codec_estimated_saving * 100:.1f}%"
+            )
+        lines.append(codec_line)
     longest = max(
         [site.compute_s for round_profile in profile.rounds
          for site in round_profile.sites]
@@ -503,6 +567,10 @@ def render_profile(profile: QueryProfile, width: int = 48) -> str:
             f"down={_fmt_bytes(round_profile.bytes_down)} "
             f"up={_fmt_bytes(round_profile.bytes_up)}"
         )
+        if round_profile.codec is not None:
+            header += (
+                f" codec_saved={_fmt_bytes(int(round_profile.codec.get('saved_bytes', 0)))}"
+            )
         if round_profile.excluded:
             header += f" EXCLUDED={','.join(round_profile.excluded)}"
         lines.append(header)

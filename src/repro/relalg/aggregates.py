@@ -556,6 +556,22 @@ class ComponentAccumulator(Accumulator):
         self._components = tuple(component for _suffix, component in function.components())
         self._values = [component.initial() for component in self._components]
 
+    @classmethod
+    def from_values(cls, function: AggregateFunction, values) -> "ComponentAccumulator":
+        """Wrap already-accumulated component values (columnar engine).
+
+        The vectorized GMDJ scan accumulates into flat per-component lists
+        and rehydrates :class:`ComponentAccumulator` objects only at the
+        end, so downstream merge/finalize code is engine-agnostic.
+        """
+        accumulator = cls.__new__(cls)
+        accumulator._function = function
+        accumulator._components = tuple(
+            component for _suffix, component in function.components()
+        )
+        accumulator._values = list(values)
+        return accumulator
+
     def update(self, value):
         values = self._values
         for index, component in enumerate(self._components):

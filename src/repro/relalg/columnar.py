@@ -1,0 +1,163 @@
+"""Columnar storage for relations: per-column value vectors.
+
+A :class:`ColumnarRelation` holds the same multiset of rows as a row-store
+:class:`~repro.relalg.relation.Relation`, transposed into one
+:class:`Column` per attribute.  Batch kernels emitted by
+:mod:`repro.relalg.compiler` iterate these vectors with hoisted locals
+instead of indexing row tuples, and the column-block wire codec
+(:mod:`repro.net.serialize`) encodes them per column.
+
+Columns keep their values as plain Python lists (the universal
+representation the kernels consume — preserving ``None`` for NULLs), and
+additionally expose two compact views:
+
+* :meth:`Column.as_array` — for INT/FLOAT/DATE/BOOL columns, a typed
+  ``array.array`` over the non-NULL values (``memoryview``-friendly; DATEs
+  as ordinals, BOOLs as 0/1) plus the NULL presence bitmap.
+* :meth:`Column.dictionary` — for STR columns, first-appearance-ordered
+  dictionary codes (``uniques``, ``codes``; NULL encoded as code ``-1``).
+
+This module deliberately does not import :mod:`repro.relalg.relation`
+(which imports the compiler, which may consume columns) — conversion entry
+points live on ``Relation`` itself.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relalg.schema import BOOL, DATE, FLOAT, INT, STR, Schema
+
+#: array.array typecodes for the numeric path, per attribute type.
+_ARRAY_TYPECODES = {INT: "q", FLOAT: "d", DATE: "q", BOOL: "b"}
+
+
+class Column:
+    """One attribute's values, in row order, with NULLs kept as ``None``."""
+
+    __slots__ = ("name", "type", "values")
+
+    def __init__(self, name: str, type_name: str, values: Sequence):
+        self.name = name
+        self.type = type_name
+        self.values = list(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name}:{self.type}, {len(self.values)} values)"
+
+    def null_count(self) -> int:
+        return sum(1 for value in self.values if value is None)
+
+    def as_array(self) -> Tuple[array, List[bool]]:
+        """Typed array over non-NULL values plus a presence list.
+
+        Only valid for INT/FLOAT/DATE/BOOL columns.  DATE values are stored
+        as proleptic-Gregorian ordinals and BOOLs as 0/1, matching the wire
+        codec's integer path.  The returned array is ``memoryview``-able.
+        """
+        typecode = _ARRAY_TYPECODES.get(self.type)
+        if typecode is None:
+            raise SchemaError(f"column {self.name!r} of type {self.type!r} has no array view")
+        present = [value is not None for value in self.values]
+        if self.type == DATE:
+            packed = array(typecode, (v.toordinal() for v in self.values if v is not None))
+        elif self.type == BOOL:
+            packed = array(typecode, (1 if v else 0 for v in self.values if v is not None))
+        else:
+            packed = array(typecode, (v for v in self.values if v is not None))
+        return packed, present
+
+    def dictionary(self) -> Tuple[List, array]:
+        """First-appearance dictionary encoding: ``(uniques, codes)``.
+
+        NULL values get code ``-1`` and never enter ``uniques``.  Works for
+        any column type but is only a win for strings (and is what the
+        column-block wire codec ships for STR columns).
+        """
+        uniques: List = []
+        index: dict = {}
+        codes = array("q")
+        for value in self.values:
+            if value is None:
+                codes.append(-1)
+                continue
+            code = index.get(value)
+            if code is None:
+                code = len(uniques)
+                index[value] = code
+                uniques.append(value)
+            codes.append(code)
+        return uniques, codes
+
+
+class ColumnarRelation:
+    """A schema plus one :class:`Column` per attribute, all equal length."""
+
+    __slots__ = ("schema", "columns", "_length")
+
+    def __init__(
+        self, schema: Schema, columns: Sequence[Column], length: Optional[int] = None
+    ):
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"schema has {len(schema)} attributes but got {len(columns)} columns"
+            )
+        for column in columns:
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise SchemaError(
+                    f"ragged columns: {column.name!r} has {len(column)} values, "
+                    f"expected {length}"
+                )
+        self.schema = schema
+        self.columns = tuple(columns)
+        # ``length`` survives the zero-column case (pure row-count relations).
+        self._length = length or 0
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[tuple]) -> "ColumnarRelation":
+        """Transpose row tuples into columns (one pass via ``zip``)."""
+        attributes = schema.attributes
+        if rows:
+            transposed = zip(*rows)
+            columns = [
+                Column(attribute.name, attribute.type, values)
+                for attribute, values in zip(attributes, transposed)
+            ]
+        else:
+            columns = [Column(attribute.name, attribute.type, ()) for attribute in attributes]
+        return cls(schema, columns, length=len(rows) if not attributes else None)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"ColumnarRelation({self.schema!r}, {self._length} rows)"
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.schema.position(name)]
+
+    def value_lists(self) -> Tuple[list, ...]:
+        """The per-column value lists, in schema order (kernel input)."""
+        return tuple(column.values for column in self.columns)
+
+    def to_rows(self) -> List[tuple]:
+        """Transpose back to row tuples, preserving row order."""
+        if not self.columns:
+            return [()] * self._length
+        return list(zip(*(column.values for column in self.columns)))
+
+    def gather(self, indices: Iterable[int]) -> "ColumnarRelation":
+        """Rows at ``indices`` (ascending order preserves row order)."""
+        index_list = list(indices)
+        columns = [
+            Column(column.name, column.type, [column.values[i] for i in index_list])
+            for column in self.columns
+        ]
+        return ColumnarRelation(self.schema, columns)

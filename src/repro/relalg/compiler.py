@@ -393,3 +393,379 @@ def compile_values(
         with _CACHE_LOCK:
             _KERNEL_CACHE[key] = kernel
     return kernel
+
+
+# ---------------------------------------------------------------------------
+# Batch (columnar) kernels
+# ---------------------------------------------------------------------------
+#
+# The columnar engine amortizes the per-row call overhead away entirely:
+# instead of ``fn(row) -> value`` closures invoked once per tuple, batch
+# kernels contain the scan loop *inside* the generated function. Fields of
+# the designated columnar relation variable read hoisted column locals
+# (``_dc3[_i]``) rather than indexing a row tuple, so one generated frame
+# processes the whole block. Semantics are identical to the row kernels
+# above — the row engine stays the differential oracle
+# (``tests/test_engine_equivalence.py``).
+
+
+class _ColumnEmitter(_Emitter):
+    """Emitter whose columnar relvars read ``_dc<pos>[_i]`` column locals."""
+
+    def __init__(self, schemas: Mapping, param_of: Mapping, columnar_relvars):
+        super().__init__(schemas, param_of)
+        self.columnar_relvars = frozenset(columnar_relvars)
+        self.used_columns: set = set()
+
+    def emit(self, node: Expr, indent: int) -> str:
+        if isinstance(node, Field) and node.relvar in self.columnar_relvars:
+            try:
+                schema = self.schemas[node.relvar]
+            except KeyError:
+                raise ExpressionError(
+                    f"no schema for relation variable {node.relvar!r} "
+                    f"(have {sorted(map(repr, self.schemas))})"
+                ) from None
+            position = schema.position(node.name)
+            self.used_columns.add(position)
+            return f"_dc{position}[_i]"
+        return super().emit(node, indent)
+
+
+def _columnar_relvars(columnar, aliases: Optional[Mapping]) -> frozenset:
+    """The columnar relvar plus every alias that targets it."""
+    relvars = {columnar}
+    for alias, target in (aliases or {}).items():
+        if target == columnar:
+            relvars.add(alias)
+    return frozenset(relvars)
+
+
+def _batch_param_map(params: Sequence, columnar, aliases: Optional[Mapping]) -> tuple:
+    """Row-parameter map for a batch kernel: ``(param_of, row_params)``.
+
+    The columnar relvar is excluded — its fields read column locals.
+    Non-columnar params keep positional ``_row{j}`` arguments after the
+    leading ``(_n, _cols)`` pair of every batch kernel.
+    """
+    if columnar not in params:
+        raise ExpressionError(
+            f"columnar relvar {columnar!r} not among kernel params {params!r}"
+        )
+    row_params = tuple(relvar for relvar in params if relvar != columnar)
+    param_of = {}
+    for index, relvar in enumerate(row_params):
+        param_of[relvar] = f"_row{index}"
+    columnar_set = _columnar_relvars(columnar, aliases)
+    if aliases:
+        for alias, target in aliases.items():
+            if alias in columnar_set:
+                continue
+            if target not in param_of:
+                raise ExpressionError(
+                    f"alias {alias!r} targets unknown parameter relvar {target!r}"
+                )
+            param_of[alias] = param_of[target]
+    return param_of, row_params
+
+
+def _assemble_batch(
+    emitter: "_ColumnEmitter",
+    row_params: Sequence,
+    extra_args: Sequence[str],
+    body: Sequence[str],
+) -> Callable:
+    """Assemble a batch kernel: hoisted column locals + provided body.
+
+    Signature is ``(_n, _cols, *row_args, *extra_args)`` where ``_cols``
+    is the tuple of per-column value lists of the columnar relation.
+    """
+    args = ["_n", "_cols"]
+    args.extend(f"_row{index}" for index in range(len(row_params)))
+    args.extend(extra_args)
+    prologue = [
+        f"_dc{position} = _cols[{position}]"
+        for position in sorted(emitter.used_columns)
+    ]
+    source = f"def _kernel({', '.join(args)}):\n" + "\n".join(
+        "    " + line for line in prologue + list(body)
+    )
+    env = emitter.env
+    exec(compile(source, "<relalg-batch-kernel>", "exec"), env)  # noqa: S102
+    kernel = env["_kernel"]
+    kernel.__kernel_source__ = source
+    return kernel
+
+
+def compile_mask(
+    conditions,
+    schemas: Mapping,
+    params: Sequence,
+    columnar,
+    aliases: Optional[Mapping] = None,
+) -> Callable:
+    """Compile a conjunction to ``fn(n, cols, *rows) -> [passing indices]``.
+
+    The selection bitmap of the columnar engine: one generated loop over
+    the column vectors returns the ascending indices of rows satisfying
+    every conjunct (same short-circuit order as
+    :func:`compile_predicate`, so both engines evaluate the same atoms).
+    """
+    if isinstance(conditions, Expr):
+        conditions = (conditions,)
+    else:
+        conditions = tuple(conditions)
+    key = _cache_key(
+        ("mask", repr(columnar)),
+        tuple(c.key() for c in conditions),
+        schemas,
+        params,
+        aliases,
+    )
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        param_of, row_params = _batch_param_map(params, columnar, aliases)
+        emitter = _ColumnEmitter(schemas, param_of, _columnar_relvars(columnar, aliases))
+        emitter.line(0, "_out = []")
+        emitter.line(0, "_append = _out.append")
+        emitter.line(0, "for _i in range(_n):")
+        for condition in conditions:
+            atom = emitter.emit(condition, 1)
+            emitter.line(1, f"if not {atom}:")
+            emitter.line(2, "continue")
+        emitter.line(1, "_append(_i)")
+        kernel = _assemble_batch(emitter, row_params, (), emitter.lines + ["return _out"])
+        with _CACHE_LOCK:
+            _KERNEL_CACHE[key] = kernel
+    return kernel
+
+
+def compile_batch_scalar(
+    expr: Expr,
+    schemas: Mapping,
+    params: Sequence,
+    columnar,
+    aliases: Optional[Mapping] = None,
+) -> Callable:
+    """Compile ``expr`` to ``fn(n, cols, *rows) -> [value per row]``.
+
+    The vectorized ``extend``: one generated loop computes the expression
+    for every row of the columnar relation.
+    """
+    key = _cache_key(
+        ("batch_scalar", repr(columnar)), expr.key(), schemas, params, aliases
+    )
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        param_of, row_params = _batch_param_map(params, columnar, aliases)
+        emitter = _ColumnEmitter(schemas, param_of, _columnar_relvars(columnar, aliases))
+        emitter.line(0, "_out = []")
+        emitter.line(0, "_append = _out.append")
+        emitter.line(0, "for _i in range(_n):")
+        atom = emitter.emit(expr, 1)
+        emitter.line(1, f"_append({atom})")
+        kernel = _assemble_batch(emitter, row_params, (), emitter.lines + ["return _out"])
+        with _CACHE_LOCK:
+            _KERNEL_CACHE[key] = kernel
+    return kernel
+
+
+#: Component kinds the fused grouped-accumulate kernel knows how to inline.
+#: Anything else (custom :func:`repro.relalg.aggregates.register_aggregate`
+#: components, holistic accumulators) falls back to the row engine.
+VECTORIZED_COMPONENT_KINDS = frozenset(
+    ("count_star", "count", "sum", "sumsq", "min", "max", "logsum", "poscount")
+)
+
+
+def _emit_component_update(emitter, indent, kind, acc, value_atom):
+    """Inline one Component.update against flat list ``acc`` at ``_b``.
+
+    Each branch mirrors the corresponding ``Component.update`` in
+    :mod:`repro.relalg.aggregates` statement-for-statement so results are
+    bit-identical to the row engine (including float fold order).
+    """
+    slot = f"{acc}[_b]"
+    if kind == "count_star":
+        emitter.line(indent, f"{slot} += 1")
+    elif kind == "count":
+        emitter.line(indent, f"if {value_atom} is not None:")
+        emitter.line(indent + 1, f"{slot} += 1")
+    elif kind == "sum":
+        emitter.line(indent, f"if {value_atom} is not None:")
+        emitter.line(indent + 1, f"_x = {acc}[_b]")
+        emitter.line(
+            indent + 1, f"{slot} = {value_atom} if _x is None else _x + {value_atom}"
+        )
+    elif kind == "sumsq":
+        emitter.line(indent, f"if {value_atom} is not None:")
+        emitter.line(indent + 1, f"_sq = {value_atom} * {value_atom}")
+        emitter.line(indent + 1, f"_x = {acc}[_b]")
+        emitter.line(indent + 1, f"{slot} = _sq if _x is None else _x + _sq")
+    elif kind == "min":
+        emitter.line(indent, f"if {value_atom} is not None:")
+        emitter.line(indent + 1, f"_x = {acc}[_b]")
+        emitter.line(
+            indent + 1,
+            f"{slot} = {value_atom} if _x is None else min(_x, {value_atom})",
+        )
+    elif kind == "max":
+        emitter.line(indent, f"if {value_atom} is not None:")
+        emitter.line(indent + 1, f"_x = {acc}[_b]")
+        emitter.line(
+            indent + 1,
+            f"{slot} = {value_atom} if _x is None else max(_x, {value_atom})",
+        )
+    elif kind == "logsum":
+        emitter.line(indent, f"if {value_atom} is not None and {value_atom} > 0:")
+        emitter.line(indent + 1, f"_lg = _log({value_atom})")
+        emitter.env.setdefault("_log", math.log)
+        emitter.line(indent + 1, f"_x = {acc}[_b]")
+        emitter.line(indent + 1, f"{slot} = _lg if _x is None else _x + _lg")
+    elif kind == "poscount":
+        emitter.line(indent, f"if {value_atom} is not None and {value_atom} > 0:")
+        emitter.line(indent + 1, f"{slot} += 1")
+    else:  # pragma: no cover - guarded by VECTORIZED_COMPONENT_KINDS
+        raise ExpressionError(f"cannot vectorize component kind {kind!r}")
+
+
+def compile_grouped_accumulate(
+    key_exprs,
+    input_exprs: Sequence,
+    component_kinds: Sequence[tuple],
+    residual_conjuncts: Sequence,
+    schemas: Mapping,
+    columnar,
+    base_param,
+    track_touch: bool,
+    aliases: Optional[Mapping] = None,
+) -> Callable:
+    """Fuse the GMDJ probe/update scan into one generated loop.
+
+    The returned kernel has signature::
+
+        kernel(indices, cols, base_rows, probe, accs, touched)
+
+    - ``indices``: detail row indices to scan (post detail-only filter);
+    - ``cols``: the detail relation's column value lists;
+    - ``base_rows``: row tuples of the base relation (residual checks);
+    - ``probe``: hash-path — ``table.get`` of the base hash table built
+      over the equality-atom keys; nested-loop path (``key_exprs is
+      None``) — the list of candidate base indices;
+    - ``accs``: flat accumulator lists, one per (aggregate, component) in
+      block order, each ``len(base_rows)`` long;
+    - ``touched``: per-base-row flags (only written when ``track_touch``).
+
+    Everything the row engine does per detail row — key-tuple closure
+    call, NULL-key check, dict probe, aggregate-input closures, residual
+    closure, ``Accumulator.update`` method dispatch per component — is
+    inlined into straight-line statements, which is where the columnar
+    engine's speedup comes from.
+    """
+    hashable = key_exprs is not None
+    input_exprs = tuple(input_exprs)
+    component_kinds = tuple(tuple(kinds) for kinds in component_kinds)
+    residual_conjuncts = tuple(residual_conjuncts)
+    key = _cache_key(
+        (
+            "grouped_accumulate",
+            repr(columnar),
+            repr(base_param),
+            hashable,
+            track_touch,
+            component_kinds,
+        ),
+        (
+            tuple(e.key() for e in key_exprs) if hashable else None,
+            tuple(None if e is None else e.key() for e in input_exprs),
+            tuple(c.key() for c in residual_conjuncts),
+        ),
+        schemas,
+        (columnar,),
+        aliases,
+    )
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is not None:
+        return kernel
+
+    param_of = {base_param: "_row_b"}
+    if aliases:
+        columnar_set = _columnar_relvars(columnar, aliases)
+        for alias, target in aliases.items():
+            if alias in columnar_set:
+                continue
+            if target == base_param:
+                param_of[alias] = "_row_b"
+    emitter = _ColumnEmitter(schemas, param_of, _columnar_relvars(columnar, aliases))
+
+    acc_names = []
+    flat_index = 0
+    for kinds in component_kinds:
+        for _kind in kinds:
+            acc_names.append(f"_acc{flat_index}")
+            flat_index += 1
+    for index, name in enumerate(acc_names):
+        emitter.line(0, f"{name} = _accs[{index}]")
+    need_base_row = bool(residual_conjuncts)
+
+    emitter.line(0, "for _i in _indices:")
+    if hashable:
+        key_atoms = [emitter.emit(expr, 1) for expr in key_exprs]
+        checks = emitter.null_checks(key_atoms)
+        if checks:
+            emitter.line(1, f"if {' or '.join(checks)}:")
+            emitter.line(2, "continue")
+        key_tuple = "(" + ", ".join(key_atoms) + ("," if len(key_atoms) == 1 else "") + ")"
+        emitter.line(1, f"_matches = _probe({key_tuple})")
+        emitter.line(1, "if not _matches:")
+        emitter.line(2, "continue")
+    else:
+        emitter.line(1, "_matches = _probe")
+
+    value_atoms = []
+    for agg_index, expr in enumerate(input_exprs):
+        if expr is None:
+            value_atoms.append(None)
+        else:
+            atom = emitter.emit(expr, 1)
+            # Pin the value in a stable local: expression temps are reused
+            # across iterations but must survive into the match loop.
+            name = f"_v{agg_index}"
+            emitter.line(1, f"{name} = {atom}")
+            value_atoms.append(name)
+
+    emitter.line(1, "for _b in _matches:")
+    if need_base_row:
+        emitter.line(2, "_row_b = _base_rows[_b]")
+        for conjunct in residual_conjuncts:
+            atom = emitter.emit(conjunct, 2)
+            emitter.line(2, f"if not {atom}:")
+            emitter.line(3, "continue")
+    if track_touch:
+        emitter.line(2, "_touched[_b] = True")
+    flat_index = 0
+    for agg_index, kinds in enumerate(component_kinds):
+        for kind in kinds:
+            _emit_component_update(
+                emitter, 2, kind, acc_names[flat_index], value_atoms[agg_index]
+            )
+            flat_index += 1
+
+    source = (
+        "def _kernel(_indices, _cols, _base_rows, _probe, _accs, _touched):\n"
+        + "\n".join(
+            "    " + line
+            for line in [
+                f"_dc{position} = _cols[{position}]"
+                for position in sorted(emitter.used_columns)
+            ]
+            + emitter.lines
+        )
+    )
+    env = emitter.env
+    exec(compile(source, "<relalg-accumulate-kernel>", "exec"), env)  # noqa: S102
+    kernel = env["_kernel"]
+    kernel.__kernel_source__ = source
+    with _CACHE_LOCK:
+        _KERNEL_CACHE[key] = kernel
+    return kernel

@@ -22,9 +22,17 @@ class HashIndex:
         self.key_names = tuple(key_names)
         self._positions = relation.schema.positions(self.key_names)
         self._buckets: dict = {}
-        for row_index, row in enumerate(relation.rows):
-            key = tuple(row[position] for position in self._positions)
-            self._buckets.setdefault(key, []).append(row_index)
+        # Build from the key columns only: zipping the key-attribute value
+        # vectors touches just the indexed columns instead of materializing
+        # (or re-indexing into) every full row tuple.
+        columnar = relation.to_columnar()
+        key_columns = [columnar.columns[position].values for position in self._positions]
+        setdefault = self._buckets.setdefault
+        for row_index, key in enumerate(zip(*key_columns)):
+            setdefault(key, []).append(row_index)
+        if not key_columns:
+            for row_index in range(len(relation.rows)):
+                setdefault((), []).append(row_index)
 
     def key_of(self, row: tuple) -> tuple:
         """Extract this index's key from a row of the indexed relation."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.errors import SchemaError
-from repro.relalg import compiler
+from repro.relalg import compiler, engine
 from repro.relalg.aggregates import AggSpec
 from repro.relalg.expressions import BASE_VAR, DETAIL_VAR, Expr
 from repro.relalg.relation import Relation
@@ -62,12 +62,25 @@ def natural_join(left: Relation, right: Relation) -> Relation:
 
 def theta_join(left: Relation, right: Relation, condition: Expr) -> Relation:
     """Nested-loop join; condition fields use ``base`` (left) / ``detail`` (right)."""
-    predicate = compiler.compile_predicate(
-        condition,
-        {BASE_VAR: left.schema, DETAIL_VAR: right.schema},
-        (BASE_VAR, DETAIL_VAR),
-    )
     schema = left.schema.concat(right.schema)
+    schemas = {BASE_VAR: left.schema, DETAIL_VAR: right.schema}
+    if engine.active_engine() == "columnar":
+        # Vectorized probe: one generated scan over the right relation's
+        # column vectors per left row, instead of a predicate call per pair.
+        mask = compiler.compile_mask(
+            condition, schemas, (BASE_VAR, DETAIL_VAR), DETAIL_VAR
+        )
+        columns = right.to_columnar().value_lists()
+        right_count = len(right.rows)
+        right_rows = right.rows
+        rows = []
+        for l_row in left.rows:
+            for index in mask(right_count, columns, l_row):
+                rows.append(l_row + right_rows[index])
+        return Relation(schema, rows)
+    predicate = compiler.compile_predicate(
+        condition, schemas, (BASE_VAR, DETAIL_VAR)
+    )
     rows = []
     for l_row in left.rows:
         for r_row in right.rows:

@@ -16,7 +16,8 @@ from collections import Counter
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SchemaError
-from repro.relalg import compiler
+from repro.relalg import compiler, engine
+from repro.relalg.columnar import ColumnarRelation
 from repro.relalg.expressions import Expr
 from repro.relalg.schema import Attribute, Schema, infer_type
 
@@ -24,13 +25,14 @@ from repro.relalg.schema import Attribute, Schema, infer_type
 class Relation:
     """An immutable-by-convention multiset of rows with a fixed schema."""
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_columnar")
 
     def __init__(self, schema: Schema, rows: Iterable[tuple] = (), validate: bool = False):
         if not isinstance(schema, Schema):
             raise SchemaError(f"expected Schema, got {schema!r}")
         self.schema = schema
         self.rows = [tuple(row) for row in rows]
+        self._columnar = None
         if validate:
             for row in self.rows:
                 schema.check_row(row)
@@ -69,6 +71,21 @@ class Relation:
     def empty(cls, schema: Schema) -> "Relation":
         return cls(schema, ())
 
+    @classmethod
+    def from_columnar(cls, columnar: ColumnarRelation) -> "Relation":
+        """Rehydrate a row relation from columns, seeding the column cache."""
+        relation = cls(columnar.schema, columnar.to_rows())
+        relation._columnar = columnar
+        return relation
+
+    def to_columnar(self) -> ColumnarRelation:
+        """Columnar view of this relation (cached; relations are immutable)."""
+        columnar = self._columnar
+        if columnar is None:
+            columnar = ColumnarRelation.from_rows(self.schema, self.rows)
+            self._columnar = columnar
+        return columnar
+
     # -- basics ----------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -100,6 +117,11 @@ class Relation:
 
     def select(self, condition: Expr) -> "Relation":
         """Rows satisfying ``condition`` (fields unqualified)."""
+        if engine.active_engine() == "columnar":
+            mask = compiler.compile_mask(condition, {None: self.schema}, (None,), None)
+            indices = mask(len(self.rows), self.to_columnar().value_lists())
+            rows = self.rows
+            return Relation(self.schema, (rows[index] for index in indices))
         predicate = compiler.compile_predicate(condition, {None: self.schema}, (None,))
         return Relation(self.schema, (row for row in self.rows if predicate(row)))
 
@@ -147,8 +169,16 @@ class Relation:
 
     def extend(self, name: str, type_name: str, expression: Expr) -> "Relation":
         """Append a computed column (fields of ``expression`` unqualified)."""
-        func = compiler.compile_scalar(expression, {None: self.schema}, (None,))
         schema = self.schema.concat(Schema([Attribute(name, type_name)]))
+        if engine.active_engine() == "columnar":
+            batch = compiler.compile_batch_scalar(
+                expression, {None: self.schema}, (None,), None
+            )
+            values = batch(len(self.rows), self.to_columnar().value_lists())
+            return Relation(
+                schema, (row + (value,) for row, value in zip(self.rows, values))
+            )
+        func = compiler.compile_scalar(expression, {None: self.schema}, (None,))
         return Relation(schema, (row + (func(row),) for row in self.rows))
 
     def rename(self, mapping: dict) -> "Relation":

@@ -1,0 +1,211 @@
+"""Row/columnar engine equivalence: the differential-oracle contract.
+
+The columnar engine (vectorized batch kernels, ``--engine columnar``)
+must be *bit-identical* to the row engine — same rows in the same order,
+float folds included — on every query family the repo reproduces (cube,
+multifeature, unpivot), under every executor, under both wire codecs,
+and while the recovery machinery is retrying faulty legs. The row engine
+is never removed: it is the oracle these tests diff against.
+"""
+
+import pytest
+
+from conftest import make_flows
+from repro.distributed import OptimizationOptions, SimulatedCluster, execute_query
+from repro.distributed.evaluator import ExecutionConfig
+from repro.distributed.stats import verify_against_network
+from repro.errors import PlanError
+from repro.net.faults import FaultPlan
+from repro.queries import (
+    Feature,
+    combine_lattice_results,
+    combine_marginals,
+    cube_lattice_queries,
+    grand_total_expression,
+    marginal_queries,
+    multifeature_query,
+)
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.engine import active_engine, use_engine
+from repro.relalg.expressions import base, detail
+from repro.warehouse.partition import HashPartitioner
+
+EXECUTORS = ("serial", "threads", "processes")
+AGGS = [count_star("cnt"), AggSpec("sum", detail.NumBytes, "total")]
+
+
+def build_cluster(site_count=3, faults=None):
+    cluster = SimulatedCluster.with_sites(site_count)
+    cluster.load_partitioned(
+        "Flow",
+        make_flows(count=300, seed=23, routers=site_count),
+        HashPartitioner(["SourceAS"], site_count),
+    )
+    if faults is not None:
+        cluster.install_faults(FaultPlan.parse(faults))
+    return cluster
+
+
+def config_for(engine, executor="serial", wire_codec="row", **kwargs):
+    kwargs.setdefault("retry_backoff_s", 0.0)
+    return ExecutionConfig(
+        executor=executor, engine=engine, wire_codec=wire_codec, **kwargs
+    )
+
+
+def run_expression(expression, config, cluster=None, **cluster_kwargs):
+    cluster = cluster or build_cluster(**cluster_kwargs)
+    result = execute_query(
+        cluster, expression, OptimizationOptions.all(), config=config
+    )
+    assert verify_against_network(result.stats, cluster.network) == []
+    return result
+
+
+def cube_rows(config):
+    """The full cube lattice + grand total, evaluated distributed."""
+    cluster = build_cluster()
+    results = {}
+    for subset, expression in cube_lattice_queries(
+        "Flow", ["SourceAS", "DestAS"], AGGS
+    ):
+        results[subset] = run_expression(expression, config, cluster).relation
+        cluster.reset_network()
+    total = run_expression(
+        grand_total_expression("Flow", AGGS), config, cluster
+    ).relation
+    grand_total = total.project([spec.output for spec in AGGS])
+    cube = combine_lattice_results(
+        ["SourceAS", "DestAS"], AGGS, results, grand_total
+    )
+    return cube.rows
+
+
+def multifeature_rows(config):
+    """A two-feature cascade whose second feature correlates on the first."""
+    expression = multifeature_query(
+        "Flow",
+        ["SourceAS"],
+        [
+            Feature([AggSpec("min", detail.NumBytes, "lo"), count_star("cnt")]),
+            Feature(
+                [AggSpec("sum", detail.NumBytes, "near_lo")],
+                when=detail.NumBytes <= base.lo * 2.0,
+            ),
+        ],
+    )
+    return run_expression(expression, config).relation.rows
+
+
+def unpivot_rows(config):
+    """Marginals over both AS attributes, stacked."""
+    cluster = build_cluster()
+    attributes = ["SourceAS", "DestAS"]
+    results = {}
+    for attribute, expression in marginal_queries("Flow", attributes, AGGS):
+        results[attribute] = run_expression(expression, config, cluster).relation
+        cluster.reset_network()
+    return combine_marginals(attributes, AGGS, results).rows
+
+
+FAMILIES = {
+    "cube": cube_rows,
+    "multifeature": multifeature_rows,
+    "unpivot": unpivot_rows,
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_columnar_bit_identical_per_family_and_executor(family, executor):
+    run = FAMILIES[family]
+    oracle = run(config_for("row", executor="serial"))
+    columnar = run(config_for("columnar", executor=executor))
+    assert columnar == oracle  # bit-identical, order included
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_column_codec_does_not_change_any_family(family):
+    run = FAMILIES[family]
+    oracle = run(config_for("row", wire_codec="row"))
+    for engine in ("row", "columnar"):
+        assert run(config_for(engine, wire_codec="column")) == oracle
+
+
+@pytest.mark.parametrize("executor", ("serial", "threads"))
+def test_columnar_engine_survives_fault_retry_bit_identical(executor):
+    expression = multifeature_query(
+        "Flow",
+        ["SourceAS"],
+        [Feature([count_star("cnt"), AggSpec("sum", detail.NumBytes, "total")])],
+    )
+    clean = run_expression(
+        expression, config_for("row", executor="serial")
+    ).relation.rows
+    faults = "drop site=site1 round=1 dir=up times=1"
+    for engine in ("row", "columnar"):
+        for codec in ("row", "column"):
+            cluster = build_cluster(faults=faults)
+            retried = run_expression(
+                expression,
+                config_for(
+                    engine,
+                    executor=executor,
+                    wire_codec=codec,
+                    failure_mode="retry",
+                    max_retries=3,
+                ),
+                cluster,
+            )
+            assert retried.relation.rows == clean
+            assert retried.stats.retries >= 1
+
+
+def test_codec_saving_is_reported_and_positive():
+    expression = multifeature_query(
+        "Flow", ["SourceAS"], [Feature(AGGS)]
+    )
+    result = run_expression(
+        expression, config_for("columnar", wire_codec="column")
+    )
+    stats = result.stats
+    assert stats.wire_codec == "column"
+    assert stats.row_equiv_bytes_total > stats.bytes_total
+    assert stats.codec_saved_bytes > 0
+    snapshot = stats.to_dict()
+    assert snapshot["wire_codec"] == "column"
+    assert snapshot["codec_saved_bytes"] == stats.codec_saved_bytes
+    round_codecs = [
+        record["codec"] for record in snapshot["rounds"] if "codec" in record
+    ]
+    assert round_codecs and all(
+        entry["wire_codec"] == "column" for entry in round_codecs
+    )
+    assert "wire codec [column]" in stats.summary()
+
+
+def test_row_codec_stats_stay_unchanged():
+    expression = multifeature_query("Flow", ["SourceAS"], [Feature(AGGS)])
+    snapshot = run_expression(
+        expression, config_for("row", wire_codec="row")
+    ).stats.to_dict()
+    assert snapshot["wire_codec"] == "row"
+    assert "codec_saved_bytes" not in snapshot
+    assert all("codec" not in record for record in snapshot["rounds"])
+
+
+def test_unknown_engine_and_codec_are_rejected():
+    with pytest.raises(PlanError):
+        ExecutionConfig(engine="gpu")
+    with pytest.raises(PlanError):
+        ExecutionConfig(wire_codec="parquet")
+
+
+def test_use_engine_restores_previous_engine():
+    ambient = active_engine()  # honours $REPRO_ENGINE, defaults to "row"
+    with use_engine("columnar"):
+        assert active_engine() == "columnar"
+        with use_engine("row"):
+            assert active_engine() == "row"
+        assert active_engine() == "columnar"
+    assert active_engine() == ambient
