@@ -401,6 +401,134 @@ def fault_recovery_report(
 
 
 # ---------------------------------------------------------------------------
+# Socket-vs-simulated transport sweep
+# ---------------------------------------------------------------------------
+
+
+def socket_sweep_report(sites: int = 4, scale: float = 0.001) -> dict:
+    """Run every query family over real sockets and over the in-memory
+    transport, asserting the deployment-mode contract per query:
+
+    - the socket result is *bit-identical* to the in-process run;
+    - the modeled ``DirectionStats`` bytes are identical on both
+      transports (the simulation is the oracle, not an approximation);
+    - the measured socket payload bytes equal the modeled bytes exactly,
+      with framing overhead accounted separately.
+
+    Raises :class:`ShapeCheckError` on any violation; returns the
+    comparison table (per-query bytes, framing, wall times) otherwise.
+    """
+    import shutil
+    import tempfile
+
+    from repro.distributed.deployment import ProcessCluster
+    from repro.queries.cube import cube_lattice_queries
+    from repro.queries.olap import QueryBuilder
+    from repro.queries.unpivot import marginal_queries
+    from repro.relalg.aggregates import AggSpec, count_star
+    from repro.relalg.expressions import base, detail
+
+    simulated = scaleup_cluster(TPCRConfig(scale=scale), sites=sites)
+    aggs = [count_star("cnt"), AggSpec("sum", detail.Price, "revenue")]
+    queries = []
+    for subset, expression in cube_lattice_queries(
+        "TPCR", ["NationKey", "OrderYear"], aggs
+    ):
+        queries.append((f"cube:{'+'.join(subset) or 'apex'}", expression))
+    for attribute, expression in marginal_queries(
+        "TPCR", ["NationKey", "SuppKey"], aggs
+    ):
+        queries.append((f"unpivot:{attribute}", expression))
+    queries.append(
+        (
+            "multifeature:price",
+            QueryBuilder("TPCR", keys=["NationKey"])
+            .stage([count_star("cnt"), AggSpec("avg", detail.Price, "avg_price")])
+            .stage([count_star("above")], extra=detail.Price >= base.avg_price)
+            .build(),
+        )
+    )
+
+    def _measure(cluster, executor):
+        measurements = {}
+        for name, expression in queries:
+            cluster.reset_network()
+            started = time.perf_counter()
+            result = execute_query(
+                cluster,
+                expression,
+                OptimizationOptions.none(),
+                config=ExecutionConfig(executor=executor),
+            )
+            measurements[name] = (
+                result,
+                time.perf_counter() - started,
+            )
+        return measurements
+
+    oracle = _measure(simulated, "serial")
+    root = tempfile.mkdtemp(prefix="repro-socket-sweep-")
+    try:
+        with ProcessCluster.from_simulated(simulated, root) as deployed:
+            over_sockets = _measure(deployed, "sockets")
+            rows = []
+            for name, _expression in queries:
+                sim_result, sim_wall = oracle[name]
+                sock_result, sock_wall = over_sockets[name]
+                if sock_result.relation.rows != sim_result.relation.rows:
+                    raise ShapeCheckError(
+                        f"{name}: socket result is not bit-identical to the "
+                        "in-process run"
+                    )
+                sim_stats, sock_stats = sim_result.stats, sock_result.stats
+                if (sim_stats.bytes_down, sim_stats.bytes_up) != (
+                    sock_stats.bytes_down,
+                    sock_stats.bytes_up,
+                ):
+                    raise ShapeCheckError(
+                        f"{name}: modeled bytes diverge between transports: "
+                        f"sim ({sim_stats.bytes_down}, {sim_stats.bytes_up}) "
+                        f"vs sockets ({sock_stats.bytes_down}, "
+                        f"{sock_stats.bytes_up})"
+                    )
+                if not sock_stats.socket_parity():
+                    raise ShapeCheckError(
+                        f"{name}: measured socket payload "
+                        f"({sock_stats.socket_bytes_down}, "
+                        f"{sock_stats.socket_bytes_up}) != modeled "
+                        f"({sock_stats.bytes_down}, {sock_stats.bytes_up})"
+                    )
+                rows.append(
+                    {
+                        "query": name,
+                        "rows": len(sock_result.relation),
+                        "bytes_down": sock_stats.bytes_down,
+                        "bytes_up": sock_stats.bytes_up,
+                        "framing_bytes": sock_stats.socket_framing_bytes,
+                        "frames": sock_stats.socket_frames,
+                        "sim_wall_s": sim_wall,
+                        "socket_wall_s": sock_wall,
+                    }
+                )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "sites": sites,
+        "scale": scale,
+        "queries": rows,
+        "totals": {
+            "queries": len(rows),
+            "bytes_modeled": sum(r["bytes_down"] + r["bytes_up"] for r in rows),
+            "framing_bytes": sum(r["framing_bytes"] for r in rows),
+            "frames": sum(r["frames"] for r in rows),
+            "sim_wall_s": sum(r["sim_wall_s"] for r in rows),
+            "socket_wall_s": sum(r["socket_wall_s"] for r in rows),
+        },
+        "parity": True,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Query-service cache sweep
 # ---------------------------------------------------------------------------
 
@@ -1197,9 +1325,30 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "to PATH",
     )
     parser.add_argument(
+        "--socket-report",
+        metavar="PATH",
+        help="run the socket-vs-simulated transport sweep only (every query "
+        "family bit-identical over real sockets, measured payload bytes "
+        "equal to modeled bytes) and write its JSON to PATH",
+    )
+    parser.add_argument(
         "--output", metavar="PATH", help="write the benchmark JSON to PATH"
     )
     args = parser.parse_args(argv)
+    if args.socket_report:
+        sweep = socket_sweep_report(sites=args.sites, scale=args.scale)
+        with open(args.socket_report, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+        totals = sweep["totals"]
+        print(
+            f"socket sweep: {totals['queries']} queries bit-identical over "
+            f"sockets; payload {totals['bytes_modeled']}B == modeled, "
+            f"framing +{totals['framing_bytes']}B ({totals['frames']} frames); "
+            f"wall sim {totals['sim_wall_s']:.2f}s vs "
+            f"sockets {totals['socket_wall_s']:.2f}s",
+            file=sys.stderr,
+        )
+        return 0
     if args.profile_report:
         report = profile_benchmark_report(
             sites=args.sites, scale=args.scale, executor=args.executor

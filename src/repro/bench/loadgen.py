@@ -237,6 +237,7 @@ def _run_step(
     workers: int,
     offered_qps: Optional[float],
     timeout_s: float,
+    join_deadline_s: Optional[float] = None,
 ) -> tuple:
     """Fire one step's schedule; returns ``(records, elapsed_s)``.
 
@@ -244,6 +245,15 @@ def _run_step(
     submission order matches the seeded schedule regardless of thread
     interleaving. A record is ``(position, name, outcome, wall_s,
     stages)``.
+
+    Shutdown is deadline-capped: client threads are joined against a
+    budget derived from the step's worst case (every remaining
+    submission timing out) rather than forever. A client still alive at
+    the deadline is *leaked* — its daemon thread may hold a service
+    permit — and the step fails loudly with :class:`LoadgenError`
+    instead of writing a report that silently undercounts in-flight
+    work. ``join_deadline_s`` overrides the budget (tests use a tiny
+    one to exercise the leak path).
     """
     lock = threading.Lock()
     cursor = [0]
@@ -283,8 +293,22 @@ def _run_step(
     ]
     for thread in threads:
         thread.start()
+    if join_deadline_s is None:
+        # Worst case: every submission times out serially, plus slack
+        # for scheduling jitter and the open-loop arrival offsets.
+        join_deadline_s = max(timeout_s, 1.0) * len(indices) + 30.0
+        if offered_qps:
+            join_deadline_s += len(indices) / offered_qps
+    deadline = started + join_deadline_s
     for thread in threads:
-        thread.join()
+        thread.join(max(0.0, deadline - time.perf_counter()))
+    leaked = [thread.name for thread in threads if thread.is_alive()]
+    if leaked:
+        raise LoadgenError(
+            f"{len(leaked)} load client(s) still running "
+            f"{join_deadline_s:.1f}s after step start: {leaked} — refusing "
+            "to write a report over leaked in-flight work"
+        )
     elapsed = time.perf_counter() - started
     records.sort(key=lambda record: record[0])
     return records, elapsed

@@ -400,6 +400,49 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate the full markdown experiment report"
     )
     report.add_argument("--scale", type=float, default=0.001)
+
+    site_server = commands.add_parser(
+        "site-server",
+        help="serve one site's partition over TCP (started per site by "
+        "'repro cluster up' or by an ephemeral --executor sockets run)",
+    )
+    site_server.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="partition store directory (written by 'repro cluster up')",
+    )
+    site_server.add_argument("--site", required=True, help="site id to serve")
+    site_server.add_argument("--host", default="127.0.0.1")
+    site_server.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (0 picks a free one, announced on stdout as "
+        "'READY site=<id> port=<port>')",
+    )
+
+    cluster_cmd = commands.add_parser(
+        "cluster",
+        help="manage a process-separated site deployment "
+        "(up: write a partition store and launch one site-server process "
+        "per site; down: stop them)",
+    )
+    cluster_sub = cluster_cmd.add_subparsers(dest="cluster_command", required=True)
+    cluster_up = cluster_sub.add_parser(
+        "up", help="deploy site-server processes serving a fresh warehouse"
+    )
+    cluster_up.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="directory for the partition store and deployment spec",
+    )
+    cluster_up.add_argument("--sites", type=int, default=4)
+    cluster_up.add_argument("--scale", type=float, default=0.001)
+    cluster_up.add_argument(
+        "--data", choices=("tpcr", "flows"), default="tpcr",
+        help="which synthetic warehouse to build (table name TPCR or Flow)",
+    )
+    cluster_up.add_argument("--host", default="127.0.0.1")
+    cluster_down = cluster_sub.add_parser(
+        "down", help="stop a running deployment"
+    )
+    cluster_down.add_argument("--dir", required=True, metavar="DIR")
     return parser
 
 
@@ -417,7 +460,16 @@ def _add_cluster_options(parser) -> None:
         choices=EXECUTORS,
         default="serial",
         help="site execution engine (star topology; 'threads'/'processes' "
-        "fan site legs out across a worker pool)",
+        "fan site legs out across a worker pool; 'sockets' runs each site "
+        "as a separate OS process reached over TCP)",
+    )
+    parser.add_argument(
+        "--cluster-dir",
+        metavar="DIR",
+        default=None,
+        help="attach to the running deployment in DIR ('repro cluster up "
+        "--dir DIR') instead of booting an ephemeral one; implies "
+        "--executor sockets",
     )
     parser.add_argument(
         "--faults",
@@ -455,13 +507,13 @@ def _add_cluster_options(parser) -> None:
     )
 
 
-def _build_cluster(args) -> SimulatedCluster:
-    cluster = SimulatedCluster.with_sites(args.sites)
-    faults = getattr(args, "faults", None)
-    if faults:
-        from repro.net.faults import FaultPlan
+#: Process clusters booted by the current CLI invocation, closed by
+#: ``main()`` on the way out so ephemeral site-server processes (and
+#: their temp stores) never outlive the command.
+_ACTIVE_DEPLOYMENTS: list = []
 
-        cluster.install_faults(FaultPlan.from_any(faults))
+
+def _load_cluster_data(cluster, args) -> None:
     if getattr(args, "data", "tpcr") == "flows":
         config = FlowConfig(
             flow_count=max(100, int(5_000_000 * args.scale)),
@@ -478,6 +530,46 @@ def _build_cluster(args) -> SimulatedCluster:
             nation_partitioner(args.sites),
         )
         register_tpcr_fds(cluster.catalog)
+
+
+def _build_cluster(args):
+    faults = getattr(args, "faults", None)
+    fault_plan = None
+    if faults:
+        from repro.net.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_any(faults)
+
+    if getattr(args, "cluster_dir", None) and getattr(args, "executor", "serial") != "sockets":
+        # --cluster-dir only makes sense against the socket transport;
+        # silently running in-process instead would fake the deployment.
+        args.executor = "sockets"
+
+    if getattr(args, "executor", "serial") == "sockets":
+        from repro.distributed.deployment import ProcessCluster
+
+        cluster_dir = getattr(args, "cluster_dir", None)
+        if cluster_dir:
+            deployed = ProcessCluster.attach(cluster_dir)
+        else:
+            import tempfile
+
+            simulated = SimulatedCluster.with_sites(args.sites)
+            _load_cluster_data(simulated, args)
+            deployed = ProcessCluster.from_simulated(
+                simulated,
+                tempfile.mkdtemp(prefix="repro-cluster-"),
+                ephemeral=True,
+            )
+        if fault_plan is not None:
+            deployed.install_faults(fault_plan)
+        _ACTIVE_DEPLOYMENTS.append(deployed)
+        return deployed
+
+    cluster = SimulatedCluster.with_sites(args.sites)
+    if fault_plan is not None:
+        cluster.install_faults(fault_plan)
+    _load_cluster_data(cluster, args)
     return cluster
 
 
@@ -741,6 +833,8 @@ def run_explain(args, out) -> int:
     else:
         print(render_profile(profile), file=out)
     _print_recovery(result.stats, out)
+    if result.stats.transport == "sockets":
+        print(result.stats.transport_summary(), file=out)
     ok = profile.time_coverage() >= 0.95 and profile.bytes_coverage() >= 0.999
     if not ok:  # pragma: no cover - attribution invariant
         print(
@@ -1024,7 +1118,10 @@ def run_serve(args, out) -> int:
             print(_service_metrics_line(service), file=out)
     finally:
         if metrics_server is not None:
-            metrics_server.close()
+            # Explicit stop (not just close): releases the listening
+            # socket and joins the serving thread, so a quick restart of
+            # `repro serve --metrics-port` can rebind without EADDRINUSE.
+            metrics_server.stop()
     return 0
 
 
@@ -1081,37 +1178,104 @@ def run_figures(args, out) -> int:
     return 0
 
 
+def run_site_server(args, out) -> int:
+    from repro.distributed.siteserver import run_site_server as serve_site
+    from repro.errors import DeploymentError
+
+    try:
+        serve_site(args.store, args.site, host=args.host, port=args.port)
+    except DeploymentError as error:
+        print(f"repro site-server: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def run_cluster(args, out) -> int:
+    from repro.distributed.deployment import (
+        ProcessCluster,
+        shutdown_deployment,
+    )
+    from repro.distributed.siteserver import write_partition_store
+    from repro.errors import DeploymentError
+
+    if args.cluster_command == "up":
+        simulated = SimulatedCluster.with_sites(args.sites)
+        _load_cluster_data(simulated, args)
+        write_partition_store(simulated, args.dir)
+        # The site-server children run in their own sessions, so they
+        # keep serving after this command exits; the deployment spec is
+        # what later attaches/downs find.
+        deployed = ProcessCluster.deploy(args.dir, host=args.host)
+        table = "Flow" if args.data == "flows" else "TPCR"
+        print(
+            f"cluster up: {deployed.site_count} site-server processes "
+            f"serving {table} from {args.dir}",
+            file=out,
+        )
+        for site_id in deployed.site_ids:
+            print(
+                f"  {site_id}: {deployed.host}:{deployed._ports[site_id]}",
+                file=out,
+            )
+        print(
+            "attach with: repro sql '<query>' --executor sockets "
+            f"--cluster-dir {args.dir}",
+            file=out,
+        )
+        # Drop connections but leave the processes running.
+        deployed.network.close()
+        return 0
+
+    if args.cluster_command == "down":
+        try:
+            stopped = shutdown_deployment(args.dir)
+        except DeploymentError as error:
+            print(f"repro cluster down: {error}", file=sys.stderr)
+            return 2
+        print(f"cluster down: {stopped} site(s) acknowledged shutdown", file=out)
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "demo":
-        return run_demo(args, out)
-    if args.command == "sql":
-        return run_sql(args, out)
-    if args.command == "trace":
-        return run_trace(args, out)
-    if args.command == "explain":
-        return run_explain(args, out)
-    if args.command == "serve":
-        return run_serve(args, out)
-    if args.command == "top":
-        return run_top(args, out)
-    if args.command == "bench":
-        return run_bench(args, out)
-    if args.command == "loadgen":
-        return run_loadgen(args, out)
-    if args.command == "diff":
-        return run_diff(args, out)
-    if args.command == "query":
-        return run_query(args, out)
-    if args.command == "figures":
-        return run_figures(args, out)
-    if args.command == "report":
-        from repro.bench.report import make_markdown_report
+    try:
+        if args.command == "demo":
+            return run_demo(args, out)
+        if args.command == "sql":
+            return run_sql(args, out)
+        if args.command == "trace":
+            return run_trace(args, out)
+        if args.command == "explain":
+            return run_explain(args, out)
+        if args.command == "serve":
+            return run_serve(args, out)
+        if args.command == "top":
+            return run_top(args, out)
+        if args.command == "bench":
+            return run_bench(args, out)
+        if args.command == "loadgen":
+            return run_loadgen(args, out)
+        if args.command == "diff":
+            return run_diff(args, out)
+        if args.command == "query":
+            return run_query(args, out)
+        if args.command == "figures":
+            return run_figures(args, out)
+        if args.command == "site-server":
+            return run_site_server(args, out)
+        if args.command == "cluster":
+            return run_cluster(args, out)
+        if args.command == "report":
+            from repro.bench.report import make_markdown_report
 
-        print(make_markdown_report(scale=args.scale), file=out)
-        return 0
-    return 2  # pragma: no cover - argparse enforces the choices
+            print(make_markdown_report(scale=args.scale), file=out)
+            return 0
+        return 2  # pragma: no cover - argparse enforces the choices
+    finally:
+        while _ACTIVE_DEPLOYMENTS:
+            _ACTIVE_DEPLOYMENTS.pop().close()
 
 
 if __name__ == "__main__":

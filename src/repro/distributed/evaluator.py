@@ -255,7 +255,8 @@ def _execute_plan_traced(
     try:
         if engine is None:
             engine = create_engine(
-                config.executor, cluster.sites, tracer, config.max_workers
+                config.executor, cluster.sites, tracer, config.max_workers,
+                network=network,
             )
         query_attrs = {"rounds": len(plan.rounds), "sites": cluster.site_count}
         if query_id is not None:
@@ -312,6 +313,7 @@ def _execute_plan_traced(
             cluster.tracer = previous_tracer
             network.tracer = previous_network_tracer
         stats.record_faults(network.fault_events())
+        stats.record_transport(network)
         if engine is not None and engine is not external_engine:
             engine.close()
     return DistributedResult(coordinator.x, stats, plan)
@@ -438,7 +440,7 @@ def _evaluate_round(
                 wire_codec=config.wire_codec,
             )
 
-        reply = engine.evaluate(request)
+        reply = engine.evaluate(request, channel=channel)
         site_stats.compute_s += reply.compute_s
         up_blocks = [
             msg.Message(msg.SUB_RESULT, site_id, "coordinator", round_number, payload)
@@ -561,7 +563,8 @@ def _evaluate_base(
                     query_id=query_id,
                     engine=config.engine,
                     wire_codec=config.wire_codec,
-                )
+                ),
+                channel=channel,
             )
             site_stats.compute_s += reply.compute_s
             reply_message = msg.Message(

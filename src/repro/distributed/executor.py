@@ -58,7 +58,7 @@ from repro.obs.metrics import MetricsRegistry, activate, active_registry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg.engine import use_engine
 
-EXECUTORS = ("serial", "threads", "processes")
+EXECUTORS = ("serial", "threads", "processes", "sockets")
 
 
 @dataclass(frozen=True)
@@ -304,7 +304,7 @@ class SerialEngine(_EngineLifecycle):
         self._check_open()
         return [leg(site_id) for site_id in site_ids]
 
-    def evaluate(self, request: SiteRequest) -> SiteReply:
+    def evaluate(self, request: SiteRequest, channel=None) -> SiteReply:
         self._check_open()
         return perform_site_request(
             self._sites[request.site_id], request, self._tracer
@@ -344,7 +344,7 @@ class ThreadEngine(_EngineLifecycle):
         futures = [self._pool.submit(attached, site_id) for site_id in site_ids]
         return _collect_leg_results(site_ids, futures)
 
-    def evaluate(self, request: SiteRequest) -> SiteReply:
+    def evaluate(self, request: SiteRequest, channel=None) -> SiteReply:
         self._check_open()
         return perform_site_request(
             self._sites[request.site_id], request, self._tracer
@@ -366,9 +366,15 @@ def _fork_warmup(delay_s: float) -> int:
     return os.getpid()
 
 
-def _fork_perform(request: SiteRequest) -> SiteReply:
-    """Worker-side entry: run the request against the inherited site."""
-    site = _FORK_SITES[request.site_id]
+def perform_isolated_request(site, request: SiteRequest) -> SiteReply:
+    """Run a request under a private tracer/registry and carry both back.
+
+    The shared body for every out-of-process execution venue (forked
+    pool workers, ``repro site-server`` processes): spans land on the
+    reply as dicts for parent-side replay, counter deltas as a flat dict
+    (unlabeled counters only — labeled ones are per-site bookkeeping the
+    parent's channels already account for).
+    """
     registry = MetricsRegistry()
     with activate(registry):
         if request.traced:
@@ -384,6 +390,11 @@ def _fork_perform(request: SiteRequest) -> SiteReply:
     }
     reply.counters = counters
     return reply
+
+
+def _fork_perform(request: SiteRequest) -> SiteReply:
+    """Worker-side entry: run the request against the inherited site."""
+    return perform_isolated_request(_FORK_SITES[request.site_id], request)
 
 
 class ProcessEngine(_EngineLifecycle):
@@ -435,9 +446,69 @@ class ProcessEngine(_EngineLifecycle):
         futures = [self._legs.submit(attached, site_id) for site_id in site_ids]
         return _collect_leg_results(site_ids, futures)
 
-    def evaluate(self, request: SiteRequest) -> SiteReply:
+    def evaluate(self, request: SiteRequest, channel=None) -> SiteReply:
         self._check_open()
         reply = self._pool.submit(_fork_perform, request).result()
+        self._replay_remote(reply)
+        return reply
+
+    def _replay_remote(self, reply: SiteReply) -> None:
+        if reply.spans:
+            self._tracer.replay(reply.spans)
+        if reply.counters:
+            registry = active_registry()
+            for key, value in reply.counters.items():
+                registry.counter(key).inc(value)
+
+    def close(self) -> None:
+        self._mark_closed()
+        try:
+            self._legs.shutdown(wait=True, cancel_futures=True)
+        finally:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class SocketEngine(_EngineLifecycle):
+    """Legs run on threads; site work runs in site-server *processes*
+    reached over the leg's :class:`~repro.net.socket_channel.SocketChannel`.
+
+    Unlike the other engines this one holds no site objects at all — the
+    partitions live behind TCP in ``repro site-server`` processes, and
+    each :meth:`evaluate` call is given the leg's channel, so one shared
+    engine (the query service keeps a single engine for its lifetime)
+    works with a fresh per-query network. Spans and counters come back on
+    the reply and are replayed exactly as in process mode.
+    """
+
+    name = "sockets"
+
+    def __init__(self, sites, tracer, max_workers: int = 0):
+        self._tracer = tracer
+        workers = max_workers or max(len(sites), 1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="skalla-socket-leg"
+        )
+
+    def run_legs(self, site_ids: Sequence[str], leg, parent_span=None) -> list:
+        self._check_open()
+        tracer = self._tracer
+
+        def attached(site_id):
+            with tracer.attach(parent_span):
+                return leg(site_id)
+
+        futures = [self._pool.submit(attached, site_id) for site_id in site_ids]
+        return _collect_leg_results(site_ids, futures)
+
+    def evaluate(self, request: SiteRequest, channel=None) -> SiteReply:
+        self._check_open()
+        if channel is None or not hasattr(channel, "ask"):
+            raise PlanError(
+                "the sockets engine needs a SocketChannel per leg — run it "
+                "against a deployed process cluster (repro cluster up / "
+                "--executor sockets), not a simulated one"
+            )
+        reply = channel.ask(request)
         if reply.spans:
             self._tracer.replay(reply.spans)
         if reply.counters:
@@ -448,20 +519,26 @@ class ProcessEngine(_EngineLifecycle):
 
     def close(self) -> None:
         self._mark_closed()
-        try:
-            self._legs.shutdown(wait=True, cancel_futures=True)
-        finally:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
-def create_engine(executor: str, sites, tracer, max_workers: int = 0):
-    """Build the engine for an :class:`ExecutionConfig` executor name."""
+def create_engine(
+    executor: str, sites, tracer, max_workers: int = 0, network=None
+):
+    """Build the engine for an :class:`ExecutionConfig` executor name.
+
+    ``network`` is advisory — only the sockets engine cares, and even it
+    binds to a channel per :meth:`~SocketEngine.evaluate` call, so a
+    shared engine survives per-query network replacement.
+    """
     if executor == "serial":
         return SerialEngine(sites, tracer)
     if executor == "threads":
         return ThreadEngine(sites, tracer, max_workers)
     if executor == "processes":
         return ProcessEngine(sites, tracer, max_workers)
+    if executor == "sockets":
+        return SocketEngine(sites, tracer, max_workers)
     raise PlanError(
         f"unknown executor {executor!r}; expected one of {', '.join(EXECUTORS)}"
     )

@@ -1,0 +1,363 @@
+"""The ``repro site-server`` process: one Skalla site behind TCP.
+
+A site server owns one on-disk partition store directory, loads its
+site's tables into a :class:`~repro.warehouse.storage.LocalWarehouse` at
+startup, and then serves the frame protocol of
+:mod:`repro.net.socket_channel` forever: buffering shipped-down
+``SHIP_BASE`` payloads per connection, running
+:func:`~repro.distributed.executor.perform_isolated_request` on REQ, and
+streaming the reply payloads back as MSG frames before the REPLY.
+
+Because the partition lives on disk, a killed site process can be
+restarted and *rejoin* the cluster serving exactly the data it held
+before — the restart/rejoin half of the deployment mode's recovery
+story (the retry half is the coordinator's ``guard_leg``, which treats a
+dead connection like a crashed leg).
+
+Store layout under ``root``::
+
+    cluster.json                 {"version": 1, "site_ids": [...]}
+    catalog.pickle               the pickled DistributionCatalog
+    sites/<site_id>/manifest.json
+    sites/<site_id>/<nnn>.skrl   row-codec encoded partition relations
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import sys
+import threading
+from typing import Optional, Tuple
+
+from repro.distributed.executor import SiteRequest, perform_isolated_request
+from repro.distributed.site import SkallaSite
+from repro.errors import DeploymentError, NetworkError, ReproError
+from repro.net import serialize
+from repro.net.message import BASE_RESULT, SHIP_BASE, SUB_RESULT
+from repro.net.socket_channel import (
+    FLAG_DROPPED,
+    FRAME_BYE,
+    FRAME_ERROR,
+    FRAME_HELLO,
+    FRAME_MSG,
+    FRAME_REPLY,
+    FRAME_REQ,
+    FRAME_RESET,
+    FRAME_SHUTDOWN,
+    FRAME_WELCOME,
+    decode_wire_message,
+    encode_wire_message,
+    read_frame,
+    write_frame,
+)
+from repro.warehouse.storage import LocalWarehouse
+
+CLUSTER_SPEC = "cluster.json"
+CATALOG_PICKLE = "catalog.pickle"
+MANIFEST = "manifest.json"
+
+
+# -- partition store ---------------------------------------------------------------
+
+
+def write_partition_store(cluster, root: str) -> None:
+    """Persist a simulated cluster's placement so site servers can serve it.
+
+    Every site partition is written with the row codec (the reference
+    codec — decoding it is the loudest-failing path), plus a manifest
+    carrying row counts and data versions, the pickled distribution
+    catalog, and the cluster spec listing the member sites.
+    """
+    os.makedirs(root, exist_ok=True)
+    with open(os.path.join(root, CLUSTER_SPEC), "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "site_ids": list(cluster.site_ids)}, handle)
+    with open(os.path.join(root, CATALOG_PICKLE), "wb") as handle:
+        pickle.dump(cluster.catalog, handle)
+    for site_id in cluster.site_ids:
+        warehouse = cluster.sites[site_id].warehouse
+        site_dir = os.path.join(root, "sites", site_id)
+        os.makedirs(site_dir, exist_ok=True)
+        tables = {}
+        for index, table_name in enumerate(warehouse.table_names()):
+            relation = warehouse.table(table_name)
+            file_name = f"{index:03d}.skrl"
+            with open(os.path.join(site_dir, file_name), "wb") as handle:
+                handle.write(serialize.encode_relation(relation, "row"))
+            tables[table_name] = {
+                "rows": len(relation),
+                "version": warehouse.version(table_name),
+                "file": file_name,
+            }
+        with open(os.path.join(site_dir, MANIFEST), "w", encoding="utf-8") as handle:
+            json.dump({"site_id": site_id, "tables": tables}, handle)
+
+
+def read_cluster_spec(root: str) -> dict:
+    path = os.path.join(root, CLUSTER_SPEC)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise DeploymentError(f"cannot read cluster spec {path!r}: {error}") from None
+    if not isinstance(spec.get("site_ids"), list) or not spec["site_ids"]:
+        raise DeploymentError(f"cluster spec {path!r} lists no sites")
+    return spec
+
+
+def read_manifest(root: str, site_id: str) -> dict:
+    path = os.path.join(root, "sites", site_id, MANIFEST)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise DeploymentError(
+            f"cannot read site manifest {path!r}: {error}"
+        ) from None
+
+
+def load_catalog(root: str):
+    path = os.path.join(root, CATALOG_PICKLE)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.PickleError) as error:
+        raise DeploymentError(f"cannot load catalog {path!r}: {error}") from None
+
+
+def load_site_relation(root: str, site_id: str, entry: dict):
+    path = os.path.join(root, "sites", site_id, entry["file"])
+    try:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+    except OSError as error:
+        raise DeploymentError(f"cannot read partition {path!r}: {error}") from None
+    return serialize.decode_relation(payload)
+
+
+def load_site(root: str, site_id: str) -> SkallaSite:
+    """Rebuild one site from its on-disk partition."""
+    manifest = read_manifest(root, site_id)
+    warehouse = LocalWarehouse(site_id)
+    for table_name, entry in manifest.get("tables", {}).items():
+        relation = load_site_relation(root, site_id, entry)
+        if len(relation) != entry.get("rows", len(relation)):
+            raise DeploymentError(
+                f"partition {table_name!r} at site {site_id!r} decoded "
+                f"{len(relation)} rows, manifest says {entry.get('rows')}"
+            )
+        warehouse.register(table_name, relation)
+    return SkallaSite(site_id, warehouse)
+
+
+# -- the server --------------------------------------------------------------------
+
+
+class SiteServer:
+    """Serves one site's frame protocol on a listening TCP socket.
+
+    One thread per accepted connection; per-connection state is just the
+    buffer of shipped-down payloads (cleared by RESET, and implicitly by
+    a reconnect, which by definition starts a fresh connection).
+    """
+
+    def __init__(self, site: SkallaSite, host: str = "127.0.0.1", port: int = 0):
+        self.site = site
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.5)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._threads: list = []
+
+    def serve_forever(self) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _addr = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    daemon=True,
+                    name=f"site-conn-{self.site.site_id}",
+                )
+                self._threads.append(thread)
+                thread.start()
+        finally:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        self._stop.set()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        pending: list = []
+        try:
+            while True:
+                try:
+                    frame_type, body = read_frame(conn)
+                except OSError:
+                    return
+                if frame_type == FRAME_HELLO:
+                    info = json.loads(body.decode("utf-8"))
+                    wanted = info.get("site_id")
+                    if wanted not in (None, self.site.site_id):
+                        self._send_error(
+                            conn,
+                            NetworkError(
+                                f"this server is site {self.site.site_id!r}, "
+                                f"not {wanted!r}"
+                            ),
+                        )
+                        return
+                    welcome = json.dumps(
+                        {
+                            "site_id": self.site.site_id,
+                            "tables": list(self.site.warehouse.table_names()),
+                        }
+                    ).encode("utf-8")
+                    write_frame(conn, FRAME_WELCOME, welcome)
+                elif frame_type == FRAME_MSG:
+                    kind, _round, flags, payload = decode_wire_message(body)
+                    if flags & FLAG_DROPPED:
+                        continue  # lost in (simulated) flight: bytes only
+                    if kind == SHIP_BASE:
+                        pending.append(payload)
+                    # BASE_QUERY and friends are header-only prompts; the
+                    # REQ frame carries the actual work description.
+                elif frame_type == FRAME_RESET:
+                    pending.clear()
+                elif frame_type == FRAME_REQ:
+                    self._handle_request(conn, body, pending)
+                    pending.clear()
+                elif frame_type == FRAME_SHUTDOWN:
+                    try:
+                        write_frame(conn, FRAME_BYE)
+                    except OSError:
+                        pass
+                    self.shutdown()
+                    return
+                else:
+                    self._send_error(
+                        conn, NetworkError(f"unexpected frame type {frame_type}")
+                    )
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_request(self, conn, body: bytes, pending: list) -> None:
+        try:
+            control = pickle.loads(body)
+            expected = control.pop("expected_payloads", 0)
+            if control.get("site_id") != self.site.site_id:
+                raise NetworkError(
+                    f"request for site {control.get('site_id')!r} reached "
+                    f"site {self.site.site_id!r}"
+                )
+            if expected != len(pending):
+                # A partial prior attempt left the buffer out of step —
+                # transient, so the coordinator drains and retries.
+                raise NetworkError(
+                    f"payload desync at site {self.site.site_id!r}: "
+                    f"expected {expected} shipped blocks, have {len(pending)}"
+                )
+            request = SiteRequest(
+                kind=control["kind"],
+                site_id=control["site_id"],
+                round_number=control["round_number"],
+                steps=tuple(control.get("steps") or ()),
+                key_attrs=tuple(control.get("key_attrs") or ()),
+                source=control.get("source"),
+                independent_reduction=control.get("independent_reduction", False),
+                row_block_size=control.get("row_block_size", 0),
+                down_payloads=tuple(pending),
+                traced=control.get("traced", False),
+                query_id=control.get("query_id"),
+                engine=control.get("engine", "row"),
+                wire_codec=control.get("wire_codec", "row"),
+            )
+            reply = perform_isolated_request(self.site, request)
+        except Exception as error:  # noqa: BLE001 - shipped to the coordinator
+            self._send_error(conn, error)
+            return
+        up_kind = BASE_RESULT if request.kind == "base" else SUB_RESULT
+        try:
+            for payload in reply.payloads:
+                write_frame(
+                    conn,
+                    FRAME_MSG,
+                    encode_wire_message(up_kind, request.round_number, payload),
+                )
+            meta = {
+                "rows": reply.rows,
+                "compute_s": reply.compute_s,
+                "spans": tuple(reply.spans),
+                "counters": dict(reply.counters),
+                "row_codec_payload_bytes": reply.row_codec_payload_bytes,
+            }
+            write_frame(conn, FRAME_REPLY, pickle.dumps(meta))
+        except OSError:
+            # Client went away mid-reply; its reconnect starts clean.
+            raise
+
+    def _send_error(self, conn, error: Exception) -> None:
+        name = type(error).__name__
+        if not isinstance(error, ReproError):
+            name = "RemoteSiteError"
+        detail = {"error": name, "message": str(error)}
+        try:
+            write_frame(conn, FRAME_ERROR, pickle.dumps(detail))
+        except OSError:
+            pass
+
+
+def request_shutdown(
+    host: str, port: int, timeout_s: float = 5.0
+) -> bool:
+    """Ask a site server to stop; True if it acknowledged with BYE."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout_s) as sock:
+            sock.settimeout(timeout_s)
+            write_frame(sock, FRAME_SHUTDOWN)
+            frame_type, _body = read_frame(sock)
+            return frame_type == FRAME_BYE
+    except OSError:
+        return False
+
+
+def run_site_server(
+    store: str,
+    site_id: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_stream=None,
+) -> None:
+    """CLI body of ``repro site-server``: load the partition and serve.
+
+    Prints ``READY site=<id> port=<port>`` once listening — the
+    deployment layer launches with ``--port 0`` and parses this line to
+    learn the ephemeral port.
+    """
+    spec = read_cluster_spec(store)
+    if site_id not in spec["site_ids"]:
+        raise DeploymentError(
+            f"site {site_id!r} is not in cluster {spec['site_ids']}"
+        )
+    site = load_site(store, site_id)
+    server = SiteServer(site, host, port)
+    stream = ready_stream if ready_stream is not None else sys.stdout
+    print(f"READY site={site_id} port={server.port}", file=stream, flush=True)
+    server.serve_forever()

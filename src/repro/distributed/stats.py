@@ -174,6 +174,19 @@ class ExecutionStats:
     query_id: object = None
     #: Which wire codec encoded the shipped relations (``row | column``).
     wire_codec: str = "row"
+    #: How the bytes actually moved: ``"memory"`` (simulated in-process
+    #: queues) or ``"sockets"`` (real TCP to site-server processes).
+    transport: str = "memory"
+    #: Measured MSG-body bytes on the real wire per direction (equal to
+    #: the modeled ``DirectionStats`` bytes on a clean run — the byte
+    #: parity this repo's deployment mode is built around).
+    socket_bytes_down: int = 0
+    socket_bytes_up: int = 0
+    #: Transport overhead the simulation does not model: frame prefixes
+    #: plus whole control frames (handshakes, requests, replies).
+    socket_framing_bytes: int = 0
+    socket_frames: int = 0
+    socket_reconnects: int = 0
 
     def new_round(self, kind: str, description: str = "") -> RoundStats:
         stats = RoundStats(index=len(self.rounds), kind=kind, description=description)
@@ -183,6 +196,63 @@ class ExecutionStats:
     def record_faults(self, events) -> None:
         """Attach the network's injected-fault log to these stats."""
         self.faults = list(events)
+
+    def record_transport(self, network) -> None:
+        """Attach the network's measured wire accounting, if it has any.
+
+        Duck-typed on ``socket_totals`` so simulated networks (no real
+        wire) leave the defaults — ``transport`` stays ``"memory"``.
+        """
+        totals = getattr(network, "socket_totals", None)
+        if totals is None:
+            return
+        snapshot = totals()
+        self.transport = getattr(network, "transport", "sockets")
+        self.socket_bytes_down = snapshot.get("payload_down", 0)
+        self.socket_bytes_up = snapshot.get("payload_up", 0)
+        self.socket_framing_bytes = snapshot.get("framing", 0)
+        self.socket_frames = snapshot.get("frames", 0)
+        self.socket_reconnects = snapshot.get("reconnects", 0)
+
+    @property
+    def socket_bytes_total(self) -> int:
+        return self.socket_bytes_down + self.socket_bytes_up
+
+    def socket_parity(self) -> bool:
+        """Measured socket payload bytes == modeled DirectionStats bytes.
+
+        Only meaningful for socket runs; always True in memory transport.
+        On a faulted run that lost a connection mid-transmit the measured
+        side may fall short of the modeled side (partial frames are not
+        counted), so callers gate hard assertions on clean runs.
+        """
+        if self.transport != "sockets":
+            return True
+        return (
+            self.socket_bytes_down == self.bytes_down
+            and self.socket_bytes_up == self.bytes_up
+        )
+
+    def transport_summary(self) -> str:
+        """Human-readable byte-reconciliation lines for socket runs."""
+        parity = (
+            "matches modeled DirectionStats exactly"
+            if self.socket_parity()
+            else (
+                f"modeled down={self.bytes_down}B up={self.bytes_up}B "
+                "(divergence: partial transmit or mid-run attach)"
+            )
+        )
+        lines = [
+            f"transport [sockets]: measured payload "
+            f"down={self.socket_bytes_down}B up={self.socket_bytes_up}B "
+            f"— {parity}",
+            f"framing overhead: +{self.socket_framing_bytes}B "
+            f"({self.socket_frames} frames, "
+            f"{self.socket_reconnects} reconnects) — "
+            "excluded from modeled bytes",
+        ]
+        return "\n".join(lines)
 
     # -- recovery ----------------------------------------------------------------
 
@@ -391,6 +461,16 @@ class ExecutionStats:
         if self.wire_codec != "row":
             snapshot["row_equiv_bytes_total"] = self.row_equiv_bytes_total
             snapshot["codec_saved_bytes"] = self.codec_saved_bytes
+        snapshot["transport"] = self.transport
+        if self.transport == "sockets":
+            snapshot["socket"] = {
+                "bytes_down": self.socket_bytes_down,
+                "bytes_up": self.socket_bytes_up,
+                "framing_bytes": self.socket_framing_bytes,
+                "frames": self.socket_frames,
+                "reconnects": self.socket_reconnects,
+                "parity": self.socket_parity(),
+            }
         if self.query_id is not None:
             snapshot["query_id"] = self.query_id
         if model is not None:
@@ -409,6 +489,8 @@ class ExecutionStats:
                 f"wire codec [{self.wire_codec}]: saved {self.codec_saved_bytes}B "
                 f"vs row codec ({fraction:.1%} of {row_equiv}B)"
             )
+        if self.transport == "sockets":
+            lines.extend(self.transport_summary().splitlines())
         lines += [
             f"tuples shipped: {self.tuples_total}",
             f"site compute (critical path): {self.site_compute_s():.4f}s",

@@ -75,6 +75,21 @@ class FaultSpecError(NetworkError):
     """A fault-injection spec (rule DSL string or JSON document) is malformed."""
 
 
+class RemoteSiteError(ReproError):
+    """A site-server process reported a failure of an unknown class.
+
+    Known :class:`ReproError` subclasses survive the socket transport
+    with their concrete type (so the retry layer classifies them exactly
+    as it would in-process); anything else arrives as this wrapper,
+    which is deliberately *not* a :class:`NetworkError` — an unknown
+    remote failure is a bug to surface, never something to retry.
+    """
+
+
+class DeploymentError(ReproError):
+    """A process-cluster deployment operation failed (store, launch, spec)."""
+
+
 class RetryExhaustedError(NetworkError):
     """A leg kept failing after its whole retry budget in ``retry`` mode."""
 

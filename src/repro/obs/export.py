@@ -222,18 +222,33 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         pass  # scrapes every few seconds would spam stderr
 
 
+class _ReusableHTTPServer(ThreadingHTTPServer):
+    # Without SO_REUSEADDR a quick serve restart races the TIME_WAIT of
+    # the previous listener and dies with EADDRINUSE on a fixed
+    # --metrics-port. http.server sets allow_reuse_address on POSIX, but
+    # make the requirement explicit rather than inherited.
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class MetricsServer:
-    """A ``/metrics`` endpoint on a daemon thread; close() to stop."""
+    """A ``/metrics`` endpoint on a daemon thread; stop() to stop.
+
+    ``stop()`` is idempotent: it shuts the serve loop down, closes the
+    listening socket (releasing the port for the next bind), and joins
+    the serving thread, so callers can put it in a ``finally`` without
+    guarding against double teardown. ``close()`` is an alias.
+    """
 
     def __init__(self, registry: MetricsRegistry, port: int = 0,
                  host: str = "127.0.0.1"):
-        self._http = ThreadingHTTPServer((host, port), _MetricsHandler)
-        self._http.daemon_threads = True
+        self._http = _ReusableHTTPServer((host, port), _MetricsHandler)
         self._http.registry = registry
         self._http.started_monotonic = time.monotonic()
         self.host = host
         self.port = self._http.server_address[1]
         self.url = f"http://{host}:{self.port}/metrics"
+        self._stopped = False
         self._thread = threading.Thread(
             target=self._http.serve_forever,
             name="repro-metrics",
@@ -241,16 +256,22 @@ class MetricsServer:
         )
         self._thread.start()
 
-    def close(self) -> None:
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
         self._http.shutdown()
         self._http.server_close()
         self._thread.join(timeout=5.0)
+
+    def close(self) -> None:
+        self.stop()
 
     def __enter__(self) -> "MetricsServer":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        self.stop()
 
 
 def start_metrics_server(

@@ -132,6 +132,39 @@ def site_bytes(samples: Samples) -> dict:
     return per_site
 
 
+def socket_stats(samples: Samples) -> dict:
+    """Per-connection socket transport counters, when deployed over TCP.
+
+    Reads the ``net.socket.*`` families the
+    :class:`~repro.net.socket_channel.SocketChannel` maintains. Empty
+    dict when the process runs the in-memory transport — the dashboard
+    only shows the panel for socket deployments.
+    """
+    per_site: dict = {}
+
+    def entry(site: str) -> dict:
+        return per_site.setdefault(
+            site,
+            {"down": 0, "up": 0, "framing": 0, "frames": 0, "reconnects": 0},
+        )
+
+    for labels, value in samples.get("net_socket_bytes_total", ()):
+        site, direction = labels.get("site"), labels.get("direction")
+        if site is None or direction not in ("down", "up"):
+            continue
+        entry(site)[direction] += int(value)
+    for labels, value in samples.get("net_socket_framing_bytes_total", ()):
+        if labels.get("site") is not None:
+            entry(labels["site"])["framing"] += int(value)
+    for labels, value in samples.get("net_socket_frames_total", ()):
+        if labels.get("site") is not None:
+            entry(labels["site"])["frames"] += int(value)
+    for labels, value in samples.get("net_socket_reconnects_total", ()):
+        if labels.get("site") is not None:
+            entry(labels["site"])["reconnects"] += int(value)
+    return per_site
+
+
 def summarize(samples: Samples) -> dict:
     """One dashboard frame's numbers, from one scrape."""
     hits = _total(samples, "service_cache_hit_total")
@@ -152,6 +185,7 @@ def summarize(samples: Samples) -> dict:
         "stages_ms": stage_quantiles_ms(samples),
         "outcomes": outcome_counts(samples),
         "site_bytes": site_bytes(samples),
+        "socket": socket_stats(samples),
     }
 
 
@@ -216,6 +250,18 @@ def render_top(summary: dict, url: str = "", iteration: Optional[int] = None) ->
             )
     else:
         lines.append("site bytes: (no net.bytes samples yet)")
+    per_socket = summary.get("socket") or {}
+    if per_socket:
+        lines.append("socket transport:")
+        label_width = max(len(site) for site in per_socket)
+        for site in sorted(per_socket):
+            entry = per_socket[site]
+            lines.append(
+                f"  {site.ljust(label_width)}  "
+                f"down={_fmt_bytes(entry['down'])} up={_fmt_bytes(entry['up'])} "
+                f"framing=+{_fmt_bytes(entry['framing'])} "
+                f"frames={entry['frames']} reconnects={entry['reconnects']}"
+            )
     return "\n".join(lines)
 
 

@@ -334,6 +334,75 @@ class TestColumnCodec:
 
 
 # ---------------------------------------------------------------------------
+# Codec edge cases: zero rows and all-null columns, under BOTH codecs
+# ---------------------------------------------------------------------------
+
+
+class TestCodecEdgeCases:
+    """Regression net for the degenerate relations the wire must carry.
+
+    Zero-row shipments happen whenever a site holds no qualifying
+    fragment for a round, and all-null columns whenever an outer feature
+    never fires — both must survive either codec byte-exactly.
+    """
+
+    def test_zero_row_relation_round_trips_under_both_codecs(self):
+        empty = Relation.empty(MIXED_SCHEMA)
+        for codec in serialize.CODECS:
+            decoded = serialize.decode_relation(
+                serialize.encode_relation(empty, codec)
+            )
+            assert decoded.schema == MIXED_SCHEMA
+            assert decoded.rows == []
+
+    @pytest.mark.parametrize(
+        "col_type", [INT, FLOAT, STR, BOOL, DATE],
+        ids=["int", "float", "str", "bool", "date"],
+    )
+    def test_all_null_column_round_trips_under_both_codecs(self, col_type):
+        relation = Relation(Schema.of(("v", col_type)), [(None,)] * 9)
+        for codec in serialize.CODECS:
+            decoded = serialize.decode_relation(
+                serialize.encode_relation(relation, codec)
+            )
+            assert decoded.schema == relation.schema
+            assert decoded.rows == relation.rows
+
+    def test_all_null_alongside_populated_columns(self):
+        rows = [(index, None, None) for index in range(17)]
+        relation = Relation(
+            Schema.of(("k", INT), ("s", STR), ("b", BOOL)), rows
+        )
+        for codec in serialize.CODECS:
+            decoded = serialize.decode_relation(
+                serialize.encode_relation(relation, codec)
+            )
+            assert decoded.rows == relation.rows
+
+    def test_empty_string_stays_distinct_from_null(self):
+        relation = Relation(
+            Schema.of(("s", STR)), [("",), (None,), ("x",), ("",), (None,)]
+        )
+        for codec in serialize.CODECS:
+            decoded = serialize.decode_relation(
+                serialize.encode_relation(relation, codec)
+            )
+            assert decoded.rows == relation.rows
+
+    def test_zero_row_message_round_trips_under_both_codecs(self):
+        from repro.net.message import SHIP_BASE, Message
+
+        empty = Relation.empty(MIXED_SCHEMA)
+        for codec in serialize.CODECS:
+            message = Message.with_relation(
+                SHIP_BASE, "coordinator", "site0", 1, empty, codec=codec
+            )
+            decoded = message.relation()
+            assert decoded.schema == MIXED_SCHEMA
+            assert decoded.rows == []
+
+
+# ---------------------------------------------------------------------------
 # Bench hooks
 # ---------------------------------------------------------------------------
 

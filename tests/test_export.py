@@ -213,3 +213,31 @@ class TestTopConsumer:
         )
         assert code == 1
         assert "unreachable" in out.getvalue()
+
+
+class TestServerLifecycle:
+    def test_stop_is_idempotent_and_joins_the_thread(self):
+        server = start_metrics_server(populated_registry(), port=0)
+        assert server._thread.is_alive()
+        server.stop()
+        assert not server._thread.is_alive()
+        server.stop()  # second stop is a no-op, not an error
+        server.close()  # and close() stays as an alias
+
+    def test_port_is_rebindable_immediately_after_stop(self):
+        # The EADDRINUSE regression: serve teardown must release the
+        # fixed --metrics-port so a quick restart can bind it again.
+        first = start_metrics_server(populated_registry(), port=0)
+        port = first.port
+        first.stop()
+        second = start_metrics_server(populated_registry(), port=port)
+        try:
+            assert second.port == port
+            assert scrape(second.url)["service_queries_total"] == [({}, 3.0)]
+        finally:
+            second.stop()
+
+    def test_server_sets_so_reuseaddr(self):
+        from repro.obs.export import _ReusableHTTPServer
+
+        assert _ReusableHTTPServer.allow_reuse_address is True

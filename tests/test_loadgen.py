@@ -219,3 +219,59 @@ class TestBaselineGate:
         problems, diff = check_slo_baseline(slowed, report)
         assert any("SLO regression" in problem for problem in problems)
         assert diff.top_regression() is not None
+
+
+class TestClosedLoopShutdown:
+    """The leaked-client regression: step teardown must join against a
+    deadline and fail loudly instead of reporting over live threads."""
+
+    def _fake_pool(self):
+        return [("cube:fake", object())]
+
+    def test_leaked_clients_raise_before_any_report(self):
+        import threading
+        from types import SimpleNamespace
+
+        from repro.bench.loadgen import _run_step
+
+        release = threading.Event()
+
+        class StuckService:
+            def submit(self, _expression, timeout_s=None):
+                release.wait(10.0)  # ignores its deadline, like a hang
+                return SimpleNamespace(outcome=FRESH, wall_s=0.0, stages={})
+
+        try:
+            with pytest.raises(LoadgenError, match="still running"):
+                _run_step(
+                    StuckService(),
+                    self._fake_pool(),
+                    [0, 0],
+                    workers=2,
+                    offered_qps=None,
+                    timeout_s=0.1,
+                    join_deadline_s=0.2,
+                )
+        finally:
+            release.set()
+
+    def test_finished_clients_join_within_the_deadline(self):
+        from types import SimpleNamespace
+
+        from repro.bench.loadgen import _run_step
+
+        class QuickService:
+            def submit(self, _expression, timeout_s=None):
+                return SimpleNamespace(outcome=FRESH, wall_s=0.001, stages={})
+
+        records, elapsed = _run_step(
+            QuickService(),
+            self._fake_pool(),
+            [0, 0, 0],
+            workers=2,
+            offered_qps=None,
+            timeout_s=0.1,
+            join_deadline_s=30.0,
+        )
+        assert len(records) == 3
+        assert elapsed < 30.0

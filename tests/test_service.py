@@ -181,7 +181,9 @@ class TestCache:
 
 class TestConcurrency:
     @pytest.mark.parametrize("executor", EXECUTORS)
-    def test_concurrent_mixed_workload_equals_serial(self, executor):
+    def test_concurrent_mixed_workload_equals_serial(self, executor, tmp_path):
+        import contextlib
+
         reference_cluster = build_cluster()
         reference = {}
         with QueryService(
@@ -194,9 +196,20 @@ class TestConcurrency:
         batch = [
             (COUNT_BY_SOURCE, MAX_BY_DEST)[index % 2] for index in range(clients)
         ]
-        with QueryService(
-            build_cluster(), ExecutionConfig(executor=executor), max_in_flight=4
-        ) as service:
+        with contextlib.ExitStack() as stack:
+            cluster = build_cluster()
+            if executor == "sockets":
+                # The sockets engine needs real site processes behind it.
+                from repro.distributed.deployment import ProcessCluster
+
+                cluster = stack.enter_context(
+                    ProcessCluster.from_simulated(cluster, str(tmp_path / "store"))
+                )
+            service = stack.enter_context(
+                QueryService(
+                    cluster, ExecutionConfig(executor=executor), max_in_flight=4
+                )
+            )
             with ThreadPoolExecutor(max_workers=clients) as pool:
                 results = list(pool.map(service.submit, batch))
             metrics = service.metrics

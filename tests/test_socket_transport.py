@@ -1,0 +1,365 @@
+"""The process-separated deployment mode, end to end.
+
+Covers the socket transport stack introduced with ``repro cluster up``:
+the frame codec and wire-message header, the partition store round-trip,
+engine equivalence for every query family over real TCP against the
+in-process oracle (bit-identical results, measured socket payload bytes
+exactly equal to the modeled ``DirectionStats`` bytes, framing overhead
+accounted separately), fault-schedule verdict parity against the
+simulated-channel oracle, and the kill-and-rejoin acceptance scenario
+(a killed site is excluded per policy; a restarted one serves its
+partition from disk and heals the answer).
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from conftest import make_flows
+from repro.distributed import OptimizationOptions, SimulatedCluster, execute_query
+from repro.distributed.deployment import ProcessCluster
+from repro.distributed.evaluator import ExecutionConfig
+from repro.distributed.siteserver import load_site, write_partition_store
+from repro.distributed.stats import verify_against_network
+from repro.errors import (
+    NetworkError,
+    PlanError,
+    RemoteSiteError,
+    SerializationError,
+    SiteUnavailableError,
+)
+from repro.gmdj.blocks import MDBlock
+from repro.gmdj.expression import DistinctBase, GMDJExpression, MDStep
+from repro.net.faults import FaultPlan
+from repro.net.message import HEADER_BYTES, SHIP_BASE
+from repro.net.socket_channel import (
+    FLAG_DROPPED,
+    FRAME_MSG,
+    FRAME_OVERHEAD_BYTES,
+    decode_wire_message,
+    encode_wire_message,
+    map_remote_error,
+    read_frame,
+    write_frame,
+)
+from repro.queries.cube import cube_lattice_queries
+from repro.queries.unpivot import marginal_queries
+from repro.relalg.aggregates import AggSpec, count_star
+from repro.relalg.expressions import base, detail
+from repro.warehouse.partition import HashPartitioner
+
+SITES = 4
+FLOW = make_flows(count=240, seed=17, routers=8)
+KEY = detail.SourceAS == base.SourceAS
+
+
+def correlated_expression():
+    inner = MDStep(
+        "Flow",
+        [MDBlock([count_star("cnt"), AggSpec("sum", detail.NumBytes, "s")], KEY)],
+    )
+    outer = MDStep(
+        "Flow",
+        [MDBlock([count_star("big")], KEY & (detail.NumBytes >= base.s / base.cnt))],
+    )
+    return GMDJExpression(DistinctBase("Flow", ["SourceAS", "DestAS"]), [inner, outer])
+
+
+def query_families():
+    """One representative expression per paper query family."""
+    aggs = [count_star("cnt"), AggSpec("sum", detail.NumBytes, "bytes")]
+    families = []
+    for subset, expression in cube_lattice_queries(
+        "Flow", ["SourceAS", "DestAS"], aggs
+    ):
+        families.append((f"cube:{'+'.join(subset) or 'apex'}", expression))
+        break  # one lattice vertex is enough per family
+    for attribute, expression in marginal_queries(
+        "Flow", ["SourceAS", "DestAS"], aggs
+    ):
+        families.append((f"unpivot:{attribute}", expression))
+        break
+    families.append(("multifeature:correlated", correlated_expression()))
+    return families
+
+
+def build_simulated():
+    cluster = SimulatedCluster.with_sites(SITES)
+    cluster.load_partitioned("Flow", FLOW, HashPartitioner(["SourceAS"], SITES))
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def sim_cluster():
+    return build_simulated()
+
+
+@pytest.fixture(scope="module")
+def deployed(sim_cluster, tmp_path_factory):
+    root = tmp_path_factory.mktemp("socket-cluster")
+    with ProcessCluster.from_simulated(sim_cluster, str(root)) as cluster:
+        yield cluster
+
+
+def run_query(cluster, expression, executor, **config_kwargs):
+    cluster.reset_network()
+    config = ExecutionConfig(
+        executor=executor, retry_backoff_s=0.0, **config_kwargs
+    )
+    result = execute_query(
+        cluster, expression, options=OptimizationOptions.none(), config=config
+    )
+    assert verify_against_network(result.stats, cluster.network) == []
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Frame codec & wire header
+# ---------------------------------------------------------------------------
+
+
+def test_wire_message_round_trips_and_matches_modeled_size():
+    payload = b"\x01" * 57
+    body = encode_wire_message(SHIP_BASE, 3, payload)
+    assert len(body) == HEADER_BYTES + len(payload)  # == Message.size_bytes
+    kind, round_index, flags, decoded = decode_wire_message(body)
+    assert (kind, round_index, flags, decoded) == (SHIP_BASE, 3, 0, payload)
+
+
+def test_wire_message_carries_the_dropped_flag():
+    body = encode_wire_message(SHIP_BASE, 0, b"x", flags=FLAG_DROPPED)
+    _kind, _round, flags, _payload = decode_wire_message(body)
+    assert flags & FLAG_DROPPED
+
+
+def test_wire_message_rejects_garbage():
+    with pytest.raises(NetworkError):
+        decode_wire_message(b"nonsense")
+    body = bytearray(encode_wire_message(SHIP_BASE, 0, b"abc"))
+    body[0] ^= 0xFF  # break the magic
+    with pytest.raises(NetworkError):
+        decode_wire_message(bytes(body))
+
+
+def test_frames_round_trip_over_a_real_socket_with_known_overhead():
+    left, right = socket.socketpair()
+    try:
+        body = encode_wire_message(SHIP_BASE, 1, b"payload")
+        wire_bytes = write_frame(left, FRAME_MSG, body)
+        assert wire_bytes == FRAME_OVERHEAD_BYTES + len(body)
+        frame_type, received = read_frame(right)
+        assert frame_type == FRAME_MSG
+        assert received == body
+    finally:
+        left.close()
+        right.close()
+
+
+def test_read_frame_raises_on_closed_peer():
+    left, right = socket.socketpair()
+    left.close()
+    try:
+        with pytest.raises(ConnectionError):
+            read_frame(right)
+    finally:
+        right.close()
+
+
+def test_remote_errors_map_to_their_local_classes():
+    assert isinstance(
+        map_remote_error("SerializationError", "bad bytes"), SerializationError
+    )
+    assert isinstance(map_remote_error("NetworkError", "desync"), NetworkError)
+    # Unknown classes (and non-repro ones) become the fatal catch-all.
+    assert isinstance(map_remote_error("ValueError", "boom"), RemoteSiteError)
+    assert isinstance(map_remote_error("NoSuchError", "boom"), RemoteSiteError)
+
+
+# ---------------------------------------------------------------------------
+# Partition store
+# ---------------------------------------------------------------------------
+
+
+def test_partition_store_round_trips_every_site(tmp_path):
+    cluster = build_simulated()
+    root = str(tmp_path / "store")
+    write_partition_store(cluster, root)
+    for site_id in cluster.site_ids:
+        reloaded = load_site(root, site_id)
+        original = cluster.sites[site_id].warehouse
+        assert reloaded.warehouse.table_names() == original.table_names()
+        for table_name in original.table_names():
+            assert (
+                reloaded.warehouse.table(table_name).rows
+                == original.table(table_name).rows
+            )
+
+
+def test_deployed_cluster_mirrors_the_simulated_surface(sim_cluster, deployed):
+    assert deployed.site_count == sim_cluster.site_count
+    assert deployed.site_ids == sim_cluster.site_ids
+    assert (
+        deployed.conceptual_table("Flow").rows
+        == sim_cluster.conceptual_table("Flow").rows
+    )
+    assert deployed.data_versions(["Flow"]) == sim_cluster.data_versions(["Flow"])
+    # Site *data* lives in another process; reaching for it is a loud error.
+    with pytest.raises(PlanError, match="separate process"):
+        deployed.site(deployed.site_ids[0])
+
+
+# ---------------------------------------------------------------------------
+# Engine equivalence + byte parity (the tentpole acceptance bar)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,expression", query_families(), ids=[n for n, _e in query_families()]
+)
+def test_every_query_family_is_bit_identical_over_sockets(
+    sim_cluster, deployed, name, expression
+):
+    oracle = run_query(sim_cluster, expression, "serial")
+    over_sockets = run_query(deployed, expression, "sockets")
+    assert over_sockets.relation.rows == oracle.relation.rows  # bit-identical
+    # The simulation is the byte oracle: modeled bytes agree exactly...
+    assert over_sockets.stats.bytes_down == oracle.stats.bytes_down
+    assert over_sockets.stats.bytes_up == oracle.stats.bytes_up
+    # ...and the measured socket payload equals the model, to the byte.
+    stats = over_sockets.stats
+    assert stats.transport == "sockets"
+    assert stats.socket_bytes_down == stats.bytes_down
+    assert stats.socket_bytes_up == stats.bytes_up
+    assert stats.socket_parity()
+    # Framing is real overhead, reported separately, never zero.
+    assert stats.socket_framing_bytes > 0
+    assert stats.socket_frames > 0
+
+
+def test_transport_shows_up_in_stats_dict_and_summary(deployed):
+    _name, expression = query_families()[0]
+    stats = run_query(deployed, expression, "sockets").stats
+    snapshot = stats.to_dict()
+    assert snapshot["transport"] == "sockets"
+    assert snapshot["socket"]["parity"] is True
+    assert snapshot["socket"]["bytes_down"] == stats.bytes_down
+    assert snapshot["socket"]["framing_bytes"] == stats.socket_framing_bytes
+    summary = stats.summary()
+    assert "transport [sockets]" in summary
+    assert "framing overhead" in summary
+
+
+# ---------------------------------------------------------------------------
+# Fault semantics over the real transport (satellite: verdict parity)
+# ---------------------------------------------------------------------------
+
+ACCEPTANCE_SPEC = (
+    "drop site=site1 round=1 dir=up times=1; "
+    "crash site=site1 rounds=1-2 times=4"
+)
+
+
+def run_faulty(cluster, executor, faults, **config_kwargs):
+    plan = faults if isinstance(faults, FaultPlan) or faults is None else (
+        FaultPlan.parse(faults)
+    )
+    cluster.install_faults(plan)
+    try:
+        return run_query(
+            cluster, correlated_expression(), executor, **config_kwargs
+        )
+    finally:
+        cluster.install_faults(None)
+
+
+def observe(result):
+    """The verdict tuple both transports must agree on."""
+    return (
+        result.relation.rows,
+        result.stats.retries,
+        result.stats.excluded_sites,
+        result.stats.degraded,
+        result.stats.faults,
+    )
+
+
+@pytest.mark.parametrize("failure_mode,max_retries", [("retry", 5), ("degrade", 1)])
+def test_acceptance_fault_schedule_verdicts_match_the_simulated_oracle(
+    sim_cluster, deployed, failure_mode, max_retries
+):
+    oracle = run_faulty(
+        sim_cluster, "serial", ACCEPTANCE_SPEC,
+        failure_mode=failure_mode, max_retries=max_retries,
+    )
+    over_sockets = run_faulty(
+        deployed, "sockets", ACCEPTANCE_SPEC,
+        failure_mode=failure_mode, max_retries=max_retries,
+    )
+    assert observe(over_sockets) == observe(oracle)
+    # Parity holds through drops, crashes and retries too.
+    assert over_sockets.stats.socket_parity()
+
+
+def test_seeded_scatter_schedule_verdicts_match_the_simulated_oracle(
+    sim_cluster, deployed
+):
+    plan = FaultPlan.scatter(
+        [f"site{index}" for index in range(SITES)],
+        seed=23,
+        rounds=3,
+        drop=0.25,
+        delay=0.25,
+        duplicate=0.25,
+        corrupt=0.2,
+    )
+    assert plan.rules, "seed produced an empty schedule"
+    oracle = run_faulty(
+        sim_cluster, "serial", plan, failure_mode="retry", max_retries=4
+    )
+    over_sockets = run_faulty(
+        deployed, "sockets", plan, failure_mode="retry", max_retries=4
+    )
+    assert observe(over_sockets) == observe(oracle)
+    assert over_sockets.stats.socket_parity()
+
+
+def test_fail_fast_propagates_a_crash_over_sockets(deployed):
+    with pytest.raises(SiteUnavailableError):
+        run_faulty(
+            deployed, "sockets", "crash site=site1 rounds=0-9 times=0",
+            failure_mode="fail_fast",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Kill-and-rejoin (the acceptance scenario) — keep last: it restarts a site
+# ---------------------------------------------------------------------------
+
+
+def test_killed_site_is_excluded_and_rejoins_from_disk(sim_cluster, deployed):
+    expression = correlated_expression()
+    clean = run_query(sim_cluster, expression, "serial")
+    victim = deployed.site_ids[1]
+
+    before = run_query(deployed, expression, "sockets")
+    assert before.relation.rows == clean.relation.rows
+
+    deployed.kill_site(victim)
+    degraded = run_query(
+        deployed, expression, "sockets",
+        failure_mode="degrade", max_retries=1,
+    )
+    assert degraded.stats.degraded
+    assert {site for _round, site in degraded.stats.excluded_sites} == {victim}
+    assert degraded.relation.rows != clean.relation.rows
+
+    deployed.restart_site(victim)
+    healed = run_query(
+        deployed, expression, "sockets",
+        failure_mode="retry", max_retries=2,
+    )
+    # The restarted site answered from its on-disk partition: exact again.
+    assert healed.relation.rows == clean.relation.rows
+    assert healed.stats.excluded_sites == ()
