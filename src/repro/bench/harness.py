@@ -529,6 +529,213 @@ def socket_sweep_report(sites: int = 4, scale: float = 0.001) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Straggler sweep: speculation vs baseline under seeded per-site delays
+# ---------------------------------------------------------------------------
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def straggler_sweep_report(
+    sites: int = 4,
+    scale: float = 0.001,
+    trials: int = 3,
+    delay_s: float = 1.5,
+    seed: int = 11,
+    min_speedup: float = 1.5,
+    speculation_factor: float = 2.0,
+) -> dict:
+    """Prove speculative re-execution under real sockets: seeded one-site
+    compute delays (``FaultPlan.stragglers``) slow one leg per trial;
+    with speculation off the round wall absorbs the full delay, with it
+    on the deadline (median leg time x factor) fires a backup that wins.
+
+    ``delay_s`` must dominate the healthy-leg floor: a backup can never
+    finish before ``deadline + leg_time``, so a delay close to
+    ``(speculation_factor - 1) x`` the slowest healthy leg gains
+    nothing. The defaults (1.5s delay, factor 2) leave the widest query
+    family in the sweep a >=2x margin.
+
+    Contract checked per (trial, mode, query):
+
+    - the socket result is bit-identical to the fault-free simulated
+      flat run (the oracle);
+    - measured socket payload bytes reconcile with the modeled
+      ``DirectionStats`` *including* the abandoned leg's bytes
+      (``ExecutionStats.socket_parity`` adds the speculative buckets);
+    - with speculation on, at least one leg was re-executed across the
+      sweep and the p99 of the slowest-round wall improves by
+      ``min_speedup`` vs the speculation-off baseline.
+
+    Raises :class:`ShapeCheckError` on any violation; returns the sweep
+    table otherwise.
+    """
+    import shutil
+    import tempfile
+
+    from repro.distributed.deployment import ProcessCluster
+    from repro.net.faults import FaultPlan
+    from repro.queries.cube import cube_lattice_queries
+    from repro.queries.olap import QueryBuilder
+    from repro.queries.unpivot import marginal_queries
+    from repro.relalg.aggregates import AggSpec, count_star
+    from repro.relalg.expressions import base, detail
+
+    simulated = scaleup_cluster(TPCRConfig(scale=scale), sites=sites)
+    aggs = [count_star("cnt"), AggSpec("sum", detail.Price, "revenue")]
+    queries = []
+    for subset, expression in cube_lattice_queries(
+        "TPCR", ["NationKey", "OrderYear"], aggs
+    ):
+        queries.append((f"cube:{'+'.join(subset) or 'apex'}", expression))
+    for attribute, expression in marginal_queries(
+        "TPCR", ["NationKey", "SuppKey"], aggs
+    ):
+        queries.append((f"unpivot:{attribute}", expression))
+    queries.append(
+        (
+            "multifeature:price",
+            QueryBuilder("TPCR", keys=["NationKey"])
+            .stage([count_star("cnt"), AggSpec("avg", detail.Price, "avg_price")])
+            .stage([count_star("above")], extra=detail.Price >= base.avg_price)
+            .build(),
+        )
+    )
+
+    # Fault-free simulated flat runs are the oracle for both result rows
+    # and the modeled DirectionStats.
+    oracle = {}
+    for name, expression in queries:
+        simulated.reset_network()
+        oracle[name] = execute_query(
+            simulated,
+            expression,
+            OptimizationOptions.none(),
+            config=ExecutionConfig(executor="serial"),
+        )
+
+    walls = {"baseline": [], "speculation": []}
+    rows = []
+    speculative_legs = 0
+    speculation_wins = 0
+    root = tempfile.mkdtemp(prefix="repro-straggler-sweep-")
+    try:
+        with ProcessCluster.from_simulated(simulated, root) as deployed:
+            for trial in range(trials):
+                for mode in ("baseline", "speculation"):
+                    config = ExecutionConfig(
+                        executor="sockets",
+                        speculation=(mode == "speculation"),
+                        speculation_factor=speculation_factor,
+                    )
+                    for name, expression in queries:
+                        # Fresh fault budget per run: the straggle rule
+                        # fires once, so the speculative backup re-runs
+                        # the leg with the delay already spent.
+                        deployed.install_faults(
+                            FaultPlan.stragglers(
+                                deployed.site_ids,
+                                seed=seed + trial,
+                                delay_s=delay_s,
+                                rounds=(1,),
+                            )
+                        )
+                        result = execute_query(
+                            deployed,
+                            expression,
+                            OptimizationOptions.none(),
+                            config=config,
+                        )
+                        reference = oracle[name]
+                        if result.relation.rows != reference.relation.rows:
+                            raise ShapeCheckError(
+                                f"{mode}/{name} (trial {trial}): socket result "
+                                "is not bit-identical to the fault-free flat run"
+                            )
+                        stats = result.stats
+                        if (stats.bytes_down, stats.bytes_up) != (
+                            reference.stats.bytes_down,
+                            reference.stats.bytes_up,
+                        ):
+                            raise ShapeCheckError(
+                                f"{mode}/{name} (trial {trial}): winning-path "
+                                "modeled bytes diverge from the fault-free "
+                                f"oracle: ({stats.bytes_down}, {stats.bytes_up})"
+                                f" vs ({reference.stats.bytes_down}, "
+                                f"{reference.stats.bytes_up})"
+                            )
+                        if not stats.socket_parity():
+                            raise ShapeCheckError(
+                                f"{mode}/{name} (trial {trial}): measured "
+                                f"socket payload ({stats.socket_bytes_down}, "
+                                f"{stats.socket_bytes_up}) != modeled + "
+                                f"speculative ({stats.bytes_down} + "
+                                f"{stats.speculative_bytes_down}, "
+                                f"{stats.bytes_up} + "
+                                f"{stats.speculative_bytes_up})"
+                            )
+                        slowest = max(
+                            round_stats.wall_s for round_stats in stats.rounds
+                        )
+                        walls[mode].append(slowest)
+                        if mode == "speculation":
+                            speculative_legs += stats.speculative_legs
+                            speculation_wins += stats.speculation_wins
+                        rows.append(
+                            {
+                                "trial": trial,
+                                "mode": mode,
+                                "query": name,
+                                "slowest_round_wall_s": slowest,
+                                "speculative_legs": stats.speculative_legs,
+                                "speculation_wins": stats.speculation_wins,
+                                "speculative_bytes": stats.speculative_bytes_down
+                                + stats.speculative_bytes_up,
+                            }
+                        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    baseline_p99 = _percentile(walls["baseline"], 0.99)
+    speculation_p99 = _percentile(walls["speculation"], 0.99)
+    speedup = (
+        baseline_p99 / speculation_p99 if speculation_p99 > 0 else float("inf")
+    )
+    if not speculative_legs:
+        raise ShapeCheckError(
+            "straggler sweep never triggered speculation: no leg was "
+            "re-executed despite the seeded delays"
+        )
+    if speedup < min_speedup:
+        raise ShapeCheckError(
+            f"speculation cut p99 slowest-round wall by only {speedup:.2f}x "
+            f"({baseline_p99:.3f}s -> {speculation_p99:.3f}s); the gate "
+            f"requires >= {min_speedup:.2f}x"
+        )
+    return {
+        "sites": sites,
+        "scale": scale,
+        "trials": trials,
+        "delay_s": delay_s,
+        "speculation_factor": speculation_factor,
+        "seed": seed,
+        "queries": len(queries),
+        "runs": rows,
+        "baseline_p99_s": baseline_p99,
+        "speculation_p99_s": speculation_p99,
+        "speedup": speedup,
+        "speculative_legs": speculative_legs,
+        "speculation_wins": speculation_wins,
+        "parity": True,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Query-service cache sweep
 # ---------------------------------------------------------------------------
 

@@ -94,7 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--topology",
         default="star",
-        help="'star' or 'tree:R' for a two-level tree with R regions",
+        help="'star' (flat coordinator merge), 'tree:R' (two-level tree "
+        "with R regions), or a scheduler mode: 'auto' lets the cost "
+        "model pick, 'flat'/'hierarchical:R'/'chain:F' force one",
     )
     sql.add_argument("--max-rows", type=int, default=20, help="rows to print")
 
@@ -153,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit-trace",
         metavar="PATH",
         help="with --analyze: also write the run's JSONL trace to PATH",
+    )
+    explain.add_argument(
+        "--topology",
+        default="auto",
+        metavar="TOPOLOGY",
+        help="merge topology: 'auto' (cost-model scheduler picks), "
+        "'flat', 'hierarchical:R', or 'chain:F'",
     )
 
     serve = commands.add_parser(
@@ -274,6 +283,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.3,
         help="floor on the columnar kernel speedup for the micro gate "
         "(the pinned numbers are ~4x; the floor absorbs CI timing noise)",
+    )
+    bench.add_argument(
+        "--straggler-sweep",
+        action="store_true",
+        help="run the speculative-re-execution sweep instead: seeded "
+        "per-site compute delays over real sockets, gating that "
+        "speculation cuts the p99 slowest-round wall while every query "
+        "stays bit-identical to the fault-free flat run "
+        "(requires --executor sockets)",
+    )
+    bench.add_argument(
+        "--straggler-delay",
+        type=float,
+        default=1.5,
+        help="seeded per-site compute delay in seconds for --straggler-sweep",
+    )
+    bench.add_argument(
+        "--straggler-trials",
+        type=int,
+        default=3,
+        help="seeds swept per mode for --straggler-sweep",
+    )
+    bench.add_argument(
+        "--straggler-min-speedup",
+        type=float,
+        default=1.5,
+        help="required p99 slowest-round-wall improvement for "
+        "--straggler-sweep",
     )
 
     loadgen = commands.add_parser(
@@ -677,6 +714,32 @@ def run_sql(args, out) -> int:
             f"total bytes={result.stats.bytes_total}"
         )
         plan = result.plan
+    elif args.topology == "auto" or args.topology == "flat" or (
+        args.topology.split(":", 1)[0] in ("hierarchical", "chain")
+    ):
+        from repro.distributed import execute_query_scheduled
+        from repro.errors import PlanError
+
+        try:
+            result = execute_query_scheduled(
+                cluster,
+                expression,
+                _options(args),
+                config=_config(args),
+                topology=args.topology,
+            )
+        except PlanError as error:
+            print(f"repro sql: {error}", file=sys.stderr)
+            return 2
+        choice = result.topology_choice
+        stats_line = f"merge topology={choice.topology} — {choice.reason}"
+        if choice.measured_root_link_bytes is not None:
+            stats_line += (
+                f"\nroot-link bytes={choice.measured_root_link_bytes} "
+                f"total bytes={result.stats.bytes_total}"
+            )
+        _print_recovery(result.stats, out)
+        plan = result.plan
     else:
         print(f"unknown topology {args.topology!r}", file=sys.stderr)
         return 2
@@ -749,11 +812,14 @@ def run_explain(args, out) -> int:
     statistics = StatisticsStore.from_cluster(cluster)
 
     if not args.analyze:
+        from repro.distributed import choose_topology
+
         plan = plan_query(statement.expression, cluster.catalog, options)
         impacts = estimate_optimization_impacts(
             statement.expression, cluster.catalog, statistics,
             options=options, plan=plan,
         )
+        choice = choose_topology(plan, statistics, cluster.catalog)
         if args.json:
             print(
                 json.dumps(
@@ -763,6 +829,7 @@ def run_explain(args, out) -> int:
                         "optimizations": [
                             impact.to_dict() for impact in impacts
                         ],
+                        "topology": choice.to_dict(),
                     },
                     indent=2,
                     sort_keys=True,
@@ -771,6 +838,7 @@ def run_explain(args, out) -> int:
             )
             return 0
         print(plan.describe(), file=out)
+        print(f"merge topology [{choice.topology}]: {choice.reason}", file=out)
         if impacts:
             print("optimizations (estimated by ablation):", file=out)
             for impact in impacts:
@@ -785,7 +853,8 @@ def run_explain(args, out) -> int:
             print(f"  note: {note}", file=out)
         return 0
 
-    from repro.distributed.evaluator import execute_plan
+    from repro.distributed import execute_plan_scheduled
+    from repro.errors import PlanError
     from repro.net.costmodel import WAN
     from repro.obs import MetricsRegistry, Tracer, build_trace
     from repro.obs.profile import build_profile, render_profile
@@ -795,10 +864,15 @@ def run_explain(args, out) -> int:
     cluster.reset_network(metrics=registry)
     plan = plan_query(statement.expression, cluster.catalog, options)
     config = _config(args)
-    result = execute_plan(
-        cluster, plan, config,
-        tracer=tracer, metrics=registry, query_id=1,
-    )
+    try:
+        result = execute_plan_scheduled(
+            cluster, plan, config,
+            tracer=tracer, metrics=registry, query_id=1,
+            statistics=statistics, topology=args.topology,
+        )
+    except PlanError as error:
+        print(f"repro explain: {error}", file=sys.stderr)
+        return 2
     impacts = estimate_optimization_impacts(
         statement.expression, cluster.catalog, statistics,
         options=options, measured_stats=result.stats, plan=result.plan,
@@ -818,6 +892,7 @@ def run_explain(args, out) -> int:
         notes=result.plan.notes,
         query_id=1,
         codec_estimated_saving=codec_estimated,
+        topology_choice=result.topology_choice,
     )
     if args.emit_trace:
         log = build_trace(
@@ -864,6 +939,45 @@ def run_bench(args, out) -> int:
         profile_benchmark_report,
     )
     from repro.obs.diff import diff_bench, render_diff
+
+    if args.straggler_sweep:
+        from repro.bench.harness import ShapeCheckError, straggler_sweep_report
+
+        if args.executor != "sockets":
+            print(
+                "--straggler-sweep measures real wall time; it requires "
+                "--executor sockets",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            report = straggler_sweep_report(
+                sites=args.sites,
+                scale=args.scale,
+                trials=args.straggler_trials,
+                delay_s=args.straggler_delay,
+                min_speedup=args.straggler_min_speedup,
+            )
+        except ShapeCheckError as error:
+            print(f"straggler sweep FAILED: {error}", file=sys.stderr)
+            return 1
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        else:
+            print(text, file=out)
+        print(
+            f"straggler sweep: speculation cut p99 slowest-round wall "
+            f"{report['speedup']:.2f}x ({report['baseline_p99_s']:.3f}s -> "
+            f"{report['speculation_p99_s']:.3f}s) over {report['queries']} "
+            f"query families x {report['trials']} trial(s); "
+            f"{report['speculative_legs']} leg(s) re-executed, "
+            f"{report['speculation_wins']} backup win(s); all runs "
+            f"bit-identical to the fault-free flat oracle with byte parity",
+            file=out,
+        )
+        return 0
 
     report = profile_benchmark_report(
         sites=args.sites, scale=args.scale, executor=args.executor

@@ -13,8 +13,10 @@ from repro.distributed.costing import (
     PlanEstimate,
     StatisticsStore,
     TableStatistics,
+    TopologyEstimate,
     compare_plans,
     estimate_plan,
+    estimate_topology_costs,
 )
 from repro.distributed.hierarchy import (
     HierarchicalResult,
@@ -34,6 +36,13 @@ from repro.distributed.optimizer import (
     OptimizationOptions,
     plan_query,
     plan_query_cost_based,
+    plan_query_scheduled,
+)
+from repro.distributed.scheduler import (
+    TopologyChoice,
+    choose_topology,
+    execute_plan_scheduled,
+    execute_query_scheduled,
 )
 from repro.distributed.spanning import (
     SpanningResult,
@@ -74,21 +83,28 @@ __all__ = [
     "TableStatistics",
     "SpanningResult",
     "SpanningStats",
+    "TopologyChoice",
+    "TopologyEstimate",
     "TreeStats",
     "TreeNode",
     "TreeTopology",
     "chain_tree",
+    "choose_topology",
     "compare_plans",
     "check_theorem2",
     "default_site_ids",
     "estimate_plan",
+    "estimate_topology_costs",
     "execute_plan",
     "execute_plan_hierarchical",
+    "execute_plan_scheduled",
     "execute_query",
     "execute_query_hierarchical",
     "execute_plan_spanning",
+    "execute_query_scheduled",
     "execute_query_spanning",
     "plan_query",
     "plan_query_cost_based",
+    "plan_query_scheduled",
     "theorem2_bound",
 ]

@@ -37,6 +37,7 @@ from typing import Mapping, Optional
 from repro.distributed.plan import Plan
 from repro.errors import CatalogError
 from repro.gmdj.expression import DistinctBase, LiteralBase
+from repro.net.costmodel import CostModel, WAN
 
 
 @dataclass
@@ -240,6 +241,172 @@ def compare_plans(
     ]
     ranked.sort(key=lambda pair: pair[1].tuples_total)
     return ranked
+
+
+# ---------------------------------------------------------------------------
+# Per-topology response-time and root-link estimates
+# ---------------------------------------------------------------------------
+
+#: Per-row wire-size estimate shared with :meth:`PlanEstimate.bytes_total`.
+DEFAULT_BYTES_PER_TUPLE = 20.0
+
+
+@dataclass(frozen=True)
+class TopologyEstimate:
+    """Predicted cost of running one plan under one merge topology.
+
+    ``label`` is the execution-facing name (``"flat"``,
+    ``"hierarchical:R"``, ``"chain:F"``); ``response_time_s`` is the
+    modeled sum-over-rounds critical path under a contended-root-link
+    model (the coordinator/root serializes its link traffic; subtrees
+    work in parallel); ``root_link_bytes`` is the traffic crossing the
+    link into the root — the scarce resource hierarchical merging exists
+    to protect (Section 6's multi-tier motivation).
+    """
+
+    label: str
+    kind: str  # "flat" | "hierarchical" | "chain"
+    parameter: int = 0  # region count or fanout; 0 for flat
+    response_time_s: float = 0.0
+    root_link_bytes: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "parameter": self.parameter,
+            "response_time_s": self.response_time_s,
+            "root_link_bytes": self.root_link_bytes,
+        }
+
+
+def _per_round_volumes(plan: Plan, estimate: PlanEstimate):
+    """(site_count, per_site_down, per_site_up, cap) tuples per round.
+
+    ``cap`` is |Q| — the most any *merged* stream can carry, since
+    combiners merge sub-results by key before forwarding (every grouping
+    key appears at most once per merged shipment).
+    """
+    cap = max(1.0, estimate.group_count)
+    volumes = []
+    if not plan.base.merged_into_chain and plan.base.is_distributed:
+        site_count = max(1, len(plan.base.sites))
+        volumes.append((site_count, 0.0, estimate.base_tuples / site_count, cap))
+    for md_round, round_estimate in zip(plan.rounds, estimate.rounds):
+        site_count = max(1, len(md_round.sites))
+        volumes.append(
+            (
+                site_count,
+                round_estimate.tuples_down / site_count,
+                round_estimate.tuples_up / site_count,
+                cap,
+            )
+        )
+    return volumes
+
+
+def estimate_topology_costs(
+    plan: Plan,
+    statistics: StatisticsStore,
+    catalog=None,
+    model: CostModel = WAN,
+    region_counts=(2, 4),
+    fanouts=(2, 3),
+    bytes_per_tuple: float = DEFAULT_BYTES_PER_TUPLE,
+) -> tuple:
+    """Price the plan under every candidate merge topology.
+
+    Reuses :func:`estimate_plan` for the per-round tuple volumes, then
+    composes them per topology the same way the measured
+    ``SpanningRoundStats.response_time_s`` / ``TreeRoundStats`` math
+    composes measured bytes:
+
+    - *flat*: one round trip; the coordinator link serializes every
+      site's down and up stream;
+    - *hierarchical* (r regions, k = ceil(n/r) sites each): the root
+      serializes r region streams — each capped at |Q| because regional
+      combiners merge by key — then regions fan out to their k sites in
+      parallel with each other;
+    - *chain* (fanout f): one hop per tree level; each level's node
+      serializes f child streams, again capped at |Q| once merged.
+
+    Returns :class:`TopologyEstimate` per candidate, flat first. Only
+    topologies that change the shape are emitted (a 1-region hierarchy
+    or a chain no deeper than two levels degenerates to flat).
+    """
+    estimate = estimate_plan(plan, statistics, catalog)
+    volumes = _per_round_volumes(plan, estimate)
+    site_count = max((n for n, _d, _u, _c in volumes), default=1)
+
+    def flat_cost():
+        time_s = 0.0
+        root_bytes = 0.0
+        for n, down, up, _cap in volumes:
+            round_bytes = n * (down + up) * bytes_per_tuple
+            time_s += 2 * model.latency_s + round_bytes / model.bandwidth_bytes_per_s
+            root_bytes += round_bytes
+        return time_s, root_bytes
+
+    def hierarchical_cost(region_count):
+        time_s = 0.0
+        root_bytes = 0.0
+        for n, down, up, cap in volumes:
+            regions = min(region_count, n)
+            per_region_sites = math.ceil(n / regions)
+            region_down = min(per_region_sites * down, cap if down else 0.0)
+            region_up = min(per_region_sites * up, cap if up else 0.0)
+            root_round = regions * (region_down + region_up) * bytes_per_tuple
+            fan_round = per_region_sites * (down + up) * bytes_per_tuple
+            time_s += (
+                2 * model.latency_s
+                + root_round / model.bandwidth_bytes_per_s
+                + 2 * model.latency_s
+                + fan_round / model.bandwidth_bytes_per_s
+            )
+            root_bytes += root_round
+        return time_s, root_bytes
+
+    def chain_cost(fanout):
+        time_s = 0.0
+        root_bytes = 0.0
+        for n, down, up, cap in volumes:
+            depth = max(1, math.ceil(math.log(max(n, 2), fanout)))
+            subtree = float(n)
+            for level in range(depth):
+                edge_down = min(subtree / fanout * down, cap if down else 0.0)
+                edge_up = min(subtree / fanout * up, cap if up else 0.0)
+                level_bytes = fanout * (edge_down + edge_up) * bytes_per_tuple
+                time_s += (
+                    2 * model.latency_s
+                    + level_bytes / model.bandwidth_bytes_per_s
+                )
+                if level == 0:
+                    root_bytes += level_bytes
+                subtree /= fanout
+        return time_s, root_bytes
+
+    flat_time, flat_bytes = flat_cost()
+    candidates = [
+        TopologyEstimate("flat", "flat", 0, flat_time, flat_bytes)
+    ]
+    for region_count in region_counts:
+        if not 1 < region_count < site_count:
+            continue
+        time_s, root_bytes = hierarchical_cost(region_count)
+        candidates.append(
+            TopologyEstimate(
+                f"hierarchical:{region_count}", "hierarchical",
+                region_count, time_s, root_bytes,
+            )
+        )
+    for fanout in fanouts:
+        if fanout < 2 or site_count <= fanout:
+            continue
+        time_s, root_bytes = chain_cost(fanout)
+        candidates.append(
+            TopologyEstimate(f"chain:{fanout}", "chain", fanout, time_s, root_bytes)
+        )
+    return tuple(candidates)
 
 
 # ---------------------------------------------------------------------------

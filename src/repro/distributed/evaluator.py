@@ -40,6 +40,7 @@ from repro.distributed.recovery import (
     FAIL_FAST,
     FAILURE_MODES,
     RetryPolicy,
+    SpeculationController,
     guard_leg,
 )
 from repro.distributed.stats import ExecutionStats, check_theorem2
@@ -115,6 +116,18 @@ class ExecutionConfig:
     wire_codec: str = field(
         default_factory=lambda: os.environ.get("REPRO_CODEC", "row")
     )
+    #: Speculative straggler re-execution. Once at least half a round's
+    #: legs have completed, a deadline arms at ``median completion *
+    #: speculation_factor + speculation_slack_s``; a leg still in flight
+    #: past it is abandoned and re-run (first result wins), spending at
+    #: most ``speculation_max_backups`` backups per round. Abandonment
+    #: needs a transport that can give up mid-wait, so it only fires
+    #: under the socket transport; the controller itself is harmless (and
+    #: inert) elsewhere.
+    speculation: bool = False
+    speculation_factor: float = 3.0
+    speculation_slack_s: float = 0.05
+    speculation_max_backups: int = 1
 
     def __post_init__(self):
         if self.row_block_size is None:
@@ -158,6 +171,30 @@ class ExecutionConfig:
                 f"unknown wire codec {self.wire_codec!r}; "
                 f"expected one of {', '.join(serialize.CODECS)}"
             )
+        if self.speculation_factor < 1.0:
+            raise PlanError(
+                f"speculation_factor must be >= 1.0, got {self.speculation_factor}"
+            )
+        if self.speculation_slack_s < 0:
+            raise PlanError(
+                f"speculation_slack_s must be >= 0, got {self.speculation_slack_s}"
+            )
+        if self.speculation_max_backups < 0:
+            raise PlanError(
+                "speculation_max_backups must be >= 0, "
+                f"got {self.speculation_max_backups}"
+            )
+
+    def speculation_controller(self, site_count: int):
+        """A fresh per-round controller, or None when speculation is off."""
+        if not self.speculation or site_count < 1:
+            return None
+        return SpeculationController(
+            site_count,
+            factor=self.speculation_factor,
+            slack_s=self.speculation_slack_s,
+            max_backups=self.speculation_max_backups,
+        )
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy.from_config(self)
@@ -180,6 +217,11 @@ class DistributedResult:
     relation: Relation
     stats: ExecutionStats
     plan: Plan
+    #: Set by the topology scheduler
+    #: (:func:`repro.distributed.scheduler.execute_plan_scheduled`): the
+    #: :class:`~repro.distributed.scheduler.TopologyChoice` that picked
+    #: this run's merge topology. None for directly-executed plans.
+    topology_choice: object = None
 
     def respects_theorem2(self) -> bool:
         """Check the Theorem 2 traffic bound against observed tuple counts."""
@@ -358,6 +400,10 @@ def _evaluate_round(
     def leg(site_id):
         channel = network.channel(site_id)
         site_stats = round_stats.site(site_id)
+        # Consume any injected straggler delay for this attempt. The rule
+        # budget ("times") is spent here, so a speculative backup re-run
+        # of the same leg gets 0 and races the sleeping original.
+        compute_delay_s = channel.next_straggle(round_number)
 
         if md_round.merged_base:
             # Proposition 2: no shipment down beyond the request header.
@@ -380,6 +426,7 @@ def _evaluate_round(
                 query_id=query_id,
                 engine=config.engine,
                 wire_codec=config.wire_codec,
+                compute_delay_s=compute_delay_s,
             )
         else:
             started = time.perf_counter()
@@ -438,6 +485,7 @@ def _evaluate_round(
                 query_id=query_id,
                 engine=config.engine,
                 wire_codec=config.wire_codec,
+                compute_delay_s=compute_delay_s,
             )
 
         reply = engine.evaluate(request, channel=channel)
@@ -483,6 +531,7 @@ def _evaluate_round(
         round_stats=round_stats,
         tracer=tracer,
         session=session,
+        speculation=config.speculation_controller(len(md_round.sites)),
     )
     results = engine.run_legs(md_round.sites, guarded, round_span)
     results = [result for result in results if result is not EXCLUDED]
@@ -546,6 +595,7 @@ def _evaluate_base(
         def leg(site_id):
             channel = network.channel(site_id)
             site_stats = round_stats.site(site_id)
+            compute_delay_s = channel.next_straggle(0)
 
             request_message = msg.Message(msg.BASE_QUERY, "coordinator", site_id, 0)
             channel.send_to_site(request_message)
@@ -563,6 +613,7 @@ def _evaluate_base(
                     query_id=query_id,
                     engine=config.engine,
                     wire_codec=config.wire_codec,
+                    compute_delay_s=compute_delay_s,
                 ),
                 channel=channel,
             )
@@ -592,6 +643,7 @@ def _evaluate_base(
             round_index=0,
             round_stats=round_stats,
             tracer=tracer,
+            speculation=config.speculation_controller(len(base.sites)),
         )
         fragments = engine.run_legs(base.sites, guarded, round_span)
         fragments = [

@@ -91,6 +91,10 @@ class SiteRequest:
     engine: str = "row"
     #: Wire codec for the encoded reply payloads (``row | column``).
     wire_codec: str = "row"
+    #: Injected straggler delay: the site sleeps this long (real wall
+    #: clock) before evaluating. Set from a ``straggle`` fault rule; the
+    #: speculative backup attempt gets 0 once the rule's budget is spent.
+    compute_delay_s: float = 0.0
 
 
 @dataclass
@@ -136,6 +140,10 @@ def perform_site_request(site, request: SiteRequest, tracer=NULL_TRACER) -> Site
     the trace vocabulary.
     """
     started = time.perf_counter()
+    if request.compute_delay_s > 0:
+        # An injected straggler: the site really is this slow, so the
+        # sleep is charged to compute_s like any other site work.
+        time.sleep(request.compute_delay_s)
     site_id = request.site_id
     codec = request.wire_codec
     ids = {} if request.query_id is None else {"query_id": request.query_id}

@@ -44,6 +44,8 @@ from repro.gmdj.operator import merge_sub_results
 from repro.net import message as msg
 from repro.net.channel import Network
 from repro.net.costmodel import CostModel, WAN
+from repro.obs.metrics import activate
+from repro.obs.tracer import NULL_TRACER
 from repro.relalg.expressions import BASE_VAR
 from repro.relalg.relation import Relation
 
@@ -67,11 +69,22 @@ class TreeTopology:
 
     @classmethod
     def balanced(cls, site_ids: Sequence[str], region_count: int) -> "TreeTopology":
-        """Deal sites into ``region_count`` regions of near-equal size."""
+        """Deal sites into ``region_count`` regions of near-equal size.
+
+        ``region_count`` must lie in ``1..len(site_ids)`` — zero or
+        negative counts would build no regions at all, and more regions
+        than sites would leave empty regions; both raise ``ValueError``
+        (a caller bug, not a network condition).
+        """
         site_ids = tuple(site_ids)
+        if not isinstance(region_count, int) or isinstance(region_count, bool):
+            raise ValueError(
+                f"region_count must be an int, got {region_count!r}"
+            )
         if not 1 <= region_count <= len(site_ids):
-            raise NetworkError(
-                f"region_count must be in 1..{len(site_ids)}, got {region_count}"
+            raise ValueError(
+                f"region_count must be in 1..{len(site_ids)} "
+                f"(one region per site at most), got {region_count}"
             )
         regions: dict = {f"region{index}": [] for index in range(region_count)}
         for index, site_id in enumerate(site_ids):
@@ -156,6 +169,10 @@ class TreeRoundStats:
 @dataclass
 class TreeStats:
     rounds: list = field(default_factory=list)
+    #: The cost model the run was planned/executed under; recorded by
+    #: ``execute_plan_hierarchical`` so no-argument ``response_time_s``
+    #: reports with the same model the planner priced with.
+    model: Optional[CostModel] = None
 
     def new_round(self, kind: str) -> TreeRoundStats:
         stats = TreeRoundStats(index=len(self.rounds), kind=kind)
@@ -175,8 +192,16 @@ class TreeStats:
         return self.root_link_bytes + self.site_link_bytes
 
     def response_time_s(
-        self, model: CostModel = WAN, site_model: Optional[CostModel] = None
+        self, model: Optional[CostModel] = None,
+        site_model: Optional[CostModel] = None,
     ) -> float:
+        """Sum-over-rounds critical path.
+
+        ``model`` defaults to the model the execution recorded (WAN if
+        none was), so plan-time and report-time pricing agree without
+        every caller re-threading the model.
+        """
+        model = model or self.model or WAN
         return sum(stats.response_time_s(model, site_model) for stats in self.rounds)
 
 
@@ -196,10 +221,10 @@ class HierarchicalResult:
 class _Region:
     """A regional coordinator: channels to its sites plus merge logic."""
 
-    def __init__(self, name: str, site_ids: Sequence[str]):
+    def __init__(self, name: str, site_ids: Sequence[str], metrics=None):
         self.name = name
         self.site_ids = tuple(site_ids)
-        self.network = Network(self.site_ids)
+        self.network = Network(self.site_ids, metrics=metrics)
 
 
 def execute_plan_hierarchical(
@@ -207,6 +232,10 @@ def execute_plan_hierarchical(
     topology: TreeTopology,
     plan: Plan,
     wire_codec: Optional[str] = None,
+    tracer=None,
+    metrics=None,
+    query_id=None,
+    model: Optional[CostModel] = None,
 ) -> HierarchicalResult:
     """Run a plan over a two-level coordinator tree.
 
@@ -215,11 +244,21 @@ def execute_plan_hierarchical(
     ``wire_codec`` selects the relation encoding on every tree link
     (default ``$REPRO_CODEC`` or the row codec, matching the star
     evaluator so cross-topology byte comparisons stay apples-to-apples).
+
+    ``tracer``/``metrics`` integrate the run with :mod:`repro.obs` the
+    same way the star evaluator does: the span tree is ``query → round →
+    combiner.hop`` (one hop per region per round, tagged with
+    ``query_id`` like every other record), and ``metrics`` becomes the
+    active registry for the duration. ``model`` is recorded on the
+    returned :class:`TreeStats` so its no-argument ``response_time_s``
+    prices with the model the run was planned under.
     """
     import os
 
     from repro.net import serialize
 
+    if tracer is None:
+        tracer = NULL_TRACER
     if wire_codec is None:
         wire_codec = os.environ.get("REPRO_CODEC", "row")
     serialize.validate_codec(wire_codec)
@@ -228,144 +267,211 @@ def execute_plan_hierarchical(
         missing = set(md_round.sites) - covered
         if missing:
             raise PlanError(f"topology does not cover sites {sorted(missing)}")
-
-    regions = {
-        name: _Region(name, site_ids) for name, site_ids in topology.regions.items()
-    }
-    root_network = Network(tuple(regions))
-    stats = TreeStats()
-    coordinator = Coordinator(plan.expression.key)
-
-    _tree_base(
-        cluster, plan, coordinator, regions, root_network, stats, topology,
-        wire_codec,
+    if metrics is not None:
+        with activate(metrics):
+            return _execute_hierarchical_traced(
+                cluster, topology, plan, wire_codec, tracer, metrics, query_id,
+                model,
+            )
+    return _execute_hierarchical_traced(
+        cluster, topology, plan, wire_codec, tracer, metrics, query_id, model
     )
 
-    for round_number, md_round in enumerate(plan.rounds, start=1):
-        round_stats = stats.new_round("chain" if md_round.is_chain else "md")
-        blocks = md_round.all_blocks()
-        region_results = []
 
-        for region_name, region in regions.items():
-            region_sites = [
-                site_id for site_id in md_round.sites if site_id in region.site_ids
-            ]
-            if not region_sites:
-                continue
-            region_link = round_stats.region(region_name)
-            root_channel = root_network.channel(region_name)
+def _execute_hierarchical_traced(
+    cluster, topology, plan, wire_codec, tracer, metrics, query_id, model
+) -> HierarchicalResult:
+    regions = {
+        name: _Region(name, site_ids, metrics)
+        for name, site_ids in topology.regions.items()
+    }
+    root_network = Network(tuple(regions), metrics=metrics)
+    root_network.tracer = tracer
+    stats = TreeStats(model=model)
+    coordinator = Coordinator(plan.expression.key, tracer)
 
-            if md_round.merged_base:
-                request = msg.Message(msg.BASE_QUERY, "root", region_name, round_number)
-                root_channel.send_to_site(request)
-                region_link.bytes_down += request.size_bytes
-                root_channel.receive_at_site()
-                region_fragment = None
-            else:
-                started = time.perf_counter()
-                region_fragment = _region_fragment(coordinator, md_round, region_sites)
-                shipment = msg.Message.with_relation(
-                    msg.SHIP_BASE, "root", region_name, round_number, region_fragment,
-                    codec=wire_codec,
+    query_attrs = {
+        "rounds": len(plan.rounds),
+        "sites": len(topology.all_sites),
+        "topology": f"hierarchical:{len(regions)}",
+    }
+    if query_id is not None:
+        query_attrs["query_id"] = query_id
+    with tracer.span("query", kind="query", **query_attrs):
+        with tracer.span(
+            "round", kind="round", index=0, round_kind="base",
+            sites=len(topology.all_sites),
+        ):
+            _tree_base(
+                cluster, plan, coordinator, regions, root_network, stats,
+                topology, wire_codec, tracer, query_id,
+            )
+
+        for round_number, md_round in enumerate(plan.rounds, start=1):
+            round_stats = stats.new_round("chain" if md_round.is_chain else "md")
+            with tracer.span(
+                "round",
+                kind="round",
+                index=round_stats.index,
+                round_kind=round_stats.kind,
+                sites=len(md_round.sites),
+            ):
+                _hierarchical_round(
+                    cluster, plan, coordinator, regions, root_network,
+                    round_stats, md_round, round_number, wire_codec, tracer,
+                    query_id,
                 )
-                round_stats.root_compute_s += time.perf_counter() - started
-                root_channel.send_to_site(shipment)
-                region_link.bytes_down += shipment.size_bytes
-                region_link.tuples_down += len(region_fragment)
-                started = time.perf_counter()
-                region_fragment = root_channel.receive_at_site().relation()
-                region_link.compute_s += time.perf_counter() - started
 
-            # Region fans out to its sites and collects their H_i.
-            site_results = []
-            for site_id in region_sites:
-                channel = region.network.channel(site_id)
-                site = cluster.site(site_id)
-                link = round_stats.site(region_name, site_id)
+    return HierarchicalResult(coordinator.x, stats, plan, topology)
 
-                if md_round.merged_base:
-                    request = msg.Message(msg.BASE_QUERY, region_name, site_id, round_number)
-                    channel.send_to_site(request)
-                    link.bytes_down += request.size_bytes
-                    channel.receive_at_site()
-                    started = time.perf_counter()
-                    h_i = site.evaluate_merged_round(
-                        plan.base.source, md_round.steps, plan.expression.key
-                    )
-                    reply = msg.Message.with_relation(
-                        msg.SUB_RESULT, site_id, region_name, round_number, h_i,
-                        codec=wire_codec,
-                    )
-                    link.compute_s += time.perf_counter() - started
-                else:
-                    started = time.perf_counter()
-                    ship_filter = md_round.ship_filter(site_id)
-                    if ship_filter is None:
-                        fragment = region_fragment
-                    else:
-                        predicate = ship_filter.compile(
-                            {BASE_VAR: region_fragment.schema}
-                        )
-                        fragment = region_fragment.select_fn(
-                            lambda row, _predicate=predicate: _predicate({BASE_VAR: row})
-                        )
-                    shipment = msg.Message.with_relation(
-                        msg.SHIP_BASE, region_name, site_id, round_number, fragment,
-                        codec=wire_codec,
-                    )
-                    region_link.compute_s += time.perf_counter() - started
-                    channel.send_to_site(shipment)
-                    link.bytes_down += shipment.size_bytes
-                    link.tuples_down += len(fragment)
 
-                    received = channel.receive_at_site()
-                    started = time.perf_counter()
-                    h_i = site.evaluate_round(
-                        received.relation(),
-                        md_round.steps,
-                        plan.expression.key,
-                        md_round.independent_reduction,
-                    )
-                    reply = msg.Message.with_relation(
-                        msg.SUB_RESULT, site_id, region_name, round_number, h_i,
-                        codec=wire_codec,
-                    )
-                    link.compute_s += time.perf_counter() - started
+def _hierarchical_round(
+    cluster, plan, coordinator, regions, root_network, round_stats, md_round,
+    round_number, wire_codec, tracer, query_id,
+) -> None:
+    blocks = md_round.all_blocks()
+    region_results = []
 
-                channel.send_to_coordinator(reply)
-                link.bytes_up += reply.size_bytes
-                link.tuples_up += len(h_i)
-                started = time.perf_counter()
-                site_results.append(channel.receive_at_coordinator().relation())
-                region_link.compute_s += time.perf_counter() - started
+    for region_name, region in regions.items():
+        region_sites = [
+            site_id for site_id in md_round.sites if site_id in region.site_ids
+        ]
+        if not region_sites:
+            continue
+        hop_attrs = {
+            "node": region_name,
+            "round": round_stats.index,
+            "sites": len(region_sites),
+        }
+        if query_id is not None:
+            hop_attrs["query_id"] = query_id
+        with tracer.span("combiner.hop", kind="relay", **hop_attrs):
+            region_results.append(
+                _hierarchical_region_leg(
+                    cluster, plan, coordinator, region, root_network,
+                    round_stats, md_round, round_number, wire_codec,
+                    region_name, region_sites, blocks,
+                )
+            )
 
-            # Regional merge: combine sub-results by key before forwarding.
+    started = time.perf_counter()
+    if md_round.merged_base:
+        coordinator.assemble_from_chain(region_results, blocks)
+    else:
+        coordinator.synchronize(region_results, blocks)
+    round_stats.root_compute_s += time.perf_counter() - started
+
+
+def _hierarchical_region_leg(
+    cluster, plan, coordinator, region, root_network, round_stats, md_round,
+    round_number, wire_codec, region_name, region_sites, blocks,
+):
+    region_link = round_stats.region(region_name)
+    root_channel = root_network.channel(region_name)
+
+    if md_round.merged_base:
+        request = msg.Message(msg.BASE_QUERY, "root", region_name, round_number)
+        root_channel.send_to_site(request)
+        region_link.bytes_down += request.size_bytes
+        root_channel.receive_at_site()
+        region_fragment = None
+    else:
+        started = time.perf_counter()
+        region_fragment = _region_fragment(coordinator, md_round, region_sites)
+        shipment = msg.Message.with_relation(
+            msg.SHIP_BASE, "root", region_name, round_number, region_fragment,
+            codec=wire_codec,
+        )
+        round_stats.root_compute_s += time.perf_counter() - started
+        root_channel.send_to_site(shipment)
+        region_link.bytes_down += shipment.size_bytes
+        region_link.tuples_down += len(region_fragment)
+        started = time.perf_counter()
+        region_fragment = root_channel.receive_at_site().relation()
+        region_link.compute_s += time.perf_counter() - started
+
+    # Region fans out to its sites and collects their H_i.
+    site_results = []
+    for site_id in region_sites:
+        channel = region.network.channel(site_id)
+        site = cluster.site(site_id)
+        link = round_stats.site(region_name, site_id)
+
+        if md_round.merged_base:
+            request = msg.Message(msg.BASE_QUERY, region_name, site_id, round_number)
+            channel.send_to_site(request)
+            link.bytes_down += request.size_bytes
+            channel.receive_at_site()
             started = time.perf_counter()
-            combined = site_results[0]
-            for fragment in site_results[1:]:
-                combined = combined.union_all(fragment)
-            merged = merge_sub_results(combined, plan.expression.key, blocks)
+            h_i = site.evaluate_merged_round(
+                plan.base.source, md_round.steps, plan.expression.key
+            )
             reply = msg.Message.with_relation(
-                msg.SUB_RESULT, region_name, "root", round_number, merged,
+                msg.SUB_RESULT, site_id, region_name, round_number, h_i,
+                codec=wire_codec,
+            )
+            link.compute_s += time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            ship_filter = md_round.ship_filter(site_id)
+            if ship_filter is None:
+                fragment = region_fragment
+            else:
+                predicate = ship_filter.compile(
+                    {BASE_VAR: region_fragment.schema}
+                )
+                fragment = region_fragment.select_fn(
+                    lambda row, _predicate=predicate: _predicate({BASE_VAR: row})
+                )
+            shipment = msg.Message.with_relation(
+                msg.SHIP_BASE, region_name, site_id, round_number, fragment,
                 codec=wire_codec,
             )
             region_link.compute_s += time.perf_counter() - started
-            root_channel.send_to_coordinator(reply)
-            region_link.bytes_up += reply.size_bytes
-            region_link.tuples_up += len(merged)
+            channel.send_to_site(shipment)
+            link.bytes_down += shipment.size_bytes
+            link.tuples_down += len(fragment)
 
+            received = channel.receive_at_site()
             started = time.perf_counter()
-            region_results.append(root_channel.receive_at_coordinator().relation())
-            round_stats.root_compute_s += time.perf_counter() - started
+            h_i = site.evaluate_round(
+                received.relation(),
+                md_round.steps,
+                plan.expression.key,
+                md_round.independent_reduction,
+            )
+            reply = msg.Message.with_relation(
+                msg.SUB_RESULT, site_id, region_name, round_number, h_i,
+                codec=wire_codec,
+            )
+            link.compute_s += time.perf_counter() - started
 
+        channel.send_to_coordinator(reply)
+        link.bytes_up += reply.size_bytes
+        link.tuples_up += len(h_i)
         started = time.perf_counter()
-        if md_round.merged_base:
-            coordinator.assemble_from_chain(region_results, blocks)
-        else:
-            coordinator.synchronize(region_results, blocks)
-        round_stats.root_compute_s += time.perf_counter() - started
+        site_results.append(channel.receive_at_coordinator().relation())
+        region_link.compute_s += time.perf_counter() - started
 
-    return HierarchicalResult(coordinator.x, stats, plan, topology)
+    # Regional merge: combine sub-results by key before forwarding.
+    started = time.perf_counter()
+    combined = site_results[0]
+    for fragment in site_results[1:]:
+        combined = combined.union_all(fragment)
+    merged = merge_sub_results(combined, plan.expression.key, blocks)
+    reply = msg.Message.with_relation(
+        msg.SUB_RESULT, region_name, "root", round_number, merged,
+        codec=wire_codec,
+    )
+    region_link.compute_s += time.perf_counter() - started
+    root_channel.send_to_coordinator(reply)
+    region_link.bytes_up += reply.size_bytes
+    region_link.tuples_up += len(merged)
+
+    started = time.perf_counter()
+    received = root_channel.receive_at_coordinator().relation()
+    round_stats.root_compute_s += time.perf_counter() - started
+    return received
 
 
 def _region_fragment(coordinator, md_round, region_sites) -> Relation:
@@ -384,7 +490,7 @@ def _region_fragment(coordinator, md_round, region_sites) -> Relation:
 
 def _tree_base(
     cluster, plan, coordinator, regions, root_network, stats, topology,
-    wire_codec="row",
+    wire_codec="row", tracer=NULL_TRACER, query_id=None,
 ):
     base = plan.base
     if base.merged_into_chain:
@@ -455,6 +561,16 @@ def _tree_base(
         started = time.perf_counter()
         fragments.append(root_channel.receive_at_coordinator().relation())
         round_stats.root_compute_s += time.perf_counter() - started
+        hop_attrs = {
+            "node": region_name,
+            "round": round_stats.index,
+            "sites": len(region_sites),
+            "bytes_up": region_link.bytes_up,
+        }
+        if query_id is not None:
+            hop_attrs["query_id"] = query_id
+        with tracer.span("combiner.hop", kind="relay", **hop_attrs):
+            pass
 
     started = time.perf_counter()
     coordinator.sync_base(fragments)
@@ -467,9 +583,16 @@ def execute_query_hierarchical(
     expression,
     options=None,
     wire_codec: Optional[str] = None,
+    tracer=None,
+    metrics=None,
+    query_id=None,
+    model: Optional[CostModel] = None,
 ) -> HierarchicalResult:
     """Plan with Egil, then execute over the coordinator tree."""
     from repro.distributed.optimizer import plan_query
 
     plan = plan_query(expression, cluster.catalog, options)
-    return execute_plan_hierarchical(cluster, topology, plan, wire_codec)
+    return execute_plan_hierarchical(
+        cluster, topology, plan, wire_codec,
+        tracer=tracer, metrics=metrics, query_id=query_id, model=model,
+    )

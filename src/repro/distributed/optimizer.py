@@ -94,6 +94,30 @@ def plan_query_cost_based(
     return plans[best_name]
 
 
+def plan_query_scheduled(
+    expression: GMDJExpression,
+    catalog: DistributionCatalog,
+    statistics,
+    options: Optional[OptimizationOptions] = None,
+    model=None,
+):
+    """Plan a query and choose its merge topology in one step.
+
+    Runs the standard rewrite pipeline, then prices flat-star,
+    hierarchical-combiner, and chain-relay merge topologies against the
+    statistics store and returns ``(plan, TopologyChoice)``.  The choice
+    carries every priced candidate so callers (``repro explain
+    --analyze``) can report the estimated saving, and feeds straight
+    into :func:`repro.distributed.scheduler.execute_plan_scheduled`.
+    """
+    from repro.distributed.scheduler import choose_topology
+    from repro.net.costmodel import WAN
+
+    plan = plan_query(expression, catalog, options)
+    choice = choose_topology(plan, statistics, catalog, model=model or WAN)
+    return plan, choice
+
+
 def plan_query(
     expression: GMDJExpression,
     catalog: DistributionCatalog,

@@ -31,10 +31,16 @@ traffic really crossed the wire.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
-from repro.errors import NetworkError, RetryExhaustedError, SerializationError
+from repro.errors import (
+    LegDeadlineExceeded,
+    NetworkError,
+    RetryExhaustedError,
+    SerializationError,
+)
 
 FAIL_FAST = "fail_fast"
 RETRY = "retry"
@@ -65,6 +71,91 @@ class _Excluded:
 
 
 EXCLUDED = _Excluded()
+
+
+class SpeculationController:
+    """Per-round deadline arming for speculative straggler re-execution.
+
+    Legs report their completion times; once at least half the round's
+    legs have finished, a deadline arms at ``median * factor + slack_s``
+    (elapsed from round start). A leg still in flight past the deadline
+    may be *abandoned* for a fresh backup attempt — ``try_abandon`` is
+    the predicate transports poll mid-wait — provided the round's backup
+    budget (``max_backups``) is not spent. First result wins: the guard
+    simply re-runs the leg, and the abandoned attempt's traffic is
+    re-accounted into the speculative buckets so byte parity with the
+    wire holds exactly.
+
+    Thread-safe: legs run on engine worker threads, so completion
+    recording and the abandon decision are serialized under one lock.
+    """
+
+    def __init__(
+        self,
+        site_count: int,
+        *,
+        factor: float = 3.0,
+        slack_s: float = 0.05,
+        max_backups: int = 1,
+        clock=time.perf_counter,
+    ):
+        if site_count < 1:
+            raise ValueError(f"site_count must be >= 1, got {site_count}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1.0, got {factor}")
+        if slack_s < 0:
+            raise ValueError(f"slack_s must be >= 0, got {slack_s}")
+        if max_backups < 0:
+            raise ValueError(f"max_backups must be >= 0, got {max_backups}")
+        self.site_count = site_count
+        self.factor = factor
+        self.slack_s = slack_s
+        self.max_backups = max_backups
+        self._clock = clock
+        self._started = clock()
+        self._lock = threading.Lock()
+        self._completions: list = []
+        self._deadline_s = None
+        self._backups_used = 0
+
+    @property
+    def deadline_s(self):
+        """The armed deadline (elapsed seconds), or None while unarmed."""
+        with self._lock:
+            return self._deadline_s
+
+    @property
+    def backups_used(self) -> int:
+        with self._lock:
+            return self._backups_used
+
+    def record_completion(self) -> None:
+        """A leg finished; arm the deadline once a quorum has reported."""
+        elapsed = self._clock() - self._started
+        with self._lock:
+            self._completions.append(elapsed)
+            quorum = (self.site_count + 1) // 2
+            if self._deadline_s is None and len(self._completions) >= quorum:
+                ordered = sorted(self._completions)
+                median = ordered[len(ordered) // 2]
+                self._deadline_s = median * self.factor + self.slack_s
+
+    def try_abandon(self):
+        """Abandon verdict for an in-flight leg.
+
+        Returns the armed deadline (a truthy float) when the leg should
+        give up — consuming one unit of backup budget — else ``0.0``.
+        Called from transport polling loops, possibly many times per
+        second, so it must stay cheap.
+        """
+        elapsed = self._clock() - self._started
+        with self._lock:
+            if self._deadline_s is None or elapsed < self._deadline_s:
+                return 0.0
+            if self._backups_used >= self.max_backups:
+                return 0.0
+            self._backups_used += 1
+            return self._deadline_s
 
 
 @dataclass(frozen=True)
@@ -121,6 +212,7 @@ def guard_leg(
     round_stats,
     tracer,
     session=None,
+    speculation=None,
     sleep=time.sleep,
     clock=time.perf_counter,
 ):
@@ -142,17 +234,71 @@ def guard_leg(
     still spent on one last (shorter-backoff) attempt rather than
     forfeited. ``sleep``/``clock`` are injectable so tests can drive the
     schedule deterministically; both must tell the same time story.
+
+    With a :class:`SpeculationController` (``speculation``), each attempt
+    is armed with the controller's abandon predicate. An attempt the
+    transport abandons (:class:`~repro.errors.LegDeadlineExceeded`) is
+    *not* a failure: its byte charges move to the speculative buckets,
+    the slate is cleaned exactly as for a retry, and the leg re-runs
+    immediately without consuming retry budget — first result wins.
+    ``LegDeadlineExceeded`` subclasses ``NetworkError``, so the abandon
+    branch must (and does) come before the transient-retry branch.
     """
     metrics = network.metrics
 
     def guarded(site_id):
         channel = network.channel(site_id)
+        if speculation is not None:
+            channel.arm_speculation(speculation.try_abandon)
+        try:
+            return _run_attempts(site_id, channel)
+        finally:
+            if speculation is not None:
+                channel.arm_speculation(None)
+
+    def _run_attempts(site_id, channel):
         started = clock()
         retry_number = 0
+        abandoned = 0
         while True:
+            site_stats = round_stats.site(site_id)
+            # Snapshot the down-side charges so an abandoned attempt's
+            # contribution can be moved to the speculative buckets.
+            snap_bytes_down = site_stats.bytes_down
+            snap_tuples_down = site_stats.tuples_down
+            snap_row_equiv_down = site_stats.row_equiv_bytes_down
             channel.begin_attempt(round_index)
             try:
-                return leg(site_id)
+                result = leg(site_id)
+            except LegDeadlineExceeded as error:
+                # The speculative deadline fired mid-flight. The
+                # attempt's traffic really crossed the wire, so its byte
+                # charges move (not vanish): down-side to the
+                # speculative bucket, partial up-frames (already counted
+                # by the channel oracle) likewise. Tuple and row-equiv
+                # charges are rolled back — the backup re-ships them.
+                site_stats.speculative_bytes_down += (
+                    site_stats.bytes_down - snap_bytes_down
+                )
+                site_stats.bytes_down = snap_bytes_down
+                site_stats.tuples_down = snap_tuples_down
+                site_stats.row_equiv_bytes_down = snap_row_equiv_down
+                site_stats.speculative_bytes_up += error.partial_up_bytes
+                site_stats.speculative_attempts += 1
+                abandoned += 1
+                channel.drain_pending()
+                if session is not None:
+                    session.reset_source(site_id)
+                metrics.counter("net.speculation.abandoned", site=site_id).inc()
+                with tracer.span(
+                    "leg.speculate",
+                    kind="recovery",
+                    site=site_id,
+                    round=round_index,
+                    deadline_s=error.deadline_s,
+                ):
+                    pass
+                continue
             except TRANSIENT_ERRORS as error:
                 if policy.mode == FAIL_FAST:
                     raise
@@ -212,5 +358,11 @@ def guard_leg(
                     pass
                 if backoff > 0:
                     sleep(backoff)
+            else:
+                if speculation is not None:
+                    speculation.record_completion()
+                    if abandoned:
+                        site_stats.speculation_won = True
+                return result
 
     return guarded

@@ -288,6 +288,7 @@ class SiteServer:
                 query_id=control.get("query_id"),
                 engine=control.get("engine", "row"),
                 wire_codec=control.get("wire_codec", "row"),
+                compute_delay_s=control.get("compute_delay_s", 0.0),
             )
             reply = perform_isolated_request(self.site, request)
         except Exception as error:  # noqa: BLE001 - shipped to the coordinator

@@ -35,6 +35,8 @@ from repro.gmdj.operator import merge_sub_results
 from repro.net import message as msg
 from repro.net.costmodel import CostModel, WAN
 from repro.net.serialize import wire_size
+from repro.obs.metrics import activate
+from repro.obs.tracer import NULL_TRACER
 from repro.relalg.expressions import BASE_VAR
 from repro.relalg.relation import Relation
 
@@ -83,10 +85,18 @@ def chain_tree(site_ids: Sequence[str], fanout: int, prefix: str = "relay") -> T
     """Build a balanced tree over ``site_ids`` with the given fanout.
 
     Leaves are grouped ``fanout`` at a time under relay nodes, then the
-    relays are grouped again, until a single root remains.
+    relays are grouped again, until a single root remains. ``fanout``
+    must be an integer >= 2: a fanout of 1 (or less) can never shrink a
+    level, so the grouping loop would spin forever — that is a caller
+    bug and raises ``ValueError``, not a network condition.
     """
+    if not isinstance(fanout, int) or isinstance(fanout, bool):
+        raise ValueError(f"fanout must be an int, got {fanout!r}")
     if fanout < 2:
-        raise NetworkError(f"fanout must be at least 2, got {fanout}")
+        raise ValueError(
+            f"fanout must be at least 2 (a fanout of {fanout} cannot reduce "
+            "a level, so the tree would never converge)"
+        )
     level: list = [TreeNode(site_id) for site_id in site_ids]
     if not level:
         raise NetworkError("a spanning tree needs at least one site")
@@ -165,6 +175,10 @@ class SpanningRoundStats:
 @dataclass
 class SpanningStats:
     rounds: list = field(default_factory=list)
+    #: The cost model the run was planned/executed under; recorded by
+    #: ``execute_plan_spanning`` so no-argument ``response_time_s``
+    #: prices with the planning model instead of silently assuming WAN.
+    model: Optional[CostModel] = None
 
     def new_round(self, kind: str, root_name: str) -> SpanningRoundStats:
         stats = SpanningRoundStats(index=len(self.rounds), kind=kind, root_name=root_name)
@@ -180,7 +194,13 @@ class SpanningStats:
         names = [child.name for child in root.children]
         return sum(stats.bytes_at_depth(names) for stats in self.rounds)
 
-    def response_time_s(self, model: CostModel = WAN) -> float:
+    def response_time_s(self, model: Optional[CostModel] = None) -> float:
+        """Sum-over-rounds critical path.
+
+        ``model`` defaults to the model recorded at execution time (WAN
+        when none was), so plan-time and report-time pricing agree.
+        """
+        model = model or self.model or WAN
         return sum(stats.response_time_s(model) for stats in self.rounds)
 
 
@@ -198,9 +218,26 @@ class SpanningResult:
 
 
 def execute_plan_spanning(
-    cluster: SimulatedCluster, tree: TreeNode, plan: Plan
+    cluster: SimulatedCluster,
+    tree: TreeNode,
+    plan: Plan,
+    tracer=None,
+    metrics=None,
+    query_id=None,
+    model: Optional[CostModel] = None,
 ) -> SpanningResult:
-    """Run a plan over a spanning tree of relays rooted at ``tree``."""
+    """Run a plan over a spanning tree of relays rooted at ``tree``.
+
+    ``tracer``/``metrics`` integrate the run with :mod:`repro.obs` like
+    the star evaluator: spans are ``query → round → relay.hop`` (one hop
+    per relay node per round, tagged with ``query_id`` like every other
+    record), and ``metrics`` becomes the active registry for the
+    duration. ``model`` is recorded on the returned
+    :class:`SpanningStats` so its no-argument ``response_time_s`` prices
+    with the model the run was planned under.
+    """
+    if tracer is None:
+        tracer = NULL_TRACER
     tree.validate()
     if tree.is_leaf:
         raise NetworkError("the root must be a relay, not a site")
@@ -209,40 +246,72 @@ def execute_plan_spanning(
         missing = set(md_round.sites) - leaves
         if missing:
             raise PlanError(f"tree does not cover sites {sorted(missing)}")
-
-    stats = SpanningStats()
-    coordinator = Coordinator(plan.expression.key)
-    _spanning_base(cluster, tree, plan, coordinator, stats)
-
-    for md_round in plan.rounds:
-        round_stats = stats.new_round(
-            "chain" if md_round.is_chain else "md", tree.name
-        )
-        _register_children(tree, round_stats)
-        blocks = md_round.all_blocks()
-        participating = set(md_round.sites)
-
-        collected = []
-        for child in tree.children:
-            result = _descend_md(
-                cluster,
-                child,
-                plan,
-                md_round,
-                blocks,
-                participating,
-                coordinator if not md_round.merged_base else None,
-                round_stats,
+    if metrics is not None:
+        with activate(metrics):
+            return _execute_spanning_traced(
+                cluster, tree, plan, tracer, query_id, model
             )
-            if result is not None:
-                collected.append(result)
+    return _execute_spanning_traced(cluster, tree, plan, tracer, query_id, model)
 
-        started = time.perf_counter()
-        if md_round.merged_base:
-            coordinator.assemble_from_chain(collected, blocks)
-        else:
-            coordinator.synchronize(collected, blocks)
-        round_stats.root_compute_s += time.perf_counter() - started
+
+def _execute_spanning_traced(
+    cluster, tree, plan, tracer, query_id, model
+) -> SpanningResult:
+    stats = SpanningStats(model=model)
+    coordinator = Coordinator(plan.expression.key, tracer)
+
+    query_attrs = {
+        "rounds": len(plan.rounds),
+        "sites": len(tree.leaves()),
+        "topology": f"spanning:{tree.depth()}",
+    }
+    if query_id is not None:
+        query_attrs["query_id"] = query_id
+    with tracer.span("query", kind="query", **query_attrs):
+        with tracer.span(
+            "round", kind="round", index=0, round_kind="base",
+            sites=len(tree.leaves()),
+        ):
+            _spanning_base(cluster, tree, plan, coordinator, stats)
+
+        for md_round in plan.rounds:
+            round_stats = stats.new_round(
+                "chain" if md_round.is_chain else "md", tree.name
+            )
+            _register_children(tree, round_stats)
+            blocks = md_round.all_blocks()
+            participating = set(md_round.sites)
+
+            with tracer.span(
+                "round",
+                kind="round",
+                index=round_stats.index,
+                round_kind=round_stats.kind,
+                sites=len(md_round.sites),
+            ):
+                collected = []
+                for child in tree.children:
+                    result = _descend_md(
+                        cluster,
+                        child,
+                        plan,
+                        md_round,
+                        blocks,
+                        participating,
+                        coordinator if not md_round.merged_base else None,
+                        round_stats,
+                        tracer=tracer,
+                        query_id=query_id,
+                    )
+                    if result is not None:
+                        collected.append(result)
+
+                started = time.perf_counter()
+                if md_round.merged_base:
+                    coordinator.assemble_from_chain(collected, blocks)
+                else:
+                    coordinator.synchronize(collected, blocks)
+                round_stats.root_compute_s += time.perf_counter() - started
 
     return SpanningResult(coordinator.x, stats, plan, tree)
 
@@ -282,6 +351,8 @@ def _descend_md(
     coordinator: Optional[Coordinator],
     round_stats: SpanningRoundStats,
     fragment: Optional[Relation] = None,
+    tracer=NULL_TRACER,
+    query_id=None,
 ):
     """Evaluate the round in ``node``'s subtree; return its merged H.
 
@@ -343,6 +414,8 @@ def _descend_md(
             None,
             round_stats,
             fragment=node_fragment,
+            tracer=tracer,
+            query_id=query_id,
         )
         if result is not None:
             collected.append(result)
@@ -353,6 +426,16 @@ def _descend_md(
     merged = merge_sub_results(combined, plan.expression.key, blocks)
     edge.compute_s += time.perf_counter() - started
     edge.bytes_up += msg.HEADER_BYTES + wire_size(merged)
+    hop_attrs = {
+        "node": node.name,
+        "round": round_stats.index,
+        "children": len(node.children),
+        "bytes_up": edge.bytes_up,
+    }
+    if query_id is not None:
+        hop_attrs["query_id"] = query_id
+    with tracer.span("relay.hop", kind="relay", **hop_attrs):
+        pass
     return merged
 
 
@@ -413,10 +496,20 @@ def _spanning_base(cluster, tree, plan, coordinator, stats) -> None:
 
 
 def execute_query_spanning(
-    cluster: SimulatedCluster, tree: TreeNode, expression, options=None
+    cluster: SimulatedCluster,
+    tree: TreeNode,
+    expression,
+    options=None,
+    tracer=None,
+    metrics=None,
+    query_id=None,
+    model: Optional[CostModel] = None,
 ) -> SpanningResult:
     """Plan with Egil, then execute over the spanning tree."""
     from repro.distributed.optimizer import plan_query
 
     plan = plan_query(expression, cluster.catalog, options)
-    return execute_plan_spanning(cluster, tree, plan)
+    return execute_plan_spanning(
+        cluster, tree, plan,
+        tracer=tracer, metrics=metrics, query_id=query_id, model=model,
+    )

@@ -49,6 +49,19 @@ class SiteRoundStats:
     compute_s: float = 0.0
     #: Leg re-runs the recovery layer performed for this site this round.
     retries: int = 0
+    #: Bytes charged by leg attempts that a speculative deadline
+    #: abandoned. They crossed the wire (the simulated oracle and the
+    #: socket transport both counted them) but did not contribute to the
+    #: result — the winning attempt's traffic stays in ``bytes_down`` /
+    #: ``bytes_up``, the loser's moves here, so
+    #: ``bytes + speculative_bytes`` reconciles with both bookkeepers.
+    speculative_bytes_down: int = 0
+    speculative_bytes_up: int = 0
+    #: Attempts abandoned by the speculative deadline this round.
+    speculative_attempts: int = 0
+    #: True when a backup attempt (raced after an abandonment) produced
+    #: this site's result for the round.
+    speculation_won: bool = False
     #: What the same shipments would have cost under the row wire codec
     #: (measured by actually row-encoding each block). Equal to
     #: ``bytes_down``/``bytes_up`` when the row codec is active; the gap
@@ -117,6 +130,18 @@ class RoundStats:
         return sum(stats.retries for stats in self.sites.values())
 
     @property
+    def speculative_bytes_down(self) -> int:
+        return sum(stats.speculative_bytes_down for stats in self.sites.values())
+
+    @property
+    def speculative_bytes_up(self) -> int:
+        return sum(stats.speculative_bytes_up for stats in self.sites.values())
+
+    @property
+    def speculative_attempts(self) -> int:
+        return sum(stats.speculative_attempts for stats in self.sites.values())
+
+    @property
     def row_equiv_bytes_total(self) -> int:
         return sum(
             stats.row_equiv_bytes_down + stats.row_equiv_bytes_up
@@ -162,6 +187,11 @@ class ExecutionStats:
     rounds: list = field(default_factory=list)
     #: Which site-execution engine produced these numbers.
     executor: str = "serial"
+    #: Which merge topology moved the bytes: ``"flat"`` (coordinator
+    #: star), ``"hierarchical:R"`` (R two-level regions) or ``"chain:F"``
+    #: (fanout-F relay tree). Set by the topology scheduler; plain
+    #: ``execute_plan`` runs are always flat.
+    topology: str = "flat"
     #: Which failure mode governed the run (``fail_fast | retry | degrade``).
     failure_mode: str = "fail_fast"
     #: Injected faults observed on the wire, as
@@ -222,6 +252,8 @@ class ExecutionStats:
         """Measured socket payload bytes == modeled DirectionStats bytes.
 
         Only meaningful for socket runs; always True in memory transport.
+        Abandoned speculative attempts still crossed the wire, so the
+        modeled side is ``bytes + speculative_bytes`` per direction.
         On a faulted run that lost a connection mid-transmit the measured
         side may fall short of the modeled side (partial frames are not
         counted), so callers gate hard assertions on clean runs.
@@ -229,8 +261,10 @@ class ExecutionStats:
         if self.transport != "sockets":
             return True
         return (
-            self.socket_bytes_down == self.bytes_down
-            and self.socket_bytes_up == self.bytes_up
+            self.socket_bytes_down
+            == self.bytes_down + self.speculative_bytes_down
+            and self.socket_bytes_up
+            == self.bytes_up + self.speculative_bytes_up
         )
 
     def transport_summary(self) -> str:
@@ -239,7 +273,8 @@ class ExecutionStats:
             "matches modeled DirectionStats exactly"
             if self.socket_parity()
             else (
-                f"modeled down={self.bytes_down}B up={self.bytes_up}B "
+                f"modeled down={self.bytes_down + self.speculative_bytes_down}B "
+                f"up={self.bytes_up + self.speculative_bytes_up}B "
                 "(divergence: partial transmit or mid-run attach)"
             )
         )
@@ -260,6 +295,36 @@ class ExecutionStats:
     def retries(self) -> int:
         """Leg re-runs performed across all rounds."""
         return sum(stats.retries for stats in self.rounds)
+
+    @property
+    def speculative_bytes_down(self) -> int:
+        """Down-bytes of abandoned speculative attempts, all rounds."""
+        return sum(stats.speculative_bytes_down for stats in self.rounds)
+
+    @property
+    def speculative_bytes_up(self) -> int:
+        """Up-bytes of abandoned speculative attempts, all rounds."""
+        return sum(stats.speculative_bytes_up for stats in self.rounds)
+
+    @property
+    def speculative_legs(self) -> int:
+        """(round, site) legs where the speculative deadline fired."""
+        return sum(
+            1
+            for round_stats in self.rounds
+            for site in round_stats.sites.values()
+            if site.speculative_attempts > 0
+        )
+
+    @property
+    def speculation_wins(self) -> int:
+        """(round, site) legs whose result came from a backup attempt."""
+        return sum(
+            1
+            for round_stats in self.rounds
+            for site in round_stats.sites.values()
+            if site.speculation_won
+        )
 
     @property
     def excluded_sites(self) -> tuple:
@@ -396,6 +461,7 @@ class ExecutionStats:
         """
         snapshot = {
             "executor": self.executor,
+            "topology": self.topology,
             "failure_mode": self.failure_mode,
             "wire_codec": self.wire_codec,
             "rounds": [
@@ -432,6 +498,16 @@ class ExecutionStats:
                             "tuples_up": site.tuples_up,
                             "compute_s": site.compute_s,
                             "retries": site.retries,
+                            **(
+                                {
+                                    "speculative_bytes_down": site.speculative_bytes_down,
+                                    "speculative_bytes_up": site.speculative_bytes_up,
+                                    "speculative_attempts": site.speculative_attempts,
+                                    "speculation_won": site.speculation_won,
+                                }
+                                if site.speculative_attempts
+                                else {}
+                            ),
                         }
                         for site_id, site in round_stats.sites.items()
                     },
@@ -439,6 +515,10 @@ class ExecutionStats:
                 for round_stats in self.rounds
             ],
             "retries": self.retries,
+            "speculative_legs": self.speculative_legs,
+            "speculation_wins": self.speculation_wins,
+            "speculative_bytes_down": self.speculative_bytes_down,
+            "speculative_bytes_up": self.speculative_bytes_up,
             "excluded_sites": [list(entry) for entry in self.excluded_sites],
             "faults": [
                 {
@@ -479,9 +559,17 @@ class ExecutionStats:
 
     def summary(self) -> str:
         lines = [
-            f"rounds: {self.round_count} (executor: {self.executor})",
+            f"rounds: {self.round_count} (executor: {self.executor}, "
+            f"topology: {self.topology})",
             f"bytes: total={self.bytes_total} down={self.bytes_down} up={self.bytes_up}",
         ]
+        if self.speculative_legs:
+            lines.append(
+                f"speculation: legs={self.speculative_legs} "
+                f"wins={self.speculation_wins} "
+                f"abandoned bytes down={self.speculative_bytes_down} "
+                f"up={self.speculative_bytes_up}"
+            )
         if self.wire_codec != "row":
             row_equiv = self.row_equiv_bytes_total
             fraction = self.codec_saved_bytes / row_equiv if row_equiv else 0.0
@@ -533,14 +621,21 @@ def verify_against_network(stats: ExecutionStats, network) -> list:
     up = sum(
         network.channel(site_id).upstream.bytes for site_id in network.site_ids
     )
-    if stats.bytes_down != down:
-        problems.append(f"bytes_down: stats={stats.bytes_down} network={down}")
-    if stats.bytes_up != up:
-        problems.append(f"bytes_up: stats={stats.bytes_up} network={up}")
+    # The channels count abandoned speculative attempts too (the traffic
+    # really moved), so the stats side adds its speculative buckets back.
+    stats_down = stats.bytes_down + stats.speculative_bytes_down
+    stats_up = stats.bytes_up + stats.speculative_bytes_up
+    if stats_down != down:
+        problems.append(f"bytes_down: stats={stats_down} network={down}")
+    if stats_up != up:
+        problems.append(f"bytes_up: stats={stats_up} network={up}")
     for site_id in network.site_ids:
         channel = network.channel(site_id)
         stats_total = sum(
-            site.bytes_down + site.bytes_up
+            site.bytes_down
+            + site.bytes_up
+            + site.speculative_bytes_down
+            + site.speculative_bytes_up
             for round_stats in stats.rounds
             for observed_id, site in round_stats.sites.items()
             if observed_id == site_id

@@ -75,6 +75,33 @@ class FaultSpecError(NetworkError):
     """A fault-injection spec (rule DSL string or JSON document) is malformed."""
 
 
+class LegDeadlineExceeded(NetworkError):
+    """A speculative deadline fired while a site leg was still in flight.
+
+    Raised by channels that support mid-request abandonment (the socket
+    transport) when the round's :class:`~repro.distributed.scheduler.\
+SpeculationController` decides the leg is a straggler. It is a
+    :class:`NetworkError` so a fail-fast configuration without the
+    speculation branch still treats it as a (transient) leg failure, but
+    ``guard_leg`` catches it *before* the retry machinery: the abandoned
+    attempt costs no retry budget and its bytes move to the speculative
+    accounts instead of staying charged to the leg.
+
+    ``partial_up_bytes`` carries the wire bytes of any reply messages
+    already consumed when the deadline fired, so byte parity with the
+    measured transport still reconciles exactly.
+    """
+
+    def __init__(self, site_id, deadline_s, partial_up_bytes=0):
+        self.site_id = site_id
+        self.deadline_s = deadline_s
+        self.partial_up_bytes = partial_up_bytes
+        super().__init__(
+            f"site {site_id!r} exceeded the speculative deadline "
+            f"({deadline_s:.3f}s); leg abandoned for a backup"
+        )
+
+
 class RemoteSiteError(ReproError):
     """A site-server process reported a failure of an unknown class.
 

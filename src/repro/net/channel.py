@@ -140,6 +140,8 @@ class Channel:
         self._to_coordinator: deque = deque()
         self.downstream = DirectionStats(self.metrics, site_id, DOWN)
         self.upstream = DirectionStats(self.metrics, site_id, UP)
+        #: Round-scoped speculative-abandon predicate (see arm_speculation).
+        self._should_abandon = None
 
     def _validate_outbound(self, message: Message, direction: str) -> None:
         if direction == DOWN and message.recipient != self.site_id:
@@ -177,6 +179,21 @@ class Channel:
 
     def begin_attempt(self, round_index: int) -> None:
         """Mark the start of one leg attempt (no-op without fault injection)."""
+
+    def next_straggle(self, round_index: int) -> float:
+        """Injected compute delay for this leg attempt (0 without faults)."""
+        return 0.0
+
+    def arm_speculation(self, should_abandon) -> None:
+        """Install (or clear, with None) the round's abandon predicate.
+
+        Transports that can give up on an in-flight request mid-wait (the
+        socket channel) poll the predicate between reads and raise
+        :class:`~repro.errors.LegDeadlineExceeded` when it returns True.
+        The in-memory channel blocks nowhere, so there is no moment to
+        abandon — the hook just records the callback for symmetry.
+        """
+        self._should_abandon = should_abandon
 
     def drain_pending(self) -> int:
         """Discard undelivered messages in both directions.

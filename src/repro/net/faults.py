@@ -18,6 +18,13 @@ declare, up front and reproducibly, exactly which messages misbehave:
   operation raises :class:`~repro.errors.SiteUnavailableError` until the
   rule's ``times`` budget of failed attempts is spent ("the site
   rebooted"). ``times=0`` keeps it down for every matching round.
+- ``straggle`` — the site is slow, not wrong: the leg's site request
+  carries ``delay_s`` of *real wall-clock* compute delay (the site
+  process sleeps before evaluating). Unlike ``delay``, which models an
+  in-flight message hold, ``straggle`` burns actual time — it exists to
+  exercise the speculative re-execution path, where a backup leg races
+  the sleeping straggler. The ``times`` budget means a backup attempt
+  after the first firing runs at full speed.
 
 A :class:`FaultPlan` is an immutable ordered rule list; all firing state
 lives in the :class:`FaultyChannel`, so one plan can drive many
@@ -50,8 +57,9 @@ DELAY = "delay"
 DUPLICATE = "duplicate"
 CORRUPT = "corrupt"
 CRASH = "crash"
+STRAGGLE = "straggle"
 
-FAULT_KINDS = (DROP, DELAY, DUPLICATE, CORRUPT, CRASH)
+FAULT_KINDS = (DROP, DELAY, DUPLICATE, CORRUPT, CRASH, STRAGGLE)
 
 #: Wildcard for ``site`` and ``direction`` rule fields.
 ANY = "*"
@@ -106,7 +114,7 @@ class FaultRule:
         if self.rounds and round_index not in self.rounds:
             return False
         if (
-            self.kind != CRASH
+            self.kind not in (CRASH, STRAGGLE)
             and self.direction != ANY
             and direction != ANY
             and self.direction != direction
@@ -331,6 +339,43 @@ class FaultPlan:
             ),
         )
 
+    @classmethod
+    def stragglers(
+        cls,
+        site_ids: Sequence[str],
+        seed: int,
+        delay_s: float = 0.5,
+        rounds: Sequence[int] = (1,),
+        count: int = 1,
+    ) -> "FaultPlan":
+        """A seeded straggler schedule: ``count`` sites picked by ``seed``
+        each straggle (real compute delay of ``delay_s``) once per listed
+        round. Deterministic in ``seed`` and the order of ``site_ids``.
+        """
+        if count < 1 or count > len(site_ids):
+            raise FaultSpecError(
+                f"straggler count must be in 1..{len(site_ids)}, got {count}"
+            )
+        rng = random.Random(seed)
+        chosen = rng.sample(list(site_ids), count)
+        rules = [
+            FaultRule(
+                STRAGGLE,
+                site=site_id,
+                rounds=tuple(rounds),
+                times=len(tuple(rounds)),
+                delay_s=delay_s,
+            )
+            for site_id in chosen
+        ]
+        return cls(
+            rules,
+            description=(
+                f"stragglers(seed={seed}, count={count}, delay_s={delay_s}, "
+                f"rounds={','.join(map(str, rounds))})"
+            ),
+        )
+
 
 def corrupt_payload(payload: bytes) -> bytes:
     """Flip the payload's first byte (the codec magic).
@@ -434,6 +479,19 @@ class FaultyChannel(Channel):
         self._attempt_round = round_index
         if self._doomed:
             self._record_fault(CRASH, round_index, ANY)
+
+    def next_straggle(self, round_index: int) -> float:
+        """Real compute delay (seconds) this leg attempt should suffer.
+
+        Consumes one firing of the first unspent ``straggle`` rule, so a
+        speculative backup attempt (or a retry) runs at full speed once
+        the rule's ``times`` budget is spent.
+        """
+        rule = self._consume((STRAGGLE,), round_index, ANY)
+        if rule is None:
+            return 0.0
+        self._record_fault(STRAGGLE, round_index, ANY, delay_s=rule.delay_s)
+        return rule.delay_s
 
     # -- sends -------------------------------------------------------------------
 

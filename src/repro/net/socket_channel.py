@@ -49,6 +49,7 @@ from typing import Dict, Optional, Tuple
 
 import repro.errors as errors_module
 from repro.errors import (
+    LegDeadlineExceeded,
     NetworkError,
     RemoteSiteError,
     ReproError,
@@ -189,6 +190,21 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+#: Receive-poll interval while a speculative-abandon predicate is armed:
+#: short enough that the deadline is enforced promptly, long enough that
+#: an unarmed fast reply never notices.
+_SPECULATION_POLL_S = 0.02
+
+
+class _AbandonLeg(Exception):
+    """Internal: the armed abandon predicate fired mid-receive.
+
+    ``args[0]`` carries the predicate's verdict (the deadline seconds, a
+    truthy float) so :meth:`SocketChannel.ask` can surface it on the
+    public :class:`~repro.errors.LegDeadlineExceeded`.
+    """
 
 
 def map_remote_error(name: str, text: str) -> ReproError:
@@ -424,6 +440,14 @@ class SocketChannel(FaultyChannel):
         :meth:`send_to_site`; the REQ frame carries the request fields
         (minus payloads) plus the expected payload count so the server
         can detect desync after a partial failure.
+
+        While a speculative-abandon predicate is armed (see
+        :meth:`~repro.net.channel.Channel.arm_speculation`), the reply
+        wait polls it between short receive timeouts; when it fires the
+        connection is dropped and :class:`~repro.errors.\
+LegDeadlineExceeded` raised, with any reply messages already fully
+        consumed charged to the simulated upstream oracle (and reported
+        as ``partial_up_bytes``) so every byte ledger still reconciles.
         """
         from repro.distributed.executor import SiteReply
 
@@ -442,48 +466,113 @@ class SocketChannel(FaultyChannel):
             "query_id": request.query_id,
             "engine": request.engine,
             "wire_codec": request.wire_codec,
+            "compute_delay_s": getattr(request, "compute_delay_s", 0.0),
             "expected_payloads": len(request.down_payloads or ()),
         }
+        should_abandon = self._should_abandon
         with self._io_lock:
             self._transmit(FRAME_REQ, pickle.dumps(control))
             sock = self._sock
+            if should_abandon is not None:
+                sock.settimeout(_SPECULATION_POLL_S)
             payloads = []
-            while True:
-                try:
-                    frame_type, body = read_frame(sock)
-                except OSError as error:
-                    self._drop_connection()
+            msg_frames: list = []
+            try:
+                while True:
+                    try:
+                        frame_type, body = self._read_frame_polling(
+                            sock, should_abandon
+                        )
+                    except OSError as error:
+                        self._drop_connection()
+                        raise NetworkError(
+                            f"socket to site {self.site_id!r} failed "
+                            f"mid-reply: {error}"
+                        ) from None
+                    self._count_received(body, frame_type)
+                    if frame_type == FRAME_MSG:
+                        kind, round_index, _flags, payload = decode_wire_message(
+                            body
+                        )
+                        payloads.append(payload)
+                        msg_frames.append((kind, round_index, payload))
+                        continue
+                    if frame_type == FRAME_REPLY:
+                        meta = pickle.loads(body)
+                        return SiteReply(
+                            payloads=tuple(payloads),
+                            rows=meta["rows"],
+                            compute_s=meta["compute_s"],
+                            spans=tuple(meta.get("spans", ())),
+                            counters=dict(meta.get("counters", {})),
+                            row_codec_payload_bytes=meta.get(
+                                "row_codec_payload_bytes"
+                            ),
+                        )
+                    if frame_type == FRAME_ERROR:
+                        detail = pickle.loads(body)
+                        raise map_remote_error(
+                            detail.get("error", "ReproError"),
+                            detail.get("message", "site server failure"),
+                        )
                     raise NetworkError(
-                        f"socket to site {self.site_id!r} failed mid-reply: "
-                        f"{error}"
-                    ) from None
-                self._count_received(body, frame_type)
-                if frame_type == FRAME_MSG:
-                    _kind, _round, _flags, payload = decode_wire_message(body)
-                    payloads.append(payload)
-                    continue
-                if frame_type == FRAME_REPLY:
-                    meta = pickle.loads(body)
-                    return SiteReply(
-                        payloads=tuple(payloads),
-                        rows=meta["rows"],
-                        compute_s=meta["compute_s"],
-                        spans=tuple(meta.get("spans", ())),
-                        counters=dict(meta.get("counters", {})),
-                        row_codec_payload_bytes=meta.get(
-                            "row_codec_payload_bytes"
-                        ),
+                        f"unexpected {_FRAME_NAMES.get(frame_type, frame_type)} "
+                        f"frame from site {self.site_id!r} during request"
                     )
-                if frame_type == FRAME_ERROR:
-                    detail = pickle.loads(body)
-                    raise map_remote_error(
-                        detail.get("error", "ReproError"),
-                        detail.get("message", "site server failure"),
+            except _AbandonLeg as verdict:
+                # The straggler is abandoned for a backup. Reply messages
+                # already fully received crossed the real wire *and* were
+                # counted measured, so charge them to the simulated
+                # upstream oracle too and tell the guard how many bytes
+                # to book as speculative.
+                partial_up = 0
+                for kind, round_index, payload in msg_frames:
+                    message = Message(
+                        kind, self.site_id, "coordinator", round_index, payload
                     )
-                raise NetworkError(
-                    f"unexpected {_FRAME_NAMES.get(frame_type, frame_type)} "
-                    f"frame from site {self.site_id!r} during request"
-                )
+                    self.upstream.record(message)
+                    partial_up += message.size_bytes
+                self._drop_connection()
+                deadline_s = float(verdict.args[0]) if verdict.args else 0.0
+                raise LegDeadlineExceeded(
+                    self.site_id, deadline_s, partial_up_bytes=partial_up
+                ) from None
+            finally:
+                if should_abandon is not None and self._sock is not None:
+                    self._sock.settimeout(self.io_timeout_s)
+
+    def _read_frame_polling(self, sock, should_abandon) -> Tuple[int, bytes]:
+        """:func:`read_frame`, polling the abandon predicate on timeouts.
+
+        Partial bytes survive across poll timeouts (the buffer carries
+        over), so a slow frame is never desynced — abandonment can fire
+        at any byte boundary and the connection is then dropped whole.
+        """
+        if should_abandon is None:
+            return read_frame(sock)
+        prefix = self._recv_exact_polling(sock, 4, should_abandon)
+        (length,) = struct.unpack(">I", prefix)
+        if length < 1:
+            raise NetworkError(f"invalid frame length {length}")
+        blob = self._recv_exact_polling(sock, length, should_abandon)
+        return blob[0], blob[1:]
+
+    def _recv_exact_polling(self, sock, count: int, should_abandon) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = sock.recv(remaining)
+            except socket.timeout:
+                verdict = should_abandon()
+                if verdict:
+                    raise _AbandonLeg(verdict) from None
+                continue
+            if not chunk:
+                raise ConnectionError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     # -- recovery hooks ----------------------------------------------------------
 

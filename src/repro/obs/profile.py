@@ -173,6 +173,19 @@ class QueryProfile:
     #: shipped schema (:func:`repro.distributed.costing.estimate_column_codec_saving`);
     #: ``None`` when the caller did not price it.
     codec_estimated_saving: Optional[float] = None
+    #: Merge topology the run executed with ("flat", "hierarchical:R",
+    #: "chain:F") — from the stats snapshot.
+    topology: str = "flat"
+    #: Why the scheduler picked it (empty when the run bypassed the
+    #: scheduler and the topology was fixed by the caller).
+    topology_reason: str = ""
+    #: Response-time saving vs the flat star predicted by the cost model,
+    #: and the saving actually measured; ``None`` when unpriced.
+    topology_estimated_saving_s: Optional[float] = None
+    topology_measured_saving_s: Optional[float] = None
+    #: Straggler speculation outcome (stats snapshot totals).
+    speculative_legs: int = 0
+    speculation_wins: int = 0
 
     # -- attribution & coverage -------------------------------------------------
 
@@ -241,6 +254,24 @@ class QueryProfile:
             "plan_description": self.plan_description,
             "notes": list(self.notes),
             "wire_codec": self.wire_codec,
+            "topology": self.topology,
+            **(
+                {
+                    "topology_reason": self.topology_reason,
+                    "topology_estimated_saving_s": self.topology_estimated_saving_s,
+                    "topology_measured_saving_s": self.topology_measured_saving_s,
+                }
+                if self.topology_reason
+                else {}
+            ),
+            **(
+                {
+                    "speculative_legs": self.speculative_legs,
+                    "speculation_wins": self.speculation_wins,
+                }
+                if self.speculative_legs
+                else {}
+            ),
             **(
                 {
                     "row_equiv_bytes_total": self.row_equiv_bytes_total,
@@ -289,6 +320,7 @@ def build_profile(
     notes=(),
     query_id=None,
     codec_estimated_saving=None,
+    topology_choice=None,
 ) -> QueryProfile:
     """Assemble a :class:`QueryProfile` from spans plus an execution-stats
     snapshot (an ``ExecutionStats`` or its ``to_dict()`` form).
@@ -297,6 +329,11 @@ def build_profile(
     ``EventLog.spans()``; span-derived operator times enrich the profile
     but the round/site byte, tuple and wall numbers come from the stats,
     so attribution stays exact even with a null tracer.
+
+    ``topology_choice`` is a duck-typed
+    :class:`~repro.distributed.scheduler.TopologyChoice` (or its
+    ``to_dict()`` form): it supplies the scheduler's reason string and
+    the estimated/measured response-time savings vs the flat star.
     """
     if hasattr(stats, "to_dict"):
         stats = stats.to_dict()
@@ -330,7 +367,21 @@ def build_profile(
         stats_bytes_total=int(stats.get("bytes_total", 0)),
         wire_codec=stats.get("wire_codec", "row"),
         codec_estimated_saving=codec_estimated_saving,
+        topology=stats.get("topology", "flat"),
+        speculative_legs=int(stats.get("speculative_legs", 0)),
+        speculation_wins=int(stats.get("speculation_wins", 0)),
     )
+    if topology_choice is not None:
+        if hasattr(topology_choice, "to_dict"):
+            topology_choice = topology_choice.to_dict()
+        profile.topology = topology_choice.get("topology", profile.topology)
+        profile.topology_reason = topology_choice.get("reason", "")
+        profile.topology_estimated_saving_s = topology_choice.get(
+            "estimated_saving_s"
+        )
+        profile.topology_measured_saving_s = topology_choice.get(
+            "measured_saving_s"
+        )
 
     for round_record in stats["rounds"]:
         round_profile = RoundProfile(
@@ -549,6 +600,28 @@ def render_profile(profile: QueryProfile, width: int = 48) -> str:
                 f"; estimated {profile.codec_estimated_saving * 100:.1f}%"
             )
         lines.append(codec_line)
+    if profile.topology != "flat" or profile.topology_reason:
+        topology_line = f"merge topology [{profile.topology}]"
+        if (
+            profile.topology != "flat"
+            and profile.topology_estimated_saving_s is not None
+        ):
+            topology_line += (
+                f": estimated saving vs flat "
+                f"{_fmt_seconds(profile.topology_estimated_saving_s)}"
+            )
+            if profile.topology_measured_saving_s is not None:
+                topology_line += (
+                    f", measured {_fmt_seconds(profile.topology_measured_saving_s)}"
+                )
+        if profile.topology_reason:
+            topology_line += f" — {profile.topology_reason}"
+        lines.append(topology_line)
+    if profile.speculative_legs:
+        lines.append(
+            f"speculation: {profile.speculative_legs} leg(s) re-executed, "
+            f"{profile.speculation_wins} backup win(s)"
+        )
     longest = max(
         [site.compute_s for round_profile in profile.rounds
          for site in round_profile.sites]

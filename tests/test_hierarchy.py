@@ -56,9 +56,18 @@ class TestTreeTopology:
         with pytest.raises(NetworkError):
             TreeTopology({"r1": ["a"], "r2": ["a"]})
         with pytest.raises(NetworkError):
-            TreeTopology.balanced(["a"], 2)
-        with pytest.raises(NetworkError):
             TreeTopology({"r": ["a"]}).region_of("ghost")
+
+    @pytest.mark.parametrize("region_count", [0, -1, 5, 2.0, True])
+    def test_balanced_boundary_region_counts_raise(self, region_count):
+        # Degenerate counts are caller bugs: ValueError, not a network
+        # condition — and never an empty-region or looping topology.
+        with pytest.raises(ValueError, match="region_count"):
+            TreeTopology.balanced(["a", "b", "c", "d"], region_count)
+
+    def test_balanced_full_width_is_one_site_per_region(self):
+        topology = TreeTopology.balanced(["a", "b", "c"], 3)
+        assert all(len(sites) == 1 for sites in topology.regions.values())
 
 
 class TestMergeSubResults:

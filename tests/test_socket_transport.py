@@ -334,6 +334,86 @@ def test_fail_fast_propagates_a_crash_over_sockets(deployed):
 
 
 # ---------------------------------------------------------------------------
+# Speculative straggler re-execution
+# ---------------------------------------------------------------------------
+
+STRAGGLE_DELAY_S = 0.8
+
+
+def run_straggled(deployed, *, speculation, delay_s=STRAGGLE_DELAY_S, seed=7):
+    """One query with a seeded compute delay on one site in round 1."""
+    return run_faulty(
+        deployed,
+        "sockets",
+        FaultPlan.stragglers(
+            deployed.site_ids, seed=seed, delay_s=delay_s, rounds=(1,)
+        ),
+        speculation=speculation,
+        speculation_factor=2.0,
+    )
+
+
+def test_straggler_speculation_is_bit_identical_with_byte_parity(
+    sim_cluster, deployed
+):
+    """The satellite-4 acceptance: a seeded delay fault triggers a
+    speculative backup whose result is bit-identical to the fault-free
+    flat run, and the measured socket bytes reconcile with the modeled
+    ``DirectionStats`` once the abandoned leg's traffic is included."""
+    reference = run_query(sim_cluster, correlated_expression(), "serial")
+    result = run_straggled(deployed, speculation=True)
+
+    assert result.relation.rows == reference.relation.rows
+    stats = result.stats
+    assert stats.speculative_legs == 1
+    assert stats.speculation_wins == 1
+    # The winning path's modeled bytes equal the fault-free oracle's —
+    # the loser's traffic lives only in the speculative buckets.
+    assert (stats.bytes_down, stats.bytes_up) == (
+        reference.stats.bytes_down,
+        reference.stats.bytes_up,
+    )
+    assert stats.speculative_bytes_down > 0  # the abandoned leg's re-send
+    assert stats.socket_parity()
+    assert stats.socket_bytes_down == (
+        stats.bytes_down + stats.speculative_bytes_down
+    )
+    assert stats.socket_bytes_up == (
+        stats.bytes_up + stats.speculative_bytes_up
+    )
+    # run_query already ran verify_against_network: per-site totals
+    # reconciled with the channels including the speculative buckets.
+
+
+def test_speculation_beats_the_straggler_wall(deployed):
+    """With speculation the delayed round finishes well under the
+    injected delay; without it the round wall absorbs the delay whole."""
+    with_speculation = run_straggled(deployed, speculation=True)
+    spec_wall = max(r.wall_s for r in with_speculation.stats.rounds)
+    assert with_speculation.stats.speculation_wins == 1
+    assert spec_wall < STRAGGLE_DELAY_S
+
+    baseline = run_straggled(deployed, speculation=False)
+    base_wall = max(r.wall_s for r in baseline.stats.rounds)
+    assert baseline.stats.speculative_legs == 0
+    assert base_wall >= STRAGGLE_DELAY_S
+    assert baseline.stats.socket_parity()
+
+
+def test_speculation_is_inert_without_stragglers(deployed):
+    # Generous slack so a CI scheduling hiccup on one healthy leg can
+    # never masquerade as a straggler.
+    result = run_query(
+        deployed, correlated_expression(), "sockets",
+        speculation=True, speculation_factor=2.0, speculation_slack_s=0.5,
+    )
+    assert result.stats.speculative_legs == 0
+    assert result.stats.speculation_wins == 0
+    assert result.stats.speculative_bytes_down == 0
+    assert result.stats.socket_parity()
+
+
+# ---------------------------------------------------------------------------
 # Kill-and-rejoin (the acceptance scenario) — keep last: it restarts a site
 # ---------------------------------------------------------------------------
 

@@ -69,8 +69,14 @@ class TestTreeNode:
     def test_chain_tree_validation(self):
         with pytest.raises(NetworkError):
             chain_tree([], 2)
-        with pytest.raises(NetworkError):
-            chain_tree(["a"], 1)
+
+    @pytest.mark.parametrize("fanout", [1, 0, -3, 2.0, True])
+    def test_chain_tree_boundary_fanouts_raise(self, fanout):
+        # A fanout <= 1 can never shrink a level (the grouping loop
+        # would spin forever): a caller bug, so ValueError — and raised
+        # before any tree node is built.
+        with pytest.raises(ValueError, match="fanout"):
+            chain_tree(["a", "b", "c"], fanout)
 
     def test_single_site_wrapped_under_relay(self):
         tree = chain_tree(["only"], 2)
