@@ -103,7 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace = commands.add_parser(
         "trace", help="run a query traced and print a per-round timeline"
     )
-    trace.add_argument("query", help="query text (same dialect as 'sql')")
+    trace.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="query text (same dialect as 'sql'); omit with --flight",
+    )
+    trace.add_argument(
+        "--flight",
+        metavar="PATH",
+        default=None,
+        help="post-mortem mode: render flight-recorder dump(s) at PATH "
+        "(a flight-*.jsonl file, or a directory written by "
+        "'repro cluster dump') instead of running a query",
+    )
     _add_cluster_options(trace)
     trace.add_argument(
         "--data",
@@ -211,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--url",
         default=None,
         help="full exposition URL (default: built from --host/--port)",
+    )
+    top.add_argument(
+        "--cluster",
+        metavar="DIR",
+        default=None,
+        help="scrape a running 'repro cluster up --dir DIR' deployment "
+        "directly (per-site telemetry panel) instead of polling --url",
     )
     top.add_argument("--host", default="127.0.0.1")
     top.add_argument("--port", type=int, default=9108)
@@ -480,6 +500,18 @@ def build_parser() -> argparse.ArgumentParser:
         "down", help="stop a running deployment"
     )
     cluster_down.add_argument("--dir", required=True, metavar="DIR")
+    cluster_dump = cluster_sub.add_parser(
+        "dump",
+        help="write coordinator + per-site flight-recorder dumps into the "
+        "deployment directory (dead sites keep their last crash dump)",
+    )
+    cluster_dump.add_argument("--dir", required=True, metavar="DIR")
+    cluster_dump.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="directory for the flight-*.jsonl files (default: --dir)",
+    )
     return parser
 
 
@@ -750,11 +782,83 @@ def run_sql(args, out) -> int:
     return 0
 
 
+def _run_trace_flight(args, out) -> int:
+    """Post-mortem: render flight-recorder dump(s) instead of running."""
+    import json
+    import os
+
+    from repro.errors import ObservabilityError
+    from repro.obs import FlightRecord, load_flight_dir
+
+    try:
+        if os.path.isdir(args.flight):
+            records = load_flight_dir(args.flight)
+        else:
+            records = [FlightRecord.load(args.flight)]
+    except (OSError, ObservabilityError) as error:
+        print(f"repro trace --flight: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        for record in records:
+            out.write(record.to_event_log().dumps())
+        return 0
+
+    for record in records:
+        label = (
+            f"site {record.site_id}" if record.site_id else record.process
+        )
+        print(
+            f"flight [{label}]: {len(record.records)} records "
+            f"(capacity {record.capacity}, dropped {record.dropped})",
+            file=out,
+        )
+        for entry in record.records:
+            kind = entry.get("record", "event")
+            detail = {
+                key: value
+                for key, value in entry.items()
+                if key not in ("record", "t_s")
+            }
+            if kind == "span":
+                start = detail.get("start_s")
+                end = detail.get("end_s")
+                if isinstance(start, (int, float)) and isinstance(
+                    end, (int, float)
+                ):
+                    duration = f"{(end - start) * 1000:.2f}ms"
+                else:
+                    duration = "open"
+                site = (detail.get("attributes") or {}).get("site")
+                suffix = f" site={site}" if site else ""
+                print(
+                    f"  span  {detail.get('name', '?')} {duration}{suffix}",
+                    file=out,
+                )
+            else:
+                tag = "FAULT" if kind == "fault" else "event"
+                print(
+                    f"  {tag} {json.dumps(detail, sort_keys=True)}", file=out
+                )
+    return 0
+
+
 def run_trace(args, out) -> int:
     from repro.net.costmodel import WAN
-    from repro.obs import MetricsRegistry, Tracer, build_trace, render_timeline
+    from repro.obs import (
+        ClockMap,
+        MetricsRegistry,
+        Tracer,
+        build_trace,
+        render_timeline,
+    )
     from repro.distributed.stats import verify_against_network
 
+    if args.flight is not None:
+        return _run_trace_flight(args, out)
+    if args.query is None:
+        print("trace: a query (or --flight PATH) is required", file=sys.stderr)
+        return 2
     if args.topology != "star":
         print(
             f"tracing supports the star topology only, got {args.topology!r}",
@@ -776,7 +880,12 @@ def run_trace(args, out) -> int:
         metrics=registry,
     )
 
-    log = build_trace(tracer, registry, result.stats, model=WAN)
+    clock_map = (
+        ClockMap.from_dict(result.stats.clock_offsets)
+        if result.stats.clock_offsets
+        else None
+    )
+    log = build_trace(tracer, registry, result.stats, model=WAN, clock_map=clock_map)
     if args.emit_trace:
         log.dump(args.emit_trace)
     if args.json:
@@ -789,6 +898,7 @@ def run_trace(args, out) -> int:
     print(render_timeline(result.stats, WAN), file=out)
     print(
         f"trace: {len(tracer.spans)} spans, {len(registry)} metrics"
+        + (f", clock-synced {len(clock_map)} site(s)" if clock_map else "")
         + (f", written to {args.emit_trace}" if args.emit_trace else ""),
         file=out,
     )
@@ -922,7 +1032,37 @@ def run_explain(args, out) -> int:
 
 
 def run_top(args, out) -> int:
-    from repro.obs.top import top_loop
+    from repro.obs.top import cluster_top_loop, top_loop
+
+    if args.cluster:
+        from repro.distributed.deployment import ProcessCluster
+        from repro.errors import DeploymentError
+        from repro.obs import (
+            MetricsRegistry,
+            parse_prometheus_text,
+            prometheus_text,
+        )
+
+        try:
+            deployed = ProcessCluster.attach(args.cluster)
+        except DeploymentError as error:
+            print(f"repro top --cluster: {error}", file=sys.stderr)
+            return 2
+        _ACTIVE_DEPLOYMENTS.append(deployed)
+
+        def scrape_cluster():
+            # Round-trip through the exposition so the panel sees exactly
+            # what a Prometheus scrape of this registry would.
+            registry = deployed.scrape(MetricsRegistry())
+            return parse_prometheus_text(prometheus_text(registry))
+
+        return cluster_top_loop(
+            scrape_cluster,
+            label=f"cluster {args.cluster}",
+            interval_s=args.interval,
+            iterations=args.iterations,
+            out=out,
+        )
 
     url = args.url or f"http://{args.host}:{args.port}/metrics"
     return top_loop(
@@ -1205,8 +1345,11 @@ def run_serve(args, out) -> int:
     if args.metrics_port is not None:
         from repro.obs.export import start_metrics_server
 
+        # Against a process deployment, /healthz goes degraded (503 +
+        # dead-site list) when any site-server stops answering pings.
+        health_probe = getattr(cluster, "dead_sites", None)
         metrics_server = start_metrics_server(
-            service.metrics, port=args.metrics_port
+            service.metrics, port=args.metrics_port, health_probe=health_probe
         )
         print(f"metrics: {metrics_server.url}", file=out)
     try:
@@ -1347,6 +1490,28 @@ def run_cluster(args, out) -> int:
             print(f"repro cluster down: {error}", file=sys.stderr)
             return 2
         print(f"cluster down: {stopped} site(s) acknowledged shutdown", file=out)
+        return 0
+
+    if args.cluster_command == "dump":
+        try:
+            deployed = ProcessCluster.attach(args.dir)
+        except DeploymentError as error:
+            print(f"repro cluster dump: {error}", file=sys.stderr)
+            return 2
+        try:
+            paths = deployed.dump_flight(args.out)
+            dead = deployed.dead_sites()
+        finally:
+            deployed.network.close()
+        print(f"cluster dump: {len(paths)} flight record(s)", file=out)
+        for path in paths:
+            print(f"  {path}", file=out)
+        if dead:
+            print(
+                f"  dead site(s): {', '.join(dead)} — their dumps are the "
+                "last per-request crash dumps",
+                file=out,
+            )
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 

@@ -35,8 +35,9 @@ from repro.distributed.siteserver import (
     request_shutdown,
     write_partition_store,
 )
-from repro.errors import DeploymentError, PlanError, WarehouseError
+from repro.errors import DeploymentError, PlanError, ReproError, WarehouseError
 from repro.net.socket_channel import SocketNetwork
+from repro.obs.flightrec import FlightRecord, FlightRecorder, flight_path
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.relalg.operators import union_all
@@ -192,6 +193,15 @@ class ProcessCluster:
         #: Evaluator-installed per-run tracer (unused locally — remote
         #: sites trace into their replies — but the evaluator sets it).
         self.tracer = NULL_TRACER
+        #: Coordinator-side flight recorder: deployment lifecycle events
+        #: plus recent query spans (the evaluator feeds it), dumped by
+        #: ``repro cluster dump`` or a SIGTERM handler.
+        self.flight = FlightRecorder(process="coordinator")
+        self.flight.record_event(
+            "attach" if not owns_processes else "deploy",
+            root=root,
+            sites=list(self.site_ids),
+        )
 
     # -- construction ------------------------------------------------------------
 
@@ -371,6 +381,88 @@ class ProcessCluster:
         self.fault_plan = plan
         self.reset_network()
 
+    # -- telemetry ---------------------------------------------------------------
+
+    def scrape(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Pull every site process's registry over the TELEMETRY frame.
+
+        Each site's metrics land in the target registry re-labeled with
+        ``site=<id>``, plus a ``site.up`` gauge per site (1 answered,
+        0 unreachable) — the same shape the Prometheus exposition and
+        ``repro top --cluster`` consume. Returns the target registry
+        (a fresh one when none is given).
+        """
+        target = registry if registry is not None else MetricsRegistry()
+        for site_id in self.site_ids:
+            channel = self.network._channels[site_id]
+            try:
+                snapshot = channel.telemetry(("metrics",))
+            except (ReproError, OSError):
+                target.gauge("site.up", site=site_id).set(0.0)
+                continue
+            target.gauge("site.up", site=site_id).set(1.0)
+            target.gauge("site.pid", site=site_id).set(
+                float(snapshot.get("pid", 0))
+            )
+            target.merge_snapshot(snapshot.get("metrics", {}), site=site_id)
+        return target
+
+    def liveness(self) -> dict:
+        """``site_id -> bool`` by a PING round trip per site."""
+        status = {}
+        for site_id in self.site_ids:
+            channel = self.network._channels[site_id]
+            try:
+                channel.ping(samples=1)
+                status[site_id] = True
+            except (ReproError, OSError):
+                status[site_id] = False
+        return status
+
+    def dead_sites(self) -> list:
+        return [
+            site_id
+            for site_id, alive in sorted(self.liveness().items())
+            if not alive
+        ]
+
+    def sync_clocks(self, samples: int = 3):
+        """Estimate per-site clock offsets (see :mod:`repro.obs.skew`)."""
+        return self.network.sync_clocks(samples)
+
+    def dump_flight(self, directory=None) -> list:
+        """Write coordinator + per-site flight records; returns the paths.
+
+        Live sites dump their ring on demand over the TELEMETRY frame;
+        a dead (killed/crashed) site is covered by the per-request dump
+        its process last wrote into the store, which is left untouched
+        here — and reported, so the caller sees the post-mortem file.
+        """
+        directory = str(directory or self.root)
+        os.makedirs(directory, exist_ok=True)
+        self.flight.record_event("dump", root=self.root)
+        written = [self.flight.dump(flight_path(directory, "coordinator"))]
+        for site_id in self.site_ids:
+            channel = self.network._channels[site_id]
+            path = flight_path(directory, "site", site_id)
+            try:
+                snapshot = channel.telemetry(("flight",))
+            except (ReproError, OSError):
+                self.flight.record_event("dump.site.dead", site=site_id)
+                if os.path.exists(path):
+                    written.append(path)  # the killed site's last dump
+                continue
+            section = snapshot.get("flight")
+            if not section:
+                continue
+            record = FlightRecord.from_snapshot(
+                dict(section, site_id=site_id, process="site")
+            )
+            written.append(record.dump(path))
+        return written
+
     # -- lifecycle ---------------------------------------------------------------
 
     def kill_site(self, site_id: str) -> None:
@@ -383,6 +475,7 @@ class ProcessCluster:
         if process.poll() is None:
             process.send_signal(signal.SIGKILL)
             process.wait(timeout=10)
+        self.flight.record_event("kill", site=site_id)
 
     def restart_site(self, site_id: str) -> None:
         """Relaunch a site from its on-disk partition and re-point channels.
@@ -406,6 +499,7 @@ class ProcessCluster:
         if channel is not None:
             channel.close()
             channel.address = (self.host, port)
+        self.flight.record_event("restart", site=site_id, port=port)
 
     def close(self) -> None:
         if self._closed:

@@ -44,7 +44,7 @@ from repro.distributed.recovery import (
     guard_leg,
 )
 from repro.distributed.stats import ExecutionStats, check_theorem2
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError
 from repro.gmdj.expression import GMDJExpression, LiteralBase
 from repro.net import message as msg
 from repro.net import serialize
@@ -293,6 +293,16 @@ def _execute_plan_traced(
         previous_network_tracer = network.tracer
         cluster.tracer = tracer
     network.tracer = tracer
+    # Socket transport: estimate per-site clock offsets up front (a few
+    # PING exchanges per site) so shipped site spans replay onto this
+    # process's clock. Memory-transport networks have no sync_clocks and
+    # need none — everything already shares one clock.
+    sync_clocks = getattr(network, "sync_clocks", None)
+    if tracer.enabled and sync_clocks is not None:
+        try:
+            stats.record_clocks(sync_clocks())
+        except ReproError:
+            pass
     engine = external_engine
     try:
         if engine is None:
@@ -356,6 +366,19 @@ def _execute_plan_traced(
             network.tracer = previous_network_tracer
         stats.record_faults(network.fault_events())
         stats.record_transport(network)
+        # Deployed clusters keep a coordinator-side flight recorder; a
+        # crash after this point still has the query's spans in the ring.
+        flight = getattr(cluster, "flight", None)
+        if flight is not None:
+            flight.record_event(
+                "query",
+                query_id=query_id,
+                rounds=len(stats.rounds),
+                bytes_total=stats.bytes_total,
+                faults=len(stats.faults),
+            )
+            if tracer.enabled:
+                flight.record_spans(tracer.finished())
         if engine is not None and engine is not external_engine:
             engine.close()
     return DistributedResult(coordinator.x, stats, plan)

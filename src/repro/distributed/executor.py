@@ -117,6 +117,9 @@ class SiteReply:
     #: ``sum(len(p) for p in payloads)`` when the row codec is active) —
     #: the measured baseline for the column-block codec's byte saving.
     row_codec_payload_bytes: int = 0
+    #: Small site-process health snapshot piggybacked on socket replies
+    #: (pid, rss_bytes, uptime_s, requests_total); empty elsewhere.
+    telemetry: dict = field(default_factory=dict)
 
 
 def _blocks_of(relation, size: int):
@@ -457,12 +460,14 @@ class ProcessEngine(_EngineLifecycle):
     def evaluate(self, request: SiteRequest, channel=None) -> SiteReply:
         self._check_open()
         reply = self._pool.submit(_fork_perform, request).result()
-        self._replay_remote(reply)
+        self._replay_remote(reply, request.site_id)
         return reply
 
-    def _replay_remote(self, reply: SiteReply) -> None:
+    def _replay_remote(self, reply: SiteReply, site_id=None) -> None:
         if reply.spans:
-            self._tracer.replay(reply.spans)
+            # Forked workers share the machine's monotonic clock, so no
+            # skew correction — provenance stamping only.
+            self._tracer.replay(reply.spans, site_id=site_id, process="site")
         if reply.counters:
             registry = active_registry()
             for key, value in reply.counters.items():
@@ -518,11 +523,26 @@ class SocketEngine(_EngineLifecycle):
             )
         reply = channel.ask(request)
         if reply.spans:
-            self._tracer.replay(reply.spans)
+            # Site-server processes run their own monotonic clock; the
+            # channel's PING-estimated offset (see repro.obs.skew) maps
+            # the shipped timestamps into this process's domain.
+            self._tracer.replay(
+                reply.spans,
+                clock_offset_s=getattr(channel, "clock_offset_s", 0.0),
+                site_id=request.site_id,
+                process="site",
+            )
         if reply.counters:
             registry = active_registry()
             for key, value in reply.counters.items():
                 registry.counter(key).inc(value)
+        if reply.telemetry:
+            registry = active_registry()
+            for name, value in reply.telemetry.items():
+                if name != "pid" and isinstance(value, (int, float)):
+                    registry.gauge(
+                        f"site.{name}", site=request.site_id
+                    ).set(float(value))
         return reply
 
     def close(self) -> None:

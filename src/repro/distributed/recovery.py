@@ -267,6 +267,10 @@ def guard_leg(
             snap_bytes_down = site_stats.bytes_down
             snap_tuples_down = site_stats.tuples_down
             snap_row_equiv_down = site_stats.row_equiv_bytes_down
+            # Mark where this attempt's spans begin so an abandoned
+            # attempt's spans can be tagged speculative (they describe
+            # work the backup re-does — profiles must not double-count).
+            span_mark = len(tracer.spans)
             channel.begin_attempt(round_index)
             try:
                 result = leg(site_id)
@@ -289,6 +293,14 @@ def guard_leg(
                 channel.drain_pending()
                 if session is not None:
                     session.reset_source(site_id)
+                # Tag the abandoned attempt's spans so profiles exclude
+                # them: the backup attempt re-records the same work, and
+                # counting both would double-charge the stage totals.
+                # The site filter keeps interleaved spans from other
+                # legs (threads engine) untouched.
+                for span in list(tracer.spans)[span_mark:]:
+                    if span.attributes.get("site") == site_id:
+                        span.set(speculative=True)
                 metrics.counter("net.speculation.abandoned", site=site_id).inc()
                 with tracer.span(
                     "leg.speculate",

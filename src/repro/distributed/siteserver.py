@@ -30,6 +30,7 @@ import pickle
 import socket
 import sys
 import threading
+import time
 from typing import Optional, Tuple
 
 from repro.distributed.executor import SiteRequest, perform_isolated_request
@@ -43,21 +44,42 @@ from repro.net.socket_channel import (
     FRAME_ERROR,
     FRAME_HELLO,
     FRAME_MSG,
+    FRAME_PING,
     FRAME_REPLY,
     FRAME_REQ,
     FRAME_RESET,
     FRAME_SHUTDOWN,
+    FRAME_TELEMETRY,
     FRAME_WELCOME,
     decode_wire_message,
     encode_wire_message,
     read_frame,
     write_frame,
 )
+from repro.obs.flightrec import DEFAULT_CAPACITY, FlightRecorder, flight_path
+from repro.obs.metrics import BYTES_BUCKETS, SECONDS_BUCKETS, MetricsRegistry
 from repro.warehouse.storage import LocalWarehouse
 
 CLUSTER_SPEC = "cluster.json"
 CATALOG_PICKLE = "catalog.pickle"
 MANIFEST = "manifest.json"
+
+#: Environment knob injecting an artificial clock offset (seconds) into
+#: everything the site reports on its own clock — PING samples and
+#: shipped span timestamps — for skew-correction tests and demos.
+CLOCK_OFFSET_ENV = "REPRO_SITE_CLOCK_OFFSET_S"
+
+
+def _rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(usage.ru_maxrss) * scale
 
 
 # -- partition store ---------------------------------------------------------------
@@ -163,13 +185,77 @@ class SiteServer:
     a reconnect, which by definition starts a fresh connection).
     """
 
-    def __init__(self, site: SkallaSite, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        site: SkallaSite,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        clock_offset_s: float = 0.0,
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = DEFAULT_CAPACITY,
+    ):
         self.site = site
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.5)
         self.host, self.port = self._listener.getsockname()[:2]
         self._stop = threading.Event()
         self._threads: list = []
+        #: Artificial skew added to every externally visible timestamp
+        #: (PING samples, shipped spans) — the site's "wrong clock".
+        self.clock_offset_s = float(clock_offset_s)
+        self._started = time.perf_counter()
+        # Long-lived site-side telemetry, separate from the per-request
+        # registry perform_isolated_request ships back on replies.
+        self.registry = MetricsRegistry()
+        self.registry.counter("site.requests")
+        self.registry.counter("site.errors")
+        self.registry.gauge("site.queue.depth")
+        self.registry.gauge("site.connections")
+        self.flight = FlightRecorder(
+            capacity=flight_capacity,
+            process="site",
+            site_id=site.site_id,
+            clock=self._clock,
+        )
+        self._flight_path = (
+            flight_path(flight_dir, "site", site.site_id)
+            if flight_dir is not None
+            else None
+        )
+        self.flight.record_event(
+            "boot", site=site.site_id, pid=os.getpid(), port=self.port
+        )
+        self._dump_flight()
+
+    def _clock(self) -> float:
+        """The site's externally visible clock: monotonic plus skew."""
+        return time.perf_counter() + self.clock_offset_s
+
+    def _dump_flight(self) -> None:
+        if self._flight_path is not None:
+            try:
+                self.flight.dump(self._flight_path)
+            except OSError:
+                pass
+
+    def telemetry_snapshot(self, want=("metrics",)) -> dict:
+        """The TELEMETRY-frame body: health plus the requested sections."""
+        self.registry.gauge("site.rss.bytes").set(float(_rss_bytes()))
+        self.registry.gauge("site.uptime.seconds").set(
+            time.perf_counter() - self._started
+        )
+        snapshot = {
+            "site_id": self.site.site_id,
+            "pid": os.getpid(),
+            "uptime_s": time.perf_counter() - self._started,
+        }
+        if "metrics" in want:
+            snapshot["metrics"] = self.registry.snapshot()
+        if "flight" in want:
+            header = self.flight.header()
+            header.pop("record", None)
+            snapshot["flight"] = dict(header, records=self.flight.snapshot())
+        return snapshot
 
     def serve_forever(self) -> None:
         try:
@@ -203,13 +289,48 @@ class SiteServer:
         except OSError:
             pass
         pending: list = []
+        self.registry.gauge("site.connections").add(1)
         try:
             while True:
                 try:
                     frame_type, body = read_frame(conn)
                 except OSError:
                     return
-                if frame_type == FRAME_HELLO:
+                if frame_type == FRAME_PING:
+                    # NTP-style exchange: t1 = receive, t2 = send, both
+                    # on this site's (possibly skewed) clock.
+                    t1 = self._clock()
+                    pong = json.dumps(
+                        {
+                            "site_id": self.site.site_id,
+                            "t1": t1,
+                            "t2": self._clock(),
+                        }
+                    ).encode("utf-8")
+                    try:
+                        write_frame(conn, FRAME_PING, pong)
+                    except OSError:
+                        return
+                elif frame_type == FRAME_TELEMETRY:
+                    try:
+                        want = tuple(
+                            json.loads(body.decode("utf-8")).get(
+                                "want", ["metrics"]
+                            )
+                        )
+                    except (ValueError, AttributeError):
+                        want = ("metrics",)
+                    try:
+                        write_frame(
+                            conn,
+                            FRAME_TELEMETRY,
+                            json.dumps(
+                                self.telemetry_snapshot(want), sort_keys=True
+                            ).encode("utf-8"),
+                        )
+                    except OSError:
+                        return
+                elif frame_type == FRAME_HELLO:
                     info = json.loads(body.decode("utf-8"))
                     wanted = info.get("site_id")
                     if wanted not in (None, self.site.site_id):
@@ -234,18 +355,25 @@ class SiteServer:
                         continue  # lost in (simulated) flight: bytes only
                     if kind == SHIP_BASE:
                         pending.append(payload)
+                        self.registry.gauge("site.queue.depth").set(
+                            float(len(pending))
+                        )
                     # BASE_QUERY and friends are header-only prompts; the
                     # REQ frame carries the actual work description.
                 elif frame_type == FRAME_RESET:
                     pending.clear()
+                    self.registry.gauge("site.queue.depth").set(0.0)
                 elif frame_type == FRAME_REQ:
                     self._handle_request(conn, body, pending)
                     pending.clear()
+                    self.registry.gauge("site.queue.depth").set(0.0)
                 elif frame_type == FRAME_SHUTDOWN:
                     try:
                         write_frame(conn, FRAME_BYE)
                     except OSError:
                         pass
+                    self.flight.record_event("shutdown", graceful=True)
+                    self._dump_flight()
                     self.shutdown()
                     return
                 else:
@@ -253,12 +381,15 @@ class SiteServer:
                         conn, NetworkError(f"unexpected frame type {frame_type}")
                     )
         finally:
+            self.registry.gauge("site.connections").add(-1)
             try:
                 conn.close()
             except OSError:
                 pass
 
     def _handle_request(self, conn, body: bytes, pending: list) -> None:
+        started = time.perf_counter()
+        request = None
         try:
             control = pickle.loads(body)
             expected = control.pop("expected_payloads", 0)
@@ -292,8 +423,48 @@ class SiteServer:
             )
             reply = perform_isolated_request(self.site, request)
         except Exception as error:  # noqa: BLE001 - shipped to the coordinator
+            self.registry.counter("site.errors").inc()
+            self.flight.record_fault(
+                error=type(error).__name__,
+                message=str(error),
+                kind=getattr(request, "kind", None),
+                round=getattr(request, "round_number", None),
+            )
+            self._dump_flight()
             self._send_error(conn, error)
             return
+        elapsed = time.perf_counter() - started
+        bytes_down = sum(len(payload) for payload in pending)
+        bytes_up = sum(len(payload) for payload in reply.payloads)
+        self.registry.counter("site.requests").inc()
+        self.registry.counter("site.requests.by_kind", kind=request.kind).inc()
+        self.registry.counter("site.rows").inc(reply.rows)
+        self.registry.counter("site.bytes", direction="down").inc(bytes_down)
+        self.registry.counter("site.bytes", direction="up").inc(bytes_up)
+        self.registry.histogram(
+            "site.request.seconds", SECONDS_BUCKETS
+        ).observe(elapsed)
+        self.registry.histogram(
+            "site.request.bytes", BYTES_BUCKETS
+        ).observe(float(bytes_up))
+        spans = tuple(
+            self._skewed_span(dict(span)) for span in reply.spans
+        )
+        self.flight.record_event(
+            "request",
+            kind=request.kind,
+            round=request.round_number,
+            rows=reply.rows,
+            bytes_down=bytes_down,
+            bytes_up=bytes_up,
+            elapsed_s=elapsed,
+            query_id=request.query_id,
+        )
+        for span in spans:
+            self.flight.record("span", **span)
+        # Persist after every request: SIGKILL runs no handlers, so the
+        # on-disk ring is the only telemetry a killed site leaves.
+        self._dump_flight()
         up_kind = BASE_RESULT if request.kind == "base" else SUB_RESULT
         try:
             for payload in reply.payloads:
@@ -305,14 +476,35 @@ class SiteServer:
             meta = {
                 "rows": reply.rows,
                 "compute_s": reply.compute_s,
-                "spans": tuple(reply.spans),
+                "spans": spans,
                 "counters": dict(reply.counters),
                 "row_codec_payload_bytes": reply.row_codec_payload_bytes,
+                "telemetry": {
+                    "pid": os.getpid(),
+                    "rss_bytes": _rss_bytes(),
+                    "uptime_s": time.perf_counter() - self._started,
+                    "requests_total": self.registry.value_of("site.requests"),
+                },
             }
             write_frame(conn, FRAME_REPLY, pickle.dumps(meta))
         except OSError:
             # Client went away mid-reply; its reconnect starts clean.
             raise
+
+    def _skewed_span(self, span: dict) -> dict:
+        """Shift a shipped span's timestamps onto the site's skewed clock.
+
+        ``perform_isolated_request`` stamps spans with the raw monotonic
+        clock; re-basing them here keeps every externally visible site
+        timestamp — PING samples and spans alike — in one (possibly
+        artificially offset) clock domain, which is exactly what the
+        coordinator's skew correction assumes.
+        """
+        if self.clock_offset_s:
+            span["start_s"] = span["start_s"] + self.clock_offset_s
+            if span.get("end_s") is not None:
+                span["end_s"] = span["end_s"] + self.clock_offset_s
+        return span
 
     def _send_error(self, conn, error: Exception) -> None:
         name = type(error).__name__
@@ -358,7 +550,24 @@ def run_site_server(
             f"site {site_id!r} is not in cluster {spec['site_ids']}"
         )
     site = load_site(store, site_id)
-    server = SiteServer(site, host, port)
+    try:
+        clock_offset_s = float(os.environ.get(CLOCK_OFFSET_ENV, "0") or 0)
+    except ValueError:
+        raise DeploymentError(
+            f"{CLOCK_OFFSET_ENV} must be a number, got "
+            f"{os.environ.get(CLOCK_OFFSET_ENV)!r}"
+        ) from None
+    server = SiteServer(
+        site, host, port, clock_offset_s=clock_offset_s, flight_dir=store
+    )
+    if threading.current_thread() is threading.main_thread():
+        server.flight.install_signal_handler(
+            flight_path(store, "site", site_id)
+        )
     stream = ready_stream if ready_stream is not None else sys.stdout
     print(f"READY site={site_id} port={server.port}", file=stream, flush=True)
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        server.flight.record_event("exit")
+        server._dump_flight()

@@ -217,6 +217,9 @@ class ExecutionStats:
     socket_framing_bytes: int = 0
     socket_frames: int = 0
     socket_reconnects: int = 0
+    #: Per-site clock estimates from the pre-query PING sync (socket
+    #: transport only): ``{site_id: {"offset_s": ..., "rtt_s": ...}}``.
+    clock_offsets: dict = field(default_factory=dict)
 
     def new_round(self, kind: str, description: str = "") -> RoundStats:
         stats = RoundStats(index=len(self.rounds), kind=kind, description=description)
@@ -226,6 +229,11 @@ class ExecutionStats:
     def record_faults(self, events) -> None:
         """Attach the network's injected-fault log to these stats."""
         self.faults = list(events)
+
+    def record_clocks(self, clock_map) -> None:
+        """Attach a :class:`~repro.obs.skew.ClockMap`'s estimates."""
+        if clock_map is not None and len(clock_map):
+            self.clock_offsets = clock_map.to_dict()
 
     def record_transport(self, network) -> None:
         """Attach the network's measured wire accounting, if it has any.
@@ -551,6 +559,8 @@ class ExecutionStats:
                 "reconnects": self.socket_reconnects,
                 "parity": self.socket_parity(),
             }
+        if self.clock_offsets:
+            snapshot["clock_offsets"] = dict(self.clock_offsets)
         if self.query_id is not None:
             snapshot["query_id"] = self.query_id
         if model is not None:
@@ -579,6 +589,14 @@ class ExecutionStats:
             )
         if self.transport == "sockets":
             lines.extend(self.transport_summary().splitlines())
+        if self.clock_offsets:
+            worst = max(
+                abs(sample["offset_s"]) for sample in self.clock_offsets.values()
+            )
+            lines.append(
+                f"clock sync: {len(self.clock_offsets)} site(s), "
+                f"max |offset|={worst * 1000:.3f}ms — site spans skew-corrected"
+            )
         lines += [
             f"tuples shipped: {self.tuples_total}",
             f"site compute (critical path): {self.site_compute_s():.4f}s",

@@ -78,6 +78,8 @@ FRAME_ERROR = 6  # server -> client: pickled {"error": class, "message": str}
 FRAME_RESET = 7  # client -> server: discard buffered down payloads
 FRAME_SHUTDOWN = 8  # client -> server: stop serving
 FRAME_BYE = 9  # server -> client: shutdown acknowledged
+FRAME_PING = 10  # either direction: JSON clock-sync sample (see obs.skew)
+FRAME_TELEMETRY = 11  # client -> server: JSON request; server -> client: JSON body
 
 #: Bytes of pure framing around every frame: 4-byte length prefix + type.
 FRAME_OVERHEAD_BYTES = 5
@@ -92,6 +94,8 @@ _FRAME_NAMES = {
     FRAME_RESET: "RESET",
     FRAME_SHUTDOWN: "SHUTDOWN",
     FRAME_BYE: "BYE",
+    FRAME_PING: "PING",
+    FRAME_TELEMETRY: "TELEMETRY",
 }
 
 # -- MSG wire header ---------------------------------------------------------------
@@ -263,6 +267,11 @@ class SocketChannel(FaultyChannel):
         self.frames_sent = 0
         self.frames_received = 0
         self.reconnects = 0
+        # Best (minimum-RTT) NTP-style clock sample against the site
+        # process; see repro.obs.skew. Zero until ping() succeeds, which
+        # leaves site spans replaying uncorrected rather than wrongly.
+        self.clock_offset_s = 0.0
+        self.clock_rtt_s: Optional[float] = None
 
     # -- accounting --------------------------------------------------------------
 
@@ -508,6 +517,7 @@ LegDeadlineExceeded` raised, with any reply messages already fully
                             row_codec_payload_bytes=meta.get(
                                 "row_codec_payload_bytes"
                             ),
+                            telemetry=dict(meta.get("telemetry", {})),
                         )
                     if frame_type == FRAME_ERROR:
                         detail = pickle.loads(body)
@@ -573,6 +583,86 @@ LegDeadlineExceeded` raised, with any reply messages already fully
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def ping(self, samples: int = 3, clock=None):
+        """NTP-style clock sampling against the site-server process.
+
+        Runs ``samples`` PING exchanges and keeps the minimum-RTT sample
+        (least queueing noise). The stored offset maps site-local
+        ``perf_counter`` timestamps into this process's clock domain:
+        ``local_time = site_time - clock_offset_s``. PING frames are
+        control frames, charged entirely to framing overhead, so MSG
+        byte parity is untouched.
+        """
+        import time
+
+        from repro.obs.skew import estimate_offset
+
+        if samples < 1:
+            raise NetworkError("ping needs at least one sample")
+        read_clock = clock if clock is not None else time.perf_counter
+        best = None
+        with self._io_lock:
+            for _ in range(samples):
+                t0 = read_clock()
+                self._transmit(FRAME_PING, b"{}")
+                sock = self._sock
+                try:
+                    frame_type, body = read_frame(sock)
+                except OSError as error:
+                    self._drop_connection()
+                    raise NetworkError(
+                        f"ping to site {self.site_id!r} failed: {error}"
+                    ) from None
+                t3 = read_clock()
+                self._count_received(body, frame_type)
+                if frame_type != FRAME_PING:
+                    raise NetworkError(
+                        f"expected PING echo from site {self.site_id!r}, got "
+                        f"{_FRAME_NAMES.get(frame_type, frame_type)}"
+                    )
+                info = json.loads(body.decode("utf-8"))
+                sample = estimate_offset(
+                    t0, float(info["t1"]), float(info["t2"]), t3
+                )
+                if best is None or sample.rtt_s < best.rtt_s:
+                    best = sample
+        self.clock_offset_s = best.offset_s
+        self.clock_rtt_s = best.rtt_s
+        self.metrics.gauge("net.clock.offset_s", site=self.site_id).set(
+            best.offset_s
+        )
+        self.metrics.gauge("net.clock.rtt_s", site=self.site_id).set(best.rtt_s)
+        return best
+
+    def telemetry(self, want=("metrics",)) -> dict:
+        """Fetch the site process's telemetry snapshot on demand.
+
+        ``want`` selects sections: ``"metrics"`` (the site registry
+        snapshot) and/or ``"flight"`` (the site's flight-recorder
+        records). A TELEMETRY exchange is a control-frame pair, charged
+        entirely to framing overhead.
+        """
+        request = json.dumps({"want": list(want)}).encode("utf-8")
+        with self._io_lock:
+            self._transmit(FRAME_TELEMETRY, request)
+            sock = self._sock
+            try:
+                frame_type, body = read_frame(sock)
+            except OSError as error:
+                self._drop_connection()
+                raise NetworkError(
+                    f"telemetry scrape of site {self.site_id!r} failed: {error}"
+                ) from None
+            self._count_received(body, frame_type)
+            if frame_type != FRAME_TELEMETRY:
+                raise NetworkError(
+                    f"expected TELEMETRY from site {self.site_id!r}, got "
+                    f"{_FRAME_NAMES.get(frame_type, frame_type)}"
+                )
+        return json.loads(body.decode("utf-8"))
 
     # -- recovery hooks ----------------------------------------------------------
 
@@ -642,6 +732,31 @@ class SocketNetwork(Network):
             for key, value in channel.socket_totals().items():
                 totals[key] += value
         return totals
+
+    def sync_clocks(self, samples: int = 3):
+        """PING every site; returns a :class:`~repro.obs.skew.ClockMap`.
+
+        Sites that fail to answer are skipped — their spans replay
+        uncorrected (offset 0) and their post-mortem telemetry comes
+        from the flight recorder instead.
+        """
+        from repro.obs.skew import ClockMap
+
+        clock_map = ClockMap()
+        for site_id, channel in self._channels.items():
+            try:
+                clock_map.record(site_id, channel.ping(samples))
+            except (ReproError, OSError):
+                continue
+        return clock_map
+
+    def clock_offsets(self) -> Dict[str, float]:
+        """Per-site best clock offsets from the most recent sync."""
+        return {
+            site_id: channel.clock_offset_s
+            for site_id, channel in self._channels.items()
+            if channel.clock_rtt_s is not None
+        }
 
     def close(self) -> None:
         for channel in self._channels.values():

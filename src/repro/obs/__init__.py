@@ -19,7 +19,11 @@ Seven pieces, all zero-dependency and import-free of the execution layers
 - :mod:`repro.obs.top` — the polling terminal dashboard behind
   ``repro top``;
 - :mod:`repro.obs.diff` — trace/profile/SLO comparison with
-  per-dimension regression attribution (``repro diff``).
+  per-dimension regression attribution (``repro diff``);
+- :mod:`repro.obs.skew` — NTP-style clock-offset estimation and span
+  alignment for merging site-process spans onto the coordinator clock;
+- :mod:`repro.obs.flightrec` — bounded in-memory flight recorder with
+  atomic crash dumps (``repro cluster dump``).
 """
 
 from repro.obs.diff import (
@@ -44,6 +48,12 @@ from repro.obs.export import (
     prometheus_text,
     scrape,
     start_metrics_server,
+)
+from repro.obs.flightrec import (
+    FlightRecord,
+    FlightRecorder,
+    flight_path,
+    load_flight_dir,
 )
 from repro.obs.metrics import (
     BYTES_BUCKETS,
@@ -70,15 +80,31 @@ from repro.obs.profile import (
     round_totals,
     site_totals,
 )
+from repro.obs.skew import (
+    ClockMap,
+    ClockSample,
+    align_span,
+    estimate_offset,
+)
 from repro.obs.timeline import render_timeline, timeline_totals
-from repro.obs.top import render_top, summarize, top_loop
+from repro.obs.top import (
+    cluster_sites,
+    cluster_top_loop,
+    render_top,
+    summarize,
+    top_loop,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "BYTES_BUCKETS",
+    "ClockMap",
+    "ClockSample",
     "Counter",
     "DiffEntry",
     "EventLog",
+    "FlightRecord",
+    "FlightRecorder",
     "GLOBAL_REGISTRY",
     "Gauge",
     "Histogram",
@@ -98,14 +124,20 @@ __all__ = [
     "Tracer",
     "activate",
     "active_registry",
+    "align_span",
     "build_profile",
     "build_trace",
+    "cluster_sites",
+    "cluster_top_loop",
     "diff_artifacts",
     "diff_bench",
     "diff_profiles",
     "diff_slo",
+    "estimate_offset",
+    "flight_path",
     "histogram_quantile",
     "load_artifact",
+    "load_flight_dir",
     "operator_totals",
     "parse_prometheus_text",
     "profile_from_trace",

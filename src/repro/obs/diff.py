@@ -436,7 +436,9 @@ def load_artifact(path: str):
     """Read and classify one artifact; returns ``(kind, payload)``.
 
     Kinds: ``"trace"`` (payload: :class:`~repro.obs.events.EventLog`),
-    ``"profile"``, ``"slo"``, ``"bench"`` (payload: dict).
+    ``"profile"``, ``"slo"``, ``"bench"`` (payload: dict). Flight
+    recorder dumps load as ``"trace"`` via
+    :meth:`~repro.obs.flightrec.FlightRecord.to_event_log`.
     """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
@@ -451,6 +453,12 @@ def load_artifact(path: str):
         from repro.obs.events import EventLog
 
         return "trace", EventLog.loads(text)
+    if isinstance(first, dict) and first.get("record") == "flight":
+        # A flight-recorder dump (repro cluster dump / site crash dump):
+        # surface it as a trace so post-mortems reuse the trace diff path.
+        from repro.obs.flightrec import FlightRecord
+
+        return "trace", FlightRecord.loads(text).to_event_log()
     try:
         data = json.loads(text)
     except (json.JSONDecodeError, ValueError) as error:

@@ -18,9 +18,14 @@ One trace file is a sequence of JSON objects, one per line:
 
 Schema v2 additionally allows a ``"query_id"`` field on any record, so
 one file holding several service queries can be filtered per query with
-:meth:`EventLog.for_query`. v1 files (no query_id, no plan records)
-still load; a file whose records disagree on the schema version — e.g.
-two concatenated traces — is rejected with the offending line number.
+:meth:`EventLog.for_query`. Schema v3 adds cross-process provenance:
+span records may carry ``"process"`` (``"coordinator"``/``"site"``),
+``"site_id"`` and ``"clock_offset_s"`` (the skew correction already
+applied to the span's timestamps — see :mod:`repro.obs.skew`), and a
+``"clock"`` record captures the per-site offset/RTT map of the run.
+v1/v2 files still load; a file whose records disagree on the schema
+version — e.g. two concatenated traces — is rejected with the
+offending line number.
 
 The round trip is redaction-free and lossless: ``load(dump(path))``
 returns exactly the records written. Unknown record types are preserved
@@ -39,10 +44,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
 #: Version of the JSONL record layout. Bump on any breaking change.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Versions this reader can load. v1 lacks query_id/plan records.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: Versions this reader can load. v1 lacks query_id/plan records; v2
+#: lacks cross-process provenance (process/site_id/clock_offset_s) and
+#: clock records.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 GENERATOR = "repro.obs"
 
@@ -232,6 +239,27 @@ def _validate_record(
             raise TraceSchemaError(
                 f"line {line_number}: 'query_id' must be an integer or string"
             )
+    for provenance_field in ("process", "site_id", "clock_offset_s"):
+        if provenance_field in record and schema_version < 3:
+            raise TraceSchemaError(
+                f"line {line_number}: {provenance_field!r} requires schema "
+                f"version >= 3 (file is version {schema_version})"
+            )
+    if "process" in record and record["process"] not in ("coordinator", "site"):
+        raise TraceSchemaError(
+            f"line {line_number}: 'process' must be 'coordinator' or 'site' "
+            f"(got {record['process']!r})"
+        )
+    if record_type == "clock":
+        if schema_version < 3:
+            raise TraceSchemaError(
+                f"line {line_number}: clock records require schema version >= 3"
+            )
+        if not isinstance(record.get("sites"), dict):
+            raise TraceSchemaError(
+                f"line {line_number}: clock record needs a 'sites' object"
+            )
+        return
     if record_type == "plan":
         if "describe" not in record:
             raise TraceSchemaError(
@@ -282,6 +310,7 @@ def build_trace(
     model=None,
     plan=None,
     query_id=None,
+    clock_map=None,
 ) -> EventLog:
     """Assemble one run's trace: spans, metrics snapshot, stats snapshot.
 
@@ -291,17 +320,24 @@ def build_trace(
     ``plan`` (any object with ``describe()`` and ``notes``) adds a v2
     "plan" record; ``query_id`` stamps every emitted record so several
     runs can share one file and be pulled apart with ``for_query``.
+    ``clock_map`` (a :class:`~repro.obs.skew.ClockMap`) records the
+    per-site offset/RTT estimates of a socket run as a v3 "clock"
+    record. Span records without replay provenance are stamped
+    ``process="coordinator"`` — every v3 span says where it ran.
     """
     log = EventLog()
     if tracer is not None and getattr(tracer, "enabled", False):
         for span in tracer.spans:
-            log.add_span(span)
+            record = log.add_span(span)
+            record.setdefault("process", "coordinator")
     if metrics is not None:
         log.add_metrics(metrics)
     if stats is not None:
         log.append("stats", **stats.to_dict(model))
     if plan is not None:
         log.append("plan", describe=plan.describe(), notes=list(plan.notes))
+    if clock_map is not None and len(clock_map):
+        log.append("clock", sites=clock_map.to_dict())
     if query_id is not None:
         for record in log.records:
             record.setdefault("query_id", query_id)

@@ -207,8 +207,25 @@ class _MetricsHandler(BaseHTTPRequestHandler):
                 "trace_schema_version": SCHEMA_VERSION,
                 "metric_count": len(self.server.registry),
             }
+            status_code = 200
+            probe = getattr(self.server, "health_probe", None)
+            if probe is not None:
+                # A cluster-liveness probe (e.g. ProcessCluster.dead_sites):
+                # any unreachable site turns the endpoint degraded — a
+                # non-200 so orchestrators and load balancers notice.
+                try:
+                    dead_sites = sorted(probe())
+                except Exception as error:  # noqa: BLE001 - report, don't die
+                    health["status"] = "degraded"
+                    health["probe_error"] = f"{type(error).__name__}: {error}"
+                    status_code = 503
+                else:
+                    health["dead_sites"] = dead_sites
+                    if dead_sites:
+                        health["status"] = "degraded"
+                        status_code = 503
             body = (json.dumps(health, sort_keys=True) + "\n").encode("utf-8")
-            self.send_response(200)
+            self.send_response(status_code)
             self.send_header("Content-Type", "application/json; charset=utf-8")
         else:
             body = b"not found; try /metrics\n"
@@ -241,10 +258,13 @@ class MetricsServer:
     """
 
     def __init__(self, registry: MetricsRegistry, port: int = 0,
-                 host: str = "127.0.0.1"):
+                 host: str = "127.0.0.1", health_probe=None):
         self._http = _ReusableHTTPServer((host, port), _MetricsHandler)
         self._http.registry = registry
         self._http.started_monotonic = time.monotonic()
+        #: Optional zero-arg callable returning the list of dead site
+        #: ids; any non-empty result flips /healthz to 503 "degraded".
+        self._http.health_probe = health_probe
         self.host = host
         self.port = self._http.server_address[1]
         self.url = f"http://{host}:{self.port}/metrics"
@@ -275,13 +295,19 @@ class MetricsServer:
 
 
 def start_metrics_server(
-    registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1"
+    registry: MetricsRegistry,
+    port: int = 0,
+    host: str = "127.0.0.1",
+    health_probe=None,
 ) -> MetricsServer:
     """Start serving ``registry`` at ``http://host:port/metrics``.
 
     ``port=0`` picks a free ephemeral port (see ``server.port``/``.url``).
+    ``health_probe`` (optional zero-arg callable returning dead site
+    ids) makes ``/healthz`` answer 503 with the dead-site list when the
+    attached cluster has unreachable sites.
     """
-    return MetricsServer(registry, port=port, host=host)
+    return MetricsServer(registry, port=port, host=host, health_probe=health_probe)
 
 
 def scrape(url: str, timeout_s: float = 5.0) -> Dict[str, List[Tuple[dict, float]]]:

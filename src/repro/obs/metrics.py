@@ -208,6 +208,19 @@ def _metric_key(name: str, labels: dict) -> str:
     return f"{name}{{{encoded}}}"
 
 
+def _split_metric_key(key: str) -> Tuple[str, dict]:
+    """Invert :func:`_metric_key`: ``name{k=v,...}`` -> name + labels."""
+    if "{" not in key:
+        return key, {}
+    name, _, encoded = key.partition("{")
+    labels = {}
+    for pair in encoded.rstrip("}").split(","):
+        if pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
 class MetricsRegistry:
     """Get-or-create home for the process's metrics (thread-safe)."""
 
@@ -267,6 +280,40 @@ class MetricsRegistry:
             if key.startswith(prefix) and isinstance(metric, (Counter, Gauge)):
                 total += metric.value
         return total
+
+    def merge_snapshot(self, snapshot: dict, **extra_labels) -> None:
+        """Ingest another registry's :meth:`snapshot`, re-labeled.
+
+        The scrape path: ``ProcessCluster.scrape()`` folds each site
+        process's registry into the coordinator registry with a
+        ``site=`` label. Counters adopt the source's absolute value via
+        a delta increment (a source value *below* the stored one means
+        the site process restarted, and passes through as a
+        Prometheus-style counter reset); gauges are overwritten;
+        histograms replace their bucket state wholesale.
+        """
+        for key, snap in snapshot.items():
+            name, labels = _split_metric_key(key)
+            labels.update(extra_labels)
+            kind = snap.get("type")
+            if kind == "counter":
+                counter = self.counter(name, **labels)
+                delta = snap.get("value", 0) - counter.value
+                if delta < 0:
+                    with counter._lock:
+                        counter.value = snap.get("value", 0)
+                elif delta:
+                    counter.inc(delta)
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(snap.get("value", 0.0))
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, snap.get("boundaries") or SECONDS_BUCKETS, **labels
+                )
+                with histogram._lock:
+                    histogram.counts = list(snap.get("counts", ()))
+                    histogram.count = snap.get("count", 0)
+                    histogram.sum = snap.get("sum", 0.0)
 
     def snapshot(self) -> dict:
         """All metrics as plain dicts, keyed by encoded identity."""

@@ -416,6 +416,11 @@ def build_profile(
             stack = list(children.get(round_span.span_id, ()))
             while stack:
                 span = stack.pop()
+                if span.attributes.get("speculative"):
+                    # An abandoned speculative attempt: the backup leg
+                    # re-recorded the same work, so absorbing this span
+                    # (or its subtree) would double-count stage totals.
+                    continue
                 stack.extend(children.get(span.span_id, ()))
                 site_id = span.attributes.get("site")
                 if span.kind == "site" and site_id in site_profiles:

@@ -1,0 +1,173 @@
+"""Clock-skew estimation and cross-process span alignment.
+
+Site-server processes timestamp their spans with their own
+``time.perf_counter`` — a monotonic clock whose zero point is arbitrary
+per process, so shipped site spans land in a different clock domain
+than the coordinator's tracer. This module provides the two halves of
+the fix:
+
+- **Estimation**: an NTP-style four-timestamp exchange over the
+  transport's PING frame (:func:`estimate_offset`), collected per site
+  into a :class:`ClockMap` that keeps the minimum-RTT sample (the one
+  with the least queueing noise, hence the tightest error bound of
+  ``±rtt/2``).
+- **Alignment**: :func:`align_span` shifts a site span's timestamps
+  into the coordinator domain and clamps them into the enclosing
+  coordinator span's bounds, so the merged timeline never shows a
+  negative duration or a child starting before its parent — the
+  residual skew after correction is bounded by the RTT, and clamping
+  absorbs it rather than letting it invert the render.
+
+Convention: ``offset_s`` is *site clock minus coordinator clock*; a
+site timestamp ``t`` maps to coordinator time ``t - offset_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "ClockMap",
+    "ClockSample",
+    "align_span",
+    "estimate_offset",
+]
+
+
+@dataclass(frozen=True)
+class ClockSample:
+    """One NTP-style offset/RTT estimate for a remote clock.
+
+    ``offset_s`` maps the remote clock into the local one
+    (``local = remote - offset_s``); ``rtt_s`` bounds the estimation
+    error at ``±rtt_s / 2``.
+    """
+
+    offset_s: float
+    rtt_s: float
+
+    def __post_init__(self):
+        if self.rtt_s < 0:
+            raise ObservabilityError(
+                f"clock sample RTT cannot be negative (got {self.rtt_s})"
+            )
+
+    @property
+    def error_bound_s(self) -> float:
+        return self.rtt_s / 2.0
+
+    def to_dict(self) -> dict:
+        return {"offset_s": self.offset_s, "rtt_s": self.rtt_s}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClockSample":
+        return cls(offset_s=float(data["offset_s"]), rtt_s=float(data["rtt_s"]))
+
+
+def estimate_offset(t0: float, t1: float, t2: float, t3: float) -> ClockSample:
+    """The classic NTP estimate from one request/response exchange.
+
+    ``t0``/``t3`` are local send/receive times; ``t1``/``t2`` are the
+    remote receive/send times (remote clock). Assuming symmetric path
+    delay, ``offset = ((t1 - t0) + (t2 - t3)) / 2`` and
+    ``rtt = (t3 - t0) - (t2 - t1)``.
+    """
+    if t3 < t0:
+        raise ObservabilityError(
+            f"local receive time {t3} precedes send time {t0}"
+        )
+    if t2 < t1:
+        raise ObservabilityError(
+            f"remote send time {t2} precedes receive time {t1}"
+        )
+    offset = ((t1 - t0) + (t2 - t3)) / 2.0
+    rtt = (t3 - t0) - (t2 - t1)
+    return ClockSample(offset_s=offset, rtt_s=max(rtt, 0.0))
+
+
+@dataclass
+class ClockMap:
+    """Best-known clock sample per site, keyed by site id.
+
+    :meth:`record` keeps whichever of the stored and offered samples
+    has the lower RTT, so repeated syncs only ever tighten the map.
+    """
+
+    samples: Dict[str, ClockSample] = field(default_factory=dict)
+
+    def record(self, site_id: str, sample: ClockSample) -> ClockSample:
+        current = self.samples.get(site_id)
+        if current is None or sample.rtt_s < current.rtt_s:
+            self.samples[site_id] = sample
+            return sample
+        return current
+
+    def offset_of(self, site_id: Optional[str]) -> float:
+        """The correction for ``site_id``; 0 for unknown/unsynced sites."""
+        if site_id is None:
+            return 0.0
+        sample = self.samples.get(site_id)
+        return sample.offset_s if sample is not None else 0.0
+
+    def sample_of(self, site_id: str) -> Optional[ClockSample]:
+        return self.samples.get(site_id)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __contains__(self, site_id: str) -> bool:
+        return site_id in self.samples
+
+    def sites(self) -> Iterable[str]:
+        return sorted(self.samples)
+
+    def to_dict(self) -> dict:
+        return {
+            site_id: sample.to_dict()
+            for site_id, sample in sorted(self.samples.items())
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClockMap":
+        return cls(
+            samples={
+                str(site_id): ClockSample.from_dict(sample)
+                for site_id, sample in data.items()
+            }
+        )
+
+
+def align_span(
+    start_s: float,
+    end_s: float,
+    offset_s: float,
+    parent_start_s: Optional[float] = None,
+    parent_end_s: Optional[float] = None,
+):
+    """Shift a remote span into the local clock domain and clamp it.
+
+    Returns ``(start_s, end_s)`` after subtracting ``offset_s`` and
+    clamping into ``[parent_start_s, parent_end_s]`` where those bounds
+    are given. Clamping preserves the span's duration when it fits
+    inside the parent window and truncates it otherwise, so the two
+    render invariants hold unconditionally: ``end >= start`` (no
+    negative durations) and child-within-parent.
+    """
+    if end_s < start_s:
+        raise ObservabilityError(
+            f"span ends before it starts: start={start_s} end={end_s}"
+        )
+    start = start_s - offset_s
+    end = end_s - offset_s
+    duration = end - start
+    if parent_start_s is not None and start < parent_start_s:
+        start = parent_start_s
+        end = start + duration
+    if parent_end_s is not None and end > parent_end_s:
+        end = parent_end_s
+        if start > end:
+            start = end
+    return start, end

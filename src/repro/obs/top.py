@@ -165,6 +165,68 @@ def socket_stats(samples: Samples) -> dict:
     return per_site
 
 
+def cluster_sites(samples: Samples) -> dict:
+    """Per-site telemetry from a cluster scrape (``site_*`` families).
+
+    Reads the families :meth:`repro.distributed.deployment.ProcessCluster.scrape`
+    aggregates out of each siteserver's own registry — liveness
+    (``site_up``/``site_pid``), request/row/byte counters, queue depth,
+    RSS — keyed by the ``site=`` label. Counters use ``max`` rather than
+    ``+=`` so a family that appears twice in one exposition (merged
+    counter plus reply-piggyback gauge share a sample name) is not
+    double-counted. Empty dict when the exposition has no site families,
+    which is how the dashboard decides whether to show the panel.
+    """
+    per_site: dict = {}
+
+    def entry(site: str) -> dict:
+        return per_site.setdefault(
+            site,
+            {
+                "up": None,
+                "pid": None,
+                "requests": 0,
+                "errors": 0,
+                "rows": 0,
+                "down": 0,
+                "up_bytes": 0,
+                "queue_depth": 0,
+                "rss_bytes": 0,
+                "request_ms": {},
+            },
+        )
+
+    simple = (
+        ("site_up", "up"),
+        ("site_pid", "pid"),
+        ("site_requests_total", "requests"),
+        ("site_errors_total", "errors"),
+        ("site_rows_total", "rows"),
+        ("site_queue_depth", "queue_depth"),
+        ("site_rss_bytes", "rss_bytes"),
+    )
+    for family, field in simple:
+        for labels, value in samples.get(family, ()):
+            site = labels.get("site")
+            if site is None:
+                continue
+            current = entry(site)[field]
+            entry(site)[field] = max(current or 0, int(value))
+    for labels, value in samples.get("site_bytes_total", ()):
+        site, direction = labels.get("site"), labels.get("direction")
+        if site is None or direction not in ("down", "up"):
+            continue
+        field = "down" if direction == "down" else "up_bytes"
+        entry(site)[field] = max(entry(site)[field], int(value))
+    for site in per_site:
+        per_site[site]["request_ms"] = latency_quantiles_ms(
+            samples, "site_request_seconds", site=site
+        )
+        if per_site[site]["up"] is not None:
+            per_site[site]["up"] = bool(per_site[site]["up"])
+    return per_site
+
+
 def summarize(samples: Samples) -> dict:
     """One dashboard frame's numbers, from one scrape."""
     hits = _total(samples, "service_cache_hit_total")
@@ -186,6 +248,7 @@ def summarize(samples: Samples) -> dict:
         "outcomes": outcome_counts(samples),
         "site_bytes": site_bytes(samples),
         "socket": socket_stats(samples),
+        "cluster": cluster_sites(samples),
     }
 
 
@@ -262,6 +325,33 @@ def render_top(summary: dict, url: str = "", iteration: Optional[int] = None) ->
                 f"framing=+{_fmt_bytes(entry['framing'])} "
                 f"frames={entry['frames']} reconnects={entry['reconnects']}"
             )
+    cluster = summary.get("cluster") or {}
+    if cluster:
+        lines.append("cluster sites:")
+        label_width = max(len(site) for site in cluster)
+        for site in sorted(cluster):
+            entry = cluster[site]
+            if entry["up"] is None:
+                state = "?"
+            else:
+                state = "up" if entry["up"] else "DOWN"
+            parts = [
+                f"  {site.ljust(label_width)}  {state:<4}",
+                f"pid={entry['pid'] or '-'}",
+                f"req={entry['requests']}",
+                f"err={entry['errors']}",
+                f"rows={entry['rows']}",
+                f"down={_fmt_bytes(entry['down'])}",
+                f"up={_fmt_bytes(entry['up_bytes'])}",
+                f"queue={entry['queue_depth']}",
+                f"rss={_fmt_bytes(entry['rss_bytes'])}",
+            ]
+            request_ms = entry.get("request_ms") or {}
+            if request_ms:
+                parts.append(
+                    f"p50={request_ms['p50']:.1f}ms p99={request_ms['p99']:.1f}ms"
+                )
+            lines.append(" ".join(parts))
     return "\n".join(lines)
 
 
@@ -294,6 +384,49 @@ def top_loop(
             else:
                 succeeded = True
                 print(render_top(summarize(samples), url, frame), file=out)
+            if iterations and frame >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0 if succeeded else 1
+
+
+def cluster_top_loop(
+    scrape_samples,
+    label: str = "cluster",
+    interval_s: float = 2.0,
+    iterations: int = 0,
+    out=None,
+    sleep=time.sleep,
+) -> int:
+    """Like :func:`top_loop`, but over a cluster scrape callable.
+
+    ``scrape_samples`` is a zero-arg callable returning parsed samples
+    (``repro top --cluster`` wires it to ``ProcessCluster.scrape()``
+    rendered through the exposition round trip, so the panel sees
+    exactly what a Prometheus server would). A scrape that raises
+    :class:`OSError`/:class:`~repro.errors.ReproError` prints a notice
+    and keeps polling, matching :func:`top_loop` semantics.
+    """
+    import sys
+
+    from repro.errors import ReproError
+
+    if out is None:
+        out = sys.stdout
+    frame = 0
+    succeeded = False
+    try:
+        while True:
+            frame += 1
+            try:
+                samples = scrape_samples()
+            except (OSError, ReproError) as error:
+                print(f"repro top — {label} unreachable: {error}", file=out)
+            else:
+                succeeded = True
+                print(render_top(summarize(samples), label, frame), file=out)
             if iterations and frame >= iterations:
                 break
             sleep(interval_s)

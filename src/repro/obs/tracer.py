@@ -43,6 +43,14 @@ class Span:
     start_s: float
     end_s: Optional[float] = None
     attributes: dict = field(default_factory=dict)
+    #: Which process recorded this span: ``None`` means the local
+    #: (coordinator) tracer; replayed site spans carry ``"site"``.
+    process: Optional[str] = None
+    #: Site id for spans replayed from a site process.
+    site_id: Optional[str] = None
+    #: Clock correction (site minus coordinator seconds, see
+    #: ``repro.obs.skew``) already *applied* to this span's timestamps.
+    clock_offset_s: Optional[float] = None
 
     @property
     def duration_s(self) -> float:
@@ -57,7 +65,7 @@ class Span:
         return self
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "kind": self.kind,
             "span_id": self.span_id,
@@ -66,6 +74,15 @@ class Span:
             "end_s": self.end_s,
             "attributes": dict(self.attributes),
         }
+        # Provenance fields are omitted when unset so pre-v3 span
+        # payloads stay byte-identical.
+        if self.process is not None:
+            payload["process"] = self.process
+        if self.site_id is not None:
+            payload["site_id"] = self.site_id
+        if self.clock_offset_s is not None:
+            payload["clock_offset_s"] = self.clock_offset_s
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Span":
@@ -77,6 +94,9 @@ class Span:
             start_s=payload["start_s"],
             end_s=payload["end_s"],
             attributes=dict(payload.get("attributes", {})),
+            process=payload.get("process"),
+            site_id=payload.get("site_id"),
+            clock_offset_s=payload.get("clock_offset_s"),
         )
 
 
@@ -135,11 +155,14 @@ class Tracer:
         become parentless roots.
         """
         previous = getattr(self._local, "base_parent_id", None)
+        previous_span = getattr(self._local, "base_parent_span", None)
         self._local.base_parent_id = None if span is None else span.span_id
+        self._local.base_parent_span = span
         try:
             yield
         finally:
             self._local.base_parent_id = previous
+            self._local.base_parent_span = previous_span
 
     def _thread_stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -178,26 +201,76 @@ class Tracer:
             span.attributes.setdefault("error", True)
         span.end_s = self._clock()
 
-    def replay(self, span_dicts) -> None:
-        """Re-record spans captured elsewhere (a forked site worker).
+    def replay(
+        self,
+        span_dicts,
+        clock_offset_s: float = 0.0,
+        site_id: Optional[str] = None,
+        process: Optional[str] = None,
+    ) -> None:
+        """Re-record spans captured elsewhere (a site worker/process).
 
         Each replayed span gets a fresh id here; parent links *within*
         the batch are preserved, and batch roots are parented under this
-        thread's attached span (see :meth:`attach`). Timestamps are kept
-        verbatim — they come from the worker's own monotonic clock, so
-        only their differences (durations) are meaningful.
+        thread's attached span (see :meth:`attach`).
+
+        Timestamps are shifted into this tracer's clock domain by
+        ``clock_offset_s`` (remote minus local, the convention of
+        :mod:`repro.obs.skew` — 0 keeps them verbatim, correct for
+        forked workers that share the machine's monotonic clock) and
+        clamped into the enclosing span's bounds, so the merged timeline
+        keeps ``end >= start`` and child-within-parent even when the
+        residual skew after estimation exceeds a real gap. ``site_id``
+        and ``process`` stamp provenance onto the replayed spans for the
+        v3 trace schema.
         """
-        base_parent_id = getattr(self._local, "base_parent_id", None)
+        from repro.obs.skew import align_span
+
         stack = self._thread_stack()
         if stack:
             base_parent_id = stack[-1].span_id
+            base_parent = stack[-1]
+        else:
+            base_parent_id = getattr(self._local, "base_parent_id", None)
+            base_parent = getattr(self._local, "base_parent_span", None)
+        now = self._clock()
+        if base_parent is not None:
+            base_bounds = (
+                base_parent.start_s,
+                base_parent.end_s if base_parent.end_s is not None else now,
+            )
+        else:
+            base_bounds = (None, now)
         id_map: dict = {}
+        bounds: dict = {}
         with self._lock:
             for payload in span_dicts:
                 span = Span.from_dict(payload)
-                id_map[span.span_id] = self._next_id
+                remote_id = span.span_id
+                # Clamp into the replayed parent's *corrected* bounds
+                # when the parent is in this batch, else the local
+                # enclosing span's bounds.
+                parent_bounds = bounds.get(span.parent_id, base_bounds)
+                id_map[remote_id] = self._next_id
                 span.span_id = self._next_id
                 span.parent_id = id_map.get(span.parent_id, base_parent_id)
+                if span.end_s is not None:
+                    span.start_s, span.end_s = align_span(
+                        span.start_s,
+                        span.end_s,
+                        clock_offset_s,
+                        parent_start_s=parent_bounds[0],
+                        parent_end_s=parent_bounds[1],
+                    )
+                    bounds[remote_id] = (span.start_s, span.end_s)
+                else:
+                    span.start_s = span.start_s - clock_offset_s
+                if process is not None and span.process is None:
+                    span.process = process
+                if site_id is not None and span.site_id is None:
+                    span.site_id = site_id
+                if process == "site" and span.clock_offset_s is None:
+                    span.clock_offset_s = clock_offset_s
                 self._next_id += 1
                 self.spans.append(span)
 
@@ -251,7 +324,7 @@ class NullTracer:
         """No-op attachment (the null span is also a null context)."""
         return _NULL_SPAN
 
-    def replay(self, span_dicts) -> None:
+    def replay(self, span_dicts, **_kwargs) -> None:
         """Discard replayed spans (nothing is recorded)."""
 
 

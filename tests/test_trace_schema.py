@@ -1,4 +1,5 @@
-"""Trace schema v2: query_id stamping, v1 compatibility, mixed-version rejection."""
+"""Trace schema versions: query_id stamping (v2), span provenance (v3),
+v1/v2 compatibility, mixed-version rejection."""
 
 import json
 
@@ -65,9 +66,9 @@ def v1_text() -> str:
 
 
 class TestSchemaVersions:
-    def test_current_version_is_two(self):
-        assert SCHEMA_VERSION == 2
-        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2)
+    def test_current_version_is_three(self):
+        assert SCHEMA_VERSION == 3
+        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2, 3)
 
     def test_v1_trace_loads_without_query_id(self):
         log = EventLog.loads(v1_text())
@@ -77,11 +78,11 @@ class TestSchemaVersions:
         # And v1 round-trips losslessly through the v1 header.
         assert EventLog.loads(log.dumps()) == log
 
-    def test_v2_round_trip_is_lossless(self):
+    def test_current_round_trip_is_lossless(self):
         log = traced_query(query_id=7)
         loaded = EventLog.loads(log.dumps())
         assert loaded == log
-        assert loaded.schema_version == 2
+        assert loaded.schema_version == SCHEMA_VERSION
         assert loaded.query_ids() == [7]
         assert loaded.records_of("plan")[0]["describe"].startswith("round 1")
 
